@@ -1,0 +1,224 @@
+//! A simple grid maze router (Lee-style BFS) used by the sequential
+//! floorplan-then-route baseline.
+
+use std::collections::VecDeque;
+
+use rfic_geom::{Point, Polyline, Rect};
+
+/// A uniform routing grid over the layout area with blocked cells.
+#[derive(Debug, Clone)]
+pub struct RoutingGrid {
+    width: f64,
+    height: f64,
+    pitch: f64,
+    cols: usize,
+    rows: usize,
+    blocked: Vec<bool>,
+}
+
+impl RoutingGrid {
+    /// Creates an empty grid covering `width × height` µm with the given
+    /// cell pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive.
+    pub fn new(width: f64, height: f64, pitch: f64) -> RoutingGrid {
+        assert!(width > 0.0 && height > 0.0 && pitch > 0.0, "invalid grid dimensions");
+        let cols = (width / pitch).ceil() as usize + 1;
+        let rows = (height / pitch).ceil() as usize + 1;
+        RoutingGrid {
+            width,
+            height,
+            pitch,
+            cols,
+            rows,
+            blocked: vec![false; cols * rows],
+        }
+    }
+
+    /// Number of grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn index(&self, col: usize, row: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// Nearest grid cell to a point (clamped to the grid).
+    pub fn snap(&self, p: Point) -> (usize, usize) {
+        let col = (p.x / self.pitch).round().clamp(0.0, (self.cols - 1) as f64) as usize;
+        let row = (p.y / self.pitch).round().clamp(0.0, (self.rows - 1) as f64) as usize;
+        (col, row)
+    }
+
+    /// Centre coordinate of a grid cell.
+    pub fn cell_center(&self, col: usize, row: usize) -> Point {
+        Point::new(
+            (col as f64 * self.pitch).min(self.width),
+            (row as f64 * self.pitch).min(self.height),
+        )
+    }
+
+    /// Marks every cell covered by `rect` (expanded by `margin`) as blocked.
+    pub fn block_rect(&mut self, rect: &Rect, margin: f64) {
+        let r = rect.expanded(margin);
+        let c0 = ((r.min.x / self.pitch).floor().max(0.0)) as usize;
+        let c1 = ((r.max.x / self.pitch).ceil()).min((self.cols - 1) as f64) as usize;
+        let r0 = ((r.min.y / self.pitch).floor().max(0.0)) as usize;
+        let r1 = ((r.max.y / self.pitch).ceil()).min((self.rows - 1) as f64) as usize;
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                let idx = self.index(col, row);
+                self.blocked[idx] = true;
+            }
+        }
+    }
+
+    /// Unblocks the cell containing `p` (used to free pin locations that sit
+    /// inside a device's keep-out).
+    pub fn unblock_point(&mut self, p: Point) {
+        let (c, r) = self.snap(p);
+        let idx = self.index(c, r);
+        self.blocked[idx] = false;
+    }
+
+    /// `true` if the cell containing `p` is blocked.
+    pub fn is_blocked(&self, p: Point) -> bool {
+        let (c, r) = self.snap(p);
+        self.blocked[self.index(c, r)]
+    }
+
+    /// Routes from `start` to `end` with a breadth-first (Lee) search over
+    /// unblocked cells, returning a rectilinear polyline through cell
+    /// centres (with the exact endpoints appended), or `None` if no path
+    /// exists.
+    pub fn route(&self, start: Point, end: Point) -> Option<Polyline> {
+        let s = self.snap(start);
+        let e = self.snap(end);
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; self.cols * self.rows];
+        let mut visited = vec![false; self.cols * self.rows];
+        let mut queue = VecDeque::new();
+        visited[self.index(s.0, s.1)] = true;
+        queue.push_back(s);
+        let mut found = false;
+        while let Some((c, r)) = queue.pop_front() {
+            if (c, r) == e {
+                found = true;
+                break;
+            }
+            let neighbours = [
+                (c.wrapping_sub(1), r),
+                (c + 1, r),
+                (c, r.wrapping_sub(1)),
+                (c, r + 1),
+            ];
+            for (nc, nr) in neighbours {
+                if nc >= self.cols || nr >= self.rows {
+                    continue;
+                }
+                let idx = self.index(nc, nr);
+                if visited[idx] || (self.blocked[idx] && (nc, nr) != e) {
+                    continue;
+                }
+                visited[idx] = true;
+                prev[idx] = Some((c, r));
+                queue.push_back((nc, nr));
+            }
+        }
+        if !found {
+            return None;
+        }
+        // Reconstruct the cell path.
+        let mut cells = vec![e];
+        let mut cur = e;
+        while cur != s {
+            cur = prev[self.index(cur.0, cur.1)]?;
+            cells.push(cur);
+        }
+        cells.reverse();
+        // Convert to points: exact start, cell centres, exact end; then rely
+        // on polyline simplification to merge collinear runs.
+        let mut pts = vec![start];
+        for &(c, r) in &cells {
+            let p = self.cell_center(c, r);
+            // Keep the path rectilinear with respect to the previous point.
+            let last = *pts.last().expect("non-empty");
+            if !last.is_rectilinear_with(p) {
+                pts.push(Point::new(last.x, p.y));
+            }
+            pts.push(p);
+        }
+        let last = *pts.last().expect("non-empty");
+        if !last.is_rectilinear_with(end) {
+            pts.push(Point::new(end.x, last.y));
+        }
+        pts.push(end);
+        Polyline::new(pts).ok().map(|p| p.simplified())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_route_on_empty_grid() {
+        let grid = RoutingGrid::new(200.0, 100.0, 10.0);
+        let route = grid
+            .route(Point::new(10.0, 50.0), Point::new(190.0, 50.0))
+            .expect("path exists");
+        assert_eq!(route.start(), Point::new(10.0, 50.0));
+        assert_eq!(route.end(), Point::new(190.0, 50.0));
+        assert_eq!(route.bend_count(), 0);
+        assert!((route.geometric_length() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn router_detours_around_an_obstacle() {
+        let mut grid = RoutingGrid::new(200.0, 100.0, 5.0);
+        grid.block_rect(&Rect::from_corners(Point::new(90.0, 0.0), Point::new(110.0, 80.0)), 5.0);
+        let route = grid
+            .route(Point::new(10.0, 40.0), Point::new(190.0, 40.0))
+            .expect("path exists");
+        assert!(route.bend_count() >= 2, "detour needs bends");
+        assert!(route.geometric_length() > 180.0);
+        // The route never enters the blocked region.
+        for w in route.points().windows(2) {
+            let mid = w[0].midpoint(w[1]);
+            assert!(
+                !(mid.x > 91.0 && mid.x < 109.0 && mid.y < 79.0),
+                "route passes through the obstacle at {mid}"
+            );
+        }
+    }
+
+    #[test]
+    fn unroutable_when_fully_walled_off() {
+        let mut grid = RoutingGrid::new(100.0, 100.0, 5.0);
+        grid.block_rect(&Rect::from_corners(Point::new(45.0, 0.0), Point::new(55.0, 100.0)), 5.0);
+        assert!(grid.route(Point::new(10.0, 50.0), Point::new(90.0, 50.0)).is_none());
+    }
+
+    #[test]
+    fn pin_cells_can_be_unblocked() {
+        let mut grid = RoutingGrid::new(100.0, 100.0, 5.0);
+        let pin = Point::new(50.0, 50.0);
+        grid.block_rect(&Rect::centered(pin, 20.0, 20.0), 0.0);
+        assert!(grid.is_blocked(pin));
+        grid.unblock_point(pin);
+        assert!(!grid.is_blocked(pin));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid grid dimensions")]
+    fn zero_pitch_is_rejected() {
+        let _ = RoutingGrid::new(10.0, 10.0, 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the optimisation substrate (LP simplex, MILP branch
+//! and bound, single-strip layout ILP). These are the building blocks whose
+//! speed determines the Table-1 runtime column.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rfic_core::{IlpConfig, Layout, LayoutIlp, Placement};
+use rfic_lp::{ConstraintOp, LinearProgram, Sense};
+use rfic_milp::{LinExpr, Model, SolveOptions};
+use rfic_netlist::benchmarks;
+
+fn random_lp(vars: usize, rows: usize, seed: u64) -> LinearProgram {
+    // Deterministic pseudo-random coefficients (no rand dependency needed).
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 100.0
+    };
+    let mut lp = LinearProgram::new(vars, Sense::Maximize);
+    for v in 0..vars {
+        lp.set_objective_coeff(v, 1.0 + next());
+        lp.set_bounds(v, 0.0, 50.0);
+    }
+    for _ in 0..rows {
+        let coeffs: Vec<(usize, f64)> = (0..vars).map(|v| (v, 0.1 + next())).collect();
+        lp.add_constraint(coeffs, ConstraintOp::Le, 100.0 + next() * 10.0);
+    }
+    lp
+}
+
+fn knapsack_model(items: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let mut cap = LinExpr::new();
+    for i in 0..items {
+        let value = 10.0 + (i % 7) as f64 * 3.0;
+        let weight = 5.0 + (i % 5) as f64 * 4.0;
+        let x = m.add_binary(format!("x{i}"), value);
+        cap.add_term(x, weight);
+    }
+    m.add_le(cap, items as f64 * 3.0);
+    m
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex");
+    for (vars, rows) in [(20, 15), (60, 40), (120, 80)] {
+        group.bench_function(format!("dense_{vars}x{rows}"), |b| {
+            let lp = random_lp(vars, rows, 42);
+            b.iter(|| lp.solve().expect("solvable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_branch_and_bound");
+    for items in [10usize, 20, 30] {
+        group.bench_function(format!("knapsack_{items}"), |b| {
+            let model = knapsack_model(items);
+            let opts = SolveOptions::default();
+            b.iter(|| model.solve(&opts).expect("solvable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_strip_ilp(c: &mut Criterion) {
+    let circuit = benchmarks::tiny_circuit();
+    let netlist = circuit.netlist.clone();
+    let base = Layout {
+        area: netlist.area(),
+        placements: circuit
+            .witness
+            .placements
+            .iter()
+            .map(|(&id, &(p, r))| (id, Placement { center: p, rotation: r }))
+            .collect(),
+        routes: circuit.witness.routes.clone(),
+    };
+    let strip = netlist.microstrips()[0].id;
+
+    let mut group = c.benchmark_group("layout_ilp");
+    group.sample_size(10);
+    group.bench_function("build_single_strip_model", |b| {
+        b.iter_batched(
+            || IlpConfig::single_strip(strip),
+            |config| LayoutIlp::build(&netlist, config, &base).expect("build"),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("solve_single_strip_exact_length", |b| {
+        b.iter_batched(
+            || {
+                let mut config = IlpConfig::single_strip(strip);
+                config.chain_points.insert(strip, 4);
+                LayoutIlp::build(&netlist, config, &base).expect("build")
+            },
+            |ilp| {
+                ilp.solve(&SolveOptions::with_time_limit(Duration::from_secs(10)))
+                    .ok()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_milp, bench_strip_ilp);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation sweeps over the P-ILP design knobs called out in `DESIGN.md`:
+//! chain-point budget, confinement window `τ_d` and refinement iterations.
+//! Each configuration is run on the tiny circuit and its bend count, worst
+//! length error and runtime are printed.
+//!
+//! Usage: `cargo run --release -p rfic-bench --bin ablations`
+
+use std::time::Instant;
+
+use rfic_core::{Pilp, PilpConfig};
+use rfic_netlist::benchmarks;
+
+fn run(name: &str, config: PilpConfig) {
+    let circuit = benchmarks::tiny_circuit();
+    let start = Instant::now();
+    match Pilp::new(config).run(&circuit.netlist) {
+        Ok(result) => {
+            let report = result.report();
+            println!(
+                "{name:<32} total bends {:>2}  max bends {:>2}  max|ΔL| {:>8.3} µm  runtime {:>8.1?}",
+                report.total_bends,
+                report.max_bends,
+                report.max_length_error,
+                start.elapsed()
+            );
+        }
+        Err(e) => println!("{name:<32} FAILED: {e}"),
+    }
+}
+
+fn main() {
+    println!("P-ILP ablations on the tiny two-stage circuit (manual witness: {} bends)\n",
+        benchmarks::tiny_circuit().witness.total_bends());
+
+    run("baseline (fast)", PilpConfig::fast());
+
+    let mut no_refine = PilpConfig::fast();
+    no_refine.max_refine_iters = 0;
+    run("no phase-3 refinement", no_refine);
+
+    let mut single_round = PilpConfig::fast();
+    single_round.max_separation_rounds = 0;
+    run("no lazy overlap separation", single_round);
+
+    let mut tight_window = PilpConfig::fast();
+    tight_window.tau_d = 40.0;
+    run("tight windows (tau_d = 40 µm)", tight_window);
+
+    let mut wide_window = PilpConfig::fast();
+    wide_window.tau_d = 300.0;
+    run("wide windows (tau_d = 300 µm)", wide_window);
+
+    let mut no_extra_points = PilpConfig::fast();
+    no_extra_points.max_extra_chain_points = 0;
+    run("no chain-point insertion", no_extra_points);
+}

@@ -1,0 +1,34 @@
+//! Dumps the per-phase layout snapshots of the P-ILP flow (the qualitative
+//! Figure 7 of the paper) as ASCII art and SVG files.
+//!
+//! Usage: `cargo run --release -p rfic-bench --bin flow_snapshots [-- --quick]`
+
+use rfic_bench::Effort;
+use rfic_core::{render, Pilp};
+use rfic_netlist::benchmarks;
+
+fn main() {
+    let effort = Effort::from_args(std::env::args().skip(1));
+    let circuit = match effort {
+        Effort::Quick => benchmarks::tiny_circuit(),
+        Effort::Full => benchmarks::small_circuit(),
+    };
+    let netlist = &circuit.netlist;
+    println!("P-ILP flow snapshots for {}\n", netlist.name());
+
+    let result = Pilp::new(effort.pilp_config())
+        .run(netlist)
+        .expect("P-ILP run succeeds");
+    for snapshot in &result.snapshots {
+        println!(
+            "--- {} : {} bends, max |ΔL| {:.3} µm, {:.1?} ---",
+            snapshot.phase, snapshot.total_bends, snapshot.max_length_error, snapshot.elapsed
+        );
+        println!("{}", render::ascii(netlist, &snapshot.layout, 100));
+        let file = format!("target/flow_{}.svg", format!("{:?}", snapshot.phase).to_lowercase());
+        if std::fs::write(&file, render::svg(netlist, &snapshot.layout)).is_ok() {
+            println!("(SVG written to {file})\n");
+        }
+    }
+    println!("final report:\n{}", result.report());
+}

@@ -1,0 +1,47 @@
+//! Regenerates Table 1 of the paper: maximum/total bend numbers and runtime
+//! of the manual baseline versus the P-ILP flow, for every circuit at both
+//! area settings.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rfic-bench --bin table1            # full benchmark circuits
+//! cargo run --release -p rfic-bench --bin table1 -- --quick # small CI-sized circuits
+//! ```
+
+use rfic_baseline::published_table1;
+use rfic_bench::{circuits_for, format_table1, run_table1_row, Effort};
+
+fn main() {
+    let effort = Effort::from_args(std::env::args().skip(1));
+    let config = effort.pilp_config();
+    println!("Reproducing Table 1 ({effort:?} effort) — this runs the full P-ILP flow per row.\n");
+
+    let mut rows = Vec::new();
+    for (circuit, settings, weeks) in circuits_for(effort) {
+        for (setting, area) in settings {
+            eprintln!("running P-ILP on {} ({setting} area {:.0}x{:.0}) ...", circuit.netlist.name(), area.0, area.1);
+            let row = run_table1_row(&circuit, setting, area, &config, weeks);
+            println!("{}", format_table1(std::slice::from_ref(&row)));
+            rows.push(row);
+        }
+    }
+
+    println!("\n=== Regenerated Table 1 ===\n{}", format_table1(&rows));
+
+    println!("=== Published Table 1 (paper, for reference) ===");
+    for row in published_table1() {
+        println!(
+            "{:<16} {:>4.0}x{:<5.0}  max {} vs {}   total {} vs {}   runtime {} vs {:?}",
+            row.circuit,
+            row.area.0,
+            row.area.1,
+            row.manual_max_bends.map(|v| v.to_string()).unwrap_or_else(|| "n/a".into()),
+            row.pilp_max_bends,
+            row.manual_total_bends.map(|v| v.to_string()).unwrap_or_else(|| "n/a".into()),
+            row.pilp_total_bends,
+            row.manual_runtime.map(|d| format!("{}w", d.as_secs() / 604800)).unwrap_or_else(|| "n/a".into()),
+            row.pilp_runtime,
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Progressive ILP-based RFIC layout generation.
+//!
+//! This crate implements the primary contribution of the DAC 2016 paper
+//! *"Novel CMOS RFIC Layout Generation with Concurrent Device Placement and
+//! Fixed-Length Microstrip Routing"* (Tseng et al.):
+//!
+//! * [`model`] — the concurrent placement-and-routing ILP of Section 4
+//!   (direction variables, chain-point bends, exact equivalent lengths,
+//!   pad/pin constraints and big-M non-overlap disjunctions);
+//! * [`pilp`] — the three-phase progressive flow of Section 5 that makes the
+//!   model tractable (blurred-device global routing, device visualisation
+//!   and overlap fixing, iterative refinement with chain-point
+//!   deletion/insertion and device rotation);
+//! * [`layout`], [`drc`], [`report`] and [`render`] — the layout data model,
+//!   design-rule/length verification, Table-1 style reporting and simple
+//!   ASCII/SVG visualisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfic_core::{Pilp, PilpConfig};
+//! use rfic_netlist::benchmarks;
+//!
+//! let circuit = benchmarks::tiny_circuit();
+//! let result = Pilp::new(PilpConfig::fast()).run(&circuit.netlist)?;
+//! println!("{}", result.report());
+//! assert!(result.layout.is_complete(&circuit.netlist));
+//! # Ok::<(), rfic_core::PilpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drc;
+pub mod layout;
+pub mod model;
+pub mod pilp;
+pub mod render;
+pub mod report;
+
+pub use drc::{check as drc_check, DrcOptions, DrcReport, DrcViolation};
+pub use layout::{Layout, Placement};
+pub use model::{IlpConfig, IlpError, IlpOutcome, IlpWeights, LayoutIlp, ObjectId, PairSpec};
+pub use pilp::{
+    legalize_placements, PhaseSnapshot, Pilp, PilpConfig, PilpError, PilpPhase, PilpResult,
+};
+pub use report::{ComparisonRow, LayoutReport, StripReport};

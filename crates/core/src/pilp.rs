@@ -1,0 +1,1025 @@
+//! The progressive ILP-based (P-ILP) layout generation flow (Section 5).
+//!
+//! The monolithic concurrent ILP of Section 4 is exact but intractable for
+//! full circuits, so the paper solves simplified models in three phases:
+//!
+//! 1. **Planar microstrip routing with blurred devices** — device geometry
+//!    is folded into the strip length targets and junction points; routes
+//!    and junction positions are found with soft length matching and
+//!    penalised overlap.
+//! 2. **Device visualisation and overlap fixing** — devices appear with
+//!    their real footprints at the Phase-1 junctions, overlaps are removed
+//!    and routes are re-attached to the actual pins within confinement
+//!    windows `τ_d`.
+//! 3. **Iterative layout refinement** — chain points without bends are
+//!    deleted, chain points are inserted where a strip cannot meet its exact
+//!    length, devices may be rotated, and the windowed ILPs are re-solved
+//!    until every length is exact and the layout is DRC clean (or the
+//!    iteration limit is reached).
+//!
+//! Engineering deviations from the paper (documented in `DESIGN.md`): the
+//! non-overlap constraints are separated lazily instead of being enumerated
+//! up front, Phase 1 routes strip-by-strip in netlist order for large
+//! circuits (`progressive_nets`), and Phase 2 removes the bulk of the device
+//! overlap with a geometric legaliser before the windowed ILPs run. All of
+//! these keep the individual MILPs within reach of the bundled
+//! branch-and-bound solver while preserving the model semantics.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rfic_geom::{Point, Rect};
+use rfic_milp::SolveOptions;
+use rfic_netlist::{DeviceId, MicrostripId, Netlist};
+use serde::{Deserialize, Serialize};
+
+use crate::drc::{self, DrcOptions};
+use crate::layout::{Layout, Placement};
+use crate::model::{IlpConfig, IlpError, IlpWeights, LayoutIlp, ObjectId, PairSpec};
+use crate::report::LayoutReport;
+
+/// Configuration of the P-ILP flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PilpConfig {
+    /// Confinement window size `τ_d` (µm) for chain points and devices in
+    /// Phases 2 and 3.
+    pub tau_d: f64,
+    /// Maximum Phase-3 refinement iterations.
+    pub max_refine_iters: usize,
+    /// Maximum lazy overlap-separation rounds per ILP solve.
+    pub max_separation_rounds: usize,
+    /// Time limit per individual MILP solve.
+    pub solve_time_limit: Duration,
+    /// Maximum extra chain points inserted on a strip during refinement.
+    pub max_extra_chain_points: usize,
+    /// Try rotating endpoint devices when a strip cannot be repaired by
+    /// re-routing alone.
+    pub try_rotations: bool,
+    /// Objective weights handed to the ILP models.
+    pub weights: IlpWeights,
+    /// Length tolerance (µm) below which a strip counts as exactly matched.
+    pub length_tolerance: f64,
+}
+
+impl Default for PilpConfig {
+    fn default() -> Self {
+        PilpConfig {
+            tau_d: 150.0,
+            max_refine_iters: 4,
+            max_separation_rounds: 4,
+            solve_time_limit: Duration::from_secs(10),
+            max_extra_chain_points: 3,
+            try_rotations: true,
+            weights: IlpWeights::default(),
+            length_tolerance: 1e-3,
+        }
+    }
+}
+
+impl PilpConfig {
+    /// A fast configuration for tests and small circuits.
+    pub fn fast() -> PilpConfig {
+        PilpConfig {
+            max_refine_iters: 3,
+            max_separation_rounds: 3,
+            solve_time_limit: Duration::from_secs(5),
+            max_extra_chain_points: 2,
+            try_rotations: false,
+            ..PilpConfig::default()
+        }
+    }
+
+    /// A thorough configuration for the benchmark circuits.
+    pub fn thorough() -> PilpConfig {
+        PilpConfig {
+            max_refine_iters: 6,
+            max_separation_rounds: 6,
+            solve_time_limit: Duration::from_secs(20),
+            max_extra_chain_points: 4,
+            try_rotations: true,
+            ..PilpConfig::default()
+        }
+    }
+}
+
+/// Error returned by the P-ILP flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PilpError {
+    /// The input netlist failed validation.
+    InvalidNetlist(String),
+    /// An ILP phase failed irrecoverably.
+    Phase {
+        /// Which phase failed.
+        phase: PilpPhase,
+        /// Underlying error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for PilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PilpError::InvalidNetlist(msg) => write!(f, "invalid netlist: {msg}"),
+            PilpError::Phase { phase, message } => write!(f, "{phase} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PilpError {}
+
+/// The three phases of the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PilpPhase {
+    /// Planar routing with blurred devices.
+    GlobalRouting,
+    /// Device visualisation and overlap fixing.
+    Visualization,
+    /// Iterative refinement.
+    Refinement,
+}
+
+impl fmt::Display for PilpPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PilpPhase::GlobalRouting => f.write_str("phase 1 (blurred routing)"),
+            PilpPhase::Visualization => f.write_str("phase 2 (device visualisation)"),
+            PilpPhase::Refinement => f.write_str("phase 3 (refinement)"),
+        }
+    }
+}
+
+/// Snapshot of the layout after one phase (the data behind Figure 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSnapshot {
+    /// Which phase produced this snapshot.
+    pub phase: PilpPhase,
+    /// The layout at the end of the phase.
+    pub layout: Layout,
+    /// Total bends at the end of the phase.
+    pub total_bends: usize,
+    /// Maximum absolute length error at the end of the phase, µm.
+    pub max_length_error: f64,
+    /// Wall-clock time spent in the phase.
+    pub elapsed: Duration,
+}
+
+/// Result of a P-ILP run.
+#[derive(Debug, Clone)]
+pub struct PilpResult {
+    /// The final layout.
+    pub layout: Layout,
+    /// Per-phase snapshots.
+    pub snapshots: Vec<PhaseSnapshot>,
+    /// Total wall-clock runtime.
+    pub runtime: Duration,
+    report: LayoutReport,
+}
+
+impl PilpResult {
+    /// Quality report of the final layout.
+    pub fn report(&self) -> &LayoutReport {
+        &self.report
+    }
+}
+
+/// The progressive ILP layout generator.
+///
+/// # Examples
+///
+/// ```
+/// use rfic_core::{Pilp, PilpConfig};
+/// use rfic_netlist::benchmarks;
+///
+/// let circuit = benchmarks::tiny_circuit();
+/// let result = Pilp::new(PilpConfig::fast()).run(&circuit.netlist)?;
+/// assert!(result.layout.is_complete(&circuit.netlist));
+/// # Ok::<(), rfic_core::PilpError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Pilp {
+    config: PilpConfig,
+}
+
+impl Pilp {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: PilpConfig) -> Pilp {
+        Pilp { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PilpConfig {
+        &self.config
+    }
+
+    /// Runs the full three-phase flow on a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PilpError::InvalidNetlist`] if the netlist fails validation
+    /// and [`PilpError::Phase`] if a phase cannot produce a layout at all
+    /// (individual strip failures are tolerated and surface as DRC
+    /// violations in the report instead).
+    pub fn run(&self, netlist: &Netlist) -> Result<PilpResult, PilpError> {
+        netlist
+            .validate()
+            .map_err(|e| PilpError::InvalidNetlist(e.to_string()))?;
+        let start = Instant::now();
+        let mut snapshots = Vec::new();
+
+        let t0 = Instant::now();
+        let phase1 = self.phase1(netlist)?;
+        snapshots.push(self.snapshot(netlist, PilpPhase::GlobalRouting, &phase1, t0.elapsed()));
+
+        let t1 = Instant::now();
+        let phase2 = self.phase2(netlist, &phase1)?;
+        snapshots.push(self.snapshot(netlist, PilpPhase::Visualization, &phase2, t1.elapsed()));
+
+        let t2 = Instant::now();
+        let phase3 = self.phase3(netlist, phase2)?;
+        snapshots.push(self.snapshot(netlist, PilpPhase::Refinement, &phase3, t2.elapsed()));
+
+        let runtime = start.elapsed();
+        let report = LayoutReport::new(netlist, &phase3, runtime);
+        Ok(PilpResult {
+            layout: phase3,
+            snapshots,
+            runtime,
+            report,
+        })
+    }
+
+    fn snapshot(
+        &self,
+        netlist: &Netlist,
+        phase: PilpPhase,
+        layout: &Layout,
+        elapsed: Duration,
+    ) -> PhaseSnapshot {
+        PhaseSnapshot {
+            phase,
+            layout: layout.clone(),
+            total_bends: layout.total_bends(),
+            max_length_error: layout.max_length_error(netlist),
+            elapsed,
+        }
+    }
+
+    fn solve_options(&self) -> SolveOptions {
+        SolveOptions {
+            time_limit: self.config.solve_time_limit,
+            mip_gap: 1e-4,
+            ..SolveOptions::default()
+        }
+    }
+
+    // --- phase 1 -----------------------------------------------------------
+
+    /// Planar microstrip routing with blurred devices, strip by strip.
+    ///
+    /// Strips that terminate on a pad are routed first so the pads anchor
+    /// their devices near the boundary; the remaining strips then grow the
+    /// placement inwards at (roughly) their target distances.
+    fn phase1(&self, netlist: &Netlist) -> Result<Layout, PilpError> {
+        let mut base = Layout::new(netlist.area());
+        let mut order: Vec<&rfic_netlist::Microstrip> = netlist.microstrips().iter().collect();
+        order.sort_by_key(|m| {
+            let touches_pad = m.terminals().iter().any(|t| {
+                netlist
+                    .device(t.device)
+                    .map(|d| d.is_pad())
+                    .unwrap_or(false)
+            });
+            (!touches_pad, m.id)
+        });
+        for strip in order {
+            let placed: BTreeSet<DeviceId> = base.placements.keys().copied().collect();
+            let free_devices: BTreeSet<DeviceId> = strip
+                .terminals()
+                .iter()
+                .map(|t| t.device)
+                .filter(|d| !placed.contains(d))
+                .collect();
+
+            let mut config = IlpConfig::single_strip(strip.id);
+            config.free_devices = free_devices;
+            config.blur_devices = true;
+            config.hard_length = false;
+            config.overlap_slack = true;
+            config.weights = self.config.weights;
+            config
+                .chain_points
+                .insert(strip.id, strip.suggested_chain_points.clamp(3, 6));
+
+            match self.solve_with_separation(netlist, config, &base, true) {
+                Ok(layout) => base = layout,
+                Err(e) => {
+                    // Fall back to a trivial two-point route between the
+                    // junctions so the flow can continue; Phase 3 repairs it.
+                    if !self.fallback_route(netlist, &mut base, strip.id) {
+                        return Err(PilpError::Phase {
+                            phase: PilpPhase::GlobalRouting,
+                            message: format!("{strip_id}: {e}", strip_id = strip.id),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(base)
+    }
+
+    /// Adds a straight-line (L-shaped) route between the junctions of a
+    /// strip's endpoints, placing missing junctions at area-centre defaults.
+    fn fallback_route(&self, netlist: &Netlist, base: &mut Layout, strip_id: MicrostripId) -> bool {
+        let Some(strip) = netlist.microstrip(strip_id) else {
+            return false;
+        };
+        let (aw, ah) = netlist.area();
+        let mut endpoints = Vec::new();
+        for terminal in strip.terminals() {
+            let center = base
+                .placement(terminal.device)
+                .map(|p| p.center)
+                .unwrap_or(Point::new(aw / 2.0, ah / 2.0));
+            base.placements
+                .entry(terminal.device)
+                .or_insert(Placement::at(center));
+            endpoints.push(center);
+        }
+        let (a, b) = (endpoints[0], endpoints[1]);
+        let corner = Point::new(b.x, a.y);
+        let pts = if a.approx_eq(corner) || b.approx_eq(corner) {
+            vec![a, b]
+        } else {
+            vec![a, corner, b]
+        };
+        if let Ok(route) = rfic_geom::Polyline::new(pts) {
+            base.routes.insert(strip_id, route);
+            true
+        } else {
+            false
+        }
+    }
+
+    // --- phase 2 -----------------------------------------------------------
+
+    /// Device visualisation: place real device footprints at the Phase-1
+    /// junctions, legalise overlaps geometrically, then re-attach every
+    /// route to the real pins with windowed per-strip ILPs.
+    fn phase2(&self, netlist: &Netlist, phase1: &Layout) -> Result<Layout, PilpError> {
+        let mut layout = phase1.clone();
+        self.initial_placement(netlist, &mut layout);
+        legalize_placements(netlist, &mut layout, self.config.tau_d);
+
+        // Re-route every strip against the real pins.
+        for strip in netlist.microstrips() {
+            let mut config = IlpConfig::single_strip(strip.id);
+            config.hard_length = false;
+            config.weights = self.config.weights;
+            config
+                .chain_points
+                .insert(strip.id, strip.suggested_chain_points.clamp(4, 7));
+            config
+                .strip_windows
+                .insert(strip.id, self.strip_window(netlist, &layout, strip.id));
+            if let Ok(updated) = self.solve_with_separation(netlist, config, &layout, false) {
+                layout = updated;
+            }
+            // Failures are tolerated here: Phase 3 will retry with more
+            // chain points and rotations.
+        }
+        Ok(layout)
+    }
+
+    /// Clamp Phase-1 junction placements into legal device positions.
+    fn initial_placement(&self, netlist: &Netlist, layout: &mut Layout) {
+        let (aw, ah) = netlist.area();
+        for device in netlist.devices() {
+            let placement = layout
+                .placements
+                .get(&device.id)
+                .copied()
+                .unwrap_or(Placement::at(Point::new(aw / 2.0, ah / 2.0)));
+            let mut center = placement.center;
+            if device.is_pad() {
+                // Snap the pad centre to the nearest boundary edge.
+                let d_left = center.x;
+                let d_right = aw - center.x;
+                let d_bottom = center.y;
+                let d_top = ah - center.y;
+                let min = d_left.min(d_right).min(d_bottom).min(d_top);
+                if min == d_left {
+                    center.x = 0.0;
+                } else if min == d_right {
+                    center.x = aw;
+                } else if min == d_bottom {
+                    center.y = 0.0;
+                } else {
+                    center.y = ah;
+                }
+            } else {
+                let (w, h) = device.footprint(placement.rotation);
+                center.x = center.x.clamp(w / 2.0, aw - w / 2.0);
+                center.y = center.y.clamp(h / 2.0, ah - h / 2.0);
+            }
+            layout.placements.insert(
+                device.id,
+                Placement {
+                    center,
+                    rotation: placement.rotation,
+                },
+            );
+        }
+    }
+
+    /// Window for a strip's chain points: the bounding box of its endpoint
+    /// pins expanded by `τ_d`.
+    fn strip_window(&self, netlist: &Netlist, layout: &Layout, strip_id: MicrostripId) -> Rect {
+        let strip = netlist.microstrip(strip_id).expect("strip exists");
+        let mut pts = Vec::new();
+        for t in strip.terminals() {
+            if let Some(p) = layout.pin_position(netlist, t.device, t.pin) {
+                pts.push(p);
+            }
+        }
+        let mut rect = match pts.as_slice() {
+            [] => netlist.area_rect(),
+            [p] => Rect::from_corners(*p, *p),
+            _ => Rect::from_corners(pts[0], pts[1]),
+        };
+        // Detours also need room for the excess length beyond the pin-to-pin
+        // distance.
+        let excess = (strip.target_length - rect.half_perimeter()).max(0.0);
+        rect = rect.expanded(self.config.tau_d + excess / 2.0);
+        rect.intersection(&netlist.area_rect()).unwrap_or(rect)
+    }
+
+    // --- phase 3 -----------------------------------------------------------
+
+    /// Iterative refinement with chain-point deletion/insertion and device
+    /// rotation until every strip matches its exact length and the layout is
+    /// DRC clean.
+    fn phase3(&self, netlist: &Netlist, mut layout: Layout) -> Result<Layout, PilpError> {
+        let mut extra_points: BTreeMap<MicrostripId, usize> = BTreeMap::new();
+        for iteration in 0..self.config.max_refine_iters {
+            let drc = drc::check(netlist, &layout, &DrcOptions::default());
+            let mut pending: Vec<MicrostripId> = netlist
+                .microstrips()
+                .iter()
+                .map(|m| m.id)
+                .filter(|&id| {
+                    let length_bad = layout
+                        .length_error(netlist, id)
+                        .map(|e| e.abs() > self.config.length_tolerance)
+                        .unwrap_or(true);
+                    length_bad || !drc.for_strip(id).is_empty()
+                })
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            // Work on the worst strips first (largest length error).
+            pending.sort_by(|a, b| {
+                let ea = layout.length_error(netlist, *a).map(f64::abs).unwrap_or(f64::INFINITY);
+                let eb = layout.length_error(netlist, *b).map(f64::abs).unwrap_or(f64::INFINITY);
+                eb.partial_cmp(&ea).unwrap_or(std::cmp::Ordering::Equal)
+            });
+
+            for strip_id in pending {
+                let mut solved =
+                    self.refine_strip(netlist, &mut layout, strip_id, &mut extra_points, iteration);
+                if !solved && iteration > 0 {
+                    // Re-routing alone cannot repair this strip (typically
+                    // because its pins ended up farther apart than the exact
+                    // length allows). Move one endpoint device and re-route
+                    // all strips incident to it concurrently.
+                    solved = self.cluster_repair(netlist, &mut layout, strip_id);
+                }
+                if !solved && self.config.try_rotations && iteration + 1 == self.config.max_refine_iters {
+                    self.try_rotation_repair(netlist, &mut layout, strip_id, &mut extra_points);
+                }
+            }
+        }
+        Ok(layout)
+    }
+
+    /// Re-routes a single strip with chain-point deletion (route
+    /// simplification) and insertion (extra chain points) until its exact
+    /// length is met. Returns `true` on success.
+    fn refine_strip(
+        &self,
+        netlist: &Netlist,
+        layout: &mut Layout,
+        strip_id: MicrostripId,
+        extra_points: &mut BTreeMap<MicrostripId, usize>,
+        iteration: usize,
+    ) -> bool {
+        let strip = netlist.microstrip(strip_id).expect("strip exists");
+        // Chain-point deletion: start from the simplified current route.
+        let current_points = layout
+            .route(strip_id)
+            .map(|r| r.simplified().num_chain_points())
+            .unwrap_or(2);
+        let extra = extra_points.entry(strip_id).or_insert(0);
+        if iteration > 0 && *extra < self.config.max_extra_chain_points {
+            // Chain-point insertion: allow one more corner than last time.
+            *extra += 1;
+        }
+        let n = (current_points.max(strip.suggested_chain_points).max(4) + *extra).min(9);
+
+        let mut config = IlpConfig::single_strip(strip_id);
+        config.hard_length = true;
+        config.weights = self.config.weights;
+        config.chain_points.insert(strip_id, n);
+        config
+            .strip_windows
+            .insert(strip_id, self.strip_window(netlist, layout, strip_id));
+        match self.solve_with_separation(netlist, config.clone(), layout, false) {
+            Ok(updated) => {
+                *layout = updated;
+                true
+            }
+            Err(_) => {
+                // Hard length failed: fall back to soft so the layout at
+                // least improves; the next iteration will retry hard with an
+                // extra chain point.
+                config.hard_length = false;
+                if let Ok(updated) = self.solve_with_separation(netlist, config, layout, false) {
+                    let better = updated
+                        .length_error(netlist, strip_id)
+                        .map(f64::abs)
+                        .unwrap_or(f64::INFINITY)
+                        < layout
+                            .length_error(netlist, strip_id)
+                            .map(f64::abs)
+                            .unwrap_or(f64::INFINITY);
+                    if better {
+                        *layout = updated;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Concurrent placement-and-routing repair: frees one endpoint device of
+    /// the failing strip and re-solves it together with every strip incident
+    /// to that device (hard lengths), confined to a `τ_d` window. This is the
+    /// step that exercises the *concurrent* nature of the paper's model —
+    /// routing alone cannot shorten a pin-to-pin distance.
+    fn cluster_repair(&self, netlist: &Netlist, layout: &mut Layout, strip_id: MicrostripId) -> bool {
+        let strip = netlist.microstrip(strip_id).expect("strip exists").clone();
+        for terminal in strip.terminals() {
+            let Some(device) = netlist.device(terminal.device) else {
+                continue;
+            };
+            let incident: Vec<MicrostripId> = netlist
+                .microstrips_at(device.id)
+                .iter()
+                .map(|m| m.id)
+                .collect();
+            if incident.len() > 3 {
+                continue; // keep the cluster MILP small enough to solve
+            }
+            let mut config = IlpConfig::single_strip(strip_id);
+            config.free_strips = incident.iter().copied().collect();
+            config.free_devices = BTreeSet::from([device.id]);
+            // Soft lengths with the default (length-dominated) weights: the
+            // cluster solve's job is to move the device into a position from
+            // which the per-strip hard-length solves can succeed.
+            config.hard_length = false;
+            config.weights = self.config.weights;
+            for &id in &incident {
+                let n = layout
+                    .route(id)
+                    .map(|r| r.simplified().num_chain_points())
+                    .unwrap_or(2)
+                    .max(4)
+                    .min(6);
+                config.chain_points.insert(id, n);
+                config
+                    .strip_windows
+                    .insert(id, self.strip_window(netlist, layout, id));
+            }
+            if let Some(p) = layout.placement(device.id) {
+                config.device_windows.insert(
+                    device.id,
+                    Rect::centered(p.center, 2.0 * self.config.tau_d, 2.0 * self.config.tau_d),
+                );
+            }
+            if let Ok(updated) = self.solve_with_separation(netlist, config, layout, false) {
+                let error_sum = |l: &Layout| -> f64 {
+                    incident
+                        .iter()
+                        .map(|&id| l.length_error(netlist, id).map(f64::abs).unwrap_or(f64::INFINITY))
+                        .sum()
+                };
+                let before = error_sum(layout);
+                let after = error_sum(&updated);
+                if after + 1e-6 < before {
+                    *layout = updated;
+                    if after <= self.config.length_tolerance * incident.len() as f64 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Tries rotating the (rotatable) endpoint devices of a failing strip
+    /// and re-routing all strips incident to the rotated device; keeps the
+    /// first rotation that repairs the strip.
+    fn try_rotation_repair(
+        &self,
+        netlist: &Netlist,
+        layout: &mut Layout,
+        strip_id: MicrostripId,
+        extra_points: &mut BTreeMap<MicrostripId, usize>,
+    ) {
+        let strip = netlist.microstrip(strip_id).expect("strip exists").clone();
+        for terminal in strip.terminals() {
+            let Some(device) = netlist.device(terminal.device) else {
+                continue;
+            };
+            if !device.rotatable {
+                continue;
+            }
+            let original = *layout.placements.get(&device.id).expect("placed");
+            for rotation in rfic_geom::Rotation::ALL.into_iter().skip(1) {
+                let mut candidate = layout.clone();
+                candidate.placements.insert(
+                    device.id,
+                    Placement {
+                        center: original.center,
+                        rotation: original.rotation.compose(rotation),
+                    },
+                );
+                // Re-route every strip attached to the rotated device.
+                let mut ok = true;
+                for incident in netlist.microstrips_at(device.id) {
+                    if !self.refine_strip(netlist, &mut candidate, incident.id, extra_points, 0) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok
+                    && candidate
+                        .length_error(netlist, strip_id)
+                        .map(|e| e.abs() <= self.config.length_tolerance)
+                        .unwrap_or(false)
+                {
+                    *layout = candidate;
+                    return;
+                }
+            }
+        }
+    }
+
+    // --- shared machinery --------------------------------------------------
+
+    /// Builds and solves an ILP, lazily separating violated non-overlap
+    /// pairs up to the configured number of rounds.
+    fn solve_with_separation(
+        &self,
+        netlist: &Netlist,
+        mut config: IlpConfig,
+        base: &Layout,
+        blurred: bool,
+    ) -> Result<Layout, IlpError> {
+        let options = self.solve_options();
+        let mut best: Option<Layout> = None;
+        for _round in 0..=self.config.max_separation_rounds {
+            let ilp = LayoutIlp::build(netlist, config.clone(), base)?;
+            let outcome = ilp.solve(&options)?;
+            let new_pairs = violating_pairs(netlist, &outcome.layout, &config, blurred);
+            best = Some(outcome.layout);
+            if new_pairs.is_empty() {
+                break;
+            }
+            let before = config.overlap_pairs.len();
+            for pair in new_pairs {
+                if !config.overlap_pairs.contains(&pair) {
+                    config.overlap_pairs.push(pair);
+                }
+            }
+            if config.overlap_pairs.len() == before {
+                break; // nothing new to add; accept the solution
+            }
+        }
+        best.ok_or(IlpError::Solver(rfic_milp::MilpError::LimitReached))
+    }
+}
+
+/// Geometric legalisation of device placements: iteratively push apart
+/// overlapping device outlines (pads slide along their boundary edge) until
+/// the spacing rule holds or the iteration limit is reached.
+pub fn legalize_placements(netlist: &Netlist, layout: &mut Layout, max_shift: f64) {
+    let spacing = netlist.tech().spacing();
+    let (aw, ah) = netlist.area();
+    let devices: Vec<_> = netlist.devices().to_vec();
+    for _pass in 0..60 {
+        let mut moved = false;
+        for i in 0..devices.len() {
+            for j in (i + 1)..devices.len() {
+                let (Some(oi), Some(oj)) = (
+                    layout.device_outline(netlist, devices[i].id),
+                    layout.device_outline(netlist, devices[j].id),
+                ) else {
+                    continue;
+                };
+                let required = spacing;
+                let gap = oi.gap(&oj);
+                if gap >= required {
+                    continue;
+                }
+                moved = true;
+                // Push the two devices apart along the axis with the larger
+                // existing separation (cheapest direction to fix).
+                let ci = oi.center();
+                let cj = oj.center();
+                let dx = cj.x - ci.x;
+                let dy = cj.y - ci.y;
+                let need_x = (oi.width() + oj.width()) / 2.0 + required - dx.abs();
+                let need_y = (oi.height() + oj.height()) / 2.0 + required - dy.abs();
+                let push_x = need_x < need_y;
+                let push = 0.5 * if push_x { need_x } else { need_y } + 0.5;
+                let push = push.min(max_shift);
+                let (sx, sy) = if push_x {
+                    (push * if dx >= 0.0 { 1.0 } else { -1.0 }, 0.0)
+                } else {
+                    (0.0, push * if dy >= 0.0 { 1.0 } else { -1.0 })
+                };
+                shift_device(netlist, layout, devices[i].id, -sx, -sy, aw, ah);
+                shift_device(netlist, layout, devices[j].id, sx, sy, aw, ah);
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Shifts a device while keeping it inside the area (pads stay glued to
+/// their boundary edge).
+fn shift_device(netlist: &Netlist, layout: &mut Layout, id: DeviceId, dx: f64, dy: f64, aw: f64, ah: f64) {
+    let Some(device) = netlist.device(id) else {
+        return;
+    };
+    let Some(p) = layout.placements.get(&id).copied() else {
+        return;
+    };
+    let mut center = p.center.translated(dx, dy);
+    if device.is_pad() {
+        // Keep the pad on whichever boundary edge it currently sits on.
+        if p.center.x.abs() < 1e-6 || (p.center.x - aw).abs() < 1e-6 {
+            center.x = p.center.x;
+            center.y = center.y.clamp(0.0, ah);
+        } else {
+            center.y = p.center.y;
+            center.x = center.x.clamp(0.0, aw);
+        }
+    } else {
+        let (w, h) = device.footprint(p.rotation);
+        center.x = center.x.clamp(w / 2.0, aw - w / 2.0);
+        center.y = center.y.clamp(h / 2.0, ah - h / 2.0);
+    }
+    layout.placements.insert(
+        id,
+        Placement {
+            center,
+            rotation: p.rotation,
+        },
+    );
+}
+
+/// Finds non-overlap pairs violated by `layout` that involve at least one
+/// free object of `config` (lazy constraint separation).
+pub(crate) fn violating_pairs(
+    netlist: &Netlist,
+    layout: &Layout,
+    config: &IlpConfig,
+    blurred: bool,
+) -> Vec<PairSpec> {
+    let margin = netlist.tech().expansion_margin();
+    let mut pairs = Vec::new();
+
+    // Collect expanded boxes of every routed segment and placed device.
+    let mut segment_boxes: BTreeMap<(MicrostripId, usize), Rect> = BTreeMap::new();
+    for strip in netlist.microstrips() {
+        for (idx, seg) in layout.strip_segments(netlist, strip.id).iter().enumerate() {
+            segment_boxes.insert((strip.id, idx), seg.bounding_box(margin));
+        }
+    }
+    let mut device_boxes: BTreeMap<DeviceId, Rect> = BTreeMap::new();
+    if !blurred {
+        for device in netlist.devices() {
+            if let Some(outline) = layout.device_outline(netlist, device.id) {
+                device_boxes.insert(device.id, outline.expanded(margin));
+            }
+        }
+    }
+
+    let is_free_strip = |id: MicrostripId| config.free_strips.contains(&id);
+    let is_free_device = |id: DeviceId| config.free_devices.contains(&id);
+
+    // Segment-segment pairs.
+    let keys: Vec<(MicrostripId, usize)> = segment_boxes.keys().copied().collect();
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            let (sa, ia) = keys[i];
+            let (sb, ib) = keys[j];
+            if sa == sb {
+                continue;
+            }
+            if !is_free_strip(sa) && !is_free_strip(sb) {
+                continue;
+            }
+            let strip_a = netlist.microstrip(sa).expect("strip");
+            let strip_b = netlist.microstrip(sb).expect("strip");
+            if strip_a.terminals().iter().any(|t| strip_b.touches(t.device)) {
+                continue; // electrically adjacent at a shared device
+            }
+            if segment_boxes[&keys[i]].overlaps(&segment_boxes[&keys[j]]) {
+                pairs.push(PairSpec {
+                    a: ObjectId::Segment(sa, ia),
+                    b: ObjectId::Segment(sb, ib),
+                });
+            }
+        }
+    }
+
+    // Segment-device pairs.
+    for (&(strip_id, idx), seg_box) in &segment_boxes {
+        let strip = netlist.microstrip(strip_id).expect("strip");
+        for (&dev_id, dev_box) in &device_boxes {
+            if strip.touches(dev_id) {
+                continue;
+            }
+            if !is_free_strip(strip_id) && !is_free_device(dev_id) {
+                continue;
+            }
+            if seg_box.overlaps(dev_box) {
+                pairs.push(PairSpec {
+                    a: ObjectId::Segment(strip_id, idx),
+                    b: ObjectId::Device(dev_id),
+                });
+            }
+        }
+    }
+
+    // Device-device pairs.
+    let dev_keys: Vec<DeviceId> = device_boxes.keys().copied().collect();
+    for i in 0..dev_keys.len() {
+        for j in (i + 1)..dev_keys.len() {
+            if !is_free_device(dev_keys[i]) && !is_free_device(dev_keys[j]) {
+                continue;
+            }
+            if device_boxes[&dev_keys[i]].overlaps(&device_boxes[&dev_keys[j]]) {
+                pairs.push(PairSpec {
+                    a: ObjectId::Device(dev_keys[i]),
+                    b: ObjectId::Device(dev_keys[j]),
+                });
+            }
+        }
+    }
+
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfic_netlist::benchmarks;
+
+    #[test]
+    fn pilp_lays_out_the_tiny_circuit() {
+        let circuit = benchmarks::tiny_circuit();
+        let result = Pilp::new(PilpConfig::fast()).run(&circuit.netlist).expect("pilp run");
+        assert!(result.layout.is_complete(&circuit.netlist));
+        assert_eq!(result.snapshots.len(), 3);
+        assert_eq!(result.snapshots[0].phase, PilpPhase::GlobalRouting);
+        assert_eq!(result.snapshots[2].phase, PilpPhase::Refinement);
+        // Lengths converge toward the exact targets. With the fast solver
+        // limits used in CI a small residual can remain on a strip or two;
+        // EXPERIMENTS.md discusses convergence with larger time budgets.
+        let report = result.report();
+        assert!(
+            report.max_length_error < 30.0,
+            "max length error {} µm",
+            report.max_length_error
+        );
+        let exact = report
+            .strips
+            .iter()
+            .filter(|s| s.length_error.abs() < 1e-3)
+            .count();
+        assert!(
+            exact * 2 >= report.strips.len(),
+            "at least half of the strips reach their exact length ({exact}/{})",
+            report.strips.len()
+        );
+        // Bend counts should not exceed the manual-style witness.
+        assert!(result.layout.total_bends() <= circuit.witness.total_bends() + 2);
+    }
+
+    #[test]
+    fn invalid_netlist_is_rejected() {
+        use rfic_netlist::{DeviceKind, NetlistBuilder, Technology};
+        let mut b = NetlistBuilder::new("bad", Technology::cmos90(), 300.0, 300.0);
+        let d = b.add_device("M1", DeviceKind::Transistor, 1000.0, 10.0, vec![]);
+        let _ = d;
+        let netlist = b.build();
+        // Oversized device: the builder already rejects it, so feed a valid
+        // one and instead check the happy path of config accessors.
+        assert!(netlist.is_err());
+        let pilp = Pilp::default();
+        assert_eq!(pilp.config().max_refine_iters, PilpConfig::default().max_refine_iters);
+    }
+
+    #[test]
+    fn legalizer_removes_device_overlaps() {
+        let circuit = benchmarks::small_circuit();
+        let netlist = &circuit.netlist;
+        let mut layout = Layout::new(netlist.area());
+        // Stack every device in the middle of the area.
+        let (aw, ah) = netlist.area();
+        for device in netlist.devices() {
+            let mut center = Point::new(aw / 2.0, ah / 2.0);
+            if device.is_pad() {
+                center = Point::new(0.0, ah / 2.0);
+            }
+            layout.placements.insert(device.id, Placement::at(center));
+        }
+        legalize_placements(netlist, &mut layout, 400.0);
+        let spacing = netlist.tech().spacing();
+        let devices: Vec<_> = netlist.non_pad_devices().collect();
+        for i in 0..devices.len() {
+            for j in (i + 1)..devices.len() {
+                let a = layout.device_outline(netlist, devices[i].id).unwrap();
+                let b = layout.device_outline(netlist, devices[j].id).unwrap();
+                assert!(
+                    a.gap(&b) + 1e-6 >= spacing,
+                    "devices {} and {} still too close ({} µm)",
+                    devices[i].name,
+                    devices[j].name,
+                    a.gap(&b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violating_pairs_report_overlaps_involving_free_objects() {
+        let circuit = benchmarks::tiny_circuit();
+        let netlist = &circuit.netlist;
+        // Base layout: witness, but squash two unrelated strips together by
+        // translating one route on top of another.
+        let mut layout = Layout {
+            area: netlist.area(),
+            placements: circuit
+                .witness
+                .placements
+                .iter()
+                .map(|(&id, &(c, r))| (id, Placement { center: c, rotation: r }))
+                .collect(),
+            routes: circuit.witness.routes.clone(),
+        };
+        let strips: Vec<_> = netlist.microstrips().to_vec();
+        // Find two strips that do not share a device.
+        let mut pair = None;
+        'outer: for i in 0..strips.len() {
+            for j in (i + 1)..strips.len() {
+                if !strips[i].terminals().iter().any(|t| strips[j].touches(t.device)) {
+                    pair = Some((strips[i].id, strips[j].id));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((a, b)) = pair else {
+            return; // tiny circuit happens to be fully adjacent; nothing to test
+        };
+        let route_a = layout.routes[&a].clone();
+        layout.routes.insert(b, route_a);
+        let config = IlpConfig::single_strip(b);
+        let pairs = violating_pairs(netlist, &layout, &config, false);
+        assert!(
+            pairs
+                .iter()
+                .any(|p| matches!((p.a, p.b), (ObjectId::Segment(x, _), ObjectId::Segment(y, _)) if (x == a && y == b) || (x == b && y == a))),
+            "overlapping strips should be separated: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn phase_display_names() {
+        assert!(PilpPhase::GlobalRouting.to_string().contains("phase 1"));
+        assert!(PilpPhase::Visualization.to_string().contains("phase 2"));
+        assert!(PilpPhase::Refinement.to_string().contains("phase 3"));
+        let err = PilpError::Phase {
+            phase: PilpPhase::Refinement,
+            message: "x".into(),
+        };
+        assert!(err.to_string().contains("phase 3"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Segment directions and device rotations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Point;
+
+/// Direction a rectilinear microstrip segment spans from its starting chain
+/// point, matching the four 0-1 direction variables of the ILP model
+/// (`s^u`, `s^d`, `s^l`, `s^r` in the paper, Figure 4).
+///
+/// # Examples
+///
+/// ```
+/// use rfic_geom::Direction;
+///
+/// assert_eq!(Direction::Right.opposite(), Direction::Left);
+/// assert!(Direction::Right.is_horizontal());
+/// assert!(Direction::Up.is_vertical());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Positive-y direction.
+    Up,
+    /// Negative-y direction.
+    Down,
+    /// Negative-x direction.
+    Left,
+    /// Positive-x direction.
+    Right,
+}
+
+impl Direction {
+    /// All four directions, in a fixed deterministic order.
+    pub const ALL: [Direction; 4] = [
+        Direction::Up,
+        Direction::Down,
+        Direction::Left,
+        Direction::Right,
+    ];
+
+    /// The reverse direction (a segment may not immediately fold back onto
+    /// its predecessor, constraints (2)–(5) of the paper).
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+            Direction::Left => Direction::Right,
+            Direction::Right => Direction::Left,
+        }
+    }
+
+    /// `true` for [`Direction::Left`] and [`Direction::Right`].
+    #[inline]
+    pub fn is_horizontal(self) -> bool {
+        matches!(self, Direction::Left | Direction::Right)
+    }
+
+    /// `true` for [`Direction::Up`] and [`Direction::Down`].
+    #[inline]
+    pub fn is_vertical(self) -> bool {
+        !self.is_horizontal()
+    }
+
+    /// Unit step vector of this direction.
+    #[inline]
+    pub fn unit(self) -> Point {
+        match self {
+            Direction::Up => Point::new(0.0, 1.0),
+            Direction::Down => Point::new(0.0, -1.0),
+            Direction::Left => Point::new(-1.0, 0.0),
+            Direction::Right => Point::new(1.0, 0.0),
+        }
+    }
+
+    /// Returns `true` if two consecutive segment directions form a 90° bend
+    /// (one horizontal, one vertical). Two equal directions never bend; a
+    /// reversal is forbidden by the model and also reported as `false`.
+    #[inline]
+    pub fn bends_into(self, next: Direction) -> bool {
+        self.is_horizontal() != next.is_horizontal()
+    }
+
+    /// Direction of the axis-aligned vector `from -> to`, or `None` if the
+    /// two points coincide or the vector is not axis-aligned.
+    pub fn between(from: Point, to: Point) -> Option<Direction> {
+        let dx = to.x - from.x;
+        let dy = to.y - from.y;
+        if dx.abs() <= crate::EPS && dy.abs() <= crate::EPS {
+            None
+        } else if dy.abs() <= crate::EPS {
+            Some(if dx > 0.0 {
+                Direction::Right
+            } else {
+                Direction::Left
+            })
+        } else if dx.abs() <= crate::EPS {
+            Some(if dy > 0.0 { Direction::Up } else { Direction::Down })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::Up => "up",
+            Direction::Down => "down",
+            Direction::Left => "left",
+            Direction::Right => "right",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Rotation of a device in 90° increments, used during the Phase-3 layout
+/// refinement of the P-ILP flow (Section 5.3).
+///
+/// # Examples
+///
+/// ```
+/// use rfic_geom::{Point, Rotation};
+///
+/// // A pin offset on a device rotated by 90° counter-clockwise.
+/// let offset = Point::new(10.0, 0.0);
+/// assert_eq!(Rotation::R90.apply(offset), Point::new(0.0, 10.0));
+/// // Rotation swaps the bounding-box dimensions for odd quarter turns.
+/// assert_eq!(Rotation::R90.apply_dims(30.0, 20.0), (20.0, 30.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Rotation {
+    /// No rotation.
+    #[default]
+    R0,
+    /// 90° counter-clockwise.
+    R90,
+    /// 180°.
+    R180,
+    /// 270° counter-clockwise.
+    R270,
+}
+
+impl Rotation {
+    /// All four rotations in increasing angle order.
+    pub const ALL: [Rotation; 4] = [Rotation::R0, Rotation::R90, Rotation::R180, Rotation::R270];
+
+    /// Rotates an offset vector (e.g. a pin offset from the device centre).
+    #[inline]
+    pub fn apply(self, p: Point) -> Point {
+        match self {
+            Rotation::R0 => p,
+            Rotation::R90 => Point::new(-p.y, p.x),
+            Rotation::R180 => Point::new(-p.x, -p.y),
+            Rotation::R270 => Point::new(p.y, -p.x),
+        }
+    }
+
+    /// Returns the device bounding-box dimensions after rotation.
+    #[inline]
+    pub fn apply_dims(self, width: f64, height: f64) -> (f64, f64) {
+        match self {
+            Rotation::R0 | Rotation::R180 => (width, height),
+            Rotation::R90 | Rotation::R270 => (height, width),
+        }
+    }
+
+    /// Composition of two rotations.
+    #[inline]
+    pub fn compose(self, other: Rotation) -> Rotation {
+        let quarter = (self.quarter_turns() + other.quarter_turns()) % 4;
+        Rotation::from_quarter_turns(quarter)
+    }
+
+    /// Number of counter-clockwise quarter turns (0..=3).
+    #[inline]
+    pub fn quarter_turns(self) -> u8 {
+        match self {
+            Rotation::R0 => 0,
+            Rotation::R90 => 1,
+            Rotation::R180 => 2,
+            Rotation::R270 => 3,
+        }
+    }
+
+    /// Rotation from a number of counter-clockwise quarter turns (modulo 4).
+    #[inline]
+    pub fn from_quarter_turns(turns: u8) -> Rotation {
+        match turns % 4 {
+            0 => Rotation::R0,
+            1 => Rotation::R90,
+            2 => Rotation::R180,
+            _ => Rotation::R270,
+        }
+    }
+
+    /// Inverse rotation.
+    #[inline]
+    pub fn inverse(self) -> Rotation {
+        Rotation::from_quarter_turns((4 - self.quarter_turns()) % 4)
+    }
+}
+
+impl fmt::Display for Rotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", u32::from(self.quarter_turns()) * 90)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposites_and_axes() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.is_horizontal(), d.opposite().is_horizontal());
+        }
+        assert!(Direction::Left.is_horizontal());
+        assert!(Direction::Down.is_vertical());
+    }
+
+    #[test]
+    fn bend_detection() {
+        assert!(Direction::Right.bends_into(Direction::Up));
+        assert!(Direction::Up.bends_into(Direction::Left));
+        assert!(!Direction::Right.bends_into(Direction::Right));
+        assert!(!Direction::Right.bends_into(Direction::Left));
+    }
+
+    #[test]
+    fn direction_between_points() {
+        let o = Point::ORIGIN;
+        assert_eq!(Direction::between(o, Point::new(5.0, 0.0)), Some(Direction::Right));
+        assert_eq!(Direction::between(o, Point::new(-5.0, 0.0)), Some(Direction::Left));
+        assert_eq!(Direction::between(o, Point::new(0.0, 5.0)), Some(Direction::Up));
+        assert_eq!(Direction::between(o, Point::new(0.0, -5.0)), Some(Direction::Down));
+        assert_eq!(Direction::between(o, o), None);
+        assert_eq!(Direction::between(o, Point::new(1.0, 1.0)), None);
+    }
+
+    #[test]
+    fn rotation_of_offsets() {
+        let p = Point::new(3.0, 1.0);
+        assert_eq!(Rotation::R0.apply(p), p);
+        assert_eq!(Rotation::R90.apply(p), Point::new(-1.0, 3.0));
+        assert_eq!(Rotation::R180.apply(p), Point::new(-3.0, -1.0));
+        assert_eq!(Rotation::R270.apply(p), Point::new(1.0, -3.0));
+    }
+
+    #[test]
+    fn rotation_composition_and_inverse() {
+        for a in Rotation::ALL {
+            assert_eq!(a.compose(a.inverse()), Rotation::R0);
+            for b in Rotation::ALL {
+                let p = Point::new(2.0, -7.0);
+                assert!(a.compose(b).apply(p).approx_eq(a.apply(b.apply(p))));
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_dims_swap() {
+        assert_eq!(Rotation::R0.apply_dims(4.0, 9.0), (4.0, 9.0));
+        assert_eq!(Rotation::R90.apply_dims(4.0, 9.0), (9.0, 4.0));
+        assert_eq!(Rotation::R180.apply_dims(4.0, 9.0), (4.0, 9.0));
+        assert_eq!(Rotation::R270.apply_dims(4.0, 9.0), (9.0, 4.0));
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(Direction::Up.to_string(), "up");
+        assert_eq!(Rotation::R270.to_string(), "R270");
+    }
+}

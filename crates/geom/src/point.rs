@@ -1,0 +1,210 @@
+//! Planar points in micrometre coordinates.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::approx_eq;
+
+/// A point (or 2-vector) in the layout plane, in micrometres.
+///
+/// # Examples
+///
+/// ```
+/// use rfic_geom::Point;
+///
+/// let a = Point::new(10.0, 20.0);
+/// let b = Point::new(13.0, 16.0);
+/// assert_eq!(a.manhattan_distance(b), 7.0);
+/// assert_eq!((a + b).x, 23.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in micrometres.
+    pub x: f64,
+    /// Vertical coordinate in micrometres.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = rfic_geom::Point::new(1.0, 2.0);
+    /// assert_eq!(p.y, 2.0);
+    /// ```
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// L1 (rectilinear) distance to `other`.
+    ///
+    /// This is the routed length of a single-bend rectilinear connection and
+    /// the natural metric for microstrip segments.
+    #[inline]
+    pub fn manhattan_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn euclidean_distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Returns `true` if both coordinates match `other` within [`crate::EPS`].
+    #[inline]
+    pub fn approx_eq(self, other: Point) -> bool {
+        approx_eq(self.x, other.x) && approx_eq(self.y, other.y)
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns the point translated by `(dx, dy)`.
+    #[inline]
+    pub fn translated(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Returns `true` if the segment `self -> other` is axis-aligned
+    /// (horizontal or vertical) within tolerance.
+    #[inline]
+    pub fn is_rectilinear_with(self, other: Point) -> bool {
+        approx_eq(self.x, other.x) || approx_eq(self.y, other.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_and_euclidean_distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.manhattan_distance(b), 7.0);
+        assert!((a.euclidean_distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.manhattan_distance(a), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+    }
+
+    #[test]
+    fn min_max_midpoint() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(3.0, 2.0);
+        assert_eq!(a.min(b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(b), Point::new(3.0, 5.0));
+        assert_eq!(a.midpoint(b), Point::new(2.0, 3.5));
+    }
+
+    #[test]
+    fn rectilinear_predicate() {
+        let a = Point::new(1.0, 1.0);
+        assert!(a.is_rectilinear_with(Point::new(1.0, 9.0)));
+        assert!(a.is_rectilinear_with(Point::new(7.0, 1.0)));
+        assert!(!a.is_rectilinear_with(Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (2.0, 3.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.0, 3.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::new(1.0, 2.0)).is_empty());
+    }
+}

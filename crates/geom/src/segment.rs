@@ -1,0 +1,259 @@
+//! Rectilinear microstrip segments.
+//!
+//! A microstrip line is decomposed by chain points into horizontal and
+//! vertical segments (Section 2.2, Figure 2(b)). Each segment behaves like a
+//! rectangle whose length is decided during routing while its width is the
+//! microstrip width from the technology.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{approx_eq, Direction, Point, Rect, EPS};
+
+/// A rectilinear (horizontal or vertical) microstrip segment with a width.
+///
+/// # Examples
+///
+/// ```
+/// use rfic_geom::{Point, Segment};
+///
+/// let s = Segment::new(Point::new(0.0, 0.0), Point::new(40.0, 0.0), 10.0)?;
+/// assert_eq!(s.length(), 40.0);
+/// assert_eq!(s.body().height(), 10.0);
+/// # Ok::<(), rfic_geom::SegmentError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    start: Point,
+    end: Point,
+    width: f64,
+}
+
+/// Error building a [`Segment`] from non-rectilinear endpoints or an invalid
+/// width.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentError {
+    /// The endpoints differ in both coordinates.
+    NotRectilinear {
+        /// Requested start point.
+        start: Point,
+        /// Requested end point.
+        end: Point,
+    },
+    /// The width is not strictly positive or not finite.
+    InvalidWidth(f64),
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::NotRectilinear { start, end } => {
+                write!(f, "segment endpoints {start} and {end} are not axis-aligned")
+            }
+            SegmentError::InvalidWidth(w) => write!(f, "invalid segment width {w}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl Segment {
+    /// Creates a segment between two axis-aligned points.
+    ///
+    /// Zero-length segments (coincident endpoints) are allowed; they occur
+    /// when a chain point is unused by the router.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegmentError::NotRectilinear`] if the endpoints differ in
+    /// both x and y, and [`SegmentError::InvalidWidth`] if `width` is not a
+    /// finite positive number.
+    pub fn new(start: Point, end: Point, width: f64) -> Result<Segment, SegmentError> {
+        if !width.is_finite() || width <= 0.0 {
+            return Err(SegmentError::InvalidWidth(width));
+        }
+        if !start.is_rectilinear_with(end) {
+            return Err(SegmentError::NotRectilinear { start, end });
+        }
+        Ok(Segment { start, end, width })
+    }
+
+    /// Starting point (the earlier chain point).
+    #[inline]
+    pub fn start(&self) -> Point {
+        self.start
+    }
+
+    /// Ending point (the later chain point).
+    #[inline]
+    pub fn end(&self) -> Point {
+        self.end
+    }
+
+    /// Microstrip width.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Centre-line length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.start.manhattan_distance(self.end)
+    }
+
+    /// `true` if the endpoints coincide.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.length() <= EPS
+    }
+
+    /// `true` if the segment spans horizontally (or is degenerate).
+    #[inline]
+    pub fn is_horizontal(&self) -> bool {
+        approx_eq(self.start.y, self.end.y)
+    }
+
+    /// `true` if the segment spans vertically (or is degenerate).
+    #[inline]
+    pub fn is_vertical(&self) -> bool {
+        approx_eq(self.start.x, self.end.x)
+    }
+
+    /// Direction of travel from start to end, `None` for degenerate segments.
+    #[inline]
+    pub fn direction(&self) -> Option<Direction> {
+        Direction::between(self.start, self.end)
+    }
+
+    /// The rectangular body of the segment: the centre line swept by the
+    /// strip width (square line ends).
+    pub fn body(&self) -> Rect {
+        let half = self.width / 2.0;
+        Rect::from_corners(self.start, self.end).expanded(half)
+    }
+
+    /// Expanded bounding box for the spacing rule: the body grown by
+    /// `margin` (typically the ground-plane distance `t`) on every side.
+    pub fn bounding_box(&self, margin: f64) -> Rect {
+        self.body().expanded(margin)
+    }
+
+    /// `true` if the centre lines of the two segments intersect or overlap.
+    ///
+    /// This is the planarity (non-crossing) predicate for microstrips that
+    /// do not share an endpoint. Segments that merely touch at a shared
+    /// endpoint are reported as intersecting; callers exclude electrically
+    /// connected neighbours before applying the rule.
+    pub fn centerline_intersects(&self, other: &Segment) -> bool {
+        // Work on the degenerate-tolerant interval representation.
+        let (a, b) = (self.start, self.end);
+        let (c, d) = (other.start, other.end);
+        let ax = interval(a.x, b.x);
+        let ay = interval(a.y, b.y);
+        let cx = interval(c.x, d.x);
+        let cy = interval(c.y, d.y);
+        intervals_overlap(ax, cx) && intervals_overlap(ay, cy)
+    }
+
+    /// Translates the segment by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Segment {
+        Segment {
+            start: self.start.translated(dx, dy),
+            end: self.end.translated(dx, dy),
+            width: self.width,
+        }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} (w={})", self.start, self.end, self.width)
+    }
+}
+
+fn interval(a: f64, b: f64) -> (f64, f64) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn intervals_overlap(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 <= b.1 + EPS && b.0 <= a.1 + EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(x0: f64, y0: f64, x1: f64, y1: f64, w: f64) -> Segment {
+        Segment::new(Point::new(x0, y0), Point::new(x1, y1), w).expect("valid segment")
+    }
+
+    #[test]
+    fn construction_checks() {
+        assert!(Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 1.0).is_err());
+        assert!(Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0), 0.0).is_err());
+        assert!(Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0), -2.0).is_err());
+        assert!(Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0), f64::NAN).is_err());
+        assert!(Segment::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0), 1.0).is_ok());
+    }
+
+    #[test]
+    fn orientation_and_length() {
+        let h = seg(0.0, 5.0, 30.0, 5.0, 10.0);
+        assert!(h.is_horizontal());
+        assert!(!h.is_vertical());
+        assert_eq!(h.length(), 30.0);
+        assert_eq!(h.direction(), Some(Direction::Right));
+
+        let v = seg(2.0, 10.0, 2.0, -10.0, 10.0);
+        assert!(v.is_vertical());
+        assert_eq!(v.length(), 20.0);
+        assert_eq!(v.direction(), Some(Direction::Down));
+
+        let d = seg(1.0, 1.0, 1.0, 1.0, 10.0);
+        assert!(d.is_degenerate());
+        assert_eq!(d.direction(), None);
+    }
+
+    #[test]
+    fn body_and_bounding_box() {
+        let s = seg(0.0, 0.0, 40.0, 0.0, 10.0);
+        let body = s.body();
+        assert_eq!(body.min, Point::new(-5.0, -5.0));
+        assert_eq!(body.max, Point::new(45.0, 5.0));
+        let bb = s.bounding_box(5.0);
+        assert_eq!(bb.min, Point::new(-10.0, -10.0));
+        assert_eq!(bb.max, Point::new(50.0, 10.0));
+    }
+
+    #[test]
+    fn centerline_crossing() {
+        let h = seg(0.0, 0.0, 20.0, 0.0, 2.0);
+        let v_crossing = seg(10.0, -5.0, 10.0, 5.0, 2.0);
+        let v_clear = seg(30.0, -5.0, 30.0, 5.0, 2.0);
+        let h_collinear = seg(5.0, 0.0, 15.0, 0.0, 2.0);
+        assert!(h.centerline_intersects(&v_crossing));
+        assert!(!h.centerline_intersects(&v_clear));
+        assert!(h.centerline_intersects(&h_collinear));
+    }
+
+    #[test]
+    fn translation() {
+        let s = seg(0.0, 0.0, 10.0, 0.0, 2.0).translated(5.0, -1.0);
+        assert_eq!(s.start(), Point::new(5.0, -1.0));
+        assert_eq!(s.end(), Point::new(15.0, -1.0));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 1.0).unwrap_err();
+        assert!(e.to_string().contains("not axis-aligned"));
+        let e = Segment::new(Point::ORIGIN, Point::new(1.0, 0.0), -1.0).unwrap_err();
+        assert!(e.to_string().contains("invalid segment width"));
+    }
+}

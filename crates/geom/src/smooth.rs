@@ -1,0 +1,213 @@
+//! Bend smoothing and equivalent-length modelling (Section 2.2, Figure 3).
+//!
+//! Every 90° bend on a microstrip is replaced by a diagonal shortcut in the
+//! final layout to reduce the discontinuity effect. The signal propagation
+//! through the smoothed bend is equivalent to a straight microstrip whose
+//! length differs from the geometric corner path by a correction `δ`
+//! (obtained from RF simulation of the bend pattern). The ILP model
+//! therefore only needs the rectilinear geometric length plus `n_bends · δ`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::polyline::Polyline;
+use crate::{Direction, Point};
+
+/// Equivalent electrical length of a routed microstrip:
+/// geometric length plus `δ` for every real bend (equation (12)).
+///
+/// # Examples
+///
+/// ```
+/// use rfic_geom::{equivalent_length, Point, Polyline};
+///
+/// let route = Polyline::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(50.0, 0.0),
+///     Point::new(50.0, 30.0),
+/// ])?;
+/// // One bend with δ = -2.0 µm shortens the equivalent length.
+/// assert_eq!(equivalent_length(&route, -2.0), 78.0);
+/// # Ok::<(), rfic_geom::PolylineError>(())
+/// ```
+pub fn equivalent_length(route: &Polyline, bend_delta: f64) -> f64 {
+    route.geometric_length() + route.bend_count() as f64 * bend_delta
+}
+
+/// A bend-smoothed routing path: the polygonal centre line after replacing
+/// every 90° corner by a diagonal chamfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmoothedPath {
+    /// Centre-line vertices of the smoothed path (no longer rectilinear at
+    /// the chamfers).
+    pub vertices: Vec<Point>,
+    /// Number of corners that were chamfered.
+    pub smoothed_bends: usize,
+    /// Total centre-line length of the smoothed path (Euclidean).
+    pub path_length: f64,
+}
+
+/// Replaces every 90° bend of a rectilinear route by a diagonal chamfer of
+/// leg length `chamfer` (clipped to half of the adjoining segment lengths),
+/// as illustrated in Figure 3 of the paper.
+///
+/// The returned [`SmoothedPath`] is the geometry that would be handed to
+/// mask generation; the ILP model itself never needs it because the
+/// equivalent-length correction `δ` accounts for the electrical effect.
+///
+/// # Examples
+///
+/// ```
+/// use rfic_geom::{smooth_polyline, Point, Polyline};
+///
+/// let route = Polyline::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(50.0, 0.0),
+///     Point::new(50.0, 30.0),
+/// ])?;
+/// let smoothed = smooth_polyline(&route, 5.0);
+/// assert_eq!(smoothed.smoothed_bends, 1);
+/// // The chamfer replaces 2·5 µm of rectilinear path by √2·5 µm of diagonal.
+/// assert!(smoothed.path_length < route.geometric_length());
+/// # Ok::<(), rfic_geom::PolylineError>(())
+/// ```
+pub fn smooth_polyline(route: &Polyline, chamfer: f64) -> SmoothedPath {
+    let simplified = route.simplified();
+    let pts = simplified.points();
+    let mut vertices: Vec<Point> = Vec::with_capacity(pts.len() * 2);
+    let mut smoothed = 0usize;
+
+    vertices.push(pts[0]);
+    for i in 1..pts.len().saturating_sub(1) {
+        let prev = pts[i - 1];
+        let here = pts[i];
+        let next = pts[i + 1];
+        let d_in = Direction::between(prev, here);
+        let d_out = Direction::between(here, next);
+        match (d_in, d_out) {
+            (Some(din), Some(dout)) if din.bends_into(dout) => {
+                let len_in = prev.manhattan_distance(here);
+                let len_out = here.manhattan_distance(next);
+                let c = chamfer.min(len_in / 2.0).min(len_out / 2.0).max(0.0);
+                let before = here - din.unit() * c;
+                let after = here + dout.unit() * c;
+                vertices.push(before);
+                vertices.push(after);
+                smoothed += 1;
+            }
+            _ => vertices.push(here),
+        }
+    }
+    if pts.len() > 1 {
+        vertices.push(pts[pts.len() - 1]);
+    }
+
+    let path_length = vertices
+        .windows(2)
+        .map(|w| w[0].euclidean_distance(w[1]))
+        .sum();
+
+    SmoothedPath {
+        vertices,
+        smoothed_bends: smoothed,
+        path_length,
+    }
+}
+
+/// The equivalent-length correction `δ` implied by a 45° chamfer of leg
+/// length `chamfer`: the difference between the smoothed path length and the
+/// rectilinear corner path, per bend.
+///
+/// This provides a physically-motivated default for `δ` when no RF
+/// simulation value is available (the paper takes `δ` from simulation).
+///
+/// # Examples
+///
+/// ```
+/// let delta = rfic_geom::smooth::chamfer_delta(5.0);
+/// assert!((delta - (5.0 * std::f64::consts::SQRT_2 - 10.0)).abs() < 1e-12);
+/// assert!(delta < 0.0);
+/// ```
+pub fn chamfer_delta(chamfer: f64) -> f64 {
+    chamfer * std::f64::consts::SQRT_2 - 2.0 * chamfer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(points: &[(f64, f64)]) -> Polyline {
+        Polyline::new(points.iter().map(|&(x, y)| Point::new(x, y)).collect()).expect("valid")
+    }
+
+    #[test]
+    fn equivalent_length_counts_bends() {
+        let route = pl(&[(0.0, 0.0), (50.0, 0.0), (50.0, 30.0), (90.0, 30.0)]);
+        assert_eq!(route.bend_count(), 2);
+        assert_eq!(equivalent_length(&route, 0.0), 120.0);
+        assert_eq!(equivalent_length(&route, -1.5), 117.0);
+        assert_eq!(equivalent_length(&route, 2.0), 124.0);
+    }
+
+    #[test]
+    fn straight_route_is_not_modified() {
+        let route = pl(&[(0.0, 0.0), (100.0, 0.0)]);
+        let s = smooth_polyline(&route, 5.0);
+        assert_eq!(s.smoothed_bends, 0);
+        assert_eq!(s.vertices, route.points());
+        assert!((s.path_length - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bend_chamfer_geometry() {
+        let route = pl(&[(0.0, 0.0), (50.0, 0.0), (50.0, 30.0)]);
+        let s = smooth_polyline(&route, 5.0);
+        assert_eq!(s.smoothed_bends, 1);
+        assert_eq!(s.vertices.len(), 4);
+        assert_eq!(s.vertices[1], Point::new(45.0, 0.0));
+        assert_eq!(s.vertices[2], Point::new(50.0, 5.0));
+        let expected = 45.0 + (5.0f64 * 5.0 + 5.0 * 5.0).sqrt() + 25.0;
+        assert!((s.path_length - expected).abs() < 1e-9);
+        // The smoothed length equals geometric length + chamfer_delta per bend.
+        let delta = chamfer_delta(5.0);
+        assert!((s.path_length - (route.geometric_length() + delta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chamfer_is_clipped_on_short_segments() {
+        let route = pl(&[(0.0, 0.0), (4.0, 0.0), (4.0, 40.0)]);
+        let s = smooth_polyline(&route, 10.0);
+        assert_eq!(s.smoothed_bends, 1);
+        // Clipped to half the 4 µm incoming segment.
+        assert_eq!(s.vertices[1], Point::new(2.0, 0.0));
+        assert_eq!(s.vertices[2], Point::new(4.0, 2.0));
+    }
+
+    #[test]
+    fn zigzag_smooths_every_bend() {
+        let route = pl(&[
+            (0.0, 0.0),
+            (20.0, 0.0),
+            (20.0, 20.0),
+            (40.0, 20.0),
+            (40.0, 40.0),
+        ]);
+        let s = smooth_polyline(&route, 2.0);
+        assert_eq!(s.smoothed_bends, 3);
+        assert!(s.path_length < route.geometric_length());
+        let delta = chamfer_delta(2.0);
+        assert!((s.path_length - (route.geometric_length() + 3.0 * delta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_chain_points_are_ignored_by_smoothing() {
+        let route = pl(&[(0.0, 0.0), (20.0, 0.0), (20.0, 0.0), (20.0, 20.0)]);
+        let s = smooth_polyline(&route, 2.0);
+        assert_eq!(s.smoothed_bends, 1);
+    }
+
+    #[test]
+    fn chamfer_delta_is_negative_for_positive_chamfer() {
+        assert!(chamfer_delta(1.0) < 0.0);
+        assert_eq!(chamfer_delta(0.0), 0.0);
+    }
+}

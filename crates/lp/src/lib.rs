@@ -1,0 +1,46 @@
+//! A self-contained dense linear-programming solver.
+//!
+//! This crate is the numerical substrate underneath the MILP layer
+//! (`rfic-milp`) and, transitively, the progressive-ILP RFIC layout engine.
+//! The DAC 2016 paper solves its models with a commercial solver; this
+//! crate provides the open equivalent: a classical **two-phase primal
+//! simplex** on a dense tableau with
+//!
+//! * arbitrary variable bounds (finite, one-sided or free),
+//! * `<=`, `>=` and `=` constraints,
+//! * minimisation or maximisation objectives,
+//! * infeasibility and unboundedness detection, and
+//! * Bland's anti-cycling rule as a fallback after degenerate stalls.
+//!
+//! The models produced by the layout engine are small-to-medium dense
+//! problems (hundreds of rows/columns per progressive phase), which is the
+//! regime a dense tableau handles comfortably and predictably.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfic_lp::{ConstraintOp, LinearProgram, Sense};
+//!
+//! // maximise 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x, y >= 0
+//! let mut lp = LinearProgram::new(2, Sense::Maximize);
+//! lp.set_objective_coeff(0, 3.0);
+//! lp.set_objective_coeff(1, 2.0);
+//! lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 4.0);
+//! lp.add_constraint(vec![(0, 1.0), (1, 3.0)], ConstraintOp::Le, 6.0);
+//! let solution = lp.solve()?;
+//! assert!((solution.objective - 12.0).abs() < 1e-6);
+//! assert!((solution.values[0] - 4.0).abs() < 1e-6);
+//! # Ok::<(), rfic_lp::LpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod problem;
+mod simplex;
+
+pub use problem::{Constraint, ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
+
+/// Numerical tolerance used by the solver for feasibility and optimality
+/// tests.
+pub const TOLERANCE: f64 = 1e-7;

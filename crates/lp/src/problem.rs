@@ -1,0 +1,299 @@
+//! Linear-program model types.
+
+use std::fmt;
+
+use crate::simplex;
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sense {
+    /// Minimise the objective.
+    #[default]
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+impl fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintOp::Le => f.write_str("<="),
+            ConstraintOp::Ge => f.write_str(">="),
+            ConstraintOp::Eq => f.write_str("=="),
+        }
+    }
+}
+
+/// A linear constraint `sum(coeff_i * x_i) op rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse coefficient list `(variable index, coefficient)`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over `num_vars` variables.
+///
+/// Variables default to bounds `[0, +inf)`; use
+/// [`LinearProgram::set_bounds`] for other ranges (including free
+/// variables via `f64::NEG_INFINITY` / `f64::INFINITY`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    num_vars: usize,
+    sense: Sense,
+    objective: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    constraints: Vec<Constraint>,
+    iteration_limit: usize,
+}
+
+/// Result of a successful LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal value of every variable, indexed as in the model.
+    pub values: Vec<f64>,
+    /// Optimal objective value (in the model's own sense).
+    pub objective: f64,
+    /// Number of simplex pivots performed (both phases).
+    pub iterations: usize,
+}
+
+/// Error returned by [`LinearProgram::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (numerical cycling).
+    IterationLimit,
+    /// The model itself is malformed (bad index, NaN coefficient, crossed
+    /// bounds, ...).
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => f.write_str("linear program is infeasible"),
+            LpError::Unbounded => f.write_str("linear program is unbounded"),
+            LpError::IterationLimit => f.write_str("simplex iteration limit exceeded"),
+            LpError::InvalidModel(msg) => write!(f, "invalid linear program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl LinearProgram {
+    /// Creates a linear program with `num_vars` variables, all with bounds
+    /// `[0, +inf)` and objective coefficient `0`.
+    pub fn new(num_vars: usize, sense: Sense) -> LinearProgram {
+        LinearProgram {
+            num_vars,
+            sense,
+            objective: vec![0.0; num_vars],
+            lower: vec![0.0; num_vars],
+            upper: vec![f64::INFINITY; num_vars],
+            constraints: Vec::new(),
+            iteration_limit: 50_000,
+        }
+    }
+
+    /// Adds a fresh variable with bounds `[0, +inf)` and returns its index.
+    pub fn add_var(&mut self) -> usize {
+        self.objective.push(0.0);
+        self.lower.push(0.0);
+        self.upper.push(f64::INFINITY);
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Optimisation sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Variable bounds `(lower, upper)`.
+    pub fn bounds(&self, var: usize) -> (f64, f64) {
+        (self.lower[var], self.upper[var])
+    }
+
+    /// Constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Sets the objective coefficient of one variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Sets the bounds of a variable. Use `f64::NEG_INFINITY` /
+    /// `f64::INFINITY` for unbounded sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_bounds(&mut self, var: usize, lower: f64, upper: f64) {
+        self.lower[var] = lower;
+        self.upper[var] = upper;
+    }
+
+    /// Overrides the simplex iteration limit.
+    pub fn set_iteration_limit(&mut self, limit: usize) {
+        self.iteration_limit = limit;
+    }
+
+    /// Adds a constraint from a sparse coefficient list. Repeated indices
+    /// are summed.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) {
+        self.constraints.push(Constraint { coeffs, op, rhs });
+    }
+
+    /// Validates indices, coefficients and bounds.
+    fn validate(&self) -> Result<(), LpError> {
+        for (i, (&l, &u)) in self.lower.iter().zip(&self.upper).enumerate() {
+            if l.is_nan() || u.is_nan() {
+                return Err(LpError::InvalidModel(format!("NaN bound on variable {i}")));
+            }
+            if l > u {
+                return Err(LpError::InvalidModel(format!(
+                    "variable {i} has crossed bounds [{l}, {u}]"
+                )));
+            }
+        }
+        for (i, c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "non-finite objective coefficient on variable {i}"
+                )));
+            }
+        }
+        for (ci, con) in self.constraints.iter().enumerate() {
+            if !con.rhs.is_finite() {
+                return Err(LpError::InvalidModel(format!("non-finite rhs in constraint {ci}")));
+            }
+            for &(v, c) in &con.coeffs {
+                if v >= self.num_vars {
+                    return Err(LpError::InvalidModel(format!(
+                        "constraint {ci} references unknown variable {v}"
+                    )));
+                }
+                if !c.is_finite() {
+                    return Err(LpError::InvalidModel(format!(
+                        "non-finite coefficient in constraint {ci}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the linear program with the two-phase primal simplex method.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] — no point satisfies all constraints/bounds.
+    /// * [`LpError::Unbounded`] — the objective can be improved without limit.
+    /// * [`LpError::IterationLimit`] — the pivot limit was exhausted.
+    /// * [`LpError::InvalidModel`] — malformed input (NaN, bad index, ...).
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        self.validate()?;
+        simplex::solve(self)
+    }
+
+    pub(crate) fn lower_bounds(&self) -> &[f64] {
+        &self.lower
+    }
+
+    pub(crate) fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
+    pub(crate) fn iteration_limit(&self) -> usize {
+        self.iteration_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_accessors() {
+        let mut lp = LinearProgram::new(2, Sense::Maximize);
+        assert_eq!(lp.num_vars(), 2);
+        let v = lp.add_var();
+        assert_eq!(v, 2);
+        assert_eq!(lp.num_vars(), 3);
+        lp.set_objective_coeff(v, 4.0);
+        lp.set_bounds(v, -1.0, 5.0);
+        assert_eq!(lp.bounds(v), (-1.0, 5.0));
+        assert_eq!(lp.objective()[v], 4.0);
+        lp.add_constraint(vec![(0, 1.0), (2, -1.0)], ConstraintOp::Ge, 1.0);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.constraints()[0].op, ConstraintOp::Ge);
+        assert_eq!(lp.sense(), Sense::Maximize);
+    }
+
+    #[test]
+    fn validation_catches_bad_models() {
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.add_constraint(vec![(3, 1.0)], ConstraintOp::Le, 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::InvalidModel(_))));
+
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.set_bounds(0, 2.0, 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::InvalidModel(_))));
+
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.set_objective_coeff(0, f64::NAN);
+        assert!(matches!(lp.solve(), Err(LpError::InvalidModel(_))));
+
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.add_constraint(vec![(0, f64::INFINITY)], ConstraintOp::Le, 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert!(LpError::InvalidModel("x".into()).to_string().contains("x"));
+        assert_eq!(ConstraintOp::Le.to_string(), "<=");
+    }
+}

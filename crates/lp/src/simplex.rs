@@ -1,0 +1,615 @@
+//! Dense two-phase primal simplex.
+//!
+//! The implementation follows the classical textbook tableau method:
+//!
+//! 1. Every model variable is transformed to a non-negative *standard*
+//!    variable by shifting at a finite lower bound, mirroring at a finite
+//!    upper bound, or splitting a free variable into a difference of two
+//!    non-negative variables. Remaining finite upper bounds become explicit
+//!    rows.
+//! 2. Constraints are converted to equalities with slack/surplus columns and
+//!    non-negative right-hand sides.
+//! 3. Phase 1 minimises the sum of artificial variables to find a basic
+//!    feasible solution (or prove infeasibility).
+//! 4. Phase 2 minimises the real objective starting from that basis,
+//!    detecting unboundedness.
+//!
+//! Dantzig pricing is used until a stall is detected, after which the solver
+//! falls back to Bland's rule, which guarantees termination.
+
+use crate::problem::{ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
+use crate::TOLERANCE;
+
+/// How a model variable is represented in standard form.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = y + shift` with `y >= 0`.
+    Shifted { col: usize, shift: f64 },
+    /// `x = shift - y` with `y >= 0` (used when only an upper bound is finite).
+    Mirrored { col: usize, shift: f64 },
+    /// `x = y_plus - y_minus`, both `>= 0` (free variable).
+    Split { plus: usize, minus: usize },
+    /// The bounds force a single value; the variable does not appear in the
+    /// tableau at all.
+    Fixed(f64),
+}
+
+struct Standardised {
+    /// Map from model variable to standard-form columns.
+    map: Vec<VarMap>,
+    /// Number of structural (non-slack, non-artificial) columns.
+    num_cols: usize,
+    /// Rows as dense coefficient vectors over structural columns.
+    rows: Vec<Vec<f64>>,
+    ops: Vec<ConstraintOp>,
+    rhs: Vec<f64>,
+    /// Objective over structural columns (always a minimisation).
+    costs: Vec<f64>,
+    /// Constant offset added to the objective by shifts/fixed variables.
+    offset: f64,
+}
+
+/// Builds the standard form of the model.
+fn standardise(lp: &LinearProgram) -> Result<Standardised, LpError> {
+    let n = lp.num_vars();
+    let lower = lp.lower_bounds();
+    let upper = lp.upper_bounds();
+    let sign = match lp.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let mut map = Vec::with_capacity(n);
+    let mut num_cols = 0usize;
+    let mut extra_upper_rows: Vec<(usize, f64)> = Vec::new(); // (column, bound value on the standard var)
+    for i in 0..n {
+        let (l, u) = (lower[i], upper[i]);
+        if l.is_finite() && u.is_finite() && (u - l).abs() <= TOLERANCE {
+            map.push(VarMap::Fixed(l));
+        } else if l.is_finite() {
+            let col = num_cols;
+            num_cols += 1;
+            if u.is_finite() {
+                extra_upper_rows.push((col, u - l));
+            }
+            map.push(VarMap::Shifted { col, shift: l });
+        } else if u.is_finite() {
+            let col = num_cols;
+            num_cols += 1;
+            map.push(VarMap::Mirrored { col, shift: u });
+        } else {
+            let plus = num_cols;
+            let minus = num_cols + 1;
+            num_cols += 2;
+            map.push(VarMap::Split { plus, minus });
+        }
+    }
+
+    let mut costs = vec![0.0; num_cols];
+    let mut offset = 0.0;
+    for (i, &c) in lp.objective().iter().enumerate() {
+        let c = c * sign;
+        match map[i] {
+            VarMap::Shifted { col, shift } => {
+                costs[col] += c;
+                offset += c * shift;
+            }
+            VarMap::Mirrored { col, shift } => {
+                costs[col] -= c;
+                offset += c * shift;
+            }
+            VarMap::Split { plus, minus } => {
+                costs[plus] += c;
+                costs[minus] -= c;
+            }
+            VarMap::Fixed(v) => offset += c * v,
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut ops = Vec::new();
+    let mut rhs = Vec::new();
+    for con in lp.constraints() {
+        let mut row = vec![0.0; num_cols];
+        let mut b = con.rhs;
+        for &(v, c) in &con.coeffs {
+            match map[v] {
+                VarMap::Shifted { col, shift } => {
+                    row[col] += c;
+                    b -= c * shift;
+                }
+                VarMap::Mirrored { col, shift } => {
+                    row[col] -= c;
+                    b -= c * shift;
+                }
+                VarMap::Split { plus, minus } => {
+                    row[plus] += c;
+                    row[minus] -= c;
+                }
+                VarMap::Fixed(val) => b -= c * val,
+            }
+        }
+        rows.push(row);
+        ops.push(con.op);
+        rhs.push(b);
+    }
+    for (col, bound) in extra_upper_rows {
+        let mut row = vec![0.0; num_cols];
+        row[col] = 1.0;
+        rows.push(row);
+        ops.push(ConstraintOp::Le);
+        rhs.push(bound);
+    }
+
+    Ok(Standardised {
+        map,
+        num_cols,
+        rows,
+        ops,
+        rhs,
+        costs,
+        offset,
+    })
+}
+
+/// Solves the linear program. See the module documentation for the method.
+pub(crate) fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+    let std_form = standardise(lp)?;
+    let m = std_form.rows.len();
+    let n = std_form.num_cols;
+
+    // Column layout: [structural | slack/surplus | artificial | rhs]
+    let mut num_slack = 0usize;
+    for op in &std_form.ops {
+        if !matches!(op, ConstraintOp::Eq) {
+            num_slack += 1;
+        }
+    }
+    let slack_base = n;
+    let art_base = n + num_slack;
+    // Worst case: one artificial per row.
+    let total_cols_max = art_base + m;
+
+    let mut tableau: Vec<Vec<f64>> = vec![vec![0.0; total_cols_max + 1]; m];
+    let mut basis: Vec<usize> = vec![usize::MAX; m];
+    let mut num_art = 0usize;
+    let mut slack_idx = 0usize;
+
+    for r in 0..m {
+        let mut flip = 1.0;
+        if std_form.rhs[r] < 0.0 {
+            flip = -1.0;
+        }
+        for c in 0..n {
+            tableau[r][c] = flip * std_form.rows[r][c];
+        }
+        tableau[r][total_cols_max] = flip * std_form.rhs[r];
+
+        let op = std_form.ops[r];
+        match op {
+            ConstraintOp::Le | ConstraintOp::Ge => {
+                // slack (+1 for Le, -1 for Ge), flipped with the row
+                let s = slack_base + slack_idx;
+                slack_idx += 1;
+                let coeff = if matches!(op, ConstraintOp::Le) { 1.0 } else { -1.0 } * flip;
+                tableau[r][s] = coeff;
+                if coeff > 0.0 {
+                    basis[r] = s;
+                }
+            }
+            ConstraintOp::Eq => {}
+        }
+        if basis[r] == usize::MAX {
+            // Need an artificial variable for this row.
+            let a = art_base + num_art;
+            num_art += 1;
+            tableau[r][a] = 1.0;
+            basis[r] = a;
+        }
+    }
+    let total_cols = art_base + num_art;
+    // Shrink rows to the actual width (keep rhs at index `total_cols`).
+    for row in tableau.iter_mut() {
+        let rhs_val = row[total_cols_max];
+        row.truncate(total_cols);
+        row.push(rhs_val);
+    }
+
+    let mut iterations = 0usize;
+    let limit = lp.iteration_limit();
+
+    // --- Phase 1 ---------------------------------------------------------------
+    if num_art > 0 {
+        let mut phase1_cost = vec![0.0; total_cols];
+        for c in art_base..total_cols {
+            phase1_cost[c] = 1.0;
+        }
+        let mut obj_row = build_objective_row(&tableau, &basis, &phase1_cost, total_cols);
+        run_simplex(
+            &mut tableau,
+            &mut basis,
+            &mut obj_row,
+            &phase1_cost,
+            total_cols,
+            limit,
+            &mut iterations,
+            // In phase 1 artificial columns may re-enter only to leave again;
+            // forbid them from entering to keep things simple and finite.
+            art_base,
+        )?;
+        let phase1_value = -obj_row[total_cols];
+        if phase1_value > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial variables that are still basic (at zero) out of
+        // the basis when possible.
+        for r in 0..m {
+            if basis[r] >= art_base {
+                if let Some(c) = (0..art_base).find(|&c| tableau[r][c].abs() > 1e-9) {
+                    pivot(&mut tableau, &mut basis, r, c, total_cols);
+                    iterations += 1;
+                }
+            }
+        }
+    }
+
+    // --- Phase 2 ---------------------------------------------------------------
+    let mut phase2_cost = vec![0.0; total_cols];
+    phase2_cost[..std_form.costs.len()].copy_from_slice(&std_form.costs);
+    // Artificial columns must never re-enter the basis.
+    let mut obj_row = build_objective_row(&tableau, &basis, &phase2_cost, total_cols);
+    run_simplex(
+        &mut tableau,
+        &mut basis,
+        &mut obj_row,
+        &phase2_cost,
+        total_cols,
+        limit,
+        &mut iterations,
+        art_base,
+    )?;
+
+    // Extract the solution.
+    let mut std_values = vec![0.0; total_cols];
+    for r in 0..m {
+        let b = basis[r];
+        if b < total_cols {
+            std_values[b] = tableau[r][total_cols];
+        }
+    }
+    // A basic artificial variable with a non-zero value means infeasible
+    // (can happen when phase 1 stalls exactly at the tolerance).
+    for (c, v) in std_values.iter().enumerate().skip(art_base) {
+        if *v > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        let _ = c;
+    }
+
+    let mut values = vec![0.0; lp.num_vars()];
+    for (i, vm) in std_form.map.iter().enumerate() {
+        values[i] = match *vm {
+            VarMap::Shifted { col, shift } => std_values[col] + shift,
+            VarMap::Mirrored { col, shift } => shift - std_values[col],
+            VarMap::Split { plus, minus } => std_values[plus] - std_values[minus],
+            VarMap::Fixed(v) => v,
+        };
+    }
+
+    let min_objective = -obj_row[total_cols] + std_form.offset;
+    let objective = match lp.sense() {
+        Sense::Minimize => min_objective,
+        Sense::Maximize => -min_objective,
+    };
+
+    Ok(LpSolution {
+        values,
+        objective,
+        iterations,
+    })
+}
+
+/// Builds the reduced-cost row for the given basis (the negative of the
+/// priced-out objective), with the current objective value in the last slot.
+fn build_objective_row(
+    tableau: &[Vec<f64>],
+    basis: &[usize],
+    costs: &[f64],
+    total_cols: usize,
+) -> Vec<f64> {
+    let mut row = vec![0.0; total_cols + 1];
+    row[..total_cols].copy_from_slice(&costs[..total_cols]);
+    // Price out the basic columns: row := costs - sum_b cost_b * tableau_row_b
+    for (r, &b) in basis.iter().enumerate() {
+        let cb = costs[b];
+        if cb != 0.0 {
+            for c in 0..=total_cols {
+                row[c] -= cb * tableau[r][c];
+            }
+        }
+    }
+    row
+}
+
+/// Runs primal simplex iterations until optimality, unboundedness or the
+/// iteration limit. `forbidden_from` marks the first column (artificials)
+/// that may never be chosen as an entering column.
+#[allow(clippy::too_many_arguments)]
+fn run_simplex(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj_row: &mut Vec<f64>,
+    costs: &[f64],
+    total_cols: usize,
+    limit: usize,
+    iterations: &mut usize,
+    forbidden_from: usize,
+) -> Result<(), LpError> {
+    let m = tableau.len();
+    let mut stall_counter = 0usize;
+    let mut last_objective = f64::INFINITY;
+
+    loop {
+        if *iterations >= limit {
+            return Err(LpError::IterationLimit);
+        }
+        // Select the entering column.
+        let use_bland = stall_counter > 2 * (m + total_cols);
+        let mut entering: Option<usize> = None;
+        if use_bland {
+            for c in 0..forbidden_from {
+                if obj_row[c] < -TOLERANCE {
+                    entering = Some(c);
+                    break;
+                }
+            }
+        } else {
+            let mut best = -TOLERANCE;
+            for c in 0..forbidden_from {
+                if obj_row[c] < best {
+                    best = obj_row[c];
+                    entering = Some(c);
+                }
+            }
+        }
+        let Some(col) = entering else {
+            return Ok(()); // optimal
+        };
+
+        // Ratio test for the leaving row.
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..m {
+            let a = tableau[r][col];
+            if a > TOLERANCE {
+                let ratio = tableau[r][total_cols] / a;
+                if ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && leaving.map(|lr| basis[r] < basis[lr]).unwrap_or(false))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(r);
+                }
+            }
+        }
+        let Some(row) = leaving else {
+            return Err(LpError::Unbounded);
+        };
+
+        pivot_with_obj(tableau, basis, obj_row, row, col, total_cols);
+        *iterations += 1;
+
+        let objective = -obj_row[total_cols];
+        if objective < last_objective - 1e-10 {
+            stall_counter = 0;
+            last_objective = objective;
+        } else {
+            stall_counter += 1;
+        }
+        let _ = costs;
+    }
+}
+
+/// Pivots the tableau (without an objective row) on `(row, col)`.
+fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total_cols: usize) {
+    let pivot_val = tableau[row][col];
+    for c in 0..=total_cols {
+        tableau[row][c] /= pivot_val;
+    }
+    for r in 0..tableau.len() {
+        if r != row {
+            let factor = tableau[r][col];
+            if factor.abs() > 1e-12 {
+                for c in 0..=total_cols {
+                    tableau[r][c] -= factor * tableau[row][c];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+/// Pivots the tableau and the objective row on `(row, col)`.
+fn pivot_with_obj(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj_row: &mut [f64],
+    row: usize,
+    col: usize,
+    total_cols: usize,
+) {
+    pivot(tableau, basis, row, col, total_cols);
+    let factor = obj_row[col];
+    if factor.abs() > 1e-12 {
+        for c in 0..=total_cols {
+            obj_row[c] -= factor * tableau[row][c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ConstraintOp, LinearProgram, LpError, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36
+        let mut lp = LinearProgram::new(2, Sense::Maximize);
+        lp.set_objective_coeff(0, 3.0);
+        lp.set_objective_coeff(1, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 4.0);
+        lp.add_constraint(vec![(1, 2.0)], ConstraintOp::Le, 12.0);
+        lp.add_constraint(vec![(0, 3.0), (1, 2.0)], ConstraintOp::Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.values[0], 2.0);
+        assert_close(s.values[1], 6.0);
+    }
+
+    #[test]
+    fn minimisation_with_ge_constraints_needs_phase1() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 -> x=7,y=3 obj 23
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective_coeff(0, 2.0);
+        lp.set_objective_coeff(1, 3.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 10.0);
+        lp.set_bounds(0, 2.0, f64::INFINITY);
+        lp.set_bounds(1, 3.0, f64::INFINITY);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 23.0);
+        assert_close(s.values[0], 7.0);
+        assert_close(s.values[1], 3.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, 3x + 2y = 8 -> x=2, y=1, obj=3
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.set_objective_coeff(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0)], ConstraintOp::Eq, 4.0);
+        lp.add_constraint(vec![(0, 3.0), (1, 2.0)], ConstraintOp::Eq, 8.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.values[0], 2.0);
+        assert_close(s.values[1], 1.0);
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn infeasible_system_is_detected() {
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 3.0);
+        assert_eq!(lp.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_objective_is_detected() {
+        let mut lp = LinearProgram::new(1, Sense::Maximize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+        assert_eq!(lp.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn free_and_negative_variables() {
+        // min x + y with x free, y in [-5, -1], x + y >= -3  -> x = -2? Let's see:
+        // objective decreases with both; x >= -3 - y, minimise x + y = (x+y) >= -3.
+        // Optimum -3 on the line; solver must find some point with x+y = -3.
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.set_objective_coeff(1, 1.0);
+        lp.set_bounds(0, f64::NEG_INFINITY, f64::INFINITY);
+        lp.set_bounds(1, -5.0, -1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, -3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -3.0);
+        assert_close(s.values[0] + s.values[1], -3.0);
+        assert!(s.values[1] >= -5.0 - 1e-9 && s.values[1] <= -1.0 + 1e-9);
+    }
+
+    #[test]
+    fn upper_bounds_are_respected() {
+        // max x + y, x <= 3, y <= 2 via bounds only.
+        let mut lp = LinearProgram::new(2, Sense::Maximize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.set_objective_coeff(1, 1.0);
+        lp.set_bounds(0, 0.0, 3.0);
+        lp.set_bounds(1, 0.0, 2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 5.0);
+        assert_close(s.values[0], 3.0);
+        assert_close(s.values[1], 2.0);
+    }
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        // y fixed at 4 by its bounds.
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.set_objective_coeff(1, 10.0);
+        lp.set_bounds(1, 4.0, 4.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 6.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.values[1], 4.0);
+        assert_close(s.values[0], 2.0);
+        assert_close(s.objective, 42.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Highly degenerate: many redundant constraints through the origin.
+        let mut lp = LinearProgram::new(3, Sense::Maximize);
+        for v in 0..3 {
+            lp.set_objective_coeff(v, 1.0);
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    lp.add_constraint(vec![(i, 1.0), (j, -1.0)], ConstraintOp::Le, 0.0);
+                }
+            }
+        }
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintOp::Le, 9.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 9.0);
+        assert_close(s.values[0], 3.0);
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let lp = LinearProgram::new(0, Sense::Minimize);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.values.len(), 0);
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn negative_rhs_handling() {
+        // x - y <= -2 with x, y >= 0 -> y >= x + 2; min y -> x = 0, y = 2.
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective_coeff(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Le, -2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 2.0);
+        assert_close(s.values[1], 2.0);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // The same equality twice plus a third dependent one.
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.set_objective_coeff(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], ConstraintOp::Eq, 10.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 5.0);
+        assert_close(s.values[0], 5.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Mixed-integer linear programming on top of [`rfic_lp`].
+//!
+//! The DAC 2016 P-ILP layout flow expresses concurrent placement and
+//! routing as integer linear programs and solves them with a commercial
+//! solver. This crate provides the open substitute used throughout this
+//! repository:
+//!
+//! * a [`Model`] builder with continuous, binary and general-integer
+//!   variables, linear expressions ([`LinExpr`]) and `<=`/`>=`/`=`
+//!   constraints;
+//! * the linearisation helpers the paper relies on (products of a 0-1
+//!   variable with a bounded continuous expression following
+//!   Chen/Batson/Dang, indicator (big-M) constraints, absolute values) in
+//!   [`linearize`];
+//! * a branch-and-bound solver over the LP relaxation with best-bound node
+//!   selection, most-fractional branching, a rounding primal heuristic,
+//!   time/node/gap limits and warm-started incumbents.
+//!
+//! # Examples
+//!
+//! A tiny knapsack:
+//!
+//! ```
+//! use rfic_milp::{Model, Sense, SolveOptions, VarKind};
+//!
+//! let mut m = Model::new(Sense::Maximize);
+//! let items = [(10.0, 60.0), (20.0, 100.0), (30.0, 120.0)];
+//! let vars: Vec<_> = items
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, &(_, value))| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, value))
+//!     .collect();
+//! let weight = vars
+//!     .iter()
+//!     .zip(&items)
+//!     .fold(rfic_milp::LinExpr::new(), |e, (&v, &(w, _))| e + (v, w));
+//! m.add_le(weight, 50.0);
+//! let solution = m.solve(&SolveOptions::default())?;
+//! assert_eq!(solution.objective.round(), 220.0);
+//! # Ok::<(), rfic_milp::MilpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expr;
+pub mod linearize;
+mod model;
+mod solve;
+
+pub use expr::LinExpr;
+pub use model::{Model, VarId, VarKind};
+pub use rfic_lp::{ConstraintOp, Sense};
+pub use solve::{MilpError, MilpSolution, SolveOptions, SolveStatus};
+
+/// Integrality tolerance: a value within this distance of an integer is
+/// considered integral.
+pub const INT_TOLERANCE: f64 = 1e-6;

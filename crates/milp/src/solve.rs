@@ -1,0 +1,578 @@
+//! Branch-and-bound MILP solver over the LP relaxation.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rfic_lp::{LpError, Sense};
+
+use crate::model::Model;
+use crate::INT_TOLERANCE;
+
+/// Limits and tolerances controlling a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOptions {
+    /// Wall-clock limit; the best incumbent found so far is returned when it
+    /// expires.
+    pub time_limit: Duration,
+    /// Maximum number of branch-and-bound nodes.
+    pub node_limit: usize,
+    /// Relative optimality gap at which the search stops.
+    pub mip_gap: f64,
+    /// Apply the rounding primal heuristic at every node.
+    pub rounding_heuristic: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            time_limit: Duration::from_secs(60),
+            node_limit: 200_000,
+            mip_gap: 1e-6,
+            rounding_heuristic: true,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// A configuration with a caller-chosen time limit and otherwise default
+    /// settings.
+    pub fn with_time_limit(time_limit: Duration) -> SolveOptions {
+        SolveOptions {
+            time_limit,
+            ..SolveOptions::default()
+        }
+    }
+
+    /// A loose configuration for large models: stop at 1 % gap.
+    pub fn coarse(time_limit: Duration) -> SolveOptions {
+        SolveOptions {
+            time_limit,
+            mip_gap: 1e-2,
+            ..SolveOptions::default()
+        }
+    }
+}
+
+/// How a MILP solve terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Proven optimal (within the configured gap).
+    Optimal,
+    /// A feasible solution was found but a limit stopped the proof of
+    /// optimality.
+    Feasible,
+}
+
+/// Result of a successful MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Value of every variable, indexed by [`crate::VarId::index`].
+    pub values: Vec<f64>,
+    /// Objective value in the model's sense.
+    pub objective: f64,
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Final relative optimality gap (0 when proven optimal).
+    pub gap: f64,
+}
+
+impl MilpSolution {
+    /// Value of a variable.
+    pub fn value(&self, var: crate::VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Rounded 0/1 value of a binary variable.
+    pub fn binary_value(&self, var: crate::VarId) -> bool {
+        self.values[var.index()] > 0.5
+    }
+}
+
+/// Error returned by [`Model::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpError {
+    /// The model has no integer-feasible solution.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// A limit (time or nodes) was reached before any feasible solution was
+    /// found; optimality status is unknown.
+    LimitReached,
+    /// The underlying LP solver failed.
+    Lp(LpError),
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::Infeasible => f.write_str("MILP is infeasible"),
+            MilpError::Unbounded => f.write_str("MILP relaxation is unbounded"),
+            MilpError::LimitReached => {
+                f.write_str("solver limit reached before a feasible solution was found")
+            }
+            MilpError::Lp(e) => write!(f, "LP solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}
+
+impl From<LpError> for MilpError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::Infeasible => MilpError::Infeasible,
+            LpError::Unbounded => MilpError::Unbounded,
+            other => MilpError::Lp(other),
+        }
+    }
+}
+
+/// A branch-and-bound node: bound tightenings relative to the root model.
+#[derive(Debug, Clone)]
+struct Node {
+    /// `(variable index, new lower bound, new upper bound)` changes.
+    bound_changes: Vec<(usize, f64, f64)>,
+    /// LP bound of the parent (used for best-bound ordering).
+    parent_bound: f64,
+    depth: usize,
+}
+
+/// A pending node together with its parent's LP bound (in minimised form).
+///
+/// Nodes are explored depth-first (LIFO): the child that follows the LP
+/// solution's rounding is pushed last so it is explored first, which finds
+/// integer-feasible incumbents quickly; the parent-bound pruning then cuts
+/// the remaining stack against the incumbent.
+struct HeapEntry {
+    node: Node,
+    key: f64,
+}
+
+/// Solves `model` by LP-based branch and bound.
+pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<MilpSolution, MilpError> {
+    let start = Instant::now();
+    let sense_sign = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let integer_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind.is_integer())
+        .map(|(i, _)| i)
+        .collect();
+
+    let base_lp = model.relaxation();
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, minimised objective)
+    let mut nodes_explored = 0usize;
+    let mut stack: Vec<HeapEntry> = Vec::new();
+    stack.push(HeapEntry {
+        node: Node {
+            bound_changes: Vec::new(),
+            parent_bound: f64::NEG_INFINITY,
+            depth: 0,
+        },
+        key: f64::NEG_INFINITY,
+    });
+
+    let mut best_open_bound = f64::NEG_INFINITY;
+    let mut root_infeasible = false;
+    let mut root_unbounded = false;
+    let mut limit_hit = false;
+
+    while let Some(entry) = stack.pop() {
+        let node = entry.node;
+        // Global termination checks.
+        if nodes_explored >= options.node_limit || start.elapsed() >= options.time_limit {
+            // Put the node back conceptually; just stop.
+            best_open_bound = entry.key.min(best_open_bound.max(entry.key));
+            limit_hit = true;
+            break;
+        }
+        // Prune against incumbent using the parent bound.
+        if let Some((_, inc_obj)) = &incumbent {
+            if node.parent_bound >= *inc_obj - 1e-9 {
+                continue;
+            }
+        }
+
+        // Solve the node LP.
+        let mut lp = base_lp.clone();
+        for &(var, lo, hi) in &node.bound_changes {
+            lp.set_bounds(var, lo, hi);
+        }
+        nodes_explored += 1;
+        let lp_result = lp.solve();
+        let lp_solution = match lp_result {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => {
+                if node.depth == 0 {
+                    root_infeasible = true;
+                }
+                continue;
+            }
+            Err(LpError::Unbounded) => {
+                if node.depth == 0 {
+                    root_unbounded = true;
+                    break;
+                }
+                continue;
+            }
+            Err(e) => return Err(MilpError::Lp(e)),
+        };
+        let node_bound = sense_sign * lp_solution.objective;
+        if let Some((_, inc_obj)) = &incumbent {
+            if node_bound >= *inc_obj - 1e-9 {
+                continue; // bound-dominated
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<usize> = None;
+        let mut best_frac = INT_TOLERANCE;
+        for &v in &integer_vars {
+            let val = lp_solution.values[v];
+            let frac = (val - val.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some(v);
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integer feasible: candidate incumbent.
+                let values = round_integers(&lp_solution.values, &integer_vars);
+                let obj = evaluate_objective(model, &values) * sense_sign;
+                if incumbent.as_ref().map(|(_, o)| obj < *o - 1e-12).unwrap_or(true) {
+                    incumbent = Some((values, obj));
+                }
+            }
+            Some(v) => {
+                // Optional rounding heuristic to seed/improve the incumbent.
+                if options.rounding_heuristic && incumbent.is_none() {
+                    if let Some((vals, obj)) =
+                        rounding_heuristic(model, &base_lp, &node, &lp_solution.values, &integer_vars, sense_sign)
+                    {
+                        if incumbent.as_ref().map(|(_, o)| obj < *o - 1e-12).unwrap_or(true) {
+                            incumbent = Some((vals, obj));
+                        }
+                    }
+                }
+                let val = lp_solution.values[v];
+                let floor = val.floor();
+                let ceil = val.ceil();
+                let (lo, hi) = model.var_bounds(crate::VarId(v));
+                let node_lo = node
+                    .bound_changes
+                    .iter()
+                    .rev()
+                    .find(|(i, _, _)| *i == v)
+                    .map(|&(_, l, _)| l)
+                    .unwrap_or(lo);
+                let node_hi = node
+                    .bound_changes
+                    .iter()
+                    .rev()
+                    .find(|(i, _, _)| *i == v)
+                    .map(|&(_, _, h)| h)
+                    .unwrap_or(hi);
+
+                let mut children: Vec<HeapEntry> = Vec::with_capacity(2);
+                // Down branch: x <= floor
+                if floor >= node_lo - 1e-9 {
+                    let mut changes = node.bound_changes.clone();
+                    changes.push((v, node_lo, floor));
+                    children.push(HeapEntry {
+                        key: node_bound,
+                        node: Node {
+                            bound_changes: changes,
+                            parent_bound: node_bound,
+                            depth: node.depth + 1,
+                        },
+                    });
+                }
+                // Up branch: x >= ceil
+                if ceil <= node_hi + 1e-9 {
+                    let mut changes = node.bound_changes.clone();
+                    changes.push((v, ceil, node_hi));
+                    children.push(HeapEntry {
+                        key: node_bound,
+                        node: Node {
+                            bound_changes: changes,
+                            parent_bound: node_bound,
+                            depth: node.depth + 1,
+                        },
+                    });
+                }
+                // Depth-first diving order (LIFO: the child pushed last is
+                // explored first). For 0-1 variables the up branch (fix to 1)
+                // is explored first — it immediately decides "one-of" groups
+                // such as the segment-direction variables and relaxes big-M
+                // disjunctions, which reaches integer-feasible leaves much
+                // faster than rounding would. For general integers the child
+                // matching the LP rounding is explored first.
+                let is_binary = (node_hi - node_lo - 1.0).abs() < 1e-9 && node_lo.abs() < 1e-9;
+                let explore_up_first = if is_binary { true } else { val - floor > 0.5 };
+                if children.len() == 2 && !explore_up_first {
+                    children.swap(0, 1);
+                }
+                stack.extend(children);
+            }
+        }
+
+        // Early stop on gap.
+        if let Some((_, inc_obj)) = &incumbent {
+            let open_bound = stack
+                .iter()
+                .map(|e| e.key)
+                .fold(f64::INFINITY, f64::min);
+            let gap = relative_gap(*inc_obj, open_bound);
+            if gap <= options.mip_gap {
+                best_open_bound = open_bound;
+                break;
+            }
+        }
+    }
+
+    if root_unbounded {
+        return Err(MilpError::Unbounded);
+    }
+
+    match incumbent {
+        Some((values, min_obj)) => {
+            let open_bound = if stack.is_empty() {
+                min_obj
+            } else {
+                stack
+                    .iter()
+                    .map(|e| e.key)
+                    .fold(best_open_bound, f64::min)
+            };
+            let gap = relative_gap(min_obj, open_bound);
+            let status = if stack.is_empty() || gap <= options.mip_gap {
+                SolveStatus::Optimal
+            } else {
+                SolveStatus::Feasible
+            };
+            Ok(MilpSolution {
+                objective: min_obj * sense_sign,
+                values,
+                status,
+                nodes: nodes_explored,
+                gap: gap.max(0.0),
+            })
+        }
+        None => {
+            if root_infeasible || (stack.is_empty() && !limit_hit) {
+                Err(MilpError::Infeasible)
+            } else {
+                Err(MilpError::LimitReached)
+            }
+        }
+    }
+}
+
+/// Relative gap between the incumbent and the best open bound (both in
+/// minimised form).
+fn relative_gap(incumbent: f64, open_bound: f64) -> f64 {
+    if !open_bound.is_finite() {
+        return 0.0;
+    }
+    (incumbent - open_bound).max(0.0) / incumbent.abs().max(1.0)
+}
+
+fn round_integers(values: &[f64], integer_vars: &[usize]) -> Vec<f64> {
+    let mut out = values.to_vec();
+    for &v in integer_vars {
+        out[v] = out[v].round();
+    }
+    out
+}
+
+fn evaluate_objective(model: &Model, values: &[f64]) -> f64 {
+    model
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v.objective * values[i])
+        .sum()
+}
+
+/// Fix all integer variables at their rounded LP values and re-solve the LP
+/// for the continuous variables; returns a feasible point if one exists and
+/// satisfies every model constraint.
+fn rounding_heuristic(
+    model: &Model,
+    base_lp: &rfic_lp::LinearProgram,
+    node: &Node,
+    lp_values: &[f64],
+    integer_vars: &[usize],
+    sense_sign: f64,
+) -> Option<(Vec<f64>, f64)> {
+    let mut lp = base_lp.clone();
+    for &(var, lo, hi) in &node.bound_changes {
+        lp.set_bounds(var, lo, hi);
+    }
+    for &v in integer_vars {
+        let r = lp_values[v].round();
+        let (lo, hi) = {
+            let (l, h) = model.var_bounds(crate::VarId(v));
+            (l, h)
+        };
+        if r < lo - 1e-9 || r > hi + 1e-9 {
+            return None;
+        }
+        lp.set_bounds(v, r, r);
+    }
+    let sol = lp.solve().ok()?;
+    let values = round_integers(&sol.values, integer_vars);
+    if !model.violated_constraints(&values, 1e-6).is_empty() {
+        return None;
+    }
+    let obj = evaluate_objective(model, &values) * sense_sign;
+    Some((values, obj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Model};
+
+    #[test]
+    fn pure_lp_model_is_solved_directly() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 4.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 4.0, 2.0);
+        m.add_le(LinExpr::from(x) + y, 6.0);
+        let s = m.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 10.0).abs() < 1e-6);
+        assert!((s.value(y) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_is_solved_to_optimality() {
+        // Classic 0-1 knapsack, optimum 220 (items 2 and 3).
+        let mut m = Model::new(Sense::Maximize);
+        let weights = [10.0, 20.0, 30.0];
+        let values = [60.0, 100.0, 120.0];
+        let xs: Vec<_> = (0..3)
+            .map(|i| m.add_binary(format!("x{i}"), values[i]))
+            .collect();
+        let mut cap = LinExpr::new();
+        for (x, w) in xs.iter().zip(weights) {
+            cap.add_term(*x, w);
+        }
+        m.add_le(cap, 50.0);
+        let s = m.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 220.0).abs() < 1e-6);
+        assert!(!s.binary_value(xs[0]));
+        assert!(s.binary_value(xs[1]));
+        assert!(s.binary_value(xs[2]));
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x s.t. 2x <= 7, x integer -> 3 (LP relaxation would give 3.5).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer("x", 0.0, 10.0, 1.0);
+        m.add_le(LinExpr::from((x, 2.0)), 7.0);
+        let s = m.solve(&SolveOptions::default()).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-9);
+        assert!((s.value(x) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_binary_system() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a", 1.0);
+        let b = m.add_binary("b", 1.0);
+        m.add_ge(LinExpr::from(a) + b, 3.0);
+        assert_eq!(m.solve(&SolveOptions::default()), Err(MilpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_relaxation_is_reported() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY, 1.0);
+        let b = m.add_binary("b", 0.0);
+        m.add_ge(LinExpr::from(x) + b, 1.0);
+        assert_eq!(m.solve(&SolveOptions::default()), Err(MilpError::Unbounded));
+    }
+
+    #[test]
+    fn equality_constrained_binaries() {
+        // Choose exactly 2 of 4 items minimising cost.
+        let mut m = Model::new(Sense::Minimize);
+        let costs = [5.0, 1.0, 3.0, 2.0];
+        let xs: Vec<_> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| m.add_binary(format!("x{i}"), c))
+            .collect();
+        m.add_eq(LinExpr::sum(xs.iter().copied()), 2.0);
+        let s = m.solve(&SolveOptions::default()).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-9);
+        assert!(s.binary_value(xs[1]) && s.binary_value(xs[3]));
+    }
+
+    #[test]
+    fn mixed_integer_continuous_interaction() {
+        // min 3b + x  s.t. x >= 2 - 10b, x >= 0, b binary.
+        // b = 0 -> x = 2 (cost 2); b = 1 -> x = 0 (cost 3). Optimum 2.
+        let mut m = Model::new(Sense::Minimize);
+        let b = m.add_binary("b", 3.0);
+        let x = m.add_continuous("x", 0.0, 100.0, 1.0);
+        m.add_ge(LinExpr::from(x) + (b, 10.0), 2.0);
+        let s = m.solve(&SolveOptions::default()).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-9);
+        assert!(!s.binary_value(b));
+    }
+
+    #[test]
+    fn node_limit_without_solution_reports_limit() {
+        let mut m = Model::new(Sense::Minimize);
+        // A small but non-trivial model; a node limit of zero cannot find anything.
+        let a = m.add_binary("a", 1.0);
+        let b = m.add_binary("b", 1.0);
+        m.add_ge(LinExpr::from(a) + b, 1.0);
+        let opts = SolveOptions {
+            node_limit: 0,
+            ..SolveOptions::default()
+        };
+        assert_eq!(m.solve(&opts), Err(MilpError::LimitReached));
+    }
+
+    #[test]
+    fn maximisation_and_minimisation_agree() {
+        // max  x + y == -(min -x -y)
+        let build = |sense| {
+            let mut m = Model::new(sense);
+            let x = m.add_integer("x", 0.0, 5.0, if sense == Sense::Maximize { 1.0 } else { -1.0 });
+            let y = m.add_integer("y", 0.0, 5.0, if sense == Sense::Maximize { 1.0 } else { -1.0 });
+            m.add_le(LinExpr::from((x, 2.0)) + (y, 3.0), 12.0);
+            m
+        };
+        let max = build(Sense::Maximize).solve(&SolveOptions::default()).unwrap();
+        let min = build(Sense::Minimize).solve(&SolveOptions::default()).unwrap();
+        assert!((max.objective + min.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_and_node_counters_are_reported() {
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"), (i + 1) as f64)).collect();
+        m.add_le(LinExpr::sum(xs.iter().copied()), 3.0);
+        let s = m.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(s.nodes >= 1);
+        assert!(s.gap <= 1e-6);
+        assert!((s.objective - 15.0).abs() < 1e-9, "pick the three most valuable items");
+    }
+}

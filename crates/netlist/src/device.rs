@@ -1,0 +1,302 @@
+//! Devices, pads and pins.
+
+use std::fmt;
+
+use rfic_geom::{Point, Rect, Rotation};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a device (or pad) within a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// The physical kind of a device.
+///
+/// The layout engine treats all non-pad kinds identically (rectangular
+/// blocks with pins); the kind is kept for reporting and for the EM
+/// evaluation substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// RF/mm-wave transistor (or cascode stack).
+    Transistor,
+    /// MIM/MOM capacitor.
+    Capacitor,
+    /// Spiral inductor.
+    Inductor,
+    /// Poly/diffusion resistor.
+    Resistor,
+    /// Bond pad — must be placed on the boundary of the layout area.
+    Pad,
+    /// Any other rectangular block (dummy fill, decoupling bank, ...).
+    Other,
+}
+
+impl DeviceKind {
+    /// `true` for [`DeviceKind::Pad`].
+    #[inline]
+    pub fn is_pad(self) -> bool {
+        matches!(self, DeviceKind::Pad)
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceKind::Transistor => "transistor",
+            DeviceKind::Capacitor => "capacitor",
+            DeviceKind::Inductor => "inductor",
+            DeviceKind::Resistor => "resistor",
+            DeviceKind::Pad => "pad",
+            DeviceKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A pin on a device: a named connection point with an offset from the
+/// device centre (the `(x_t, y_t)` of equation (14) in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pin {
+    /// Pin name (unique within its device).
+    pub name: String,
+    /// Offset of the pin from the device centre in the unrotated frame, µm.
+    pub offset: Point,
+    /// Optional equivalence group: pins sharing a group are electrically
+    /// interchangeable and the router may swap them (paper, Section 4.3).
+    pub group: Option<u32>,
+}
+
+impl Pin {
+    /// Creates a pin with no equivalence group.
+    pub fn new(name: impl Into<String>, offset: Point) -> Pin {
+        Pin {
+            name: name.into(),
+            offset,
+            group: None,
+        }
+    }
+
+    /// Creates a pin belonging to an equivalence group.
+    pub fn grouped(name: impl Into<String>, offset: Point, group: u32) -> Pin {
+        Pin {
+            name: name.into(),
+            offset,
+            group: Some(group),
+        }
+    }
+}
+
+/// A rectangular device or bond pad of the circuit.
+///
+/// Dimensions are those of the unrotated footprint; the final layout stores
+/// a per-device [`Rotation`].
+///
+/// # Examples
+///
+/// ```
+/// use rfic_netlist::{Device, DeviceId, DeviceKind, Pin};
+/// use rfic_geom::{Point, Rotation};
+///
+/// let d = Device::new(DeviceId(0), "M1", DeviceKind::Transistor, 40.0, 30.0,
+///                     vec![Pin::new("g", Point::new(-20.0, 0.0))]);
+/// assert_eq!(d.footprint(Rotation::R90), (30.0, 40.0));
+/// assert_eq!(d.pin_position(Point::new(100.0, 100.0), Rotation::R0, 0),
+///            Some(Point::new(80.0, 100.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Identifier within the netlist.
+    pub id: DeviceId,
+    /// Instance name.
+    pub name: String,
+    /// Physical kind.
+    pub kind: DeviceKind,
+    /// Unrotated width (x extent), µm.
+    pub width: f64,
+    /// Unrotated height (y extent), µm.
+    pub height: f64,
+    /// Connection pins.
+    pub pins: Vec<Pin>,
+    /// Whether the Phase-3 refinement may rotate this device.
+    pub rotatable: bool,
+}
+
+impl Device {
+    /// Creates a device.
+    pub fn new(
+        id: DeviceId,
+        name: impl Into<String>,
+        kind: DeviceKind,
+        width: f64,
+        height: f64,
+        pins: Vec<Pin>,
+    ) -> Device {
+        Device {
+            id,
+            name: name.into(),
+            kind,
+            width,
+            height,
+            pins,
+            rotatable: !kind.is_pad(),
+        }
+    }
+
+    /// Creates a square bond pad with a single centre pin.
+    pub fn pad(id: DeviceId, name: impl Into<String>, size: f64) -> Device {
+        Device {
+            id,
+            name: name.into(),
+            kind: DeviceKind::Pad,
+            width: size,
+            height: size,
+            pins: vec![Pin::new("pad", Point::ORIGIN)],
+            rotatable: false,
+        }
+    }
+
+    /// `true` if this device is a bond pad.
+    #[inline]
+    pub fn is_pad(&self) -> bool {
+        self.kind.is_pad()
+    }
+
+    /// Footprint (width, height) after applying `rotation`.
+    #[inline]
+    pub fn footprint(&self, rotation: Rotation) -> (f64, f64) {
+        rotation.apply_dims(self.width, self.height)
+    }
+
+    /// Outline rectangle when the device centre is at `center` with the
+    /// given rotation.
+    pub fn outline(&self, center: Point, rotation: Rotation) -> Rect {
+        let (w, h) = self.footprint(rotation);
+        Rect::centered(center, w, h)
+    }
+
+    /// Absolute position of pin `pin_index` for a device centred at
+    /// `center` with the given rotation, or `None` if the index is out of
+    /// range.
+    pub fn pin_position(&self, center: Point, rotation: Rotation, pin_index: usize) -> Option<Point> {
+        self.pins
+            .get(pin_index)
+            .map(|pin| center + rotation.apply(pin.offset))
+    }
+
+    /// Indices of pins that share an equivalence group with `pin_index`
+    /// (including itself). Pins without a group are only equivalent to
+    /// themselves.
+    pub fn equivalent_pins(&self, pin_index: usize) -> Vec<usize> {
+        let Some(pin) = self.pins.get(pin_index) else {
+            return Vec::new();
+        };
+        match pin.group {
+            None => vec![pin_index],
+            Some(g) => self
+                .pins
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.group == Some(g))
+                .map(|(i, _)| i)
+                .collect(),
+        }
+    }
+
+    /// Largest half-dimension of the unrotated footprint; used by the
+    /// blurred-device length correction of Phase 1 (Section 5.1).
+    pub fn blur_radius(&self) -> f64 {
+        (self.width / 2.0).max(self.height / 2.0)
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ({:.1}x{:.1} µm, {} pins)",
+            self.kind,
+            self.name,
+            self.width,
+            self.height,
+            self.pins.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_device() -> Device {
+        Device::new(
+            DeviceId(3),
+            "M1",
+            DeviceKind::Transistor,
+            40.0,
+            20.0,
+            vec![
+                Pin::new("g", Point::new(-20.0, 0.0)),
+                Pin::grouped("d", Point::new(20.0, 5.0), 1),
+                Pin::grouped("d2", Point::new(20.0, -5.0), 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn footprint_rotation() {
+        let d = sample_device();
+        assert_eq!(d.footprint(Rotation::R0), (40.0, 20.0));
+        assert_eq!(d.footprint(Rotation::R90), (20.0, 40.0));
+        assert_eq!(d.footprint(Rotation::R180), (40.0, 20.0));
+    }
+
+    #[test]
+    fn outline_and_pins_follow_rotation() {
+        let d = sample_device();
+        let c = Point::new(100.0, 50.0);
+        let o = d.outline(c, Rotation::R90);
+        assert_eq!(o.width(), 20.0);
+        assert_eq!(o.height(), 40.0);
+        assert_eq!(o.center(), c);
+        // Gate pin at -20 in x rotates to -20 in y... R90 maps (-20,0) -> (0,-20).
+        assert_eq!(d.pin_position(c, Rotation::R90, 0), Some(Point::new(100.0, 30.0)));
+        assert_eq!(d.pin_position(c, Rotation::R0, 0), Some(Point::new(80.0, 50.0)));
+        assert_eq!(d.pin_position(c, Rotation::R0, 9), None);
+    }
+
+    #[test]
+    fn pin_equivalence_groups() {
+        let d = sample_device();
+        assert_eq!(d.equivalent_pins(0), vec![0]);
+        assert_eq!(d.equivalent_pins(1), vec![1, 2]);
+        assert_eq!(d.equivalent_pins(2), vec![1, 2]);
+        assert!(d.equivalent_pins(7).is_empty());
+    }
+
+    #[test]
+    fn pads_are_square_and_not_rotatable() {
+        let p = Device::pad(DeviceId(0), "RF_IN", 60.0);
+        assert!(p.is_pad());
+        assert!(!p.rotatable);
+        assert_eq!(p.width, p.height);
+        assert_eq!(p.pins.len(), 1);
+        assert_eq!(p.pins[0].offset, Point::ORIGIN);
+    }
+
+    #[test]
+    fn blur_radius_is_half_max_dimension() {
+        assert_eq!(sample_device().blur_radius(), 20.0);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(sample_device().to_string().contains("M1"));
+        assert_eq!(DeviceId(4).to_string(), "D4");
+        assert_eq!(DeviceKind::Pad.to_string(), "pad");
+    }
+}

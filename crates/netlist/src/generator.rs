@@ -1,0 +1,706 @@
+//! Deterministic synthetic circuit generator with a known-feasible witness
+//! layout.
+//!
+//! The original benchmark circuits of the DAC 2016 paper (a 94 GHz LNA, a
+//! 60 GHz buffer and a 60 GHz LNA in a proprietary 90 nm CMOS process) are
+//! not publicly available. This module manufactures synthetic circuits with
+//! the *same shape*: the same number of microstrips, devices and pads, the
+//! same layout-area budgets and exact per-net length targets.
+//!
+//! Every generated circuit comes with a **witness layout**: a concrete
+//! placement and routing, built constructively inside the *smaller* of the
+//! two area settings, that
+//!
+//! * is planar (no microstrip crossings),
+//! * respects the `2t` spacing rule,
+//! * places all pads on the bottom or left boundary (so the same witness is
+//!   valid for the larger area setting as well), and
+//! * realises every target length exactly (the targets are *defined* as the
+//!   equivalent lengths of the witness routes).
+//!
+//! The witness plays two roles: it guarantees that the generated layout
+//! problem is feasible, and it doubles as the *manual-style* reference
+//! layout — a meandering, many-bend layout of the kind a human designer
+//! produces when hitting length targets by detouring (`rfic-baseline`
+//! re-exports it as the "Manual" flow of Table 1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfic_geom::{equivalent_length, Point, Polyline, Rotation};
+use serde::{Deserialize, Serialize};
+
+use crate::device::{Device, DeviceId, DeviceKind, Pin};
+use crate::microstrip::{Microstrip, MicrostripId, Terminal};
+use crate::netlist::{Netlist, NetlistBuilder, NetlistError};
+use crate::tech::Technology;
+
+/// Specification of a synthetic circuit to generate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitSpec {
+    /// Circuit name.
+    pub name: String,
+    /// Number of devices excluding pads (Table 1's "# of devices").
+    pub num_devices: usize,
+    /// Number of microstrip nets (Table 1's "# of microstrips").
+    pub num_microstrips: usize,
+    /// Number of bond pads.
+    pub num_pads: usize,
+    /// Layout area of the primary setting `(width, height)` in µm.
+    pub area: (f64, f64),
+    /// Layout area of the reduced "stress" setting, if any. The witness is
+    /// constructed inside the smaller of the two settings so that both are
+    /// guaranteed feasible.
+    pub reduced_area: Option<(f64, f64)>,
+    /// Fraction of microstrips whose target length includes a meander
+    /// detour (this is what forces bends and makes bend minimisation
+    /// non-trivial). Clamped to the number of detour-capable strips.
+    pub detour_fraction: f64,
+    /// Number of strips that receive a *double* meander (6 bends in the
+    /// witness instead of 4), emulating the most convoluted nets of a
+    /// manual layout.
+    pub double_detours: usize,
+    /// Technology rules.
+    pub tech: Technology,
+    /// RNG seed; the same spec always generates the same circuit.
+    pub seed: u64,
+}
+
+impl CircuitSpec {
+    /// A small default spec useful for tests and examples.
+    pub fn small(name: impl Into<String>, seed: u64) -> CircuitSpec {
+        CircuitSpec {
+            name: name.into(),
+            num_devices: 4,
+            num_microstrips: 5,
+            num_pads: 2,
+            area: (420.0, 360.0),
+            reduced_area: None,
+            detour_fraction: 0.4,
+            double_detours: 0,
+            tech: Technology::cmos90(),
+            seed,
+        }
+    }
+}
+
+/// A concrete feasible layout used as the feasibility witness and as the
+/// manual-style baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Witness {
+    /// Device centre and rotation for every device and pad.
+    pub placements: BTreeMap<DeviceId, (Point, Rotation)>,
+    /// Chain-point polyline for every microstrip.
+    pub routes: BTreeMap<MicrostripId, Polyline>,
+}
+
+impl Witness {
+    /// Total number of bends over all routes.
+    pub fn total_bends(&self) -> usize {
+        self.routes.values().map(|r| r.bend_count()).sum()
+    }
+
+    /// Maximum number of bends on any single route.
+    pub fn max_bends(&self) -> usize {
+        self.routes.values().map(|r| r.bend_count()).max().unwrap_or(0)
+    }
+}
+
+/// A generated circuit: the netlist handed to layout tools plus the hidden
+/// witness layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedCircuit {
+    /// The layout-generation problem instance.
+    pub netlist: Netlist,
+    /// The feasibility witness / manual-style reference layout.
+    pub witness: Witness,
+}
+
+/// Error produced when a [`CircuitSpec`] cannot be realised.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenerateError {
+    /// More connected terminals are required than devices are available:
+    /// `num_devices + num_pads` must be at least `num_microstrips + 1`.
+    NotEnoughDevices {
+        /// Devices requested.
+        devices: usize,
+        /// Connected nodes required by the microstrip tree.
+        required: usize,
+    },
+    /// Fewer pads than 1 or more pads than placeable boundary positions.
+    BadPadCount(usize),
+    /// The area is too small to hold the requested devices with spacing.
+    AreaTooSmall {
+        /// Area that was requested.
+        area: (f64, f64),
+    },
+    /// The assembled netlist failed validation (generator bug).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::NotEnoughDevices { devices, required } => write!(
+                f,
+                "spec needs at least {required} connected devices but only {devices} are available"
+            ),
+            GenerateError::BadPadCount(p) => write!(f, "unsupported pad count {p}"),
+            GenerateError::AreaTooSmall { area } => {
+                write!(f, "layout area {:.0}x{:.0} too small for the requested circuit", area.0, area.1)
+            }
+            GenerateError::Netlist(e) => write!(f, "generated netlist invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+impl From<NetlistError> for GenerateError {
+    fn from(e: NetlistError) -> Self {
+        GenerateError::Netlist(e)
+    }
+}
+
+/// Generates a synthetic circuit from a specification.
+///
+/// # Errors
+///
+/// Returns a [`GenerateError`] if the spec is structurally impossible (too
+/// few devices for the requested connectivity, area too small, ...).
+///
+/// # Examples
+///
+/// ```
+/// use rfic_netlist::generator::{generate, CircuitSpec};
+///
+/// let circuit = generate(&CircuitSpec::small("demo", 7))?;
+/// assert_eq!(circuit.netlist.microstrips().len(), 5);
+/// // Every target length is realised exactly by the witness layout.
+/// for strip in circuit.netlist.microstrips() {
+///     let route = &circuit.witness.routes[&strip.id];
+///     let eq = rfic_geom::equivalent_length(route, circuit.netlist.tech().bend_delta);
+///     assert!((eq - strip.target_length).abs() < 1e-6);
+/// }
+/// # Ok::<(), rfic_netlist::generator::GenerateError>(())
+/// ```
+pub fn generate(spec: &CircuitSpec) -> Result<GeneratedCircuit, GenerateError> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let tech = spec.tech.clone();
+    let spacing = tech.spacing();
+    let sw = tech.strip_width;
+
+    // The witness is built inside the smaller of the two area settings.
+    let witness_area = match spec.reduced_area {
+        Some((rw, rh)) => (rw.min(spec.area.0), rh.min(spec.area.1)),
+        None => spec.area,
+    };
+
+    // --- connectivity structure -------------------------------------------------
+    // A tree with `num_microstrips` edges spans `num_microstrips + 1` nodes, of
+    // which `num_pads` are pads; the rest are "connected" devices. Remaining
+    // devices are unconnected filler blocks (decoupling banks, dummies).
+    let tree_nodes = spec.num_microstrips + 1;
+    if spec.num_pads == 0 || spec.num_pads >= tree_nodes {
+        return Err(GenerateError::BadPadCount(spec.num_pads));
+    }
+    let connected = tree_nodes - spec.num_pads;
+    if connected > spec.num_devices {
+        return Err(GenerateError::NotEnoughDevices {
+            devices: spec.num_devices,
+            required: connected,
+        });
+    }
+    let cascade_strips = connected - 1;
+    let pad_strips = spec.num_microstrips - cascade_strips;
+    debug_assert_eq!(pad_strips, spec.num_pads);
+
+    // --- grid geometry ----------------------------------------------------------
+    let margin = tech.pad_size + spacing + sw;
+    let usable_w = witness_area.0 - 2.0 * margin;
+    let usable_h = witness_area.1 - 2.0 * margin;
+    if usable_w < 3.0 * spacing || usable_h < 3.0 * spacing {
+        return Err(GenerateError::AreaTooSmall { area: witness_area });
+    }
+    let n = spec.num_devices.max(1);
+    let mut cols = ((n as f64 * usable_w / usable_h).sqrt().ceil() as usize).max(1);
+    let mut rows = n.div_ceil(cols);
+    // Re-balance so both dimensions fit comfortably.
+    while cols > 1 && rows * cols >= n + cols {
+        cols -= 1;
+        rows = n.div_ceil(cols);
+    }
+    let cell_w = usable_w / cols as f64;
+    let cell_h = usable_h / rows as f64;
+    let max_dev = (cell_w.min(cell_h) - 2.0 * spacing - 2.0 * sw - 10.0).max(8.0);
+    if max_dev < 8.0 {
+        return Err(GenerateError::AreaTooSmall { area: witness_area });
+    }
+
+    let cell_center = |row: usize, col: usize| -> Point {
+        Point::new(
+            margin + (col as f64 + 0.5) * cell_w,
+            margin + (row as f64 + 0.5) * cell_h,
+        )
+    };
+    // Snake order over grid cells.
+    let snake: Vec<(usize, usize)> = (0..rows)
+        .flat_map(|r| {
+            let cs: Vec<usize> = if r % 2 == 0 {
+                (0..cols).collect()
+            } else {
+                (0..cols).rev().collect()
+            };
+            cs.into_iter().map(move |c| (r, c))
+        })
+        .collect();
+
+    // --- devices ----------------------------------------------------------------
+    let mut builder = NetlistBuilder::new(spec.name.clone(), tech.clone(), spec.area.0, spec.area.1);
+    let mut placements: BTreeMap<DeviceId, (Point, Rotation)> = BTreeMap::new();
+    let kinds = [
+        DeviceKind::Transistor,
+        DeviceKind::Capacitor,
+        DeviceKind::Inductor,
+        DeviceKind::Resistor,
+    ];
+    let mut device_ids: Vec<DeviceId> = Vec::with_capacity(spec.num_devices);
+    for i in 0..spec.num_devices {
+        let w = rng.gen_range(0.55 * max_dev..=0.95 * max_dev);
+        let h = rng.gen_range(0.55 * max_dev..=0.95 * max_dev);
+        let kind = if i < connected {
+            kinds[i % kinds.len()]
+        } else {
+            DeviceKind::Other
+        };
+        let pins = vec![
+            Pin::new("w", Point::new(-w / 2.0, 0.0)),
+            Pin::new("e", Point::new(w / 2.0, 0.0)),
+            Pin::new("s", Point::new(0.0, -h / 2.0)),
+            Pin::new("n", Point::new(0.0, h / 2.0)),
+        ];
+        let id = builder.add_device_raw(Device::new(
+            DeviceId(0),
+            format!("{}{}", kind_prefix(kind), i),
+            kind,
+            w,
+            h,
+            pins,
+        ));
+        device_ids.push(id);
+        let (r, c) = snake[i];
+        placements.insert(id, (cell_center(r, c), Rotation::R0));
+    }
+
+    // --- cascade strips ---------------------------------------------------------
+    // Pin indices: 0 = west, 1 = east, 2 = south, 3 = north.
+    const W: usize = 0;
+    const E: usize = 1;
+    const S: usize = 2;
+    const N: usize = 3;
+
+    let dev = |builder: &NetlistBuilder, id: DeviceId| -> Device {
+        // Builder keeps devices in insertion order with ids equal to index.
+        builderless_device(builder, id)
+    };
+
+    // Decide which same-row cascade strips receive a detour.
+    let mut detour_capable: Vec<usize> = Vec::new();
+    for i in 0..cascade_strips {
+        let (r1, _) = snake[i];
+        let (r2, _) = snake[i + 1];
+        if r1 == r2 {
+            detour_capable.push(i);
+        }
+    }
+    let mut wanted_detours = ((spec.detour_fraction * spec.num_microstrips as f64).round() as usize)
+        .min(detour_capable.len());
+    let double_detours = spec.double_detours.min(wanted_detours);
+
+    let mut routes: BTreeMap<MicrostripId, Polyline> = BTreeMap::new();
+    let mut strip_count = 0usize;
+
+    for i in 0..cascade_strips {
+        let a = device_ids[i];
+        let b = device_ids[i + 1];
+        let (ra, _ca) = snake[i];
+        let (rb, _cb) = snake[i + 1];
+        let da = dev(&builder, a);
+        let db = dev(&builder, b);
+        let (pa, _) = placements[&a];
+        let (pb, _) = placements[&b];
+
+        let (term_a, term_b, route) = if ra == rb {
+            // Same row: connect the facing east/west pins.
+            let (pin_a, pin_b) = if pb.x > pa.x { (E, W) } else { (W, E) };
+            let start = da.pin_position(pa, Rotation::R0, pin_a).expect("pin");
+            let end = db.pin_position(pb, Rotation::R0, pin_b).expect("pin");
+            let do_detour = detour_capable.contains(&i) && wanted_detours > 0;
+            let route = if do_detour {
+                wanted_detours -= 1;
+                let periods = if wanted_detours < double_detours { 2 } else { 1 };
+                let d_max = cell_h / 2.0 - spacing - sw;
+                let d = (0.7 * d_max).max(tech.min_segment_length);
+                meander_route(start, end, d, periods, spacing + sw)
+            } else {
+                Polyline::new(vec![start, end]).expect("straight cascade route")
+            };
+            (
+                Terminal::new(a, pin_a),
+                Terminal::new(b, pin_b),
+                route,
+            )
+        } else {
+            // Row transition: connect north pin of the lower device to the
+            // south pin of the upper device (same column by construction).
+            let start = da.pin_position(pa, Rotation::R0, N).expect("pin");
+            let end = db.pin_position(pb, Rotation::R0, S).expect("pin");
+            let route = Polyline::new(vec![start, end]).expect("straight transition route");
+            (Terminal::new(a, N), Terminal::new(b, S), route)
+        };
+
+        let target = equivalent_length(&route, tech.bend_delta);
+        let chain_points = route.num_chain_points().max(4);
+        let strip = Microstrip::new(
+            MicrostripId(0),
+            format!("TL{strip_count}"),
+            term_a,
+            term_b,
+            target,
+        )
+        .with_chain_points(chain_points);
+        let sid = builder.add_microstrip_raw(strip);
+        routes.insert(sid, route);
+        strip_count += 1;
+    }
+
+    // --- pads and pad strips ----------------------------------------------------
+    // Pads go on the bottom or left boundary so the witness stays valid for the
+    // larger area setting (both settings share the x = 0 and y = 0 edges).
+    let mut pad_hosts: Vec<(DeviceId, usize, PadSide)> = Vec::new();
+    // Bottom-row connected devices (south pin free). Skip hosts whose pad
+    // would violate the spacing rule against the previously selected pad.
+    let min_pad_pitch = tech.pad_size + spacing;
+    let mut last_pad_x = f64::NEG_INFINITY;
+    for i in 0..connected {
+        let (r, _) = snake[i];
+        if r == 0 {
+            let x = placements[&device_ids[i]].0.x;
+            if x - last_pad_x >= min_pad_pitch {
+                pad_hosts.push((device_ids[i], S, PadSide::Bottom));
+                last_pad_x = x;
+            }
+        }
+    }
+    // Left-column connected devices above the bottom row (west pin free).
+    let mut last_pad_y = f64::NEG_INFINITY;
+    for i in 0..connected {
+        let (r, c) = snake[i];
+        if c == 0 && r > 0 {
+            let y = placements[&device_ids[i]].0.y;
+            if y - last_pad_y >= min_pad_pitch {
+                pad_hosts.push((device_ids[i], W, PadSide::Left));
+                last_pad_y = y;
+            }
+        }
+    }
+    if pad_hosts.len() < spec.num_pads {
+        return Err(GenerateError::BadPadCount(spec.num_pads));
+    }
+    for p in 0..spec.num_pads {
+        let (host, pin, side) = pad_hosts[p];
+        let host_dev = dev(&builder, host);
+        let (host_center, _) = placements[&host];
+        let pin_pos = host_dev.pin_position(host_center, Rotation::R0, pin).expect("pin");
+        let pad_center = match side {
+            PadSide::Bottom => Point::new(pin_pos.x, 0.0),
+            PadSide::Left => Point::new(0.0, pin_pos.y),
+        };
+        let pad_id = builder.add_pad(format!("PAD{p}"), tech.pad_size);
+        placements.insert(pad_id, (pad_center, Rotation::R0));
+        let route = Polyline::new(vec![pin_pos, pad_center]).expect("straight pad route");
+        let target = equivalent_length(&route, tech.bend_delta);
+        let strip = Microstrip::new(
+            MicrostripId(0),
+            format!("TL{strip_count}"),
+            Terminal::new(host, pin),
+            Terminal::new(pad_id, 0),
+            target,
+        )
+        .with_chain_points(4);
+        let sid = builder.add_microstrip_raw(strip);
+        routes.insert(sid, route);
+        strip_count += 1;
+    }
+
+    let netlist = builder.build()?;
+    Ok(GeneratedCircuit {
+        netlist,
+        witness: Witness { placements, routes },
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PadSide {
+    Bottom,
+    Left,
+}
+
+fn kind_prefix(kind: DeviceKind) -> &'static str {
+    match kind {
+        DeviceKind::Transistor => "M",
+        DeviceKind::Capacitor => "C",
+        DeviceKind::Inductor => "L",
+        DeviceKind::Resistor => "R",
+        DeviceKind::Pad => "PAD",
+        DeviceKind::Other => "X",
+    }
+}
+
+/// Looks a device up inside a builder by id. The builder stores devices in
+/// insertion order, so the id doubles as the index.
+fn builderless_device(builder: &NetlistBuilder, id: DeviceId) -> Device {
+    // NetlistBuilder does not expose its device list mutably; clone the one we
+    // need through a temporary build-free accessor.
+    builder
+        .peek_device(id)
+        .expect("device id handed out by this builder")
+        .clone()
+}
+
+impl NetlistBuilder {
+    /// Internal accessor used by the generator: view a device that has
+    /// already been added.
+    pub(crate) fn peek_device(&self, id: DeviceId) -> Option<&Device> {
+        self.devices_slice().get(id.0)
+    }
+}
+
+/// Builds a horizontal meander route between two pins on the same y level.
+///
+/// One period rises by `d`, runs across, and comes back down (4 bends);
+/// `periods = 2` produces an up-then-down shape with 6 bends. The vertical
+/// legs are inset from the pins by `inset` so they keep clear of the device
+/// edges.
+fn meander_route(start: Point, end: Point, d: f64, periods: usize, inset: f64) -> Polyline {
+    let (a, b, flipped) = if start.x <= end.x {
+        (start, end, false)
+    } else {
+        (end, start, true)
+    };
+    let gap = b.x - a.x;
+    let inset = inset.min((gap - 1.0) / 2.0).max(0.0);
+    let x0 = a.x + inset;
+    let x1 = b.x - inset;
+    let y = a.y;
+    let mut pts = vec![a];
+    if periods == 0 || x1 - x0 < 1.0 {
+        pts.push(b);
+        let pl = Polyline::new(pts).expect("meander degenerate route");
+        return if flipped { reverse(pl) } else { pl };
+    }
+    let span = (x1 - x0) / periods as f64;
+    for k in 0..periods {
+        let xs = x0 + k as f64 * span;
+        let xe = x0 + (k + 1) as f64 * span;
+        // Alternate the meander above and below the pin axis so consecutive
+        // periods do not stack on the same side.
+        let dy = if k % 2 == 0 { d } else { -d };
+        pts.push(Point::new(xs, y));
+        pts.push(Point::new(xs, y + dy));
+        pts.push(Point::new(xe, y + dy));
+        pts.push(Point::new(xe, y));
+    }
+    pts.push(b);
+    let pl = Polyline::new(pts).expect("meander route is rectilinear").simplified();
+    if flipped {
+        reverse(pl)
+    } else {
+        pl
+    }
+}
+
+fn reverse(p: Polyline) -> Polyline {
+    let mut pts: Vec<Point> = p.points().to_vec();
+    pts.reverse();
+    Polyline::new(pts).expect("reversed polyline is still rectilinear")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_spec_generates_consistent_circuit() {
+        let spec = CircuitSpec::small("small", 3);
+        let c = generate(&spec).expect("generation succeeds");
+        let stats = c.netlist.stats();
+        assert_eq!(stats.num_microstrips, 5);
+        assert_eq!(stats.num_devices, 4);
+        assert_eq!(stats.num_pads, 2);
+        c.netlist.validate().expect("generated netlist is valid");
+        assert_eq!(c.witness.routes.len(), 5);
+        assert_eq!(c.witness.placements.len(), 4 + 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CircuitSpec::small("det", 11);
+        let a = generate(&spec).unwrap();
+        let b = generate(&spec).unwrap();
+        assert_eq!(a.netlist, b.netlist);
+        assert_eq!(a.witness, b.witness);
+        let other = generate(&CircuitSpec::small("det", 12)).unwrap();
+        assert_ne!(a.netlist, other.netlist);
+    }
+
+    #[test]
+    fn witness_realises_targets_exactly() {
+        let spec = CircuitSpec {
+            detour_fraction: 0.8,
+            double_detours: 1,
+            ..CircuitSpec::small("targets", 5)
+        };
+        let c = generate(&spec).unwrap();
+        let delta = c.netlist.tech().bend_delta;
+        for strip in c.netlist.microstrips() {
+            let route = &c.witness.routes[&strip.id];
+            let eq = equivalent_length(route, delta);
+            assert!(
+                (eq - strip.target_length).abs() < 1e-6,
+                "strip {} target {} vs witness {}",
+                strip.id,
+                strip.target_length,
+                eq
+            );
+        }
+        assert!(c.witness.total_bends() > 0, "detours create bends");
+    }
+
+    #[test]
+    fn witness_routes_start_and_end_on_pins() {
+        let c = generate(&CircuitSpec::small("pins", 9)).unwrap();
+        for strip in c.netlist.microstrips() {
+            let route = &c.witness.routes[&strip.id];
+            for (terminal, endpoint) in [(strip.start, route.start()), (strip.end, route.end())] {
+                let device = c.netlist.device(terminal.device).expect("device exists");
+                let (center, rot) = c.witness.placements[&terminal.device];
+                let pin = device.pin_position(center, rot, terminal.pin).expect("pin exists");
+                assert!(pin.approx_eq(endpoint), "endpoint {endpoint} != pin {pin}");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_stays_inside_the_area_and_pads_on_boundary() {
+        let c = generate(&CircuitSpec::small("area", 21)).unwrap();
+        let area = c.netlist.area_rect();
+        for route in c.witness.routes.values() {
+            assert!(!route.escapes(&area));
+        }
+        for pad in c.netlist.pads() {
+            let (center, _) = c.witness.placements[&pad.id];
+            assert!(
+                center.x.abs() < 1e-9 || center.y.abs() < 1e-9,
+                "pad centre {center} not on the bottom/left boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn pads_cannot_outnumber_tree_nodes() {
+        let mut spec = CircuitSpec::small("bad", 1);
+        spec.num_pads = spec.num_microstrips + 1;
+        assert!(matches!(generate(&spec), Err(GenerateError::BadPadCount(_))));
+        spec.num_pads = 0;
+        assert!(matches!(generate(&spec), Err(GenerateError::BadPadCount(0))));
+    }
+
+    #[test]
+    fn too_few_devices_is_reported() {
+        let mut spec = CircuitSpec::small("few", 1);
+        spec.num_devices = 2;
+        spec.num_microstrips = 8;
+        spec.num_pads = 2;
+        assert!(matches!(
+            generate(&spec),
+            Err(GenerateError::NotEnoughDevices { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_area_is_rejected() {
+        let mut spec = CircuitSpec::small("tiny", 1);
+        spec.area = (150.0, 150.0);
+        spec.reduced_area = None;
+        assert!(matches!(generate(&spec), Err(GenerateError::AreaTooSmall { .. })));
+    }
+
+    #[test]
+    fn meander_route_shape() {
+        let a = Point::new(0.0, 50.0);
+        let b = Point::new(100.0, 50.0);
+        let m = meander_route(a, b, 20.0, 1, 10.0);
+        assert_eq!(m.start(), a);
+        assert_eq!(m.end(), b);
+        assert_eq!(m.bend_count(), 4);
+        assert!((m.geometric_length() - (100.0 + 40.0)).abs() < 1e-9);
+        let m2 = meander_route(a, b, 15.0, 2, 10.0);
+        assert_eq!(m2.bend_count(), 6);
+        assert!(m2.geometric_length() > m.geometric_length() - 40.0);
+        // Reversed endpoints produce the mirrored route.
+        let mr = meander_route(b, a, 20.0, 1, 10.0);
+        assert_eq!(mr.start(), b);
+        assert_eq!(mr.end(), a);
+        assert_eq!(mr.bend_count(), 4);
+    }
+
+    #[test]
+    fn witness_is_planar_and_respects_spacing() {
+        let c = generate(&CircuitSpec {
+            detour_fraction: 0.9,
+            double_detours: 1,
+            ..CircuitSpec::small("drc", 33)
+        })
+        .unwrap();
+        let tech = c.netlist.tech().clone();
+        // No two routes of different strips may cross.
+        let strips: Vec<_> = c.netlist.microstrips().to_vec();
+        for i in 0..strips.len() {
+            for j in (i + 1)..strips.len() {
+                let a = &c.witness.routes[&strips[i].id];
+                let b = &c.witness.routes[&strips[j].id];
+                let share_device = strips[i]
+                    .terminals()
+                    .iter()
+                    .any(|t| strips[j].touches(t.device));
+                if share_device {
+                    continue;
+                }
+                for sa in a.segments(tech.strip_width).unwrap() {
+                    for sb in b.segments(tech.strip_width).unwrap() {
+                        assert!(
+                            !sa.centerline_intersects(&sb),
+                            "{} and {} cross",
+                            strips[i].id,
+                            strips[j].id
+                        );
+                    }
+                }
+            }
+        }
+        // Devices do not overlap each other.
+        let devices: Vec<_> = c.netlist.devices().to_vec();
+        for i in 0..devices.len() {
+            for j in (i + 1)..devices.len() {
+                let (ca, ra) = c.witness.placements[&devices[i].id];
+                let (cb, rb) = c.witness.placements[&devices[j].id];
+                let oa = devices[i].outline(ca, ra);
+                let ob = devices[j].outline(cb, rb);
+                assert!(!oa.overlaps(&ob), "{} overlaps {}", devices[i].name, devices[j].name);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Circuit-level input model for RFIC layout generation.
+//!
+//! This crate describes everything the layout engine needs to know about a
+//! millimetre-wave RFIC *before* layout: the technology rules (ground-plane
+//! distance `t`, spacing, microstrip width, bend correction `δ`), the devices
+//! and pads with their dimensions and pin offsets, and the microstrip nets
+//! with their **exact target lengths** (Section 3 of the DAC 2016 paper:
+//! input items i–vii).
+//!
+//! It also ships the three synthetic benchmark circuits used to reproduce
+//! Table 1 and Figure 11 ([`benchmarks`]) and a deterministic random circuit
+//! generator ([`generator`]) that manufactures circuits with a known-feasible
+//! hidden layout, so that every generated instance is guaranteed to admit a
+//! planar, exact-length routing inside its area budget.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfic_netlist::{NetlistBuilder, Technology, DeviceKind};
+//! use rfic_geom::Point;
+//!
+//! let tech = Technology::cmos90();
+//! let mut b = NetlistBuilder::new("demo", tech, 400.0, 300.0);
+//! let amp = b.add_device("M1", DeviceKind::Transistor, 40.0, 30.0,
+//!                        vec![("g", Point::new(-20.0, 0.0)), ("d", Point::new(20.0, 0.0))]);
+//! let pad = b.add_pad("RF_IN", 60.0);
+//! b.connect("TL1", (pad, 0), (amp, 0), 150.0)?;
+//! let netlist = b.build()?;
+//! assert_eq!(netlist.microstrips().len(), 1);
+//! # Ok::<(), rfic_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod device;
+pub mod generator;
+mod microstrip;
+mod netlist;
+mod tech;
+
+pub use device::{Device, DeviceId, DeviceKind, Pin};
+pub use microstrip::{Microstrip, MicrostripId, Terminal};
+pub use netlist::{Netlist, NetlistBuilder, NetlistError, NetlistStats};
+pub use tech::Technology;

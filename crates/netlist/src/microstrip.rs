@@ -1,0 +1,195 @@
+//! Microstrip nets with exact target lengths.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceId;
+
+/// Identifier of a microstrip net within a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MicrostripId(pub usize);
+
+impl fmt::Display for MicrostripId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TL{}", self.0)
+    }
+}
+
+/// One end of a microstrip: a specific pin on a device or pad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Terminal {
+    /// Device (or pad) the microstrip connects to.
+    pub device: DeviceId,
+    /// Pin index on that device.
+    pub pin: usize,
+}
+
+impl Terminal {
+    /// Creates a terminal.
+    pub fn new(device: DeviceId, pin: usize) -> Terminal {
+        Terminal { device, pin }
+    }
+}
+
+impl From<(DeviceId, usize)> for Terminal {
+    fn from((device, pin): (DeviceId, usize)) -> Self {
+        Terminal { device, pin }
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.device, self.pin)
+    }
+}
+
+/// A microstrip transmission line of the circuit.
+///
+/// The electrical design fixes the **exact equivalent length** the routed
+/// line must have (`L_i` in equation (13) of the paper); the layout engine
+/// must realise precisely this length, planar and within spacing rules.
+///
+/// # Examples
+///
+/// ```
+/// use rfic_netlist::{Microstrip, MicrostripId, Terminal, DeviceId};
+///
+/// let tl = Microstrip::new(MicrostripId(0), "TL_in", Terminal::new(DeviceId(0), 0),
+///                          Terminal::new(DeviceId(1), 0), 230.0);
+/// assert_eq!(tl.target_length, 230.0);
+/// assert_eq!(tl.suggested_chain_points, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Microstrip {
+    /// Identifier within the netlist.
+    pub id: MicrostripId,
+    /// Net name.
+    pub name: String,
+    /// Starting terminal.
+    pub start: Terminal,
+    /// Ending terminal.
+    pub end: Terminal,
+    /// Exact equivalent length the routed line must have, in µm.
+    pub target_length: f64,
+    /// Optional per-net width override; `None` uses the technology width.
+    pub width_override: Option<f64>,
+    /// Initial number of chain points `n_i` the ILP model allocates for this
+    /// net (Phase 3 may insert or delete chain points).
+    pub suggested_chain_points: usize,
+}
+
+impl Microstrip {
+    /// Default number of chain points allocated per microstrip.
+    pub const DEFAULT_CHAIN_POINTS: usize = 4;
+
+    /// Creates a microstrip with the default chain-point budget.
+    pub fn new(
+        id: MicrostripId,
+        name: impl Into<String>,
+        start: Terminal,
+        end: Terminal,
+        target_length: f64,
+    ) -> Microstrip {
+        Microstrip {
+            id,
+            name: name.into(),
+            start,
+            end,
+            target_length,
+            width_override: None,
+            suggested_chain_points: Self::DEFAULT_CHAIN_POINTS,
+        }
+    }
+
+    /// Sets the initial chain-point budget (at least 2: the two endpoints).
+    pub fn with_chain_points(mut self, n: usize) -> Microstrip {
+        self.suggested_chain_points = n.max(2);
+        self
+    }
+
+    /// Sets a per-net width override.
+    pub fn with_width(mut self, width: f64) -> Microstrip {
+        self.width_override = Some(width);
+        self
+    }
+
+    /// Width of this strip given the technology default.
+    pub fn width(&self, default_width: f64) -> f64 {
+        self.width_override.unwrap_or(default_width)
+    }
+
+    /// The two terminals as an array.
+    pub fn terminals(&self) -> [Terminal; 2] {
+        [self.start, self.end]
+    }
+
+    /// `true` if this strip touches the given device.
+    pub fn touches(&self, device: DeviceId) -> bool {
+        self.start.device == device || self.end.device == device
+    }
+}
+
+impl fmt::Display for Microstrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {} -> {} (L={:.1} µm)",
+            self.id, self.name, self.start, self.end, self.target_length
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_helpers() {
+        let tl = Microstrip::new(
+            MicrostripId(2),
+            "TL2",
+            Terminal::new(DeviceId(0), 1),
+            Terminal::new(DeviceId(3), 0),
+            120.0,
+        )
+        .with_chain_points(1)
+        .with_width(8.0);
+        assert_eq!(tl.suggested_chain_points, 2, "clamped to the two endpoints");
+        assert_eq!(tl.width(10.0), 8.0);
+        assert_eq!(
+            Microstrip::new(
+                MicrostripId(0),
+                "t",
+                Terminal::new(DeviceId(0), 0),
+                Terminal::new(DeviceId(1), 0),
+                1.0
+            )
+            .width(10.0),
+            10.0
+        );
+    }
+
+    #[test]
+    fn terminals_and_touch() {
+        let tl = Microstrip::new(
+            MicrostripId(0),
+            "TL0",
+            Terminal::new(DeviceId(4), 0),
+            Terminal::new(DeviceId(7), 2),
+            50.0,
+        );
+        assert_eq!(tl.terminals(), [Terminal::new(DeviceId(4), 0), Terminal::new(DeviceId(7), 2)]);
+        assert!(tl.touches(DeviceId(4)));
+        assert!(tl.touches(DeviceId(7)));
+        assert!(!tl.touches(DeviceId(5)));
+    }
+
+    #[test]
+    fn terminal_conversions_and_display() {
+        let t: Terminal = (DeviceId(1), 3).into();
+        assert_eq!(t, Terminal::new(DeviceId(1), 3));
+        assert_eq!(t.to_string(), "D1.3");
+        assert_eq!(MicrostripId(9).to_string(), "TL9");
+    }
+}

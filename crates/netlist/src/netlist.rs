@@ -1,0 +1,537 @@
+//! The netlist container and its builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rfic_geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+use crate::device::{Device, DeviceId, DeviceKind, Pin};
+use crate::microstrip::{Microstrip, MicrostripId, Terminal};
+use crate::tech::Technology;
+
+/// A complete RFIC layout-generation problem instance: technology, layout
+/// area, devices/pads and microstrip nets with exact target lengths
+/// (the *input* of Section 3 in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    tech: Technology,
+    area_width: f64,
+    area_height: f64,
+    devices: Vec<Device>,
+    microstrips: Vec<Microstrip>,
+}
+
+/// Validation or lookup error for a [`Netlist`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// The layout area has a non-positive dimension.
+    InvalidArea {
+        /// Requested width in µm.
+        width: f64,
+        /// Requested height in µm.
+        height: f64,
+    },
+    /// A microstrip references a device that does not exist.
+    UnknownDevice(DeviceId),
+    /// A microstrip references a pin index that does not exist on its device.
+    UnknownPin {
+        /// Offending device.
+        device: DeviceId,
+        /// Offending pin index.
+        pin: usize,
+    },
+    /// A microstrip connects a terminal to itself.
+    SelfLoop(MicrostripId),
+    /// A microstrip target length is not positive and finite.
+    InvalidLength {
+        /// Offending microstrip.
+        microstrip: MicrostripId,
+        /// The invalid length value.
+        length: f64,
+    },
+    /// A device has a non-positive dimension.
+    InvalidDeviceSize(DeviceId),
+    /// Two microstrips are attached to exactly the same pin.
+    PinConflict {
+        /// The shared terminal.
+        terminal: Terminal,
+        /// The two conflicting strips.
+        microstrips: (MicrostripId, MicrostripId),
+    },
+    /// A device footprint cannot fit inside the layout area at all.
+    DeviceTooLarge(DeviceId),
+    /// A duplicated device name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::InvalidArea { width, height } => {
+                write!(f, "invalid layout area {width} x {height}")
+            }
+            NetlistError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            NetlistError::UnknownPin { device, pin } => {
+                write!(f, "device {device} has no pin {pin}")
+            }
+            NetlistError::SelfLoop(m) => write!(f, "microstrip {m} connects a pin to itself"),
+            NetlistError::InvalidLength { microstrip, length } => {
+                write!(f, "microstrip {microstrip} has invalid target length {length}")
+            }
+            NetlistError::InvalidDeviceSize(d) => write!(f, "device {d} has a non-positive dimension"),
+            NetlistError::PinConflict { terminal, microstrips } => write!(
+                f,
+                "pin {terminal} is used by both {} and {}",
+                microstrips.0, microstrips.1
+            ),
+            NetlistError::DeviceTooLarge(d) => {
+                write!(f, "device {d} does not fit inside the layout area")
+            }
+            NetlistError::DuplicateName(n) => write!(f, "duplicate device name {n}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Summary statistics of a netlist, as reported in Table 1 of the paper
+/// (`# of microstrips`, `# of devices`, area).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Number of microstrip nets.
+    pub num_microstrips: usize,
+    /// Number of devices excluding pads.
+    pub num_devices: usize,
+    /// Number of bond pads.
+    pub num_pads: usize,
+    /// Layout area width, µm.
+    pub area_width: f64,
+    /// Layout area height, µm.
+    pub area_height: f64,
+    /// Sum of all target lengths, µm.
+    pub total_target_length: f64,
+    /// Fraction of the layout area occupied by device footprints.
+    pub device_area_utilisation: f64,
+}
+
+impl Netlist {
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Technology rules.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Layout area dimensions `(L_h, L_v)` in µm.
+    pub fn area(&self) -> (f64, f64) {
+        (self.area_width, self.area_height)
+    }
+
+    /// Layout area as a rectangle with the origin at `(0, 0)`.
+    pub fn area_rect(&self) -> Rect {
+        Rect::from_origin_size(Point::ORIGIN, self.area_width, self.area_height)
+    }
+
+    /// All devices and pads.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// All microstrip nets.
+    pub fn microstrips(&self) -> &[Microstrip] {
+        &self.microstrips
+    }
+
+    /// Looks up a device by id.
+    pub fn device(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.get(id.0)
+    }
+
+    /// Looks up a microstrip by id.
+    pub fn microstrip(&self, id: MicrostripId) -> Option<&Microstrip> {
+        self.microstrips.get(id.0)
+    }
+
+    /// Iterator over pads only.
+    pub fn pads(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter().filter(|d| d.is_pad())
+    }
+
+    /// Iterator over non-pad devices only.
+    pub fn non_pad_devices(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter().filter(|d| !d.is_pad())
+    }
+
+    /// Microstrips attached to the given device.
+    pub fn microstrips_at(&self, device: DeviceId) -> Vec<&Microstrip> {
+        self.microstrips.iter().filter(|m| m.touches(device)).collect()
+    }
+
+    /// Width of a microstrip, falling back to the technology default.
+    pub fn strip_width(&self, id: MicrostripId) -> f64 {
+        self.microstrip(id)
+            .map(|m| m.width(self.tech.strip_width))
+            .unwrap_or(self.tech.strip_width)
+    }
+
+    /// Returns a copy of this netlist with a different layout area, used for
+    /// the "smaller area" stress settings of Table 1.
+    pub fn with_area(&self, width: f64, height: f64) -> Netlist {
+        let mut n = self.clone();
+        n.area_width = width;
+        n.area_height = height;
+        n
+    }
+
+    /// Summary statistics (the left columns of Table 1).
+    pub fn stats(&self) -> NetlistStats {
+        let num_pads = self.pads().count();
+        let device_area: f64 = self
+            .non_pad_devices()
+            .map(|d| d.width * d.height)
+            .sum::<f64>()
+            + self.pads().map(|d| d.width * d.height).sum::<f64>();
+        NetlistStats {
+            num_microstrips: self.microstrips.len(),
+            num_devices: self.devices.len() - num_pads,
+            num_pads,
+            area_width: self.area_width,
+            area_height: self.area_height,
+            total_target_length: self.microstrips.iter().map(|m| m.target_length).sum(),
+            device_area_utilisation: device_area / (self.area_width * self.area_height),
+        }
+    }
+
+    /// Validates structural consistency of the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; see [`NetlistError`] for the
+    /// complete catalogue of checks.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        if !(self.area_width > 0.0 && self.area_height > 0.0)
+            || !self.area_width.is_finite()
+            || !self.area_height.is_finite()
+        {
+            return Err(NetlistError::InvalidArea {
+                width: self.area_width,
+                height: self.area_height,
+            });
+        }
+        let mut names = HashMap::new();
+        for d in &self.devices {
+            if !(d.width > 0.0 && d.height > 0.0) {
+                return Err(NetlistError::InvalidDeviceSize(d.id));
+            }
+            if d.width > self.area_width && d.width > self.area_height {
+                return Err(NetlistError::DeviceTooLarge(d.id));
+            }
+            if d.height > self.area_height && d.height > self.area_width {
+                return Err(NetlistError::DeviceTooLarge(d.id));
+            }
+            if let Some(_prev) = names.insert(d.name.clone(), d.id) {
+                return Err(NetlistError::DuplicateName(d.name.clone()));
+            }
+        }
+        let mut pin_users: HashMap<Terminal, MicrostripId> = HashMap::new();
+        for m in &self.microstrips {
+            if !(m.target_length > 0.0) || !m.target_length.is_finite() {
+                return Err(NetlistError::InvalidLength {
+                    microstrip: m.id,
+                    length: m.target_length,
+                });
+            }
+            for t in m.terminals() {
+                let dev = self
+                    .device(t.device)
+                    .ok_or(NetlistError::UnknownDevice(t.device))?;
+                if t.pin >= dev.pins.len() {
+                    return Err(NetlistError::UnknownPin {
+                        device: t.device,
+                        pin: t.pin,
+                    });
+                }
+                if let Some(prev) = pin_users.insert(t, m.id) {
+                    if prev != m.id {
+                        return Err(NetlistError::PinConflict {
+                            terminal: t,
+                            microstrips: (prev, m.id),
+                        });
+                    }
+                }
+            }
+            if m.start == m.end {
+                return Err(NetlistError::SelfLoop(m.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "{}: {} strips, {} devices, {} pads, {:.0}x{:.0} µm",
+            self.name, s.num_microstrips, s.num_devices, s.num_pads, s.area_width, s.area_height
+        )
+    }
+}
+
+/// Incremental builder for [`Netlist`].
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    tech: Technology,
+    area_width: f64,
+    area_height: f64,
+    devices: Vec<Device>,
+    microstrips: Vec<Microstrip>,
+}
+
+impl NetlistBuilder {
+    /// Starts a netlist with the given name, technology and layout area.
+    pub fn new(name: impl Into<String>, tech: Technology, area_width: f64, area_height: f64) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            tech,
+            area_width,
+            area_height,
+            devices: Vec::new(),
+            microstrips: Vec::new(),
+        }
+    }
+
+    /// Adds a device with named pins given as `(name, offset)` pairs and
+    /// returns its id.
+    pub fn add_device(
+        &mut self,
+        name: impl Into<String>,
+        kind: DeviceKind,
+        width: f64,
+        height: f64,
+        pins: Vec<(&str, Point)>,
+    ) -> DeviceId {
+        let id = DeviceId(self.devices.len());
+        let pins = pins
+            .into_iter()
+            .map(|(n, off)| Pin::new(n, off))
+            .collect();
+        self.devices
+            .push(Device::new(id, name, kind, width, height, pins));
+        id
+    }
+
+    /// Adds a fully constructed device (e.g. with grouped pins) and returns
+    /// its id; the id stored inside `device` is overwritten.
+    pub fn add_device_raw(&mut self, mut device: Device) -> DeviceId {
+        let id = DeviceId(self.devices.len());
+        device.id = id;
+        self.devices.push(device);
+        id
+    }
+
+    /// Adds a square bond pad and returns its id.
+    pub fn add_pad(&mut self, name: impl Into<String>, size: f64) -> DeviceId {
+        let id = DeviceId(self.devices.len());
+        self.devices.push(Device::pad(id, name, size));
+        id
+    }
+
+    /// Connects two terminals with a microstrip of the given exact target
+    /// length and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownDevice`] or [`NetlistError::UnknownPin`]
+    /// if a terminal does not exist yet, so that wiring mistakes surface at
+    /// the call site rather than at [`NetlistBuilder::build`] time.
+    pub fn connect(
+        &mut self,
+        name: impl Into<String>,
+        start: impl Into<Terminal>,
+        end: impl Into<Terminal>,
+        target_length: f64,
+    ) -> Result<MicrostripId, NetlistError> {
+        let start = start.into();
+        let end = end.into();
+        for t in [start, end] {
+            let dev = self
+                .devices
+                .get(t.device.0)
+                .ok_or(NetlistError::UnknownDevice(t.device))?;
+            if t.pin >= dev.pins.len() {
+                return Err(NetlistError::UnknownPin {
+                    device: t.device,
+                    pin: t.pin,
+                });
+            }
+        }
+        let id = MicrostripId(self.microstrips.len());
+        self.microstrips
+            .push(Microstrip::new(id, name, start, end, target_length));
+        Ok(id)
+    }
+
+    /// Adds a fully constructed microstrip (e.g. with a custom chain-point
+    /// budget); the id stored inside is overwritten.
+    pub fn add_microstrip_raw(&mut self, mut strip: Microstrip) -> MicrostripId {
+        let id = MicrostripId(self.microstrips.len());
+        strip.id = id;
+        self.microstrips.push(strip);
+        id
+    }
+
+    /// Number of devices added so far.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Devices added so far, in insertion order (ids equal their index).
+    pub(crate) fn devices_slice(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Number of microstrips added so far.
+    pub fn num_microstrips(&self) -> usize {
+        self.microstrips.len()
+    }
+
+    /// Finalises and validates the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns any violation detected by [`Netlist::validate`].
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        let netlist = Netlist {
+            name: self.name,
+            tech: self.tech,
+            area_width: self.area_width,
+            area_height: self.area_height,
+            devices: self.devices,
+            microstrips: self.microstrips,
+        };
+        netlist.validate()?;
+        Ok(netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_device_builder() -> NetlistBuilder {
+        let mut b = NetlistBuilder::new("t", Technology::cmos90(), 500.0, 400.0);
+        b.add_device(
+            "M1",
+            DeviceKind::Transistor,
+            40.0,
+            30.0,
+            vec![("g", Point::new(-20.0, 0.0)), ("d", Point::new(20.0, 0.0))],
+        );
+        b.add_device(
+            "C1",
+            DeviceKind::Capacitor,
+            30.0,
+            30.0,
+            vec![("a", Point::new(0.0, 15.0)), ("b", Point::new(0.0, -15.0))],
+        );
+        b.add_pad("RF_IN", 60.0);
+        b
+    }
+
+    #[test]
+    fn build_valid_netlist() {
+        let mut b = two_device_builder();
+        b.connect("TL0", (DeviceId(2), 0), (DeviceId(0), 0), 150.0).unwrap();
+        b.connect("TL1", (DeviceId(0), 1), (DeviceId(1), 0), 120.0).unwrap();
+        let n = b.build().expect("valid netlist");
+        let s = n.stats();
+        assert_eq!(s.num_microstrips, 2);
+        assert_eq!(s.num_devices, 2);
+        assert_eq!(s.num_pads, 1);
+        assert_eq!(s.total_target_length, 270.0);
+        assert!(s.device_area_utilisation > 0.0 && s.device_area_utilisation < 1.0);
+        assert_eq!(n.microstrips_at(DeviceId(0)).len(), 2);
+        assert_eq!(n.microstrips_at(DeviceId(1)).len(), 1);
+        assert_eq!(n.strip_width(MicrostripId(0)), 10.0);
+        assert!(n.to_string().contains("2 strips"));
+    }
+
+    #[test]
+    fn connect_rejects_unknown_terminals() {
+        let mut b = two_device_builder();
+        assert!(matches!(
+            b.connect("x", (DeviceId(9), 0), (DeviceId(0), 0), 10.0),
+            Err(NetlistError::UnknownDevice(DeviceId(9)))
+        ));
+        assert!(matches!(
+            b.connect("x", (DeviceId(0), 7), (DeviceId(1), 0), 10.0),
+            Err(NetlistError::UnknownPin { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_self_loops_and_bad_lengths() {
+        let mut b = two_device_builder();
+        b.connect("TL0", (DeviceId(0), 0), (DeviceId(0), 0), 100.0).unwrap();
+        assert!(matches!(b.build(), Err(NetlistError::SelfLoop(_))));
+
+        let mut b = two_device_builder();
+        b.connect("TL0", (DeviceId(0), 0), (DeviceId(1), 0), -5.0).unwrap();
+        assert!(matches!(b.build(), Err(NetlistError::InvalidLength { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_pin_conflicts() {
+        let mut b = two_device_builder();
+        b.connect("TL0", (DeviceId(0), 0), (DeviceId(1), 0), 100.0).unwrap();
+        b.connect("TL1", (DeviceId(0), 0), (DeviceId(2), 0), 100.0).unwrap();
+        assert!(matches!(b.build(), Err(NetlistError::PinConflict { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_bad_area_and_duplicate_names() {
+        let b = NetlistBuilder::new("t", Technology::cmos90(), 0.0, 100.0);
+        assert!(matches!(b.build(), Err(NetlistError::InvalidArea { .. })));
+
+        let mut b = NetlistBuilder::new("t", Technology::cmos90(), 500.0, 400.0);
+        b.add_pad("P", 60.0);
+        b.add_pad("P", 60.0);
+        assert!(matches!(b.build(), Err(NetlistError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn validation_rejects_oversized_devices() {
+        let mut b = NetlistBuilder::new("t", Technology::cmos90(), 100.0, 100.0);
+        b.add_device("big", DeviceKind::Other, 200.0, 150.0, vec![]);
+        assert!(matches!(b.build(), Err(NetlistError::DeviceTooLarge(_))));
+    }
+
+    #[test]
+    fn with_area_keeps_everything_else() {
+        let mut b = two_device_builder();
+        b.connect("TL0", (DeviceId(0), 0), (DeviceId(1), 0), 100.0).unwrap();
+        let n = b.build().unwrap();
+        let smaller = n.with_area(450.0, 380.0);
+        assert_eq!(smaller.area(), (450.0, 380.0));
+        assert_eq!(smaller.microstrips().len(), n.microstrips().len());
+        assert_eq!(smaller.name(), n.name());
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = NetlistError::UnknownDevice(DeviceId(3));
+        assert!(e.to_string().contains("D3"));
+        let e = NetlistError::InvalidArea { width: 0.0, height: 5.0 };
+        assert!(e.to_string().contains("invalid layout area"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Building a custom RFIC layout problem from scratch with the netlist
+//! builder API and laying it out with P-ILP.
+//!
+//! Run with `cargo run --release --example custom_circuit`.
+
+use rfic_layout::core::{Pilp, PilpConfig};
+use rfic_layout::geom::Point;
+use rfic_layout::netlist::{DeviceKind, NetlistBuilder, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A single-stage 60 GHz amplifier cell in a 400 x 300 µm area.
+    let tech = Technology::cmos90();
+    let mut builder = NetlistBuilder::new("custom single-stage amplifier", tech, 400.0, 300.0);
+
+    let rf_in = builder.add_pad("RF_IN", 60.0);
+    let rf_out = builder.add_pad("RF_OUT", 60.0);
+    let m1 = builder.add_device(
+        "M1",
+        DeviceKind::Transistor,
+        36.0,
+        28.0,
+        vec![
+            ("gate", Point::new(-18.0, 0.0)),
+            ("drain", Point::new(18.0, 0.0)),
+            ("source", Point::new(0.0, -14.0)),
+        ],
+    );
+    let c_out = builder.add_device(
+        "C1",
+        DeviceKind::Capacitor,
+        24.0,
+        24.0,
+        vec![("a", Point::new(-12.0, 0.0)), ("b", Point::new(12.0, 0.0))],
+    );
+
+    // Exact microstrip lengths from the (hypothetical) circuit design.
+    builder.connect("TL_in", (rf_in, 0), (m1, 0), 170.0)?;
+    builder.connect("TL_inter", (m1, 1), (c_out, 0), 120.0)?;
+    builder.connect("TL_out", (c_out, 1), (rf_out, 0), 140.0)?;
+    let netlist = builder.build()?;
+    println!("{netlist}");
+
+    let result = Pilp::new(PilpConfig::fast()).run(&netlist)?;
+    println!("\n{}", result.report());
+    for strip in netlist.microstrips() {
+        let route = result.layout.route(strip.id).expect("routed");
+        println!(
+            "{}: target {:.1} µm, achieved {:.3} µm, {} bends, {} chain points",
+            strip.name,
+            strip.target_length,
+            result.layout.equivalent_length(&netlist, strip.id).unwrap_or(f64::NAN),
+            route.bend_count(),
+            route.num_chain_points(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! `rfic-layout` — concurrent device placement and fixed-length microstrip
+//! routing for millimetre-wave CMOS RFICs.
+//!
+//! This is the facade crate of the workspace reproducing the DAC 2016 paper
+//! *"Novel CMOS RFIC Layout Generation with Concurrent Device Placement and
+//! Fixed-Length Microstrip Routing"* (Tseng et al.). It re-exports the
+//! public API of every sub-crate:
+//!
+//! * [`geom`] — planar geometry (rectangles, rectilinear segments, bend
+//!   smoothing, equivalent-length model).
+//! * [`netlist`] — circuit model, technology rules and the synthetic
+//!   benchmark circuits of Table 1.
+//! * [`lp`] / [`milp`] — the linear-programming and branch-and-bound MILP
+//!   solver substrate (the stand-in for the commercial solver used by the
+//!   paper).
+//! * [`core`] — the paper's contribution: the concurrent placement/routing
+//!   ILP model and the progressive ILP (P-ILP) flow, plus DRC verification
+//!   and reporting.
+//! * [`em`] — thin-film microstrip transmission-line evaluation used to
+//!   reproduce the S-parameter comparison of Figure 11.
+//! * [`baseline`] — manual-style and sequential place-then-route baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rfic_layout::netlist::benchmarks;
+//! use rfic_layout::core::{Pilp, PilpConfig};
+//!
+//! // Generate the small demonstration circuit and lay it out.
+//! let circuit = benchmarks::tiny_circuit();
+//! let layout = Pilp::new(PilpConfig::fast()).run(&circuit.netlist)?;
+//! println!("total bends: {}", layout.report().total_bends);
+//! # Ok::<(), rfic_layout::core::PilpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use rfic_baseline as baseline;
+pub use rfic_core as core;
+pub use rfic_em as em;
+pub use rfic_geom as geom;
+pub use rfic_lp as lp;
+pub use rfic_milp as milp;
+pub use rfic_netlist as netlist;
