@@ -49,11 +49,7 @@ pub fn manual_layout(circuit: &GeneratedCircuit) -> Layout {
 /// effort.
 pub fn manual_report(circuit: &GeneratedCircuit, weeks: u32) -> LayoutReport {
     let layout = manual_layout(circuit);
-    LayoutReport::new(
-        &circuit.netlist,
-        &layout,
-        MANUAL_DESIGN_TIME * weeks.max(1),
-    )
+    LayoutReport::new(&circuit.netlist, &layout, MANUAL_DESIGN_TIME * weeks.max(1))
 }
 
 #[cfg(test)]

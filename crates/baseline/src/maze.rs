@@ -24,7 +24,10 @@ impl RoutingGrid {
     ///
     /// Panics if any argument is non-positive.
     pub fn new(width: f64, height: f64, pitch: f64) -> RoutingGrid {
-        assert!(width > 0.0 && height > 0.0 && pitch > 0.0, "invalid grid dimensions");
+        assert!(
+            width > 0.0 && height > 0.0 && pitch > 0.0,
+            "invalid grid dimensions"
+        );
         let cols = (width / pitch).ceil() as usize + 1;
         let rows = (height / pitch).ceil() as usize + 1;
         RoutingGrid {
@@ -53,8 +56,12 @@ impl RoutingGrid {
 
     /// Nearest grid cell to a point (clamped to the grid).
     pub fn snap(&self, p: Point) -> (usize, usize) {
-        let col = (p.x / self.pitch).round().clamp(0.0, (self.cols - 1) as f64) as usize;
-        let row = (p.y / self.pitch).round().clamp(0.0, (self.rows - 1) as f64) as usize;
+        let col = (p.x / self.pitch)
+            .round()
+            .clamp(0.0, (self.cols - 1) as f64) as usize;
+        let row = (p.y / self.pitch)
+            .round()
+            .clamp(0.0, (self.rows - 1) as f64) as usize;
         (col, row)
     }
 
@@ -183,7 +190,10 @@ mod tests {
     #[test]
     fn router_detours_around_an_obstacle() {
         let mut grid = RoutingGrid::new(200.0, 100.0, 5.0);
-        grid.block_rect(&Rect::from_corners(Point::new(90.0, 0.0), Point::new(110.0, 80.0)), 5.0);
+        grid.block_rect(
+            &Rect::from_corners(Point::new(90.0, 0.0), Point::new(110.0, 80.0)),
+            5.0,
+        );
         let route = grid
             .route(Point::new(10.0, 40.0), Point::new(190.0, 40.0))
             .expect("path exists");
@@ -202,8 +212,13 @@ mod tests {
     #[test]
     fn unroutable_when_fully_walled_off() {
         let mut grid = RoutingGrid::new(100.0, 100.0, 5.0);
-        grid.block_rect(&Rect::from_corners(Point::new(45.0, 0.0), Point::new(55.0, 100.0)), 5.0);
-        assert!(grid.route(Point::new(10.0, 50.0), Point::new(90.0, 50.0)).is_none());
+        grid.block_rect(
+            &Rect::from_corners(Point::new(45.0, 0.0), Point::new(55.0, 100.0)),
+            5.0,
+        );
+        assert!(grid
+            .route(Point::new(10.0, 50.0), Point::new(90.0, 50.0))
+            .is_none());
     }
 
     #[test]

@@ -135,7 +135,10 @@ mod tests {
                 assert!(row.pilp_total_bends < total);
                 assert!(row.manual_runtime.unwrap() > row.pilp_runtime);
             }
-            assert!(row.pilp_runtime < Duration::from_secs(30 * 60), "under half an hour");
+            assert!(
+                row.pilp_runtime < Duration::from_secs(30 * 60),
+                "under half an hour"
+            );
             assert!(row.area.0 > 0.0 && row.area.1 > 0.0);
         }
     }
@@ -143,7 +146,10 @@ mod tests {
     #[test]
     fn reduced_area_rows_have_no_manual_counterpart() {
         let rows = published_table1();
-        let reduced: Vec<_> = rows.iter().filter(|r| r.manual_total_bends.is_none()).collect();
+        let reduced: Vec<_> = rows
+            .iter()
+            .filter(|r| r.manual_total_bends.is_none())
+            .collect();
         assert_eq!(reduced.len(), 3);
     }
 

@@ -196,7 +196,10 @@ mod tests {
         for pad in netlist.pads() {
             let c = layout.placement(pad.id).unwrap().center;
             assert!(
-                c.x.abs() < 1e-9 || c.y.abs() < 1e-9 || (c.x - aw).abs() < 1e-9 || (c.y - ah).abs() < 1e-9,
+                c.x.abs() < 1e-9
+                    || c.y.abs() < 1e-9
+                    || (c.x - aw).abs() < 1e-9
+                    || (c.y - ah).abs() < 1e-9,
                 "pad at {c} should be on the boundary"
             );
         }

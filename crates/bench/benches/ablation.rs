@@ -17,7 +17,15 @@ fn witness_layout(circuit: &rfic_netlist::generator::GeneratedCircuit) -> Layout
             .witness
             .placements
             .iter()
-            .map(|(&id, &(p, r))| (id, Placement { center: p, rotation: r }))
+            .map(|(&id, &(p, r))| {
+                (
+                    id,
+                    Placement {
+                        center: p,
+                        rotation: r,
+                    },
+                )
+            })
             .collect(),
         routes: circuit.witness.routes.clone(),
     }

@@ -47,5 +47,10 @@ fn bench_frequency_grid(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_microstrip_model, bench_sweeps, bench_frequency_grid);
+criterion_group!(
+    benches,
+    bench_microstrip_model,
+    bench_sweeps,
+    bench_frequency_grid
+);
 criterion_main!(benches);

@@ -47,9 +47,73 @@ fn knapsack_model(items: usize) -> Model {
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_simplex");
     for (vars, rows) in [(20, 15), (60, 40), (120, 80)] {
-        group.bench_function(format!("dense_{vars}x{rows}"), |b| {
+        group.bench_function(format!("revised_{vars}x{rows}"), |b| {
             let lp = random_lp(vars, rows, 42);
             b.iter(|| lp.solve().expect("solvable"));
+        });
+        group.bench_function(format!("dense_oracle_{vars}x{rows}"), |b| {
+            let lp = random_lp(vars, rows, 42);
+            b.iter(|| lp.solve_dense().expect("solvable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_warm_resolve(c: &mut Criterion) {
+    // Warm vs cold re-solve after a branching-style bound change — the
+    // single most frequent operation of the whole layout flow.
+    let mut group = c.benchmark_group("lp_warm_resolve");
+    for (vars, rows) in [(20, 15), (60, 40), (120, 80)] {
+        let lp = random_lp(vars, rows, 42);
+        let (base, basis) = lp.solve_warm(None).expect("base solve");
+        // Tighten the most fractional variable to its floor (a B&B branch).
+        let (branch, _) = base
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, (v - v.round()).abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("vars");
+        let mut branched = lp.clone();
+        branched.set_bounds(branch, 0.0, base.values[branch].floor().max(0.0));
+
+        group.bench_function(format!("warm_{vars}x{rows}"), |b| {
+            b.iter(|| branched.solve_warm(Some(&basis)).expect("warm"));
+        });
+        group.bench_function(format!("cold_{vars}x{rows}"), |b| {
+            b.iter(|| branched.solve().expect("cold"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp_warm_vs_cold(c: &mut Criterion) {
+    // Warm-started B&B (nodes re-enter from the parent basis through the
+    // dual simplex) vs cold-starting every node LP, on the same knapsacks.
+    let mut group = c.benchmark_group("milp_warm_vs_cold");
+    for items in [10usize, 20, 30] {
+        let model = knapsack_model(items);
+        let warm_opts = SolveOptions::default();
+        let cold_opts = SolveOptions::default().cold();
+        // Identical optima are asserted here so the benchmark doubles as an
+        // equivalence check; the pivot counts are what the bench reports.
+        let warm = model.solve(&warm_opts).expect("warm");
+        let cold = model.solve(&cold_opts).expect("cold");
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "knapsack_{items}: warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        println!(
+            "bench-info: milp_warm_vs_cold/knapsack_{items}: simplex iterations warm {} vs cold {}",
+            warm.simplex_iterations, cold.simplex_iterations
+        );
+        group.bench_function(format!("warm_knapsack_{items}"), |b| {
+            b.iter(|| model.solve(&warm_opts).expect("solvable"));
+        });
+        group.bench_function(format!("cold_knapsack_{items}"), |b| {
+            b.iter(|| model.solve(&cold_opts).expect("solvable"));
         });
     }
     group.finish();
@@ -76,7 +140,15 @@ fn bench_strip_ilp(c: &mut Criterion) {
             .witness
             .placements
             .iter()
-            .map(|(&id, &(p, r))| (id, Placement { center: p, rotation: r }))
+            .map(|(&id, &(p, r))| {
+                (
+                    id,
+                    Placement {
+                        center: p,
+                        rotation: r,
+                    },
+                )
+            })
             .collect(),
         routes: circuit.witness.routes.clone(),
     };
@@ -108,5 +180,12 @@ fn bench_strip_ilp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lp, bench_milp, bench_strip_ilp);
+criterion_group!(
+    benches,
+    bench_lp,
+    bench_lp_warm_resolve,
+    bench_milp,
+    bench_milp_warm_vs_cold,
+    bench_strip_ilp
+);
 criterion_main!(benches);

@@ -29,8 +29,10 @@ fn run(name: &str, config: PilpConfig) {
 }
 
 fn main() {
-    println!("P-ILP ablations on the tiny two-stage circuit (manual witness: {} bends)\n",
-        benchmarks::tiny_circuit().witness.total_bends());
+    println!(
+        "P-ILP ablations on the tiny two-stage circuit (manual witness: {} bends)\n",
+        benchmarks::tiny_circuit().witness.total_bends()
+    );
 
     run("baseline (fast)", PilpConfig::fast());
 

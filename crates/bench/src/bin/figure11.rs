@@ -19,10 +19,25 @@ fn main() {
     let config = effort.pilp_config();
 
     let cases: Vec<(rfic_netlist::generator::GeneratedCircuit, f64, bool, &str)> = match effort {
-        Effort::Quick => vec![(benchmarks::small_circuit(), 60.0, false, "small test amplifier")],
+        Effort::Quick => vec![(
+            benchmarks::small_circuit(),
+            60.0,
+            false,
+            "small test amplifier",
+        )],
         Effort::Full => vec![
-            (BenchmarkCircuit::Lna94Ghz.circuit(), 94.0, false, "94 GHz LNA"),
-            (BenchmarkCircuit::Buffer60Ghz.circuit(), 60.0, true, "60 GHz Buffer"),
+            (
+                BenchmarkCircuit::Lna94Ghz.circuit(),
+                94.0,
+                false,
+                "94 GHz LNA",
+            ),
+            (
+                BenchmarkCircuit::Buffer60Ghz.circuit(),
+                60.0,
+                true,
+                "60 GHz Buffer",
+            ),
         ],
     };
 
@@ -39,7 +54,8 @@ fn main() {
                 manual.clone()
             }
         };
-        let pilp_series = run_figure11_series(&circuit.netlist, &pilp_layout, "P-ILP", f0, is_buffer);
+        let pilp_series =
+            run_figure11_series(&circuit.netlist, &pilp_layout, "P-ILP", f0, is_buffer);
 
         println!("freq_ghz  manual_s11  manual_s21  manual_s22  pilp_s11  pilp_s21  pilp_s22");
         for (m, p) in manual_series.points.iter().zip(&pilp_series.points) {

@@ -25,7 +25,10 @@ fn main() {
             snapshot.phase, snapshot.total_bends, snapshot.max_length_error, snapshot.elapsed
         );
         println!("{}", render::ascii(netlist, &snapshot.layout, 100));
-        let file = format!("target/flow_{}.svg", format!("{:?}", snapshot.phase).to_lowercase());
+        let file = format!(
+            "target/flow_{}.svg",
+            format!("{:?}", snapshot.phase).to_lowercase()
+        );
         if std::fs::write(&file, render::svg(netlist, &snapshot.layout)).is_ok() {
             println!("(SVG written to {file})\n");
         }

@@ -20,7 +20,12 @@ fn main() {
     let mut rows = Vec::new();
     for (circuit, settings, weeks) in circuits_for(effort) {
         for (setting, area) in settings {
-            eprintln!("running P-ILP on {} ({setting} area {:.0}x{:.0}) ...", circuit.netlist.name(), area.0, area.1);
+            eprintln!(
+                "running P-ILP on {} ({setting} area {:.0}x{:.0}) ...",
+                circuit.netlist.name(),
+                area.0,
+                area.1
+            );
             let row = run_table1_row(&circuit, setting, area, &config, weeks);
             println!("{}", format_table1(std::slice::from_ref(&row)));
             rows.push(row);
@@ -36,11 +41,17 @@ fn main() {
             row.circuit,
             row.area.0,
             row.area.1,
-            row.manual_max_bends.map(|v| v.to_string()).unwrap_or_else(|| "n/a".into()),
+            row.manual_max_bends
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "n/a".into()),
             row.pilp_max_bends,
-            row.manual_total_bends.map(|v| v.to_string()).unwrap_or_else(|| "n/a".into()),
+            row.manual_total_bends
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "n/a".into()),
             row.pilp_total_bends,
-            row.manual_runtime.map(|d| format!("{}w", d.as_secs() / 604800)).unwrap_or_else(|| "n/a".into()),
+            row.manual_runtime
+                .map(|d| format!("{}w", d.as_secs() / 604800))
+                .unwrap_or_else(|| "n/a".into()),
             row.pilp_runtime,
         );
     }

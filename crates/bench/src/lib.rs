@@ -98,10 +98,15 @@ pub fn run_table1_row(
     }
 }
 
+/// One benchmark entry: the circuit, its area settings (setting plus the
+/// concrete `(width, height)`), and the number of "manual weeks" attributed
+/// to it.
+pub type CircuitEntry = (GeneratedCircuit, Vec<(AreaSetting, (f64, f64))>, u32);
+
 /// The circuits exercised at a given effort level, with their area settings
 /// and the number of "manual weeks" attributed to each (per the paper:
 /// 2 weeks for the 94 GHz LNA, 1 week for the others).
-pub fn circuits_for(effort: Effort) -> Vec<(GeneratedCircuit, Vec<(AreaSetting, (f64, f64))>, u32)> {
+pub fn circuits_for(effort: Effort) -> Vec<CircuitEntry> {
     match effort {
         Effort::Quick => vec![
             (
@@ -118,10 +123,17 @@ pub fn circuits_for(effort: Effort) -> Vec<(GeneratedCircuit, Vec<(AreaSetting, 
         Effort::Full => BenchmarkCircuit::ALL
             .iter()
             .map(|&bench| {
-                let weeks = if bench == BenchmarkCircuit::Lna94Ghz { 2 } else { 1 };
+                let weeks = if bench == BenchmarkCircuit::Lna94Ghz {
+                    2
+                } else {
+                    1
+                };
                 (
                     bench.circuit(),
-                    AreaSetting::ALL.iter().map(|&s| (s, bench.area(s))).collect(),
+                    AreaSetting::ALL
+                        .iter()
+                        .map(|&s| (s, bench.area(s)))
+                        .collect(),
                     weeks,
                 )
             })
@@ -223,7 +235,11 @@ mod tests {
         assert_eq!(quick.len(), 2);
         let full = circuits_for(Effort::Full);
         assert_eq!(full.len(), 3);
-        assert_eq!(full[0].1.len(), 2, "two area settings per benchmark circuit");
+        assert_eq!(
+            full[0].1.len(),
+            2,
+            "two area settings per benchmark circuit"
+        );
     }
 
     #[test]

@@ -125,26 +125,56 @@ pub enum DrcViolation {
 impl fmt::Display for DrcViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DrcViolation::LengthMismatch { strip, target, actual } => write!(
+            DrcViolation::LengthMismatch {
+                strip,
+                target,
+                actual,
+            } => write!(
                 f,
                 "{strip}: equivalent length {actual:.3} µm != target {target:.3} µm"
             ),
             DrcViolation::UnroutedStrip { strip } => write!(f, "{strip}: not routed"),
             DrcViolation::UnplacedDevice { device } => write!(f, "{device}: not placed"),
-            DrcViolation::DeviceSpacing { a, b, gap, required } => {
-                write!(f, "devices {a} and {b}: gap {gap:.3} µm < required {required:.3} µm")
+            DrcViolation::DeviceSpacing {
+                a,
+                b,
+                gap,
+                required,
+            } => {
+                write!(
+                    f,
+                    "devices {a} and {b}: gap {gap:.3} µm < required {required:.3} µm"
+                )
             }
-            DrcViolation::StripDeviceSpacing { strip, device, gap, required } => {
-                write!(f, "{strip} vs device {device}: gap {gap:.3} µm < required {required:.3} µm")
+            DrcViolation::StripDeviceSpacing {
+                strip,
+                device,
+                gap,
+                required,
+            } => {
+                write!(
+                    f,
+                    "{strip} vs device {device}: gap {gap:.3} µm < required {required:.3} µm"
+                )
             }
-            DrcViolation::StripSpacing { a, b, gap, required } => {
+            DrcViolation::StripSpacing {
+                a,
+                b,
+                gap,
+                required,
+            } => {
                 write!(f, "{a} vs {b}: gap {gap:.3} µm < required {required:.3} µm")
             }
             DrcViolation::SelfCrossing { strip } => write!(f, "{strip}: route crosses itself"),
             DrcViolation::PadOffBoundary { device, center } => {
                 write!(f, "pad {device} centre {center} not on the area boundary")
             }
-            DrcViolation::PinMismatch { strip, device, expected, actual } => write!(
+            DrcViolation::PinMismatch {
+                strip,
+                device,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{strip}: endpoint {actual} does not meet pin {expected} of {device}"
             ),
@@ -281,7 +311,10 @@ pub fn check(netlist: &Netlist, layout: &Layout, options: &DrcOptions) -> DrcRep
             let matched = candidates.iter().any(|&pin| {
                 device
                     .pin_position(placement.center, placement.rotation, pin)
-                    .map(|p| p.approx_eq(endpoint) || p.euclidean_distance(endpoint) <= options.length_tolerance)
+                    .map(|p| {
+                        p.approx_eq(endpoint)
+                            || p.euclidean_distance(endpoint) <= options.length_tolerance
+                    })
                     .unwrap_or(false)
             });
             if !matched {
@@ -445,7 +478,10 @@ mod tests {
             let circuit = bench.circuit();
             let layout = witness_layout(&circuit);
             let report = check(&circuit.netlist, &layout, &DrcOptions::default());
-            assert!(report.is_clean(), "{bench} witness should be clean:\n{report}");
+            assert!(
+                report.is_clean(),
+                "{bench} witness should be clean:\n{report}"
+            );
         }
     }
 
@@ -464,10 +500,10 @@ mod tests {
         *route = Polyline::new(pts).unwrap();
         let report = check(&circuit.netlist, &layout, &DrcOptions::default());
         assert!(!report.is_clean());
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, DrcViolation::LengthMismatch { .. } | DrcViolation::PinMismatch { .. })));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            DrcViolation::LengthMismatch { .. } | DrcViolation::PinMismatch { .. }
+        )));
         assert!(!report.for_strip(strip).is_empty());
     }
 
@@ -480,7 +516,10 @@ mod tests {
         layout.routes.remove(&strip);
         layout.placements.remove(&device);
         let report = check(&circuit.netlist, &layout, &DrcOptions::default());
-        assert!(report.violations.iter().any(|v| matches!(v, DrcViolation::UnroutedStrip { .. })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, DrcViolation::UnroutedStrip { .. })));
         assert!(report
             .violations
             .iter()

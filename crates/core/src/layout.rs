@@ -99,7 +99,11 @@ impl Layout {
 
     /// Maximum number of bends on any single routed strip.
     pub fn max_bends(&self) -> usize {
-        self.routes.values().map(|r| r.bend_count()).max().unwrap_or(0)
+        self.routes
+            .values()
+            .map(|r| r.bend_count())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Equivalent electrical length of a routed strip (geometric length plus
@@ -121,14 +125,24 @@ impl Layout {
         netlist
             .microstrips()
             .iter()
-            .map(|m| self.length_error(netlist, m.id).map(f64::abs).unwrap_or(f64::INFINITY))
+            .map(|m| {
+                self.length_error(netlist, m.id)
+                    .map(f64::abs)
+                    .unwrap_or(f64::INFINITY)
+            })
             .fold(0.0, f64::max)
     }
 
     /// `true` if every device and strip of the netlist is present.
     pub fn is_complete(&self, netlist: &Netlist) -> bool {
-        netlist.devices().iter().all(|d| self.placements.contains_key(&d.id))
-            && netlist.microstrips().iter().all(|m| self.routes.contains_key(&m.id))
+        netlist
+            .devices()
+            .iter()
+            .all(|d| self.placements.contains_key(&d.id))
+            && netlist
+                .microstrips()
+                .iter()
+                .all(|m| self.routes.contains_key(&m.id))
     }
 
     /// Bounding box of everything placed and routed so far.
@@ -140,7 +154,7 @@ impl Layout {
                 None => r,
             });
         };
-        for (&id, _) in &self.placements {
+        for &id in self.placements.keys() {
             if let Some(outline) = self.device_outline(netlist, id) {
                 join(outline);
             }
@@ -199,7 +213,10 @@ mod tests {
             assert!(outline.contains(placement.center));
             for pin in 0..device.pins.len() {
                 let p = layout.pin_position(&netlist, device.id, pin).expect("pin");
-                assert!(outline.expanded(1e-9).contains(p), "pin on the device outline");
+                assert!(
+                    outline.expanded(1e-9).contains(p),
+                    "pin on the device outline"
+                );
             }
         }
     }
@@ -208,8 +225,13 @@ mod tests {
     fn extent_is_within_the_area_for_the_witness() {
         let (netlist, layout) = witness_layout();
         let extent = layout.extent(&netlist).expect("non-empty layout");
-        let area = netlist.area_rect().expanded(netlist.tech().pad_size / 2.0 + 1e-9);
-        assert!(area.contains_rect(&extent), "witness fits the (pad-expanded) area");
+        let area = netlist
+            .area_rect()
+            .expanded(netlist.tech().pad_size / 2.0 + 1e-9);
+        assert!(
+            area.contains_rect(&extent),
+            "witness fits the (pad-expanded) area"
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use rfic_geom::{Point, Polyline, Rect, Rotation};
-use rfic_milp::{linearize, LinExpr, Model, MilpError, MilpSolution, Sense, SolveOptions, VarId};
+use rfic_milp::{
+    linearize, LinExpr, MilpError, MilpSolution, Model, Sense, SolveOptions, VarId, WarmStart,
+};
 use rfic_netlist::{DeviceId, MicrostripId, Netlist};
 use serde::{Deserialize, Serialize};
 
@@ -180,8 +182,6 @@ struct StripVars {
     directions: Vec<[VarId; 4]>,
     /// Segment length variables.
     lengths: Vec<VarId>,
-    /// Per-segment "active" binaries: 1 if the segment has non-zero length.
-    active: Vec<VarId>,
     /// Bend binaries per interior chain point.
     bends: Vec<VarId>,
 }
@@ -218,7 +218,9 @@ impl std::fmt::Display for IlpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IlpError::UnknownObject(s) => write!(f, "unknown object: {s}"),
-            IlpError::MissingBase(s) => write!(f, "object {s} is fixed but missing from the base layout"),
+            IlpError::MissingBase(s) => {
+                write!(f, "object {s} is fixed but missing from the base layout")
+            }
             IlpError::Solver(e) => write!(f, "solver error: {e}"),
         }
     }
@@ -245,6 +247,13 @@ pub struct IlpOutcome {
 }
 
 /// A built layout ILP, ready to solve.
+///
+/// The model is *incremental*: [`LayoutIlp::add_overlap_pairs`] appends
+/// further non-overlap disjunctions to the existing model, and
+/// [`LayoutIlp::solve_warm`] re-enters the branch-and-bound search from the
+/// previous root basis — together they make the lazy separation loop a
+/// sequence of cheap dual re-solves instead of rebuild-and-cold-solve
+/// rounds.
 pub struct LayoutIlp<'a> {
     netlist: &'a Netlist,
     config: IlpConfig,
@@ -254,6 +263,10 @@ pub struct LayoutIlp<'a> {
     device_vars: BTreeMap<DeviceId, (VarId, VarId)>,
     junction_vars: BTreeMap<DeviceId, (VarId, VarId)>,
     big_m: f64,
+    /// Box-variable cache shared by every overlap pair ever added.
+    overlap_cache: BTreeMap<ObjectId, BoxRef>,
+    /// Serial number for naming overlap constraint variables.
+    overlap_serial: usize,
 }
 
 impl<'a> LayoutIlp<'a> {
@@ -264,7 +277,12 @@ impl<'a> LayoutIlp<'a> {
     /// Returns [`IlpError::UnknownObject`] for references to non-existent
     /// strips/devices and [`IlpError::MissingBase`] when a fixed object has
     /// no position in `base`.
-    pub fn build(netlist: &'a Netlist, config: IlpConfig, base: &Layout) -> Result<LayoutIlp<'a>, IlpError> {
+    pub fn build(
+        netlist: &'a Netlist,
+        mut config: IlpConfig,
+        base: &Layout,
+    ) -> Result<LayoutIlp<'a>, IlpError> {
+        let initial_pairs = std::mem::take(&mut config.overlap_pairs);
         let mut builder = LayoutIlp {
             netlist,
             config,
@@ -276,14 +294,28 @@ impl<'a> LayoutIlp<'a> {
             // Must dominate any |expression| appearing in an indicator
             // constraint (coordinate differences minus a segment length).
             big_m: 2.0 * (netlist.area().0 + netlist.area().1),
+            overlap_cache: BTreeMap::new(),
+            overlap_serial: 0,
         };
         builder.add_device_variables()?;
         builder.add_strip_variables()?;
         builder.add_length_constraints()?;
         builder.add_endpoint_constraints()?;
         builder.add_objective_bend_terms();
-        builder.add_overlap_constraints()?;
+        builder.add_overlap_pairs(&initial_pairs)?;
         Ok(builder)
+    }
+
+    /// The configuration of this model, including every overlap pair added
+    /// so far.
+    pub fn config(&self) -> &IlpConfig {
+        &self.config
+    }
+
+    /// The underlying MILP model (read-only; useful for diagnostics and
+    /// solver benchmarking).
+    pub fn model(&self) -> &Model {
+        &self.model
     }
 
     /// The number of variables in the underlying MILP.
@@ -317,6 +349,27 @@ impl<'a> LayoutIlp<'a> {
         })
     }
 
+    /// Solves the ILP warm-started from (and updating) `warm` — the cheap
+    /// path when the model only grew by lazily separated overlap pairs since
+    /// the basis in `warm` was captured.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LayoutIlp::solve`].
+    pub fn solve_warm(
+        &self,
+        options: &SolveOptions,
+        warm: &mut WarmStart,
+    ) -> Result<IlpOutcome, IlpError> {
+        let solution = self.model.solve_warm(options, warm)?;
+        let layout = self.decode(&solution);
+        Ok(IlpOutcome {
+            objective: solution.objective,
+            layout,
+            solution,
+        })
+    }
+
     // --- variables ---------------------------------------------------------
 
     fn rotation_of(&self, device: DeviceId) -> Rotation {
@@ -338,8 +391,12 @@ impl<'a> LayoutIlp<'a> {
                 if !free {
                     continue;
                 }
-                let x = self.model.add_continuous(format!("jx_{}", device.id), 0.0, aw, 0.0);
-                let y = self.model.add_continuous(format!("jy_{}", device.id), 0.0, ah, 0.0);
+                let x = self
+                    .model
+                    .add_continuous(format!("jx_{}", device.id), 0.0, aw, 0.0);
+                let y = self
+                    .model
+                    .add_continuous(format!("jy_{}", device.id), 0.0, ah, 0.0);
                 self.apply_window(device.id, x, y);
                 if device.is_pad() {
                     self.add_pad_boundary(device.id, x, y);
@@ -362,12 +419,18 @@ impl<'a> LayoutIlp<'a> {
                     lo_y = lo_y.max(window.min.y);
                     hi_y = hi_y.min(window.max.y);
                 }
-                let x = self
-                    .model
-                    .add_continuous(format!("dx_{}", device.id), lo_x, hi_x.max(lo_x), 0.0);
-                let y = self
-                    .model
-                    .add_continuous(format!("dy_{}", device.id), lo_y, hi_y.max(lo_y), 0.0);
+                let x = self.model.add_continuous(
+                    format!("dx_{}", device.id),
+                    lo_x,
+                    hi_x.max(lo_x),
+                    0.0,
+                );
+                let y = self.model.add_continuous(
+                    format!("dy_{}", device.id),
+                    lo_y,
+                    hi_y.max(lo_y),
+                    0.0,
+                );
                 if device.is_pad() {
                     self.add_pad_boundary(device.id, x, y);
                 }
@@ -456,10 +519,8 @@ impl<'a> LayoutIlp<'a> {
                 // prevents the solver from registering "phantom" bends on
                 // zero-length segments to tweak the equivalent length.
                 let act = self.model.add_binary(format!("a_{strip_id}_{j}"), 0.0);
-                self.model
-                    .add_le(LinExpr::from(len) - (act, aw + ah), 0.0);
-                self.model
-                    .add_ge(LinExpr::from(len) - (act, min_seg), 0.0);
+                self.model.add_le(LinExpr::from(len) - (act, aw + ah), 0.0);
+                self.model.add_ge(LinExpr::from(len) - (act, min_seg), 0.0);
                 active.push(act);
 
                 let (x0, y0) = points[j];
@@ -527,9 +588,12 @@ impl<'a> LayoutIlp<'a> {
             for j in 0..directions.len() {
                 let here = directions[j];
                 let act = active[j];
-                for neighbour in [j.checked_sub(1), (j + 1 < directions.len()).then_some(j + 1)]
-                    .into_iter()
-                    .flatten()
+                for neighbour in [
+                    j.checked_sub(1),
+                    (j + 1 < directions.len()).then_some(j + 1),
+                ]
+                .into_iter()
+                .flatten()
                 {
                     let other = directions[neighbour];
                     for d in 0..4 {
@@ -566,8 +630,7 @@ impl<'a> LayoutIlp<'a> {
                     0.0,
                 );
                 // (10): t = t_hv + t_vh (and t <= 1 by binariness).
-                self.model
-                    .add_eq(LinExpr::from(t) - t_hv - t_vh, 0.0);
+                self.model.add_eq(LinExpr::from(t) - t_hv - t_vh, 0.0);
                 bends.push(t);
             }
 
@@ -578,7 +641,6 @@ impl<'a> LayoutIlp<'a> {
                     points,
                     directions,
                     lengths,
-                    active,
                     bends,
                 },
             );
@@ -624,9 +686,12 @@ impl<'a> LayoutIlp<'a> {
                 self.model.add_eq(leq, target);
             } else {
                 // (24)–(25): soft deviation variables.
-                let lu = self
-                    .model
-                    .add_continuous(format!("lu_{strip_id}"), 0.0, self.big_m, weights.zeta);
+                let lu = self.model.add_continuous(
+                    format!("lu_{strip_id}"),
+                    0.0,
+                    self.big_m,
+                    weights.zeta,
+                );
                 self.model.add_ge(LinExpr::from(lu) + leq.clone(), target);
                 self.model.add_ge(LinExpr::from(lu) - leq, -target);
                 lu_vars.push(lu);
@@ -673,10 +738,7 @@ impl<'a> LayoutIlp<'a> {
                 .offset,
         );
         if let Some(&(dx, dy)) = self.device_vars.get(&device_id) {
-            Ok((
-                LinExpr::from(dx) + offset.x,
-                LinExpr::from(dy) + offset.y,
-            ))
+            Ok((LinExpr::from(dx) + offset.x, LinExpr::from(dy) + offset.y))
         } else {
             let placement = self
                 .base
@@ -719,9 +781,7 @@ impl<'a> LayoutIlp<'a> {
     /// created).
     fn add_objective_bend_terms(&mut self) {
         let weights = self.config.weights;
-        let nb_max = self
-            .model
-            .add_continuous("nb_max", 0.0, 1e3, weights.alpha);
+        let nb_max = self.model.add_continuous("nb_max", 0.0, 1e3, weights.alpha);
         // Fixed strips contribute constant bend counts to the max.
         let mut fixed_max = 0usize;
         for strip in self.netlist.microstrips() {
@@ -729,8 +789,7 @@ impl<'a> LayoutIlp<'a> {
                 fixed_max = fixed_max.max(self.base.bend_count(strip.id));
             }
         }
-        self.model
-            .add_ge(LinExpr::from(nb_max), fixed_max as f64);
+        self.model.add_ge(LinExpr::from(nb_max), fixed_max as f64);
         for vars in self.strip_vars.values() {
             let mut nb = LinExpr::new();
             for bend in &vars.bends {
@@ -746,9 +805,10 @@ impl<'a> LayoutIlp<'a> {
     // --- non-overlap -------------------------------------------------------
 
     /// Expanded bounding-box reference of an object: variable corners for
-    /// free objects, a constant rectangle for fixed ones.
-    fn box_ref(&mut self, object: ObjectId, cache: &mut BTreeMap<ObjectId, BoxRef>) -> Result<BoxRef, IlpError> {
-        if let Some(&b) = cache.get(&object) {
+    /// free objects, a constant rectangle for fixed ones. Cached across
+    /// every overlap pair (including pairs added after the initial build).
+    fn box_ref(&mut self, object: ObjectId) -> Result<BoxRef, IlpError> {
+        if let Some(&b) = self.overlap_cache.get(&object) {
             return Ok(b);
         }
         let margin = self.netlist.tech().expansion_margin();
@@ -764,27 +824,51 @@ impl<'a> LayoutIlp<'a> {
                     let half_w = w / 2.0 + margin;
                     let half_h = h / 2.0 + margin;
                     let (aw, ah) = self.netlist.area();
-                    let xl = self.model.add_continuous(format!("bxl_{id}"), -2.0 * half_w, aw, 0.0);
-                    let xr = self.model.add_continuous(format!("bxr_{id}"), 0.0, aw + 2.0 * half_w, 0.0);
-                    let yd = self.model.add_continuous(format!("byd_{id}"), -2.0 * half_h, ah, 0.0);
-                    let yu = self.model.add_continuous(format!("byu_{id}"), 0.0, ah + 2.0 * half_h, 0.0);
-                    self.model.add_eq_expr(LinExpr::from(xl), LinExpr::from(dx) - half_w);
-                    self.model.add_eq_expr(LinExpr::from(xr), LinExpr::from(dx) + half_w);
-                    self.model.add_eq_expr(LinExpr::from(yd), LinExpr::from(dy) - half_h);
-                    self.model.add_eq_expr(LinExpr::from(yu), LinExpr::from(dy) + half_h);
+                    let xl = self
+                        .model
+                        .add_continuous(format!("bxl_{id}"), -2.0 * half_w, aw, 0.0);
+                    let xr =
+                        self.model
+                            .add_continuous(format!("bxr_{id}"), 0.0, aw + 2.0 * half_w, 0.0);
+                    let yd = self
+                        .model
+                        .add_continuous(format!("byd_{id}"), -2.0 * half_h, ah, 0.0);
+                    let yu =
+                        self.model
+                            .add_continuous(format!("byu_{id}"), 0.0, ah + 2.0 * half_h, 0.0);
+                    self.model
+                        .add_eq_expr(LinExpr::from(xl), LinExpr::from(dx) - half_w);
+                    self.model
+                        .add_eq_expr(LinExpr::from(xr), LinExpr::from(dx) + half_w);
+                    self.model
+                        .add_eq_expr(LinExpr::from(yd), LinExpr::from(dy) - half_h);
+                    self.model
+                        .add_eq_expr(LinExpr::from(yu), LinExpr::from(dy) + half_h);
                     BoxRef::Vars(BoxVars { xl, xr, yd, yu })
                 } else if self.config.blur_devices && self.junction_vars.contains_key(&id) {
                     // Blurred free device: treat as a point with margin.
                     let &(jx, jy) = self.junction_vars.get(&id).expect("junction");
                     let (aw, ah) = self.netlist.area();
-                    let xl = self.model.add_continuous(format!("bxl_{id}"), -2.0 * margin, aw, 0.0);
-                    let xr = self.model.add_continuous(format!("bxr_{id}"), 0.0, aw + 2.0 * margin, 0.0);
-                    let yd = self.model.add_continuous(format!("byd_{id}"), -2.0 * margin, ah, 0.0);
-                    let yu = self.model.add_continuous(format!("byu_{id}"), 0.0, ah + 2.0 * margin, 0.0);
-                    self.model.add_eq_expr(LinExpr::from(xl), LinExpr::from(jx) - margin);
-                    self.model.add_eq_expr(LinExpr::from(xr), LinExpr::from(jx) + margin);
-                    self.model.add_eq_expr(LinExpr::from(yd), LinExpr::from(jy) - margin);
-                    self.model.add_eq_expr(LinExpr::from(yu), LinExpr::from(jy) + margin);
+                    let xl = self
+                        .model
+                        .add_continuous(format!("bxl_{id}"), -2.0 * margin, aw, 0.0);
+                    let xr =
+                        self.model
+                            .add_continuous(format!("bxr_{id}"), 0.0, aw + 2.0 * margin, 0.0);
+                    let yd = self
+                        .model
+                        .add_continuous(format!("byd_{id}"), -2.0 * margin, ah, 0.0);
+                    let yu =
+                        self.model
+                            .add_continuous(format!("byu_{id}"), 0.0, ah + 2.0 * margin, 0.0);
+                    self.model
+                        .add_eq_expr(LinExpr::from(xl), LinExpr::from(jx) - margin);
+                    self.model
+                        .add_eq_expr(LinExpr::from(xr), LinExpr::from(jx) + margin);
+                    self.model
+                        .add_eq_expr(LinExpr::from(yd), LinExpr::from(jy) - margin);
+                    self.model
+                        .add_eq_expr(LinExpr::from(yu), LinExpr::from(jy) + margin);
                     BoxRef::Vars(BoxVars { xl, xr, yd, yu })
                 } else {
                     let outline = self
@@ -806,28 +890,38 @@ impl<'a> LayoutIlp<'a> {
                     let dirs = vars.directions[seg];
                     let (aw, ah) = self.netlist.area();
                     let pad = half_w + margin;
-                    let xl = self
-                        .model
-                        .add_continuous(format!("sxl_{strip_id}_{seg}"), -2.0 * pad, aw, 0.0);
-                    let xr = self
-                        .model
-                        .add_continuous(format!("sxr_{strip_id}_{seg}"), 0.0, aw + 2.0 * pad, 0.0);
-                    let yd = self
-                        .model
-                        .add_continuous(format!("syd_{strip_id}_{seg}"), -2.0 * pad, ah, 0.0);
-                    let yu = self
-                        .model
-                        .add_continuous(format!("syu_{strip_id}_{seg}"), 0.0, ah + 2.0 * pad, 0.0);
+                    let xl = self.model.add_continuous(
+                        format!("sxl_{strip_id}_{seg}"),
+                        -2.0 * pad,
+                        aw,
+                        0.0,
+                    );
+                    let xr = self.model.add_continuous(
+                        format!("sxr_{strip_id}_{seg}"),
+                        0.0,
+                        aw + 2.0 * pad,
+                        0.0,
+                    );
+                    let yd = self.model.add_continuous(
+                        format!("syd_{strip_id}_{seg}"),
+                        -2.0 * pad,
+                        ah,
+                        0.0,
+                    );
+                    let yu = self.model.add_continuous(
+                        format!("syu_{strip_id}_{seg}"),
+                        0.0,
+                        ah + 2.0 * pad,
+                        0.0,
+                    );
                     // Extension along x is `margin` for horizontal segments and
                     // `margin + w/2` for vertical ones (and vice versa for y):
                     //   ext_x = margin + (w/2)(s_u + s_d)
                     //   ext_y = margin + (w/2)(s_l + s_r)
-                    let ext_x = LinExpr::constant_term(margin)
-                        + (dirs[0], half_w)
-                        + (dirs[1], half_w);
-                    let ext_y = LinExpr::constant_term(margin)
-                        + (dirs[2], half_w)
-                        + (dirs[3], half_w);
+                    let ext_x =
+                        LinExpr::constant_term(margin) + (dirs[0], half_w) + (dirs[1], half_w);
+                    let ext_y =
+                        LinExpr::constant_term(margin) + (dirs[2], half_w) + (dirs[3], half_w);
                     // xl <= min(x0, x1) - ext_x, xr >= max(x0, x1) + ext_x ...
                     self.model
                         .add_le_expr(LinExpr::from(xl), LinExpr::from(x0) - ext_x.clone());
@@ -849,14 +943,14 @@ impl<'a> LayoutIlp<'a> {
                 } else {
                     // Fixed strip: constant segment box from the base layout.
                     let segments = self.base.strip_segments(self.netlist, strip_id);
-                    let segment = segments
-                        .get(seg)
-                        .ok_or_else(|| IlpError::MissingBase(format!("{strip_id} segment {seg}")))?;
+                    let segment = segments.get(seg).ok_or_else(|| {
+                        IlpError::MissingBase(format!("{strip_id} segment {seg}"))
+                    })?;
                     BoxRef::Fixed(segment.bounding_box(margin))
                 }
             }
         };
-        cache.insert(object, b);
+        self.overlap_cache.insert(object, b);
         Ok(b)
     }
 
@@ -877,21 +971,39 @@ impl<'a> LayoutIlp<'a> {
         }
     }
 
-    /// Non-overlap constraints (16)–(20) for every configured pair, with the
-    /// Phase-1 slack relaxation when enabled.
-    fn add_overlap_constraints(&mut self) -> Result<(), IlpError> {
-        let pairs = self.config.overlap_pairs.clone();
-        let mut cache: BTreeMap<ObjectId, BoxRef> = BTreeMap::new();
+    /// Appends non-overlap constraints (16)–(20) for the given pairs to the
+    /// existing model, with the Phase-1 slack relaxation when enabled.
+    /// Already-known and fixed-fixed pairs are skipped; returns how many
+    /// pairs were actually added.
+    ///
+    /// This is the incremental half of the lazy-separation protocol: callers
+    /// separate violated pairs from a solution, append them here, then
+    /// [`LayoutIlp::solve_warm`] re-solves from the previous basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownObject`] / [`IlpError::MissingBase`] for
+    /// references that cannot be resolved against the netlist or base
+    /// layout.
+    pub fn add_overlap_pairs(&mut self, pairs: &[PairSpec]) -> Result<usize, IlpError> {
         let m = self.big_m;
         let eta = self.config.weights.eta;
-        for (k, pair) in pairs.iter().enumerate() {
+        let mut added = 0usize;
+        for &pair in pairs {
+            if self.config.overlap_pairs.contains(&pair) {
+                continue;
+            }
+            self.config.overlap_pairs.push(pair);
             let free_a = self.is_free(pair.a);
             let free_b = self.is_free(pair.b);
             if !free_a && !free_b {
                 continue;
             }
-            let box_a = self.box_ref(pair.a, &mut cache)?;
-            let box_b = self.box_ref(pair.b, &mut cache)?;
+            let k = self.overlap_serial;
+            self.overlap_serial += 1;
+            added += 1;
+            let box_a = self.box_ref(pair.a)?;
+            let box_b = self.box_ref(pair.b)?;
             let (axl, axr, ayd, ayu) = self.box_side_exprs(box_a);
             let (bxl, bxr, byd, byu) = self.box_side_exprs(box_b);
 
@@ -918,26 +1030,20 @@ impl<'a> LayoutIlp<'a> {
                 LinExpr::new(),
             );
             // (18): b left of a.
-            self.model.add_le_expr(
-                bxr - axl - (u[2], m) - rhs_slack.clone(),
-                LinExpr::new(),
-            );
+            self.model
+                .add_le_expr(bxr - axl - (u[2], m) - rhs_slack.clone(), LinExpr::new());
             // (19): a above b.
-            self.model.add_le_expr(
-                ayu - byd - (u[3], m) - rhs_slack,
-                LinExpr::new(),
-            );
+            self.model
+                .add_le_expr(ayu - byd - (u[3], m) - rhs_slack, LinExpr::new());
             // (20): at least one of the four situations holds.
             self.model.add_le(LinExpr::sum(u), 3.0);
         }
-        Ok(())
+        Ok(added)
     }
 
     fn is_free(&self, object: ObjectId) -> bool {
         match object {
-            ObjectId::Device(id) => {
-                self.config.free_devices.contains(&id)
-            }
+            ObjectId::Device(id) => self.config.free_devices.contains(&id),
             ObjectId::Segment(strip, _) => self.config.free_strips.contains(&strip),
         }
     }
@@ -1014,7 +1120,15 @@ mod tests {
                 .witness
                 .placements
                 .iter()
-                .map(|(&id, &(c, r))| (id, Placement { center: c, rotation: r }))
+                .map(|(&id, &(c, r))| {
+                    (
+                        id,
+                        Placement {
+                            center: c,
+                            rotation: r,
+                        },
+                    )
+                })
                 .collect(),
             routes: circuit.witness.routes.clone(),
         }

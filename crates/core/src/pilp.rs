@@ -81,10 +81,10 @@ impl PilpConfig {
     /// A fast configuration for tests and small circuits.
     pub fn fast() -> PilpConfig {
         PilpConfig {
-            max_refine_iters: 3,
+            max_refine_iters: 4,
             max_separation_rounds: 3,
             solve_time_limit: Duration::from_secs(5),
-            max_extra_chain_points: 2,
+            max_extra_chain_points: 3,
             try_rotations: false,
             ..PilpConfig::default()
         }
@@ -480,8 +480,14 @@ impl Pilp {
             }
             // Work on the worst strips first (largest length error).
             pending.sort_by(|a, b| {
-                let ea = layout.length_error(netlist, *a).map(f64::abs).unwrap_or(f64::INFINITY);
-                let eb = layout.length_error(netlist, *b).map(f64::abs).unwrap_or(f64::INFINITY);
+                let ea = layout
+                    .length_error(netlist, *a)
+                    .map(f64::abs)
+                    .unwrap_or(f64::INFINITY);
+                let eb = layout
+                    .length_error(netlist, *b)
+                    .map(f64::abs)
+                    .unwrap_or(f64::INFINITY);
                 eb.partial_cmp(&ea).unwrap_or(std::cmp::Ordering::Equal)
             });
 
@@ -495,7 +501,10 @@ impl Pilp {
                     // all strips incident to it concurrently.
                     solved = self.cluster_repair(netlist, &mut layout, strip_id);
                 }
-                if !solved && self.config.try_rotations && iteration + 1 == self.config.max_refine_iters {
+                if !solved
+                    && self.config.try_rotations
+                    && iteration + 1 == self.config.max_refine_iters
+                {
                     self.try_rotation_repair(netlist, &mut layout, strip_id, &mut extra_points);
                 }
             }
@@ -567,7 +576,12 @@ impl Pilp {
     /// to that device (hard lengths), confined to a `τ_d` window. This is the
     /// step that exercises the *concurrent* nature of the paper's model —
     /// routing alone cannot shorten a pin-to-pin distance.
-    fn cluster_repair(&self, netlist: &Netlist, layout: &mut Layout, strip_id: MicrostripId) -> bool {
+    fn cluster_repair(
+        &self,
+        netlist: &Netlist,
+        layout: &mut Layout,
+        strip_id: MicrostripId,
+    ) -> bool {
         let strip = netlist.microstrip(strip_id).expect("strip exists").clone();
         for terminal in strip.terminals() {
             let Some(device) = netlist.device(terminal.device) else {
@@ -594,8 +608,7 @@ impl Pilp {
                     .route(id)
                     .map(|r| r.simplified().num_chain_points())
                     .unwrap_or(2)
-                    .max(4)
-                    .min(6);
+                    .clamp(4, 6);
                 config.chain_points.insert(id, n);
                 config
                     .strip_windows
@@ -611,7 +624,11 @@ impl Pilp {
                 let error_sum = |l: &Layout| -> f64 {
                     incident
                         .iter()
-                        .map(|&id| l.length_error(netlist, id).map(f64::abs).unwrap_or(f64::INFINITY))
+                        .map(|&id| {
+                            l.length_error(netlist, id)
+                                .map(f64::abs)
+                                .unwrap_or(f64::INFINITY)
+                        })
                         .sum()
                 };
                 let before = error_sum(layout);
@@ -678,32 +695,33 @@ impl Pilp {
 
     // --- shared machinery --------------------------------------------------
 
-    /// Builds and solves an ILP, lazily separating violated non-overlap
-    /// pairs up to the configured number of rounds.
+    /// Builds one ILP and solves it to overlap-freedom, lazily separating
+    /// violated non-overlap pairs up to the configured number of rounds.
+    ///
+    /// The model is built **once**; every separation round appends the new
+    /// pairs to the same model ([`LayoutIlp::add_overlap_pairs`]) and
+    /// re-solves warm-started from the previous round's root basis
+    /// ([`LayoutIlp::solve_warm`]) — appended rows enter through the dual
+    /// simplex instead of triggering a cold rebuild-and-resolve.
     fn solve_with_separation(
         &self,
         netlist: &Netlist,
-        mut config: IlpConfig,
+        config: IlpConfig,
         base: &Layout,
         blurred: bool,
     ) -> Result<Layout, IlpError> {
         let options = self.solve_options();
+        let mut ilp = LayoutIlp::build(netlist, config, base)?;
+        let mut warm = rfic_milp::WarmStart::new();
         let mut best: Option<Layout> = None;
         for _round in 0..=self.config.max_separation_rounds {
-            let ilp = LayoutIlp::build(netlist, config.clone(), base)?;
-            let outcome = ilp.solve(&options)?;
-            let new_pairs = violating_pairs(netlist, &outcome.layout, &config, blurred);
+            let outcome = ilp.solve_warm(&options, &mut warm)?;
+            let new_pairs = violating_pairs(netlist, &outcome.layout, ilp.config(), blurred);
             best = Some(outcome.layout);
             if new_pairs.is_empty() {
                 break;
             }
-            let before = config.overlap_pairs.len();
-            for pair in new_pairs {
-                if !config.overlap_pairs.contains(&pair) {
-                    config.overlap_pairs.push(pair);
-                }
-            }
-            if config.overlap_pairs.len() == before {
+            if ilp.add_overlap_pairs(&new_pairs)? == 0 {
                 break; // nothing new to add; accept the solution
             }
         }
@@ -762,7 +780,15 @@ pub fn legalize_placements(netlist: &Netlist, layout: &mut Layout, max_shift: f6
 
 /// Shifts a device while keeping it inside the area (pads stay glued to
 /// their boundary edge).
-fn shift_device(netlist: &Netlist, layout: &mut Layout, id: DeviceId, dx: f64, dy: f64, aw: f64, ah: f64) {
+fn shift_device(
+    netlist: &Netlist,
+    layout: &mut Layout,
+    id: DeviceId,
+    dx: f64,
+    dy: f64,
+    aw: f64,
+    ah: f64,
+) {
     let Some(device) = netlist.device(id) else {
         return;
     };
@@ -837,7 +863,11 @@ pub(crate) fn violating_pairs(
             }
             let strip_a = netlist.microstrip(sa).expect("strip");
             let strip_b = netlist.microstrip(sb).expect("strip");
-            if strip_a.terminals().iter().any(|t| strip_b.touches(t.device)) {
+            if strip_a
+                .terminals()
+                .iter()
+                .any(|t| strip_b.touches(t.device))
+            {
                 continue; // electrically adjacent at a shared device
             }
             if segment_boxes[&keys[i]].overlaps(&segment_boxes[&keys[j]]) {
@@ -895,7 +925,9 @@ mod tests {
     #[test]
     fn pilp_lays_out_the_tiny_circuit() {
         let circuit = benchmarks::tiny_circuit();
-        let result = Pilp::new(PilpConfig::fast()).run(&circuit.netlist).expect("pilp run");
+        let result = Pilp::new(PilpConfig::fast())
+            .run(&circuit.netlist)
+            .expect("pilp run");
         assert!(result.layout.is_complete(&circuit.netlist));
         assert_eq!(result.snapshots.len(), 3);
         assert_eq!(result.snapshots[0].phase, PilpPhase::GlobalRouting);
@@ -934,7 +966,10 @@ mod tests {
         // one and instead check the happy path of config accessors.
         assert!(netlist.is_err());
         let pilp = Pilp::default();
-        assert_eq!(pilp.config().max_refine_iters, PilpConfig::default().max_refine_iters);
+        assert_eq!(
+            pilp.config().max_refine_iters,
+            PilpConfig::default().max_refine_iters
+        );
     }
 
     #[test]
@@ -981,7 +1016,15 @@ mod tests {
                 .witness
                 .placements
                 .iter()
-                .map(|(&id, &(c, r))| (id, Placement { center: c, rotation: r }))
+                .map(|(&id, &(c, r))| {
+                    (
+                        id,
+                        Placement {
+                            center: c,
+                            rotation: r,
+                        },
+                    )
+                })
                 .collect(),
             routes: circuit.witness.routes.clone(),
         };
@@ -990,7 +1033,11 @@ mod tests {
         let mut pair = None;
         'outer: for i in 0..strips.len() {
             for j in (i + 1)..strips.len() {
-                if !strips[i].terminals().iter().any(|t| strips[j].touches(t.device)) {
+                if !strips[i]
+                    .terminals()
+                    .iter()
+                    .any(|t| strips[j].touches(t.device))
+                {
                     pair = Some((strips[i].id, strips[j].id));
                     break 'outer;
                 }

@@ -75,13 +75,21 @@ fn fill_rect(
     rows: usize,
     grid: &mut [Vec<char>],
 ) {
-    let c0 = ((rect.min.x / aw) * cols as f64).floor().clamp(0.0, cols as f64) as usize;
-    let c1 = ((rect.max.x / aw) * cols as f64).ceil().clamp(0.0, cols as f64) as usize;
-    let r0 = ((rect.min.y / ah) * rows as f64).floor().clamp(0.0, rows as f64) as usize;
-    let r1 = ((rect.max.y / ah) * rows as f64).ceil().clamp(0.0, rows as f64) as usize;
+    let c0 = ((rect.min.x / aw) * cols as f64)
+        .floor()
+        .clamp(0.0, cols as f64) as usize;
+    let c1 = ((rect.max.x / aw) * cols as f64)
+        .ceil()
+        .clamp(0.0, cols as f64) as usize;
+    let r0 = ((rect.min.y / ah) * rows as f64)
+        .floor()
+        .clamp(0.0, rows as f64) as usize;
+    let r1 = ((rect.max.y / ah) * rows as f64)
+        .ceil()
+        .clamp(0.0, rows as f64) as usize;
     for r in r0..=r1 {
-        for c in c0..=c1 {
-            grid[rows - r][c] = ch;
+        for cell in grid[rows - r][c0..=c1].iter_mut() {
+            *cell = ch;
         }
     }
 }
@@ -102,7 +110,11 @@ pub fn svg(netlist: &Netlist, layout: &Layout) -> String {
     let _ = writeln!(out, r#"<g transform="translate(0,{ah}) scale(1,-1)">"#);
     for device in netlist.devices() {
         if let Some(o) = layout.device_outline(netlist, device.id) {
-            let fill = if device.is_pad() { "#c9a227" } else { "#2e7d32" };
+            let fill = if device.is_pad() {
+                "#c9a227"
+            } else {
+                "#2e7d32"
+            };
             let _ = writeln!(
                 out,
                 r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{}" stroke="#eee" stroke-width="0.5"/>"##,
@@ -169,7 +181,10 @@ mod tests {
         let (netlist, layout) = witness_layout();
         let art = ascii(&netlist, &layout, 5);
         let width = art.lines().map(|l| l.len()).max().unwrap();
-        assert!(width <= 23, "width {width} should be clamped to the minimum grid");
+        assert!(
+            width <= 23,
+            "width {width} should be clamped to the minimum grid"
+        );
     }
 
     #[test]
@@ -178,7 +193,10 @@ mod tests {
         let doc = svg(&netlist, &layout);
         assert!(doc.starts_with("<svg"));
         assert!(doc.trim_end().ends_with("</svg>"));
-        assert_eq!(doc.matches("<polyline").count(), netlist.microstrips().len());
+        assert_eq!(
+            doc.matches("<polyline").count(),
+            netlist.microstrips().len()
+        );
         assert_eq!(doc.matches("<rect").count(), netlist.devices().len() + 1);
     }
 }

@@ -121,7 +121,7 @@ pub fn evaluate_layout(
         .iter()
         .map(|&freq_ghz| {
             let mut total: Option<SParams> = None;
-            let mut cascade = |s: SParams, total: &mut Option<SParams>| {
+            let cascade = |s: SParams, total: &mut Option<SParams>| {
                 *total = Some(match total.take() {
                     None => s,
                     Some(t) => t.cascade(s),
@@ -137,7 +137,10 @@ pub fn evaluate_layout(
                     let line = model.line(geometric, freq_ghz);
                     cascade(abcd_to_s(line), &mut total);
                     for _ in 0..bends {
-                        cascade(abcd_to_s(bend_discontinuity(&model, freq_ghz, true)), &mut total);
+                        cascade(
+                            abcd_to_s(bend_discontinuity(&model, freq_ghz, true)),
+                            &mut total,
+                        );
                     }
                 }
                 if g + 1 < groups {
@@ -182,7 +185,15 @@ mod tests {
                 .witness
                 .placements
                 .iter()
-                .map(|(&id, &(c, r))| (id, Placement { center: c, rotation: r }))
+                .map(|(&id, &(c, r))| {
+                    (
+                        id,
+                        Placement {
+                            center: c,
+                            rotation: r,
+                        },
+                    )
+                })
                 .collect(),
             routes: circuit.witness.routes.clone(),
         }

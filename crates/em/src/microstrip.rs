@@ -68,8 +68,7 @@ impl MicrostripModel {
         if u <= 1.0 {
             60.0 / eps_eff.sqrt() * (8.0 / u + u / 4.0).ln()
         } else {
-            120.0 * std::f64::consts::PI
-                / (eps_eff.sqrt() * (u + 1.393 + 0.667 * (u + 1.444).ln()))
+            120.0 * std::f64::consts::PI / (eps_eff.sqrt() * (u + 1.393 + 0.667 * (u + 1.444).ln()))
         }
     }
 

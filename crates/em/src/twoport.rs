@@ -161,10 +161,7 @@ type T = [[Complex; 2]; 2];
 fn s_to_t(s: SParams) -> T {
     let inv_s21 = s.s21.recip();
     [
-        [
-            (s.s12 * s.s21 - s.s11 * s.s22) * inv_s21,
-            s.s11 * inv_s21,
-        ],
+        [(s.s12 * s.s21 - s.s11 * s.s22) * inv_s21, s.s11 * inv_s21],
         [-(s.s22) * inv_s21, inv_s21],
     ]
 }
@@ -239,7 +236,10 @@ mod tests {
         let beta = 2.0 * std::f64::consts::PI / 1000.0;
         let line = Abcd::transmission_line(Complex::real(25.0), Complex::new(0.0, beta), 250.0);
         let s = abcd_to_s(line);
-        assert!(s.s11.magnitude() > 0.1, "quarter-wave transformer mismatch reflects");
+        assert!(
+            s.s11.magnitude() > 0.1,
+            "quarter-wave transformer mismatch reflects"
+        );
         assert!(s.is_passive(1e-9));
     }
 

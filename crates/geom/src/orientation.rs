@@ -97,7 +97,11 @@ impl Direction {
                 Direction::Left
             })
         } else if dx.abs() <= crate::EPS {
-            Some(if dy > 0.0 { Direction::Up } else { Direction::Down })
+            Some(if dy > 0.0 {
+                Direction::Up
+            } else {
+                Direction::Down
+            })
         } else {
             None
         }
@@ -234,10 +238,22 @@ mod tests {
     #[test]
     fn direction_between_points() {
         let o = Point::ORIGIN;
-        assert_eq!(Direction::between(o, Point::new(5.0, 0.0)), Some(Direction::Right));
-        assert_eq!(Direction::between(o, Point::new(-5.0, 0.0)), Some(Direction::Left));
-        assert_eq!(Direction::between(o, Point::new(0.0, 5.0)), Some(Direction::Up));
-        assert_eq!(Direction::between(o, Point::new(0.0, -5.0)), Some(Direction::Down));
+        assert_eq!(
+            Direction::between(o, Point::new(5.0, 0.0)),
+            Some(Direction::Right)
+        );
+        assert_eq!(
+            Direction::between(o, Point::new(-5.0, 0.0)),
+            Some(Direction::Left)
+        );
+        assert_eq!(
+            Direction::between(o, Point::new(0.0, 5.0)),
+            Some(Direction::Up)
+        );
+        assert_eq!(
+            Direction::between(o, Point::new(0.0, -5.0)),
+            Some(Direction::Down)
+        );
         assert_eq!(Direction::between(o, o), None);
         assert_eq!(Direction::between(o, Point::new(1.0, 1.0)), None);
     }

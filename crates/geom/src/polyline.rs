@@ -99,7 +99,10 @@ impl Polyline {
     /// Last chain point (connected to a device pin or pad).
     #[inline]
     pub fn end(&self) -> Point {
-        *self.points.last().expect("polyline has at least two points")
+        *self
+            .points
+            .last()
+            .expect("polyline has at least two points")
     }
 
     /// Sum of segment lengths before bend smoothing
@@ -267,7 +270,10 @@ mod tests {
         let route = pl(&[(0.0, 0.0), (50.0, 0.0), (50.0, 30.0), (80.0, 30.0)]);
         assert_eq!(route.geometric_length(), 110.0);
         assert_eq!(route.bend_count(), 2);
-        assert_eq!(route.bend_points(), vec![Point::new(50.0, 0.0), Point::new(50.0, 30.0)]);
+        assert_eq!(
+            route.bend_points(),
+            vec![Point::new(50.0, 0.0), Point::new(50.0, 30.0)]
+        );
         assert_eq!(route.num_chain_points(), 4);
     }
 
@@ -288,11 +294,21 @@ mod tests {
 
     #[test]
     fn simplification_removes_unused_chain_points() {
-        let route = pl(&[(0.0, 0.0), (10.0, 0.0), (10.0, 0.0), (20.0, 0.0), (20.0, 5.0)]);
+        let route = pl(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 0.0),
+            (20.0, 0.0),
+            (20.0, 5.0),
+        ]);
         let s = route.simplified();
         assert_eq!(
             s.points(),
-            &[Point::new(0.0, 0.0), Point::new(20.0, 0.0), Point::new(20.0, 5.0)]
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(20.0, 0.0),
+                Point::new(20.0, 5.0)
+            ]
         );
         assert_eq!(s.geometric_length(), route.geometric_length());
         assert_eq!(s.bend_count(), route.bend_count());
@@ -310,7 +326,10 @@ mod tests {
     fn bounding_box_and_escape() {
         let route = pl(&[(10.0, 10.0), (60.0, 10.0), (60.0, 40.0)]);
         let bb = route.bounding_box();
-        assert_eq!(bb, Rect::from_corners(Point::new(10.0, 10.0), Point::new(60.0, 40.0)));
+        assert_eq!(
+            bb,
+            Rect::from_corners(Point::new(10.0, 10.0), Point::new(60.0, 40.0))
+        );
         let area = Rect::from_origin_size(Point::ORIGIN, 100.0, 100.0);
         assert!(!route.escapes(&area));
         let small = Rect::from_origin_size(Point::ORIGIN, 50.0, 50.0);

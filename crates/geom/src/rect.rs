@@ -49,7 +49,10 @@ impl Rect {
     ///
     /// Panics if `width` or `height` is negative.
     pub fn centered(center: Point, width: f64, height: f64) -> Rect {
-        assert!(width >= 0.0 && height >= 0.0, "negative rectangle dimensions");
+        assert!(
+            width >= 0.0 && height >= 0.0,
+            "negative rectangle dimensions"
+        );
         Rect {
             min: Point::new(center.x - width / 2.0, center.y - height / 2.0),
             max: Point::new(center.x + width / 2.0, center.y + height / 2.0),
@@ -62,7 +65,10 @@ impl Rect {
     ///
     /// Panics if `width` or `height` is negative.
     pub fn from_origin_size(origin: Point, width: f64, height: f64) -> Rect {
-        assert!(width >= 0.0 && height >= 0.0, "negative rectangle dimensions");
+        assert!(
+            width >= 0.0 && height >= 0.0,
+            "negative rectangle dimensions"
+        );
         Rect {
             min: origin,
             max: Point::new(origin.x + width, origin.y + height),
@@ -171,7 +177,9 @@ impl Rect {
 
     /// Area of the intersection of the two rectangles (zero if disjoint).
     pub fn overlap_area(&self, other: &Rect) -> f64 {
-        self.overlap_extents(other).map(|(w, h)| w * h).unwrap_or(0.0)
+        self.overlap_extents(other)
+            .map(|(w, h)| w * h)
+            .unwrap_or(0.0)
     }
 
     /// Intersection rectangle, if the closed rectangles intersect.
@@ -200,8 +208,12 @@ impl Rect {
     /// otherwise the single-axis separation. Returns `0.0` if the
     /// rectangles overlap or touch.
     pub fn gap(&self, other: &Rect) -> f64 {
-        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0.0);
-        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0.0);
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0.0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0.0);
         dx.max(dy)
     }
 

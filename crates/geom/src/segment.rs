@@ -49,7 +49,10 @@ impl fmt::Display for SegmentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SegmentError::NotRectilinear { start, end } => {
-                write!(f, "segment endpoints {start} and {end} are not axis-aligned")
+                write!(
+                    f,
+                    "segment endpoints {start} and {end} are not axis-aligned"
+                )
             }
             SegmentError::InvalidWidth(w) => write!(f, "invalid segment width {w}"),
         }

@@ -1,0 +1,350 @@
+//! Basis factorisation for the revised simplex.
+//!
+//! The basis matrix `B` (one column per basic variable) is factorised as
+//! `B = P^T L U` by sparse Gaussian elimination with partial pivoting; the
+//! factors are stored column-wise as explicit sparse lists. Pivots replace
+//! one basis column at a time, which is absorbed with **product-form (eta)
+//! updates**: instead of refactorising, the update `B' = B·E_r(w)` with
+//! `w = B⁻¹ a_q` is appended to an eta file applied after (FTRAN) or before
+//! (BTRAN) the LU solves. The factorisation is rebuilt from scratch
+//! periodically — when the eta file grows past a threshold or a pivot is
+//! numerically unacceptable — which bounds both fill-in and error
+//! accumulation (the classical Bartels–Golub motivation; see `DESIGN.md`
+//! for the deviation note).
+
+use crate::sparse::ScatterVec;
+
+/// Smallest pivot magnitude accepted during factorisation.
+const PIVOT_TOL: f64 = 1e-10;
+/// Smallest eta pivot accepted during an update; below this the caller must
+/// refactorise.
+const ETA_PIVOT_TOL: f64 = 1e-8;
+/// Entries below this magnitude are dropped from stored factor columns.
+const DROP_TOL: f64 = 1e-13;
+
+/// One product-form update: the basis column at elimination position
+/// `pos` was replaced; `w = B⁻¹ a_q` is stored split into its pivot element
+/// and the remaining non-zeros.
+#[derive(Debug, Clone)]
+struct Eta {
+    pos: usize,
+    pivot: f64,
+    /// `(position, w_i)` for `i != pos`.
+    entries: Vec<(usize, f64)>,
+}
+
+/// LU factorisation of a basis with an eta-file of pending updates.
+#[derive(Debug, Clone)]
+pub(crate) struct Factorization {
+    m: usize,
+    /// `lower[k]`: multipliers `(row, l)` of elimination step `k`
+    /// (rows still unpivoted at step `k`).
+    lower: Vec<Vec<(usize, f64)>>,
+    /// `upper[k]`: above-diagonal entries `(position, u)` of column `k` of
+    /// `U` (positions `< k`).
+    upper: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U` per elimination position.
+    upper_diag: Vec<f64>,
+    /// Row chosen as pivot of elimination step `k`.
+    pivot_rows: Vec<usize>,
+    etas: Vec<Eta>,
+    /// Refactorise once the eta file reaches this many updates.
+    max_etas: usize,
+}
+
+/// Error returned when the candidate basis is numerically singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SingularBasis;
+
+impl Factorization {
+    /// Factorises the basis given as `m` sparse columns (`(row, value)`
+    /// lists).
+    pub fn factorize(
+        m: usize,
+        columns: &[Vec<(usize, f64)>],
+    ) -> Result<Factorization, SingularBasis> {
+        debug_assert_eq!(columns.len(), m);
+        let mut f = Factorization {
+            m,
+            lower: Vec::with_capacity(m),
+            upper: Vec::with_capacity(m),
+            upper_diag: Vec::with_capacity(m),
+            pivot_rows: Vec::with_capacity(m),
+            etas: Vec::new(),
+            max_etas: (m / 2).clamp(16, 64),
+        };
+        let mut pivoted = vec![false; m];
+        let mut work = ScatterVec::new(m);
+        for column in columns.iter() {
+            let k = f.pivot_rows.len();
+            for &(r, v) in column {
+                work.add(r, v);
+            }
+            // Apply the previous elimination steps in order.
+            let mut upper_col: Vec<(usize, f64)> = Vec::new();
+            for j in 0..k {
+                let u = work.get(f.pivot_rows[j]);
+                if u.abs() > DROP_TOL {
+                    upper_col.push((j, u));
+                    for &(row, l) in &f.lower[j] {
+                        work.add(row, -l * u);
+                    }
+                }
+            }
+            // Partial pivoting over the rows not yet chosen.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_val = 0.0f64;
+            for &r in work.touched() {
+                if !pivoted[r] && work.get(r).abs() > pivot_val.abs() {
+                    pivot_row = r;
+                    pivot_val = work.get(r);
+                }
+            }
+            if pivot_row == usize::MAX || pivot_val.abs() < PIVOT_TOL {
+                return Err(SingularBasis);
+            }
+            pivoted[pivot_row] = true;
+            let mut lower_col: Vec<(usize, f64)> = Vec::new();
+            for &r in work.touched() {
+                if !pivoted[r] {
+                    let l = work.get(r) / pivot_val;
+                    if l.abs() > DROP_TOL {
+                        lower_col.push((r, l));
+                    }
+                }
+            }
+            work.clear();
+            f.pivot_rows.push(pivot_row);
+            f.upper_diag.push(pivot_val);
+            f.upper.push(upper_col);
+            f.lower.push(lower_col);
+        }
+        Ok(f)
+    }
+
+    /// Basis dimension.
+    #[cfg(test)]
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// `true` when the eta file is due for a refactorisation.
+    #[inline]
+    pub fn needs_refactorization(&self) -> bool {
+        self.etas.len() >= self.max_etas
+    }
+
+    /// Number of eta updates applied since the last refactorisation.
+    #[cfg(test)]
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// FTRAN: solves `B x = b`. `b` is indexed by *row*, the result by
+    /// *elimination position* (i.e. `x[k]` belongs to the basic variable in
+    /// position `k`). Works in place on a dense buffer of length `m`.
+    pub fn ftran(&self, b: &mut [f64]) {
+        debug_assert_eq!(b.len(), self.m);
+        // L-solve: replay the elimination steps on b (row space).
+        for j in 0..self.m {
+            let y = b[self.pivot_rows[j]];
+            if y != 0.0 {
+                for &(row, l) in &self.lower[j] {
+                    b[row] -= l * y;
+                }
+            }
+        }
+        // Permute into position space: y_k lives at pivot_rows[k].
+        let mut x = vec![0.0; self.m];
+        for k in 0..self.m {
+            x[k] = b[self.pivot_rows[k]];
+        }
+        // U back-substitution (column oriented).
+        for k in (0..self.m).rev() {
+            let xk = x[k] / self.upper_diag[k];
+            x[k] = xk;
+            if xk != 0.0 {
+                for &(i, u) in &self.upper[k] {
+                    x[i] -= u * xk;
+                }
+            }
+        }
+        // Eta file: x := E⁻¹ x, oldest first.
+        for eta in &self.etas {
+            let xr = x[eta.pos] / eta.pivot;
+            x[eta.pos] = xr;
+            if xr != 0.0 {
+                for &(i, w) in &eta.entries {
+                    x[i] -= w * xr;
+                }
+            }
+        }
+        b.copy_from_slice(&x);
+    }
+
+    /// BTRAN: solves `Bᵀ y = c`. `c` is indexed by *elimination position*
+    /// (cost of the basic variable in position `k`), the result by *row*
+    /// (dual value per constraint row). Works in place.
+    pub fn btran(&self, c: &mut [f64]) {
+        debug_assert_eq!(c.len(), self.m);
+        // Eta file transposed, newest first: c := E⁻ᵀ c.
+        for eta in self.etas.iter().rev() {
+            let mut cr = c[eta.pos];
+            for &(i, w) in &eta.entries {
+                cr -= w * c[i];
+            }
+            c[eta.pos] = cr / eta.pivot;
+        }
+        // Uᵀ forward solve (Uᵀ is lower triangular in position space).
+        let mut w = vec![0.0; self.m];
+        for k in 0..self.m {
+            let mut v = c[k];
+            for &(i, u) in &self.upper[k] {
+                v -= u * w[i];
+            }
+            w[k] = v / self.upper_diag[k];
+        }
+        // Scatter to row space and apply the transposed elimination steps in
+        // reverse order.
+        let mut y = vec![0.0; self.m];
+        for k in 0..self.m {
+            y[self.pivot_rows[k]] = w[k];
+        }
+        for j in (0..self.m).rev() {
+            let mut acc = 0.0;
+            for &(row, l) in &self.lower[j] {
+                acc += l * y[row];
+            }
+            y[self.pivot_rows[j]] -= acc;
+        }
+        c.copy_from_slice(&y);
+    }
+
+    /// Absorbs a basis change at elimination position `pos`, where
+    /// `w = B⁻¹ a_entering` (position space, as produced by
+    /// [`Factorization::ftran`]). Returns `false` when the pivot element is
+    /// too small — the caller must refactorise instead.
+    pub fn update(&mut self, pos: usize, w: &[f64]) -> bool {
+        let pivot = w[pos];
+        if pivot.abs() < ETA_PIVOT_TOL {
+            return false;
+        }
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != pos && v.abs() > DROP_TOL)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta {
+            pos,
+            pivot,
+            entries,
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_columns(cols: &[&[f64]]) -> Vec<Vec<(usize, f64)>> {
+        cols.iter()
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(r, &v)| (r, v))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn mat_vec(cols: &[&[f64]], x: &[f64]) -> Vec<f64> {
+        let m = cols[0].len();
+        let mut out = vec![0.0; m];
+        for (k, col) in cols.iter().enumerate() {
+            for r in 0..m {
+                out[r] += col[r] * x[k];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ftran_btran_solve_small_system() {
+        // B columns (3x3), deliberately needing a row swap.
+        let cols: Vec<&[f64]> = vec![&[0.0, 2.0, 1.0], &[1.0, 0.0, 1.0], &[1.0, 1.0, 0.0]];
+        let f = Factorization::factorize(3, &dense_columns(&cols)).expect("nonsingular");
+        assert_eq!(f.dim(), 3);
+
+        let mut b = vec![3.0, 5.0, 4.0];
+        f.ftran(&mut b);
+        // Check B x = [3,5,4].
+        let bx = mat_vec(&cols, &b);
+        for (got, want) in bx.iter().zip([3.0, 5.0, 4.0]) {
+            assert!((got - want).abs() < 1e-9, "{bx:?}");
+        }
+
+        let mut c = vec![1.0, -2.0, 0.5];
+        f.btran(&mut c);
+        // Check Bᵀ y = c, i.e. for every column k: col_k · y = c_k.
+        for (k, col) in cols.iter().enumerate() {
+            let dot: f64 = col.iter().zip(&c).map(|(a, y)| a * y).sum();
+            let want = [1.0, -2.0, 0.5][k];
+            assert!((dot - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let cols: Vec<&[f64]> = vec![&[1.0, 2.0], &[2.0, 4.0]];
+        assert_eq!(
+            Factorization::factorize(2, &dense_columns(&cols)).unwrap_err(),
+            SingularBasis
+        );
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        let cols: Vec<&[f64]> = vec![&[2.0, 0.0, 1.0], &[0.0, 1.0, 1.0], &[1.0, 1.0, 0.0]];
+        let mut f = Factorization::factorize(3, &dense_columns(&cols)).expect("nonsingular");
+
+        // Replace the column in position 1 with a_q = [1, 3, 0].
+        let a_q = [1.0, 3.0, 0.0];
+        let mut w = a_q.to_vec();
+        f.ftran(&mut w);
+        assert!(f.update(1, &w));
+        assert_eq!(f.eta_count(), 1);
+
+        let new_cols: Vec<&[f64]> = vec![&[2.0, 0.0, 1.0], &a_q, &[1.0, 1.0, 0.0]];
+        let g = Factorization::factorize(3, &dense_columns(&new_cols)).expect("nonsingular");
+
+        let rhs = [4.0, -1.0, 2.5];
+        let mut x1 = rhs.to_vec();
+        f.ftran(&mut x1);
+        let mut x2 = rhs.to_vec();
+        g.ftran(&mut x2);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-9, "{x1:?} vs {x2:?}");
+        }
+
+        let cost = [1.0, 1.0, -1.0];
+        let mut y1 = cost.to_vec();
+        f.btran(&mut y1);
+        let mut y2 = cost.to_vec();
+        g.btran(&mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-9, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_eta_pivot_is_refused() {
+        let cols: Vec<&[f64]> = vec![&[1.0, 0.0], &[0.0, 1.0]];
+        let mut f = Factorization::factorize(2, &dense_columns(&cols)).expect("nonsingular");
+        // w with a ~zero pivot element in position 0.
+        assert!(!f.update(0, &[1e-12, 1.0]));
+        assert_eq!(f.eta_count(), 0);
+    }
+}

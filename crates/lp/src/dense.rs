@@ -1,4 +1,10 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex — retained as the *reference oracle* for
+//! the sparse revised simplex in [`crate::revised`].
+//!
+//! This was the original production solver; it now backs the golden
+//! regression suite (`tests/golden.rs` cross-checks every revised-simplex
+//! answer against it) and is exposed only through the hidden
+//! [`LinearProgram::solve_dense`] entry point.
 //!
 //! The implementation follows the classical textbook tableau method:
 //!
@@ -16,6 +22,10 @@
 //!
 //! Dantzig pricing is used until a stall is detected, after which the solver
 //! falls back to Bland's rule, which guarantees termination.
+
+// Tableau arithmetic is naturally index-based; the oracle keeps the
+// original (verified) loop style.
+#![allow(clippy::needless_range_loop, clippy::ptr_arg)]
 
 use crate::problem::{ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
 use crate::TOLERANCE;
@@ -191,7 +201,11 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
                 // slack (+1 for Le, -1 for Ge), flipped with the row
                 let s = slack_base + slack_idx;
                 slack_idx += 1;
-                let coeff = if matches!(op, ConstraintOp::Le) { 1.0 } else { -1.0 } * flip;
+                let coeff = if matches!(op, ConstraintOp::Le) {
+                    1.0
+                } else {
+                    -1.0
+                } * flip;
                 tableau[r][s] = coeff;
                 if coeff > 0.0 {
                     basis[r] = s;

@@ -1,20 +1,27 @@
-//! A self-contained dense linear-programming solver.
+//! A self-contained sparse linear-programming solver.
 //!
 //! This crate is the numerical substrate underneath the MILP layer
 //! (`rfic-milp`) and, transitively, the progressive-ILP RFIC layout engine.
 //! The DAC 2016 paper solves its models with a commercial solver; this
-//! crate provides the open equivalent: a classical **two-phase primal
-//! simplex** on a dense tableau with
+//! crate provides the open equivalent: a **bounded-variable revised
+//! simplex** over a compressed-sparse-column matrix ([`CscMatrix`]) with
 //!
-//! * arbitrary variable bounds (finite, one-sided or free),
+//! * arbitrary variable bounds handled natively (finite, one-sided or
+//!   free — no variable splitting), plus bound-to-bound flips,
 //! * `<=`, `>=` and `=` constraints,
 //! * minimisation or maximisation objectives,
+//! * an LU-factorised basis with product-form (eta) updates and periodic
+//!   refactorisation,
+//! * **warm starts**: [`LinearProgram::solve_warm`] accepts the [`Basis`]
+//!   of a previous solve — also of a smaller model — and re-enters through
+//!   the **dual simplex**, which makes branch-and-bound bound changes and
+//!   lazily separated constraints cheap re-solves,
 //! * infeasibility and unboundedness detection, and
 //! * Bland's anti-cycling rule as a fallback after degenerate stalls.
 //!
-//! The models produced by the layout engine are small-to-medium dense
-//! problems (hundreds of rows/columns per progressive phase), which is the
-//! regime a dense tableau handles comfortably and predictably.
+//! The original dense two-phase tableau implementation is retained as a
+//! hidden test oracle (`LinearProgram::solve_dense`); the golden regression
+//! suite asserts that both solvers agree on objectives and status.
 //!
 //! # Examples
 //!
@@ -36,10 +43,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod basis;
+mod dense;
 mod problem;
-mod simplex;
+mod revised;
+mod sparse;
 
 pub use problem::{Constraint, ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
+pub use revised::Basis;
+pub use sparse::{CscMatrix, ScatterVec};
 
 /// Numerical tolerance used by the solver for feasibility and optimality
 /// tests.

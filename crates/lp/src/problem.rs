@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use crate::simplex;
+use crate::dense;
+use crate::revised::{self, Basis};
 
 /// Optimisation direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +61,7 @@ pub struct LinearProgram {
     upper: Vec<f64>,
     constraints: Vec<Constraint>,
     iteration_limit: usize,
+    time_limit: Option<std::time::Duration>,
 }
 
 /// Result of a successful LP solve.
@@ -82,6 +84,9 @@ pub enum LpError {
     Unbounded,
     /// The simplex iteration limit was exceeded (numerical cycling).
     IterationLimit,
+    /// The wall-clock limit set via [`LinearProgram::set_time_limit`] was
+    /// exceeded.
+    TimeLimit,
     /// The model itself is malformed (bad index, NaN coefficient, crossed
     /// bounds, ...).
     InvalidModel(String),
@@ -93,6 +98,7 @@ impl fmt::Display for LpError {
             LpError::Infeasible => f.write_str("linear program is infeasible"),
             LpError::Unbounded => f.write_str("linear program is unbounded"),
             LpError::IterationLimit => f.write_str("simplex iteration limit exceeded"),
+            LpError::TimeLimit => f.write_str("simplex wall-clock limit exceeded"),
             LpError::InvalidModel(msg) => write!(f, "invalid linear program: {msg}"),
         }
     }
@@ -112,6 +118,7 @@ impl LinearProgram {
             upper: vec![f64::INFINITY; num_vars],
             constraints: Vec::new(),
             iteration_limit: 50_000,
+            time_limit: None,
         }
     }
 
@@ -179,6 +186,15 @@ impl LinearProgram {
         self.iteration_limit = limit;
     }
 
+    /// Sets an optional wall-clock deadline for a solve; `None` (the
+    /// default) means unlimited. Exceeding it returns
+    /// [`LpError::TimeLimit`]. Callers running many solves under a global
+    /// budget (branch and bound) use this to keep a single pathological LP
+    /// from blowing the budget.
+    pub fn set_time_limit(&mut self, limit: Option<std::time::Duration>) {
+        self.time_limit = limit;
+    }
+
     /// Adds a constraint from a sparse coefficient list. Repeated indices
     /// are summed.
     pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) {
@@ -206,7 +222,9 @@ impl LinearProgram {
         }
         for (ci, con) in self.constraints.iter().enumerate() {
             if !con.rhs.is_finite() {
-                return Err(LpError::InvalidModel(format!("non-finite rhs in constraint {ci}")));
+                return Err(LpError::InvalidModel(format!(
+                    "non-finite rhs in constraint {ci}"
+                )));
             }
             for &(v, c) in &con.coeffs {
                 if v >= self.num_vars {
@@ -224,7 +242,8 @@ impl LinearProgram {
         Ok(())
     }
 
-    /// Solves the linear program with the two-phase primal simplex method.
+    /// Solves the linear program with the sparse bounded-variable revised
+    /// simplex method (cold start).
     ///
     /// # Errors
     ///
@@ -234,7 +253,40 @@ impl LinearProgram {
     /// * [`LpError::InvalidModel`] — malformed input (NaN, bad index, ...).
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         self.validate()?;
-        simplex::solve(self)
+        revised::solve(self, None).map(|(solution, _)| solution)
+    }
+
+    /// Solves the linear program, optionally warm-starting from the
+    /// [`Basis`] of a previous solve, and returns the optimal basis for the
+    /// next warm start.
+    ///
+    /// The warm basis may come from a *smaller* model: variables and
+    /// constraints appended since the basis was taken are reconciled
+    /// automatically (new rows enter with their logical variable basic),
+    /// which makes branch-and-bound bound changes and lazy constraint
+    /// separation cheap dual re-solves. A stale or singular basis silently
+    /// falls back to a cold start.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearProgram::solve`].
+    pub fn solve_warm(&self, warm: Option<&Basis>) -> Result<(LpSolution, Basis), LpError> {
+        self.validate()?;
+        revised::solve(self, warm)
+    }
+
+    /// Solves with the legacy dense two-phase tableau simplex.
+    ///
+    /// Retained as a reference oracle for regression tests; production code
+    /// paths use [`LinearProgram::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearProgram::solve`].
+    #[doc(hidden)]
+    pub fn solve_dense(&self) -> Result<LpSolution, LpError> {
+        self.validate()?;
+        dense::solve(self)
     }
 
     pub(crate) fn lower_bounds(&self) -> &[f64] {
@@ -247,6 +299,10 @@ impl LinearProgram {
 
     pub(crate) fn iteration_limit(&self) -> usize {
         self.iteration_limit
+    }
+
+    pub(crate) fn time_limit(&self) -> Option<std::time::Duration> {
+        self.time_limit
     }
 }
 
@@ -292,7 +348,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
         assert!(LpError::InvalidModel("x".into()).to_string().contains("x"));
         assert_eq!(ConstraintOp::Le.to_string(), "<=");
     }

@@ -1,0 +1,863 @@
+//! Bounded-variable revised simplex over a sparse column representation.
+//!
+//! The model is brought into the computational standard form
+//!
+//! ```text
+//!   minimise cᵀx   subject to   A·x_struct + s = b,   l ≤ x ≤ u
+//! ```
+//!
+//! with one *logical* (slack) variable per row: `s ≥ 0` for `<=` rows,
+//! `s ≤ 0` for `>=` rows and `s = 0` for `=` rows. Variables keep their
+//! bounds natively — no shifting, mirroring or free-variable splitting as in
+//! the old dense tableau — and nonbasic variables sit at one of their finite
+//! bounds (free nonbasics sit at zero).
+//!
+//! Three engines share the factorised basis ([`crate::basis`]):
+//!
+//! * **primal phase 1/2** — a composite-objective primal simplex: while any
+//!   basic variable violates its bounds the objective is the (piecewise
+//!   linear) sum of infeasibilities, afterwards the true costs; the ratio
+//!   test lets infeasible basics travel to their violated bound,
+//! * **dual simplex** — entered when a warm-start basis is dual feasible,
+//!   which is the cheap path after branch-and-bound bound changes or after
+//!   appending lazily separated constraint rows,
+//! * **bound flips** — nonbasic variables with two finite bounds move
+//!   bound-to-bound without a basis change.
+//!
+//! Warm starts are first-class: [`solve`] accepts the [`Basis`] returned by
+//! a previous solve (possibly of a *smaller* model — new variables enter at
+//! a bound, new rows enter with their logical basic) and re-factorises it,
+//! falling back to the all-logical cold basis when the warm basis is stale
+//! or singular.
+
+use crate::basis::Factorization;
+use crate::problem::{ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
+use crate::sparse::CscMatrix;
+use crate::TOLERANCE;
+
+/// Reduced-cost (dual) tolerance.
+const DUAL_TOL: f64 = 1e-7;
+/// Minimum pivot magnitude in the ratio tests.
+const RATIO_PIVOT_TOL: f64 = 1e-9;
+/// A step below this is treated as degenerate for stall detection.
+const DEGENERATE_STEP: f64 = 1e-10;
+/// Residual bound violation accepted when the phase-1 objective stalls at a
+/// numerically tiny value.
+const ACCEPT_INFEAS: f64 = 1e-6;
+
+/// Status of one variable relative to the current basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarStatus {
+    Basic,
+    AtLower,
+    AtUpper,
+    Free,
+}
+
+/// A warm-start basis: the basic variable of every row plus the bound
+/// status of every nonbasic variable.
+///
+/// Returned by [`LinearProgram::solve_warm`] and accepted back by it — also
+/// for a *grown* model (more variables and/or more constraints than the
+/// solve that produced it): new structural variables start at a bound, new
+/// rows start with their logical variable basic, which is exactly what makes
+/// re-solving after a branching bound change or a lazily separated
+/// constraint cheap (dual simplex from the parent optimum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis {
+    statuses: Vec<VarStatus>,
+    basic: Vec<usize>,
+    num_structural: usize,
+}
+
+impl Basis {
+    /// Number of structural variables of the model this basis belongs to.
+    pub fn num_structural(&self) -> usize {
+        self.num_structural
+    }
+
+    /// Number of constraint rows of the model this basis belongs to.
+    pub fn num_rows(&self) -> usize {
+        self.basic.len()
+    }
+}
+
+/// Outcome of the dual-simplex engine.
+enum DualOutcome {
+    /// Primal feasibility reached (and dual feasibility maintained).
+    Feasible,
+    /// Dual feasibility was lost or the engine stalled; run the primal.
+    Abandoned,
+}
+
+struct Solver<'a> {
+    lp: &'a LinearProgram,
+    n: usize,
+    m: usize,
+    /// Minimisation costs over structural + logical variables.
+    cost: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    matrix: CscMatrix,
+    rhs: Vec<f64>,
+    statuses: Vec<VarStatus>,
+    basic: Vec<usize>,
+    factor: Factorization,
+    /// Basic values by elimination position (parallel to `basic`).
+    x_basic: Vec<f64>,
+    iterations: usize,
+    limit: usize,
+    /// Wall-clock deadline, checked periodically inside the pivot loops.
+    deadline: Option<std::time::Instant>,
+    /// Consecutive degenerate steps; beyond a threshold the pricing falls
+    /// back to Bland's rule.
+    stall: usize,
+}
+
+impl<'a> Solver<'a> {
+    fn new(lp: &'a LinearProgram, warm: Option<&Basis>) -> Result<Solver<'a>, LpError> {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        let sign = match lp.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+
+        let mut cost = Vec::with_capacity(n + m);
+        for &c in lp.objective() {
+            cost.push(sign * c);
+        }
+        cost.resize(n + m, 0.0);
+
+        let mut lower = Vec::with_capacity(n + m);
+        let mut upper = Vec::with_capacity(n + m);
+        lower.extend_from_slice(lp.lower_bounds());
+        upper.extend_from_slice(lp.upper_bounds());
+        let mut rhs = Vec::with_capacity(m);
+        for con in lp.constraints() {
+            rhs.push(con.rhs);
+            match con.op {
+                ConstraintOp::Le => {
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                }
+                ConstraintOp::Ge => {
+                    lower.push(f64::NEG_INFINITY);
+                    upper.push(0.0);
+                }
+                ConstraintOp::Eq => {
+                    lower.push(0.0);
+                    upper.push(0.0);
+                }
+            }
+        }
+
+        let columns: Vec<Vec<(usize, f64)>> = {
+            let mut cols = vec![Vec::new(); n];
+            for (r, con) in lp.constraints().iter().enumerate() {
+                for &(v, c) in &con.coeffs {
+                    cols[v].push((r, c));
+                }
+            }
+            cols
+        };
+        let matrix = CscMatrix::from_columns(m, &columns);
+
+        let mut solver = Solver {
+            lp,
+            n,
+            m,
+            cost,
+            lower,
+            upper,
+            matrix,
+            rhs,
+            statuses: Vec::new(),
+            basic: Vec::new(),
+            factor: Factorization::factorize(0, &[]).expect("empty basis"),
+            x_basic: vec![0.0; m],
+            iterations: 0,
+            limit: lp.iteration_limit(),
+            deadline: lp.time_limit().map(|d| std::time::Instant::now() + d),
+            stall: 0,
+        };
+
+        let warm_applied = warm.is_some_and(|b| solver.try_warm_basis(b));
+        if !warm_applied {
+            solver.cold_basis();
+            solver
+                .refactorize()
+                .map_err(|_| LpError::InvalidModel("logical basis is singular".into()))?;
+        }
+        Ok(solver)
+    }
+
+    /// Default nonbasic status of a variable given its bounds.
+    fn default_status(&self, j: usize) -> VarStatus {
+        if self.lower[j].is_finite() {
+            VarStatus::AtLower
+        } else if self.upper[j].is_finite() {
+            VarStatus::AtUpper
+        } else {
+            VarStatus::Free
+        }
+    }
+
+    /// Repairs a nonbasic status that no longer matches the bounds.
+    fn reconcile_status(&self, j: usize, status: VarStatus) -> VarStatus {
+        match status {
+            VarStatus::Basic => VarStatus::Basic,
+            VarStatus::AtLower if self.lower[j].is_finite() => VarStatus::AtLower,
+            VarStatus::AtUpper if self.upper[j].is_finite() => VarStatus::AtUpper,
+            _ => self.default_status(j),
+        }
+    }
+
+    /// All-logical starting basis.
+    fn cold_basis(&mut self) {
+        self.statuses = (0..self.n + self.m)
+            .map(|j| {
+                if j < self.n {
+                    self.default_status(j)
+                } else {
+                    VarStatus::Basic
+                }
+            })
+            .collect();
+        self.basic = (self.n..self.n + self.m).collect();
+    }
+
+    /// Attempts to adopt (and possibly extend) a warm basis; returns `false`
+    /// when the basis is stale or singular, leaving the solver untouched.
+    fn try_warm_basis(&mut self, warm: &Basis) -> bool {
+        let old_n = warm.num_structural;
+        let old_m = warm.num_rows();
+        if old_n > self.n || old_m > self.m {
+            return false;
+        }
+        let remap = |var: usize| -> usize {
+            if var < old_n {
+                var
+            } else {
+                self.n + (var - old_n)
+            }
+        };
+        let mut statuses = Vec::with_capacity(self.n + self.m);
+        for j in 0..self.n {
+            let status = if j < old_n {
+                warm.statuses[j]
+            } else {
+                self.default_status(j)
+            };
+            statuses.push(self.reconcile_status(j, status));
+        }
+        for i in 0..self.m {
+            let j = self.n + i;
+            let status = if i < old_m {
+                warm.statuses[old_n + i]
+            } else {
+                VarStatus::Basic
+            };
+            statuses.push(self.reconcile_status(j, status));
+        }
+        let mut basic: Vec<usize> = warm.basic.iter().map(|&v| remap(v)).collect();
+        basic.extend(self.n + old_m..self.n + self.m);
+        // Consistency: every basic entry must carry Basic status and the
+        // counts must agree (reconcile_status never turns Basic into
+        // nonbasic, so this only guards against corrupted inputs).
+        if basic.len() != self.m || basic.iter().any(|&v| statuses[v] != VarStatus::Basic) {
+            return false;
+        }
+        let prev_statuses = std::mem::replace(&mut self.statuses, statuses);
+        let prev_basic = std::mem::replace(&mut self.basic, basic);
+        if self.refactorize().is_err() {
+            self.statuses = prev_statuses;
+            self.basic = prev_basic;
+            return false;
+        }
+        true
+    }
+
+    fn snapshot(&self) -> Basis {
+        Basis {
+            statuses: self.statuses.clone(),
+            basic: self.basic.clone(),
+            num_structural: self.n,
+        }
+    }
+
+    /// Iterates the `(row, value)` entries of the full column of variable
+    /// `j` (structural: matrix column; logical: unit vector).
+    fn column(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (structural, logical) = if j < self.n {
+            (Some(self.matrix.col_iter(j)), None)
+        } else {
+            (None, Some((j - self.n, 1.0)))
+        };
+        structural.into_iter().flatten().chain(logical)
+    }
+
+    /// Dot product of the column of variable `j` with a dense row vector.
+    fn column_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        if j < self.n {
+            self.matrix.col_dot(j, dense)
+        } else {
+            dense[j - self.n]
+        }
+    }
+
+    fn refactorize(&mut self) -> Result<(), crate::basis::SingularBasis> {
+        let columns: Vec<Vec<(usize, f64)>> = self
+            .basic
+            .iter()
+            .map(|&j| self.column(j).collect())
+            .collect();
+        self.factor = Factorization::factorize(self.m, &columns)?;
+        Ok(())
+    }
+
+    /// Value of a nonbasic variable.
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.statuses[j] {
+            VarStatus::AtLower => self.lower[j],
+            VarStatus::AtUpper => self.upper[j],
+            VarStatus::Free => 0.0,
+            VarStatus::Basic => unreachable!("basic variable has no nonbasic value"),
+        }
+    }
+
+    /// Recomputes the basic values `x_B = B⁻¹(b − N·x_N)`.
+    fn compute_x_basic(&mut self) {
+        let mut rhs = self.rhs.clone();
+        for j in 0..self.n + self.m {
+            if self.statuses[j] == VarStatus::Basic {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                for (r, a) in self.column(j) {
+                    rhs[r] -= a * v;
+                }
+            }
+        }
+        self.factor.ftran(&mut rhs);
+        self.x_basic = rhs;
+    }
+
+    /// Bound-violation tolerance for a bound value.
+    #[inline]
+    fn feas_tol(bound: f64) -> f64 {
+        TOLERANCE * (1.0 + bound.abs())
+    }
+
+    /// Checks the shared iteration and wall-clock limits (called once per
+    /// pivot loop iteration; the clock is sampled every 32 pivots).
+    fn check_limits(&self) -> Result<(), LpError> {
+        if self.iterations >= self.limit {
+            return Err(LpError::IterationLimit);
+        }
+        if self.iterations.is_multiple_of(32) {
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() > deadline {
+                    return Err(LpError::TimeLimit);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `(positions, total violation)` of basic variables whose bound
+    /// violation exceeds `max(feas_tol, accept)`.
+    fn infeasible_positions(&self, accept: f64) -> (Vec<usize>, f64) {
+        let mut out = Vec::new();
+        let mut total = 0.0;
+        for (k, &j) in self.basic.iter().enumerate() {
+            let x = self.x_basic[k];
+            let (l, u) = (self.lower[j], self.upper[j]);
+            if x < l - Self::feas_tol(l).max(accept) {
+                out.push(k);
+                total += l - x;
+            } else if x > u + Self::feas_tol(u).max(accept) {
+                out.push(k);
+                total += x - u;
+            }
+        }
+        (out, total)
+    }
+
+    /// Reduced costs `d_j = c_j − yᵀ a_j` for all variables (basics ≈ 0)
+    /// under the given cost vector (indexed by variable).
+    fn duals(&self, cost: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (k, &j) in self.basic.iter().enumerate() {
+            y[k] = cost[j];
+        }
+        self.factor.btran(&mut y);
+        y
+    }
+
+    /// One primal simplex run with the composite phase-1/phase-2 objective.
+    /// Terminates at optimality, or with `Infeasible` / `Unbounded` /
+    /// `IterationLimit`.
+    ///
+    /// Basic values are maintained incrementally (`x_B ← x_B − σ·t·w` per
+    /// pivot) and refreshed from scratch at every refactorisation.
+    fn primal(&mut self) -> Result<(), LpError> {
+        self.compute_x_basic();
+        // Once phase 1 stalls at a numerically tiny residual, those
+        // violations are written off (up to ACCEPT_INFEAS) so the loop
+        // proceeds to optimise the true objective instead of returning a
+        // never-optimised point.
+        let mut accept = 0.0f64;
+        loop {
+            self.check_limits()?;
+            if self.factor.needs_refactorization() {
+                self.refactorize_or_reset()?;
+                self.compute_x_basic();
+            }
+            let (infeasible, violation) = self.infeasible_positions(accept);
+            let phase1 = !infeasible.is_empty();
+
+            // Composite costs: sum of infeasibilities while any exist.
+            let cost_owned;
+            let cost: &[f64] = if phase1 {
+                let mut c = vec![0.0; self.n + self.m];
+                for &k in &infeasible {
+                    let j = self.basic[k];
+                    c[j] = if self.x_basic[k] < self.lower[j] {
+                        -1.0
+                    } else {
+                        1.0
+                    };
+                }
+                cost_owned = c;
+                &cost_owned
+            } else {
+                &self.cost
+            };
+
+            let y = self.duals(cost);
+            let use_bland = self.stall > self.m.max(50);
+            let mut entering: Option<(usize, f64, f64)> = None; // (var, d, direction)
+            for (j, &cj) in cost.iter().enumerate() {
+                if self.statuses[j] == VarStatus::Basic {
+                    continue;
+                }
+                if self.lower[j] == self.upper[j] {
+                    continue; // fixed: can never move
+                }
+                let d = cj - self.column_dot(j, &y);
+                let candidate = match self.statuses[j] {
+                    VarStatus::AtLower => (d < -DUAL_TOL).then_some((d, 1.0)),
+                    VarStatus::AtUpper => (d > DUAL_TOL).then_some((d, -1.0)),
+                    VarStatus::Free => {
+                        if d < -DUAL_TOL {
+                            Some((d, 1.0))
+                        } else if d > DUAL_TOL {
+                            Some((d, -1.0))
+                        } else {
+                            None
+                        }
+                    }
+                    VarStatus::Basic => None,
+                };
+                if let Some((d, dir)) = candidate {
+                    if use_bland {
+                        entering = Some((j, d, dir));
+                        break;
+                    }
+                    if entering
+                        .map(|(_, best, _)| d.abs() > best.abs())
+                        .unwrap_or(true)
+                    {
+                        entering = Some((j, d, dir));
+                    }
+                }
+            }
+            let Some((q, _dq, sigma)) = entering else {
+                if phase1 {
+                    if violation <= ACCEPT_INFEAS && accept < ACCEPT_INFEAS {
+                        // Numerically feasible: absorb the residual and
+                        // continue with the true costs (phase 2).
+                        accept = ACCEPT_INFEAS;
+                        continue;
+                    }
+                    return Err(LpError::Infeasible);
+                }
+                return Ok(()); // optimal
+            };
+
+            // Direction through the basis.
+            let mut w = vec![0.0; self.m];
+            for (r, a) in self.column(q) {
+                w[r] = a;
+            }
+            self.factor.ftran(&mut w);
+
+            // Ratio test. `g_k = dx_k/dt` for step `t ≥ 0` of the entering
+            // variable in direction `sigma`.
+            #[derive(Clone, Copy)]
+            enum Blocker {
+                Flip,
+                Basic { pos: usize, to_upper: bool },
+            }
+            let mut t_best = f64::INFINITY;
+            let mut best_pivot = 0.0f64;
+            let mut best_leaving = usize::MAX; // basic var id, for Bland ties
+            let mut blocker: Option<Blocker> = None;
+            if self.lower[q].is_finite() && self.upper[q].is_finite() {
+                t_best = self.upper[q] - self.lower[q];
+                best_pivot = 1.0;
+                blocker = Some(Blocker::Flip);
+            }
+            for (k, &wk) in w.iter().enumerate() {
+                if wk.abs() <= RATIO_PIVOT_TOL {
+                    continue;
+                }
+                let g = -sigma * wk;
+                let j = self.basic[k];
+                let x = self.x_basic[k];
+                let (l, u) = (self.lower[j], self.upper[j]);
+                // Each basic row yields at most one breakpoint: feasible
+                // basics stop at the bound they move towards; infeasible
+                // basics stop at the (violated) bound they re-enter through.
+                let candidate: Option<(f64, bool)> = if x < l - Self::feas_tol(l) {
+                    (g > 0.0).then(|| ((l - x) / g, false))
+                } else if x > u + Self::feas_tol(u) {
+                    (g < 0.0).then(|| ((u - x) / g, true))
+                } else if g > 0.0 && u.is_finite() {
+                    Some(((u - x) / g, true))
+                } else if g < 0.0 && l.is_finite() {
+                    Some(((x - l) / -g, false))
+                } else {
+                    None
+                };
+                if let Some((ratio, to_upper)) = candidate {
+                    let ratio = ratio.max(0.0);
+                    // Prefer strictly smaller ratios. On (near-)ties the
+                    // default rule keeps the numerically larger pivot; in
+                    // Bland mode the smallest basic variable index wins,
+                    // which (with the smallest-index entering rule) breaks
+                    // degenerate cycles.
+                    let tie_break = if use_bland {
+                        j < best_leaving
+                    } else {
+                        wk.abs() > best_pivot.abs()
+                    };
+                    if ratio < t_best - 1e-12 || (ratio < t_best + 1e-12 && tie_break) {
+                        t_best = ratio;
+                        best_pivot = wk;
+                        best_leaving = j;
+                        blocker = Some(Blocker::Basic { pos: k, to_upper });
+                    }
+                }
+            }
+
+            let Some(block) = blocker else {
+                return if phase1 {
+                    // Cannot happen for a correctly signed direction; treat
+                    // conservatively as infeasible.
+                    Err(LpError::Infeasible)
+                } else {
+                    Err(LpError::Unbounded)
+                };
+            };
+
+            self.stall = if t_best <= DEGENERATE_STEP {
+                self.stall + 1
+            } else {
+                0
+            };
+            self.iterations += 1;
+            // Incremental basic-value update: x_B ← x_B − σ·t·w.
+            let step = sigma * t_best;
+            if step != 0.0 {
+                for (k, &wk) in w.iter().enumerate() {
+                    self.x_basic[k] -= step * wk;
+                }
+            }
+            match block {
+                Blocker::Flip => {
+                    self.statuses[q] = match self.statuses[q] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other,
+                    };
+                }
+                Blocker::Basic { pos, to_upper } => {
+                    let entering_value = self.nonbasic_value(q) + step;
+                    let leaving = self.basic[pos];
+                    self.statuses[leaving] = if to_upper {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                    self.statuses[q] = VarStatus::Basic;
+                    self.basic[pos] = q;
+                    self.x_basic[pos] = entering_value;
+                    if !self.factor.update(pos, &w) {
+                        self.refactorize_or_reset()?;
+                        self.compute_x_basic();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dual simplex from a dual-feasible basis; bails out (for the primal
+    /// engine) when dual feasibility is lost or progress stalls.
+    fn dual(&mut self) -> Result<DualOutcome, LpError> {
+        // Entry check: reduced costs must be dual feasible for the current
+        // statuses (loose tolerance — minor violations are left to the
+        // finishing primal run).
+        let y = self.duals(&self.cost);
+        for j in 0..self.n + self.m {
+            if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                continue;
+            }
+            let d = self.cost[j] - self.column_dot(j, &y);
+            let ok = match self.statuses[j] {
+                VarStatus::AtLower => d >= -1e-6,
+                VarStatus::AtUpper => d <= 1e-6,
+                VarStatus::Free => d.abs() <= 1e-6,
+                VarStatus::Basic => true,
+            };
+            if !ok {
+                return Ok(DualOutcome::Abandoned);
+            }
+        }
+
+        // The dual pays off only when the warm basis is a few pivots from
+        // primal feasibility; past this budget the composite primal takes
+        // over. This also bounds the warm-start overhead on bases that turn
+        // out to be far from the new optimum.
+        let budget = 2 * self.m + 200;
+        let mut dual_pivots = 0usize;
+        let mut dual_stall = 0usize;
+        self.compute_x_basic();
+        loop {
+            self.check_limits()?;
+            if dual_stall > self.m.max(50) || dual_pivots > budget {
+                return Ok(DualOutcome::Abandoned);
+            }
+            if self.factor.needs_refactorization() {
+                self.refactorize_or_reset()?;
+                self.compute_x_basic();
+            }
+
+            // Leaving row: the most violated basic.
+            let mut leaving: Option<(usize, f64, bool)> = None; // (pos, violation, below)
+            for (k, &j) in self.basic.iter().enumerate() {
+                let x = self.x_basic[k];
+                let (l, u) = (self.lower[j], self.upper[j]);
+                if x < l - Self::feas_tol(l) {
+                    let v = l - x;
+                    if leaving.map(|(_, best, _)| v > best).unwrap_or(true) {
+                        leaving = Some((k, v, true));
+                    }
+                } else if x > u + Self::feas_tol(u) {
+                    let v = x - u;
+                    if leaving.map(|(_, best, _)| v > best).unwrap_or(true) {
+                        leaving = Some((k, v, false));
+                    }
+                }
+            }
+            let Some((r, _, below)) = leaving else {
+                return Ok(DualOutcome::Feasible);
+            };
+
+            // Row r of B⁻¹A: alpha_j = (eᵣᵀ B⁻¹) a_j. Reduced costs are
+            // evaluated lazily — only for columns that survive the
+            // eligibility test.
+            let mut rho = vec![0.0; self.m];
+            rho[r] = 1.0;
+            self.factor.btran(&mut rho);
+            let y = self.duals(&self.cost);
+
+            // Dual ratio test: smallest |d_j / alpha_j| over the eligible
+            // entering candidates (ties: largest pivot).
+            let mut entering: Option<(usize, f64, f64)> = None; // (var, ratio, alpha)
+            for j in 0..self.n + self.m {
+                if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let alpha = self.column_dot(j, &rho);
+                if alpha.abs() <= RATIO_PIVOT_TOL {
+                    continue;
+                }
+                // x_r must move towards its violated bound when j moves in
+                // its own feasible direction: dx_r = −alpha·dx_j.
+                let eligible = match self.statuses[j] {
+                    VarStatus::AtLower => {
+                        if below {
+                            alpha < 0.0
+                        } else {
+                            alpha > 0.0
+                        }
+                    }
+                    VarStatus::AtUpper => {
+                        if below {
+                            alpha > 0.0
+                        } else {
+                            alpha < 0.0
+                        }
+                    }
+                    VarStatus::Free => true,
+                    VarStatus::Basic => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.cost[j] - self.column_dot(j, &y);
+                let ratio = (d / alpha).abs();
+                let better = match entering {
+                    None => true,
+                    Some((_, best, best_alpha)) => {
+                        ratio < best - 1e-12
+                            || (ratio < best + 1e-12 && alpha.abs() > best_alpha.abs())
+                    }
+                };
+                if better {
+                    entering = Some((j, ratio, alpha));
+                }
+            }
+            let Some((q, ratio, _)) = entering else {
+                // Dual ray found — but the entry check was only loose
+                // (1e-6) and tiny-pivot columns were excluded, so hand the
+                // infeasibility proof to the composite primal instead of
+                // asserting it here.
+                return Ok(DualOutcome::Abandoned);
+            };
+
+            dual_stall = if ratio <= DEGENERATE_STEP {
+                dual_stall + 1
+            } else {
+                0
+            };
+
+            let mut w = vec![0.0; self.m];
+            for (row, a) in self.column(q) {
+                w[row] = a;
+            }
+            self.factor.ftran(&mut w);
+            if w[r].abs() <= RATIO_PIVOT_TOL {
+                // Numerical disagreement between rho-row and ftran column;
+                // refactorise and retry (or give up to the primal).
+                self.refactorize_or_reset()?;
+                self.compute_x_basic();
+                dual_stall += 1;
+                dual_pivots += 1;
+                continue;
+            }
+
+            // Incremental primal update along w: drive x_r exactly to the
+            // bound it leaves at.
+            let target = if below {
+                self.lower[self.basic[r]]
+            } else {
+                self.upper[self.basic[r]]
+            };
+            let delta = (self.x_basic[r] - target) / w[r];
+            let entering_value = self.nonbasic_value(q) + delta;
+            for (k, &wk) in w.iter().enumerate() {
+                self.x_basic[k] -= delta * wk;
+            }
+
+            let leaving_var = self.basic[r];
+            self.statuses[leaving_var] = if below {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            };
+            self.statuses[q] = VarStatus::Basic;
+            self.basic[r] = q;
+            self.x_basic[r] = entering_value;
+            self.iterations += 1;
+            dual_pivots += 1;
+            if !self.factor.update(r, &w) {
+                self.refactorize_or_reset()?;
+                self.compute_x_basic();
+            }
+        }
+    }
+
+    /// Refactorises the current basis; on singularity falls back to the
+    /// all-logical basis (which is always factorisable).
+    fn refactorize_or_reset(&mut self) -> Result<(), LpError> {
+        if self.refactorize().is_ok() {
+            return Ok(());
+        }
+        self.cold_basis();
+        self.refactorize()
+            .map_err(|_| LpError::InvalidModel("logical basis is singular".into()))
+    }
+
+    /// Extracts the solution in the model's original sense.
+    fn extract(&mut self) -> (LpSolution, Basis) {
+        self.compute_x_basic();
+        let mut values = vec![0.0; self.n];
+        for (j, value) in values.iter_mut().enumerate() {
+            *value = match self.statuses[j] {
+                VarStatus::Basic => 0.0, // filled below
+                _ => self.nonbasic_value(j),
+            };
+        }
+        for (k, &j) in self.basic.iter().enumerate() {
+            if j < self.n {
+                values[j] = self.x_basic[k];
+            }
+        }
+        // Clamp round-off outside the bounds.
+        for (j, v) in values.iter_mut().enumerate() {
+            let (l, u) = (self.lp.lower_bounds()[j], self.lp.upper_bounds()[j]);
+            *v = v.clamp(l.min(u), u.max(l));
+        }
+        let objective: f64 = self
+            .lp
+            .objective()
+            .iter()
+            .zip(&values)
+            .map(|(c, x)| c * x)
+            .sum();
+        (
+            LpSolution {
+                values,
+                objective,
+                iterations: self.iterations,
+            },
+            self.snapshot(),
+        )
+    }
+}
+
+/// Solves `lp`, optionally warm-starting from `warm` (see [`Basis`]).
+pub(crate) fn solve(
+    lp: &LinearProgram,
+    warm: Option<&Basis>,
+) -> Result<(LpSolution, Basis), LpError> {
+    let debug = std::env::var_os("RFIC_LP_DEBUG").is_some();
+    let t0 = std::time::Instant::now();
+    let mut solver = Solver::new(lp, warm)?;
+    let mut dual_iters = 0;
+    if warm.is_some() {
+        let r = solver.dual();
+        dual_iters = solver.iterations;
+        r?;
+        // Finish (or recover) with the primal: a no-op when the dual run
+        // already reached the optimum.
+    }
+    let result = solver.primal();
+    if debug && t0.elapsed() > std::time::Duration::from_millis(500) {
+        eprintln!(
+            "[lp] n={} m={} warm={} dual_iters={dual_iters} total_iters={} stall={} elapsed={:?} result={result:?}",
+            solver.n,
+            solver.m,
+            warm.is_some(),
+            solver.iterations,
+            solver.stall,
+            t0.elapsed()
+        );
+    }
+    result?;
+    Ok(solver.extract())
+}

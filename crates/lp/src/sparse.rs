@@ -1,0 +1,233 @@
+//! Sparse column storage for the revised simplex.
+//!
+//! The constraint matrix is held in compressed-sparse-column (CSC) form:
+//! the layout models produced by the P-ILP flow are extremely sparse (each
+//! constraint touches a handful of the chain-point/direction variables), so
+//! pricing and FTRAN right-hand sides walk short explicit column lists
+//! instead of dense rows.
+
+/// A read-only sparse matrix in compressed-sparse-column form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from per-column `(row, value)` entry lists.
+    /// Duplicate row entries within a column are summed; explicit zeros are
+    /// dropped.
+    pub fn from_columns(nrows: usize, columns: &[Vec<(usize, f64)>]) -> CscMatrix {
+        let mut col_ptr = Vec::with_capacity(columns.len() + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut dense: Vec<f64> = vec![0.0; nrows];
+        let mut touched: Vec<usize> = Vec::new();
+        col_ptr.push(0);
+        for col in columns {
+            for &(r, v) in col {
+                debug_assert!(r < nrows, "row {r} out of range (nrows {nrows})");
+                if dense[r] == 0.0 && v != 0.0 {
+                    touched.push(r);
+                }
+                dense[r] += v;
+            }
+            touched.sort_unstable();
+            for &r in &touched {
+                if dense[r] != 0.0 {
+                    row_idx.push(r);
+                    values.push(dense[r]);
+                }
+                dense[r] = 0.0;
+            }
+            touched.clear();
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            nrows,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The `(rows, values)` slices of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Iterates over the `(row, value)` entries of column `j`.
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (rows, vals) = self.col(j);
+        rows.iter().copied().zip(vals.iter().copied())
+    }
+
+    /// Dot product of column `j` with a dense vector.
+    #[inline]
+    pub fn col_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        self.col_iter(j).map(|(r, v)| v * dense[r]).sum()
+    }
+}
+
+/// A sparse vector that accumulates entries into a dense buffer while
+/// tracking which positions were touched, so it can be cleared in
+/// `O(touched)` instead of `O(len)`.
+#[derive(Debug, Clone)]
+pub struct ScatterVec {
+    values: Vec<f64>,
+    touched: Vec<usize>,
+    is_touched: Vec<bool>,
+}
+
+impl ScatterVec {
+    /// An all-zero scatter vector of the given length.
+    pub fn new(len: usize) -> ScatterVec {
+        ScatterVec {
+            values: vec![0.0; len],
+            touched: Vec::new(),
+            is_touched: vec![false; len],
+        }
+    }
+
+    /// Length of the underlying dense buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no position has been touched.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Current value at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Adds `v` at position `i`.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        if !self.is_touched[i] {
+            self.is_touched[i] = true;
+            self.touched.push(i);
+        }
+        self.values[i] += v;
+    }
+
+    /// Overwrites position `i` with `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        if !self.is_touched[i] {
+            self.is_touched[i] = true;
+            self.touched.push(i);
+        }
+        self.values[i] = v;
+    }
+
+    /// The positions touched since the last [`ScatterVec::clear`], in
+    /// insertion order.
+    #[inline]
+    pub fn touched(&self) -> &[usize] {
+        &self.touched
+    }
+
+    /// Drains into an explicit sparse `(index, value)` list, dropping
+    /// entries below `drop_tol` in magnitude, and clears the buffer.
+    pub fn drain_sparse(&mut self, drop_tol: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(self.touched.len());
+        for &i in &self.touched {
+            let v = self.values[i];
+            if v.abs() > drop_tol {
+                out.push((i, v));
+            }
+            self.values[i] = 0.0;
+            self.is_touched[i] = false;
+        }
+        self.touched.clear();
+        out
+    }
+
+    /// Resets every touched position to zero.
+    pub fn clear(&mut self) {
+        for &i in &self.touched {
+            self.values[i] = 0.0;
+            self.is_touched[i] = false;
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csc_round_trip_and_dedup() {
+        // Column 0: rows {0: 1.0, 2: 2.0}; column 1 empty; column 2 has a
+        // duplicate entry that must be summed and a cancelling pair that
+        // must vanish.
+        let cols = vec![
+            vec![(2, 2.0), (0, 1.0)],
+            vec![],
+            vec![(1, 1.5), (1, 0.5), (3, 1.0), (3, -1.0)],
+        ];
+        let m = CscMatrix::from_columns(4, &cols);
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(0), (&[0usize, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(m.col(1).0.len(), 0);
+        assert_eq!(m.col(2), (&[1usize][..], &[2.0][..]));
+        let dense = [1.0, 10.0, 100.0, 1000.0];
+        assert_eq!(m.col_dot(0, &dense), 201.0);
+        assert_eq!(m.col_dot(2, &dense), 20.0);
+    }
+
+    #[test]
+    fn scatter_vec_accumulates_and_clears() {
+        let mut v = ScatterVec::new(5);
+        assert!(v.is_empty());
+        v.add(3, 1.0);
+        v.add(1, 2.0);
+        v.add(3, -1.0);
+        v.set(0, 7.0);
+        assert_eq!(v.get(3), 0.0);
+        assert_eq!(v.get(1), 2.0);
+        assert_eq!(v.len(), 5);
+        let sparse = v.drain_sparse(1e-12);
+        assert_eq!(sparse, vec![(1, 2.0), (0, 7.0)]);
+        assert!(v.is_empty());
+        assert_eq!(v.get(0), 0.0);
+        v.add(2, 4.0);
+        v.clear();
+        assert_eq!(v.get(2), 0.0);
+        assert!(v.is_empty());
+    }
+}

@@ -12,9 +12,12 @@
 //!   variable with a bounded continuous expression following
 //!   Chen/Batson/Dang, indicator (big-M) constraints, absolute values) in
 //!   [`linearize`];
-//! * a branch-and-bound solver over the LP relaxation with best-bound node
-//!   selection, most-fractional branching, a rounding primal heuristic,
-//!   time/node/gap limits and warm-started incumbents.
+//! * a branch-and-bound solver over the LP relaxation with most-fractional
+//!   branching, a rounding primal heuristic, time/node/gap limits and
+//!   **warm-started node LPs**: every node re-enters from its parent's
+//!   optimal basis through the dual simplex, and [`Model::solve_warm`]
+//!   carries the root basis across solves of a growing model (the lazy
+//!   constraint-separation protocol of the layout engine).
 //!
 //! # Examples
 //!
@@ -50,8 +53,8 @@ mod solve;
 
 pub use expr::LinExpr;
 pub use model::{Model, VarId, VarKind};
-pub use rfic_lp::{ConstraintOp, Sense};
-pub use solve::{MilpError, MilpSolution, SolveOptions, SolveStatus};
+pub use rfic_lp::{Basis, ConstraintOp, Sense};
+pub use solve::{MilpError, MilpSolution, SolveOptions, SolveStatus, WarmStart};
 
 /// Integrality tolerance: a value within this distance of an integer is
 /// considered integral.

@@ -42,7 +42,10 @@ use rfic_lp::ConstraintOp;
 /// # Ok::<(), rfic_milp::MilpError>(())
 /// ```
 pub fn product_binary_expr(model: &mut Model, b: VarId, x: LinExpr, lo: f64, hi: f64) -> VarId {
-    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "product bounds must be finite and ordered");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "product bounds must be finite and ordered"
+    );
     let z = model.add_var(
         format!("prod_{}_{}", model.var_name(b).to_owned(), model.num_vars()),
         VarKind::Continuous,
@@ -55,7 +58,11 @@ pub fn product_binary_expr(model: &mut Model, b: VarId, x: LinExpr, lo: f64, hi:
     // z >= lo*b
     model.add_constraint(LinExpr::from(z) - (b, lo), ConstraintOp::Ge, 0.0);
     // z <= x - lo*(1-b)   <=>   z - x - lo*b <= -lo
-    model.add_constraint(LinExpr::from(z) - x.clone() - (b, lo), ConstraintOp::Le, -lo);
+    model.add_constraint(
+        LinExpr::from(z) - x.clone() - (b, lo),
+        ConstraintOp::Le,
+        -lo,
+    );
     // z >= x - hi*(1-b)   <=>   z - x - hi*b >= -hi
     model.add_constraint(LinExpr::from(z) - x - (b, hi), ConstraintOp::Ge, -hi);
     z
@@ -89,7 +96,13 @@ pub fn indicator_eq(model: &mut Model, b: VarId, expr: LinExpr, rhs: f64, big_m:
 ///
 /// `bound` is an upper bound on `|expr|` used for the variable's range.
 pub fn abs_upper_bound(model: &mut Model, expr: LinExpr, bound: f64) -> VarId {
-    let t = model.add_var(format!("abs_{}", model.num_vars()), VarKind::Continuous, 0.0, bound, 0.0);
+    let t = model.add_var(
+        format!("abs_{}", model.num_vars()),
+        VarKind::Continuous,
+        0.0,
+        bound,
+        0.0,
+    );
     model.add_constraint(LinExpr::from(t) - expr.clone(), ConstraintOp::Ge, 0.0);
     model.add_constraint(LinExpr::from(t) + expr, ConstraintOp::Ge, 0.0);
     t
@@ -114,7 +127,11 @@ pub fn at_least_one_le(
         indicator_le(model, *sel, expr, rhs, big_m);
     }
     // at least one selector active
-    model.add_constraint(LinExpr::sum(selectors.iter().copied()), ConstraintOp::Ge, 1.0);
+    model.add_constraint(
+        LinExpr::sum(selectors.iter().copied()),
+        ConstraintOp::Ge,
+        1.0,
+    );
     selectors
 }
 
@@ -207,10 +224,7 @@ mod tests {
         let x = m.add_continuous("x", 0.0, 10.0, 1.0);
         let sels = at_least_one_le(
             &mut m,
-            vec![
-                (LinExpr::from(x), 2.0),
-                (LinExpr::from(x) * -1.0, -8.0),
-            ],
+            vec![(LinExpr::from(x), 2.0), (LinExpr::from(x) * -1.0, -8.0)],
             100.0,
         );
         assert_eq!(sels.len(), 2);
@@ -222,10 +236,7 @@ mod tests {
         let x = m.add_continuous("x", 0.0, 6.0, 1.0);
         at_least_one_le(
             &mut m,
-            vec![
-                (LinExpr::from(x), 2.0),
-                (LinExpr::from(x) * -1.0, -8.0),
-            ],
+            vec![(LinExpr::from(x), 2.0), (LinExpr::from(x) * -1.0, -8.0)],
             100.0,
         );
         let s = m.solve(&SolveOptions::default()).unwrap();

@@ -5,7 +5,7 @@ use std::fmt;
 use rfic_lp::{ConstraintOp, LinearProgram, Sense};
 
 use crate::expr::LinExpr;
-use crate::solve::{self, MilpError, MilpSolution, SolveOptions};
+use crate::solve::{self, MilpError, MilpSolution, SolveOptions, WarmStart};
 
 /// Identifier of a variable within a [`Model`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -112,7 +112,13 @@ impl Model {
     }
 
     /// Adds a continuous variable.
-    pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+    pub fn add_continuous(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
         self.add_var(name, VarKind::Continuous, lower, upper, objective)
     }
 
@@ -122,7 +128,13 @@ impl Model {
     }
 
     /// Adds a general integer variable.
-    pub fn add_integer(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+    pub fn add_integer(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
         self.add_var(name, VarKind::Integer, lower, upper, objective)
     }
 
@@ -272,7 +284,27 @@ impl Model {
     /// See [`MilpError`]: infeasible or unbounded models are reported, as is
     /// hitting a limit before any integer-feasible solution was found.
     pub fn solve(&self, options: &SolveOptions) -> Result<MilpSolution, MilpError> {
-        solve::branch_and_bound(self, options)
+        solve::branch_and_bound(self, options, None)
+    }
+
+    /// Solves the model by branch and bound, reusing and updating the
+    /// warm-start state across calls.
+    ///
+    /// This is the entry point for **incremental constraint addition** (lazy
+    /// separation): solve, append violated constraints (and possibly new
+    /// variables) to the same model, call `solve_warm` again — the root LP
+    /// re-enters through the dual simplex from the previous root basis
+    /// instead of cold-starting.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::solve`].
+    pub fn solve_warm(
+        &self,
+        options: &SolveOptions,
+        warm: &mut WarmStart,
+    ) -> Result<MilpSolution, MilpError> {
+        solve::branch_and_bound(self, options, Some(warm))
     }
 }
 
@@ -339,7 +371,10 @@ mod tests {
         assert_eq!(lp.bounds(x.index()), (0.0, 1.0));
         assert_eq!(lp.bounds(y.index()), (0.0, 4.0));
         let s = lp.solve().unwrap();
-        assert!((s.objective - 5.5).abs() < 1e-6, "relaxation optimum 3 + 2.5");
+        assert!(
+            (s.objective - 5.5).abs() < 1e-6,
+            "relaxation optimum 3 + 2.5"
+        );
     }
 
     #[test]

@@ -1,9 +1,21 @@
-//! Branch-and-bound MILP solver over the LP relaxation.
+//! Branch-and-bound MILP solver over the LP relaxation, with warm-started
+//! node re-solves.
+//!
+//! Every branch-and-bound node carries the optimal [`Basis`] of its parent's
+//! LP relaxation. A node differs from its parent by exactly one variable
+//! bound (the branching change), so the parent basis stays *dual feasible*
+//! and the node LP is re-solved by a handful of dual-simplex pivots instead
+//! of a cold two-phase solve — the classical warm-start scheme that makes
+//! LP-based branch and bound tractable. [`WarmStart`] additionally carries
+//! the root basis *between* solves of a growing model, which is what the
+//! lazy constraint-separation loop of the layout engine exploits: each
+//! separation round appends a few non-overlap rows and re-enters the search
+//! from the previous root optimum.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use rfic_lp::{LpError, Sense};
+use rfic_lp::{Basis, LinearProgram, LpError, LpSolution, Sense};
 
 use crate::model::Model;
 use crate::INT_TOLERANCE;
@@ -20,6 +32,9 @@ pub struct SolveOptions {
     pub mip_gap: f64,
     /// Apply the rounding primal heuristic at every node.
     pub rounding_heuristic: bool,
+    /// Warm-start node LPs from the parent basis (dual simplex re-entry).
+    /// Disable only for benchmarking cold-start behaviour.
+    pub warm_start: bool,
 }
 
 impl Default for SolveOptions {
@@ -29,6 +44,7 @@ impl Default for SolveOptions {
             node_limit: 200_000,
             mip_gap: 1e-6,
             rounding_heuristic: true,
+            warm_start: true,
         }
     }
 }
@@ -50,6 +66,13 @@ impl SolveOptions {
             mip_gap: 1e-2,
             ..SolveOptions::default()
         }
+    }
+
+    /// The same configuration with warm starts disabled (cold-start
+    /// baseline for benchmarks and equivalence tests).
+    pub fn cold(mut self) -> SolveOptions {
+        self.warm_start = false;
+        self
     }
 }
 
@@ -76,6 +99,9 @@ pub struct MilpSolution {
     pub nodes: usize,
     /// Final relative optimality gap (0 when proven optimal).
     pub gap: f64,
+    /// Total simplex pivots across every node LP (and heuristic) solve —
+    /// the cost metric the warm-start machinery optimises.
+    pub simplex_iterations: usize,
 }
 
 impl MilpSolution {
@@ -129,7 +155,31 @@ impl From<LpError> for MilpError {
     }
 }
 
-/// A branch-and-bound node: bound tightenings relative to the root model.
+/// Reusable warm-start state carried across [`Model::solve_warm`] calls of
+/// a *growing* model (the lazy-separation protocol of the layout engine:
+/// solve, separate violated constraints, append them, re-solve).
+///
+/// The stored root basis also survives added variables/constraints — the LP
+/// layer reconciles the dimensions (see [`rfic_lp::Basis`]).
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    root_basis: Option<Basis>,
+}
+
+impl WarmStart {
+    /// An empty warm-start state (the first solve is cold).
+    pub fn new() -> WarmStart {
+        WarmStart::default()
+    }
+
+    /// `true` once a root basis has been captured.
+    pub fn has_basis(&self) -> bool {
+        self.root_basis.is_some()
+    }
+}
+
+/// A branch-and-bound node: bound tightenings relative to the root model,
+/// plus the optimal basis of the parent LP for the dual warm start.
 #[derive(Debug, Clone)]
 struct Node {
     /// `(variable index, new lower bound, new upper bound)` changes.
@@ -137,6 +187,8 @@ struct Node {
     /// LP bound of the parent (used for best-bound ordering).
     parent_bound: f64,
     depth: usize,
+    /// Optimal basis of the parent's LP relaxation.
+    parent_basis: Option<Basis>,
 }
 
 /// A pending node together with its parent's LP bound (in minimised form).
@@ -150,8 +202,31 @@ struct HeapEntry {
     key: f64,
 }
 
+/// Solves one node LP, warm-starting from the parent basis when enabled.
+fn solve_node_lp(
+    lp: &LinearProgram,
+    parent_basis: Option<&Basis>,
+    options: &SolveOptions,
+    simplex_iterations: &mut usize,
+) -> Result<(LpSolution, Option<Basis>), LpError> {
+    let result = if options.warm_start {
+        lp.solve_warm(parent_basis)
+            .map(|(solution, basis)| (solution, Some(basis)))
+    } else {
+        lp.solve().map(|solution| (solution, None))
+    };
+    if let Ok((solution, _)) = &result {
+        *simplex_iterations += solution.iterations;
+    }
+    result
+}
+
 /// Solves `model` by LP-based branch and bound.
-pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<MilpSolution, MilpError> {
+pub(crate) fn branch_and_bound(
+    model: &Model,
+    options: &SolveOptions,
+    warm: Option<&mut WarmStart>,
+) -> Result<MilpSolution, MilpError> {
     let start = Instant::now();
     let sense_sign = match model.sense() {
         Sense::Minimize => 1.0,
@@ -166,6 +241,13 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
         .collect();
 
     let base_lp = model.relaxation();
+    let mut simplex_iterations = 0usize;
+
+    let root_basis = warm
+        .as_ref()
+        .and_then(|w| w.root_basis.clone())
+        .filter(|_| options.warm_start);
+    let mut captured_root_basis: Option<Basis> = None;
 
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, minimised objective)
     let mut nodes_explored = 0usize;
@@ -175,6 +257,7 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
             bound_changes: Vec::new(),
             parent_bound: f64::NEG_INFINITY,
             depth: 0,
+            parent_basis: root_basis,
         },
         key: f64::NEG_INFINITY,
     });
@@ -183,6 +266,11 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
     let mut root_infeasible = false;
     let mut root_unbounded = false;
     let mut limit_hit = false;
+    // Bound bookkeeping for nodes dropped on a per-LP limit: their subtree
+    // is unexplored, so optimality may not be claimed past them and their
+    // parent bound stays part of the open bound.
+    let mut dropped_nodes = false;
+    let mut dropped_bound = f64::INFINITY;
 
     while let Some(entry) = stack.pop() {
         let node = entry.node;
@@ -200,15 +288,24 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
             }
         }
 
-        // Solve the node LP.
+        // Solve the node LP (dual-simplex re-entry from the parent basis:
+        // only one bound changed, so the parent basis stays dual feasible).
+        // The node LP inherits the *remaining* wall-clock budget so a
+        // single degenerate LP cannot blow through the global time limit.
         let mut lp = base_lp.clone();
         for &(var, lo, hi) in &node.bound_changes {
             lp.set_bounds(var, lo, hi);
         }
+        lp.set_time_limit(Some(options.time_limit.saturating_sub(start.elapsed())));
         nodes_explored += 1;
-        let lp_result = lp.solve();
-        let lp_solution = match lp_result {
-            Ok(s) => s,
+        let lp_result = solve_node_lp(
+            &lp,
+            node.parent_basis.as_ref(),
+            options,
+            &mut simplex_iterations,
+        );
+        let (lp_solution, node_basis) = match lp_result {
+            Ok(pair) => pair,
             Err(LpError::Infeasible) => {
                 if node.depth == 0 {
                     root_infeasible = true;
@@ -222,8 +319,21 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
                 }
                 continue;
             }
+            Err(LpError::IterationLimit) | Err(LpError::TimeLimit) => {
+                // A pathological node LP (heavy degeneracy) exhausted its
+                // pivot or wall-clock budget: drop the node but remember
+                // that the search is no longer exhaustive, like any other
+                // limit.
+                limit_hit = true;
+                dropped_nodes = true;
+                dropped_bound = dropped_bound.min(node.parent_bound);
+                continue;
+            }
             Err(e) => return Err(MilpError::Lp(e)),
         };
+        if node.depth == 0 {
+            captured_root_basis = node_basis.clone();
+        }
         let node_bound = sense_sign * lp_solution.objective;
         if let Some((_, inc_obj)) = &incumbent {
             if node_bound >= *inc_obj - 1e-9 {
@@ -248,17 +358,34 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
                 // Integer feasible: candidate incumbent.
                 let values = round_integers(&lp_solution.values, &integer_vars);
                 let obj = evaluate_objective(model, &values) * sense_sign;
-                if incumbent.as_ref().map(|(_, o)| obj < *o - 1e-12).unwrap_or(true) {
+                if incumbent
+                    .as_ref()
+                    .map(|(_, o)| obj < *o - 1e-12)
+                    .unwrap_or(true)
+                {
                     incumbent = Some((values, obj));
                 }
             }
             Some(v) => {
                 // Optional rounding heuristic to seed/improve the incumbent.
                 if options.rounding_heuristic && incumbent.is_none() {
-                    if let Some((vals, obj)) =
-                        rounding_heuristic(model, &base_lp, &node, &lp_solution.values, &integer_vars, sense_sign)
-                    {
-                        if incumbent.as_ref().map(|(_, o)| obj < *o - 1e-12).unwrap_or(true) {
+                    if let Some((vals, obj)) = rounding_heuristic(
+                        model,
+                        &base_lp,
+                        &node,
+                        node_basis.as_ref(),
+                        &lp_solution.values,
+                        &integer_vars,
+                        sense_sign,
+                        options,
+                        options.time_limit.saturating_sub(start.elapsed()),
+                        &mut simplex_iterations,
+                    ) {
+                        if incumbent
+                            .as_ref()
+                            .map(|(_, o)| obj < *o - 1e-12)
+                            .unwrap_or(true)
+                        {
                             incumbent = Some((vals, obj));
                         }
                     }
@@ -293,6 +420,7 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
                             bound_changes: changes,
                             parent_bound: node_bound,
                             depth: node.depth + 1,
+                            parent_basis: node_basis.clone(),
                         },
                     });
                 }
@@ -306,6 +434,7 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
                             bound_changes: changes,
                             parent_bound: node_bound,
                             depth: node.depth + 1,
+                            parent_basis: node_basis,
                         },
                     });
                 }
@@ -327,16 +456,32 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
 
         // Early stop on gap.
         if let Some((_, inc_obj)) = &incumbent {
-            let open_bound = stack
-                .iter()
-                .map(|e| e.key)
-                .fold(f64::INFINITY, f64::min);
+            let open_bound = stack.iter().map(|e| e.key).fold(f64::INFINITY, f64::min);
             let gap = relative_gap(*inc_obj, open_bound);
             if gap <= options.mip_gap {
                 best_open_bound = open_bound;
                 break;
             }
         }
+    }
+
+    if let Some(w) = warm {
+        if captured_root_basis.is_some() {
+            w.root_basis = captured_root_basis;
+        }
+    }
+
+    // Per-solve diagnostic line for profiling the layout flow's solver
+    // traffic (see DESIGN.md); off unless RFIC_MILP_DEBUG is set.
+    if std::env::var_os("RFIC_MILP_DEBUG").is_some() {
+        eprintln!(
+            "[milp-solve] vars={} ints={} cons={} nodes={nodes_explored} pivots={simplex_iterations} elapsed={:?} incumbent={:?} limit_hit={limit_hit}",
+            model.num_vars(),
+            model.num_integer_vars(),
+            model.num_constraints(),
+            start.elapsed(),
+            incumbent.as_ref().map(|(_, o)| *o),
+        );
     }
 
     if root_unbounded {
@@ -348,13 +493,12 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
             let open_bound = if stack.is_empty() {
                 min_obj
             } else {
-                stack
-                    .iter()
-                    .map(|e| e.key)
-                    .fold(best_open_bound, f64::min)
+                stack.iter().map(|e| e.key).fold(best_open_bound, f64::min)
             };
+            // Dropped nodes keep their (unexplored) subtree open.
+            let open_bound = open_bound.min(dropped_bound);
             let gap = relative_gap(min_obj, open_bound);
-            let status = if stack.is_empty() || gap <= options.mip_gap {
+            let status = if (stack.is_empty() && !dropped_nodes) || gap <= options.mip_gap {
                 SolveStatus::Optimal
             } else {
                 SolveStatus::Feasible
@@ -365,6 +509,7 @@ pub(crate) fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<
                 status,
                 nodes: nodes_explored,
                 gap: gap.max(0.0),
+                simplex_iterations,
             })
         }
         None => {
@@ -405,19 +550,27 @@ fn evaluate_objective(model: &Model, values: &[f64]) -> f64 {
 
 /// Fix all integer variables at their rounded LP values and re-solve the LP
 /// for the continuous variables; returns a feasible point if one exists and
-/// satisfies every model constraint.
+/// satisfies every model constraint. Warm-started from the node basis (only
+/// bounds changed, so the dual re-entry applies here too).
+#[allow(clippy::too_many_arguments)]
 fn rounding_heuristic(
     model: &Model,
-    base_lp: &rfic_lp::LinearProgram,
+    base_lp: &LinearProgram,
     node: &Node,
+    node_basis: Option<&Basis>,
     lp_values: &[f64],
     integer_vars: &[usize],
     sense_sign: f64,
+    options: &SolveOptions,
+    remaining_time: Duration,
+    simplex_iterations: &mut usize,
 ) -> Option<(Vec<f64>, f64)> {
     let mut lp = base_lp.clone();
     for &(var, lo, hi) in &node.bound_changes {
         lp.set_bounds(var, lo, hi);
     }
+    // The heuristic LP shares the global wall-clock budget like any node LP.
+    lp.set_time_limit(Some(remaining_time));
     for &v in integer_vars {
         let r = lp_values[v].round();
         let (lo, hi) = {
@@ -429,7 +582,7 @@ fn rounding_heuristic(
         }
         lp.set_bounds(v, r, r);
     }
-    let sol = lp.solve().ok()?;
+    let (sol, _) = solve_node_lp(&lp, node_basis, options, simplex_iterations).ok()?;
     let values = round_integers(&sol.values, integer_vars);
     if !model.violated_constraints(&values, 1e-6).is_empty() {
         return None;
@@ -453,6 +606,7 @@ mod tests {
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.objective - 10.0).abs() < 1e-6);
         assert!((s.value(y) - 4.0).abs() < 1e-6);
+        let _ = x;
     }
 
     #[test]
@@ -494,7 +648,10 @@ mod tests {
         let a = m.add_binary("a", 1.0);
         let b = m.add_binary("b", 1.0);
         m.add_ge(LinExpr::from(a) + b, 3.0);
-        assert_eq!(m.solve(&SolveOptions::default()), Err(MilpError::Infeasible));
+        assert_eq!(
+            m.solve(&SolveOptions::default()),
+            Err(MilpError::Infeasible)
+        );
     }
 
     #[test]
@@ -554,25 +711,121 @@ mod tests {
         // max  x + y == -(min -x -y)
         let build = |sense| {
             let mut m = Model::new(sense);
-            let x = m.add_integer("x", 0.0, 5.0, if sense == Sense::Maximize { 1.0 } else { -1.0 });
-            let y = m.add_integer("y", 0.0, 5.0, if sense == Sense::Maximize { 1.0 } else { -1.0 });
+            let x = m.add_integer(
+                "x",
+                0.0,
+                5.0,
+                if sense == Sense::Maximize { 1.0 } else { -1.0 },
+            );
+            let y = m.add_integer(
+                "y",
+                0.0,
+                5.0,
+                if sense == Sense::Maximize { 1.0 } else { -1.0 },
+            );
             m.add_le(LinExpr::from((x, 2.0)) + (y, 3.0), 12.0);
             m
         };
-        let max = build(Sense::Maximize).solve(&SolveOptions::default()).unwrap();
-        let min = build(Sense::Minimize).solve(&SolveOptions::default()).unwrap();
+        let max = build(Sense::Maximize)
+            .solve(&SolveOptions::default())
+            .unwrap();
+        let min = build(Sense::Minimize)
+            .solve(&SolveOptions::default())
+            .unwrap();
         assert!((max.objective + min.objective).abs() < 1e-9);
     }
 
     #[test]
     fn gap_and_node_counters_are_reported() {
         let mut m = Model::new(Sense::Maximize);
-        let xs: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"), (i + 1) as f64)).collect();
+        let xs: Vec<_> = (0..6)
+            .map(|i| m.add_binary(format!("x{i}"), (i + 1) as f64))
+            .collect();
         m.add_le(LinExpr::sum(xs.iter().copied()), 3.0);
         let s = m.solve(&SolveOptions::default()).unwrap();
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!(s.nodes >= 1);
         assert!(s.gap <= 1e-6);
-        assert!((s.objective - 15.0).abs() < 1e-9, "pick the three most valuable items");
+        assert!(s.simplex_iterations >= 1);
+        assert!(
+            (s.objective - 15.0).abs() < 1e-9,
+            "pick the three most valuable items"
+        );
+    }
+
+    /// A knapsack family mirroring the `solver.rs` bench problems.
+    fn bench_knapsack(items: usize) -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let mut cap = LinExpr::new();
+        for i in 0..items {
+            let value = 10.0 + (i % 7) as f64 * 3.0;
+            let weight = 5.0 + (i % 5) as f64 * 4.0;
+            let x = m.add_binary(format!("x{i}"), value);
+            cap.add_term(x, weight);
+        }
+        m.add_le(cap, items as f64 * 3.0);
+        m
+    }
+
+    #[test]
+    fn warm_start_prunes_simplex_work_with_identical_objectives() {
+        // The acceptance criterion of the solver refactor: across the bench
+        // knapsacks, warm-started B&B reaches the same optima with fewer
+        // total simplex pivots than cold-starting every node.
+        let mut warm_total = 0usize;
+        let mut cold_total = 0usize;
+        for items in [10usize, 20, 30] {
+            let m = bench_knapsack(items);
+            let warm = m.solve(&SolveOptions::default()).expect("warm solve");
+            let cold = m
+                .solve(&SolveOptions::default().cold())
+                .expect("cold solve");
+            assert_eq!(warm.status, SolveStatus::Optimal);
+            assert_eq!(cold.status, SolveStatus::Optimal);
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "items={items}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            warm_total += warm.simplex_iterations;
+            cold_total += cold.simplex_iterations;
+        }
+        assert!(
+            warm_total < cold_total,
+            "warm-started B&B must pivot less: warm {warm_total} vs cold {cold_total}"
+        );
+    }
+
+    #[test]
+    fn solve_warm_reuses_the_root_basis_across_growing_models() {
+        // Lazy-separation protocol: solve, append a violated constraint,
+        // re-solve warm. The warm re-solve must agree with a cold solve.
+        let mut m = bench_knapsack(16);
+        let mut warm = WarmStart::new();
+        let first = m
+            .solve_warm(&SolveOptions::default(), &mut warm)
+            .expect("first");
+        assert!(warm.has_basis());
+
+        // Append a cut excluding the current support.
+        let chosen: Vec<_> = (0..m.num_vars())
+            .map(crate::VarId)
+            .filter(|&v| first.values[v.index()] > 0.5)
+            .collect();
+        let k = chosen.len() as f64;
+        m.add_le(LinExpr::sum(chosen.iter().copied()), k - 1.0);
+
+        let second = m
+            .solve_warm(&SolveOptions::default(), &mut warm)
+            .expect("second");
+        let cold = m.solve(&SolveOptions::default().cold()).expect("cold");
+        assert!(
+            (second.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            second.objective,
+            cold.objective
+        );
+        assert!(second.objective <= first.objective + 1e-9);
     }
 }

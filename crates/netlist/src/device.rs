@@ -182,7 +182,12 @@ impl Device {
     /// Absolute position of pin `pin_index` for a device centred at
     /// `center` with the given rotation, or `None` if the index is out of
     /// range.
-    pub fn pin_position(&self, center: Point, rotation: Rotation, pin_index: usize) -> Option<Point> {
+    pub fn pin_position(
+        &self,
+        center: Point,
+        rotation: Rotation,
+        pin_index: usize,
+    ) -> Option<Point> {
         self.pins
             .get(pin_index)
             .map(|pin| center + rotation.apply(pin.offset))
@@ -264,8 +269,14 @@ mod tests {
         assert_eq!(o.height(), 40.0);
         assert_eq!(o.center(), c);
         // Gate pin at -20 in x rotates to -20 in y... R90 maps (-20,0) -> (0,-20).
-        assert_eq!(d.pin_position(c, Rotation::R90, 0), Some(Point::new(100.0, 30.0)));
-        assert_eq!(d.pin_position(c, Rotation::R0, 0), Some(Point::new(80.0, 50.0)));
+        assert_eq!(
+            d.pin_position(c, Rotation::R90, 0),
+            Some(Point::new(100.0, 30.0))
+        );
+        assert_eq!(
+            d.pin_position(c, Rotation::R0, 0),
+            Some(Point::new(80.0, 50.0))
+        );
         assert_eq!(d.pin_position(c, Rotation::R0, 9), None);
     }
 

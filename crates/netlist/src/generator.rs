@@ -104,7 +104,11 @@ impl Witness {
 
     /// Maximum number of bends on any single route.
     pub fn max_bends(&self) -> usize {
-        self.routes.values().map(|r| r.bend_count()).max().unwrap_or(0)
+        self.routes
+            .values()
+            .map(|r| r.bend_count())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -149,7 +153,11 @@ impl fmt::Display for GenerateError {
             ),
             GenerateError::BadPadCount(p) => write!(f, "unsupported pad count {p}"),
             GenerateError::AreaTooSmall { area } => {
-                write!(f, "layout area {:.0}x{:.0} too small for the requested circuit", area.0, area.1)
+                write!(
+                    f,
+                    "layout area {:.0}x{:.0} too small for the requested circuit",
+                    area.0, area.1
+                )
             }
             GenerateError::Netlist(e) => write!(f, "generated netlist invalid: {e}"),
         }
@@ -258,7 +266,8 @@ pub fn generate(spec: &CircuitSpec) -> Result<GeneratedCircuit, GenerateError> {
         .collect();
 
     // --- devices ----------------------------------------------------------------
-    let mut builder = NetlistBuilder::new(spec.name.clone(), tech.clone(), spec.area.0, spec.area.1);
+    let mut builder =
+        NetlistBuilder::new(spec.name.clone(), tech.clone(), spec.area.0, spec.area.1);
     let mut placements: BTreeMap<DeviceId, (Point, Rotation)> = BTreeMap::new();
     let kinds = [
         DeviceKind::Transistor,
@@ -315,7 +324,8 @@ pub fn generate(spec: &CircuitSpec) -> Result<GeneratedCircuit, GenerateError> {
             detour_capable.push(i);
         }
     }
-    let mut wanted_detours = ((spec.detour_fraction * spec.num_microstrips as f64).round() as usize)
+    let mut wanted_detours = ((spec.detour_fraction * spec.num_microstrips as f64).round()
+        as usize)
         .min(detour_capable.len());
     let double_detours = spec.double_detours.min(wanted_detours);
 
@@ -340,18 +350,18 @@ pub fn generate(spec: &CircuitSpec) -> Result<GeneratedCircuit, GenerateError> {
             let do_detour = detour_capable.contains(&i) && wanted_detours > 0;
             let route = if do_detour {
                 wanted_detours -= 1;
-                let periods = if wanted_detours < double_detours { 2 } else { 1 };
+                let periods = if wanted_detours < double_detours {
+                    2
+                } else {
+                    1
+                };
                 let d_max = cell_h / 2.0 - spacing - sw;
                 let d = (0.7 * d_max).max(tech.min_segment_length);
                 meander_route(start, end, d, periods, spacing + sw)
             } else {
                 Polyline::new(vec![start, end]).expect("straight cascade route")
             };
-            (
-                Terminal::new(a, pin_a),
-                Terminal::new(b, pin_b),
-                route,
-            )
+            (Terminal::new(a, pin_a), Terminal::new(b, pin_b), route)
         } else {
             // Row transition: connect north pin of the lower device to the
             // south pin of the upper device (same column by construction).
@@ -409,11 +419,12 @@ pub fn generate(spec: &CircuitSpec) -> Result<GeneratedCircuit, GenerateError> {
     if pad_hosts.len() < spec.num_pads {
         return Err(GenerateError::BadPadCount(spec.num_pads));
     }
-    for p in 0..spec.num_pads {
-        let (host, pin, side) = pad_hosts[p];
+    for (p, &(host, pin, side)) in pad_hosts.iter().enumerate().take(spec.num_pads) {
         let host_dev = dev(&builder, host);
         let (host_center, _) = placements[&host];
-        let pin_pos = host_dev.pin_position(host_center, Rotation::R0, pin).expect("pin");
+        let pin_pos = host_dev
+            .pin_position(host_center, Rotation::R0, pin)
+            .expect("pin");
         let pad_center = match side {
             PadSide::Bottom => Point::new(pin_pos.x, 0.0),
             PadSide::Left => Point::new(0.0, pin_pos.y),
@@ -514,7 +525,9 @@ fn meander_route(start: Point, end: Point, d: f64, periods: usize, inset: f64) -
         pts.push(Point::new(xe, y));
     }
     pts.push(b);
-    let pl = Polyline::new(pts).expect("meander route is rectilinear").simplified();
+    let pl = Polyline::new(pts)
+        .expect("meander route is rectilinear")
+        .simplified();
     if flipped {
         reverse(pl)
     } else {
@@ -587,7 +600,9 @@ mod tests {
             for (terminal, endpoint) in [(strip.start, route.start()), (strip.end, route.end())] {
                 let device = c.netlist.device(terminal.device).expect("device exists");
                 let (center, rot) = c.witness.placements[&terminal.device];
-                let pin = device.pin_position(center, rot, terminal.pin).expect("pin exists");
+                let pin = device
+                    .pin_position(center, rot, terminal.pin)
+                    .expect("pin exists");
                 assert!(pin.approx_eq(endpoint), "endpoint {endpoint} != pin {pin}");
             }
         }
@@ -613,9 +628,15 @@ mod tests {
     fn pads_cannot_outnumber_tree_nodes() {
         let mut spec = CircuitSpec::small("bad", 1);
         spec.num_pads = spec.num_microstrips + 1;
-        assert!(matches!(generate(&spec), Err(GenerateError::BadPadCount(_))));
+        assert!(matches!(
+            generate(&spec),
+            Err(GenerateError::BadPadCount(_))
+        ));
         spec.num_pads = 0;
-        assert!(matches!(generate(&spec), Err(GenerateError::BadPadCount(0))));
+        assert!(matches!(
+            generate(&spec),
+            Err(GenerateError::BadPadCount(0))
+        ));
     }
 
     #[test]
@@ -635,7 +656,10 @@ mod tests {
         let mut spec = CircuitSpec::small("tiny", 1);
         spec.area = (150.0, 150.0);
         spec.reduced_area = None;
-        assert!(matches!(generate(&spec), Err(GenerateError::AreaTooSmall { .. })));
+        assert!(matches!(
+            generate(&spec),
+            Err(GenerateError::AreaTooSmall { .. })
+        ));
     }
 
     #[test]
@@ -699,7 +723,12 @@ mod tests {
                 let (cb, rb) = c.witness.placements[&devices[j].id];
                 let oa = devices[i].outline(ca, ra);
                 let ob = devices[j].outline(cb, rb);
-                assert!(!oa.overlaps(&ob), "{} overlaps {}", devices[i].name, devices[j].name);
+                assert!(
+                    !oa.overlaps(&ob),
+                    "{} overlaps {}",
+                    devices[i].name,
+                    devices[j].name
+                );
             }
         }
     }

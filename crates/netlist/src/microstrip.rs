@@ -179,7 +179,10 @@ mod tests {
             Terminal::new(DeviceId(7), 2),
             50.0,
         );
-        assert_eq!(tl.terminals(), [Terminal::new(DeviceId(4), 0), Terminal::new(DeviceId(7), 2)]);
+        assert_eq!(
+            tl.terminals(),
+            [Terminal::new(DeviceId(4), 0), Terminal::new(DeviceId(7), 2)]
+        );
         assert!(tl.touches(DeviceId(4)));
         assert!(tl.touches(DeviceId(7)));
         assert!(!tl.touches(DeviceId(5)));

@@ -78,10 +78,18 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::SelfLoop(m) => write!(f, "microstrip {m} connects a pin to itself"),
             NetlistError::InvalidLength { microstrip, length } => {
-                write!(f, "microstrip {microstrip} has invalid target length {length}")
+                write!(
+                    f,
+                    "microstrip {microstrip} has invalid target length {length}"
+                )
             }
-            NetlistError::InvalidDeviceSize(d) => write!(f, "device {d} has a non-positive dimension"),
-            NetlistError::PinConflict { terminal, microstrips } => write!(
+            NetlistError::InvalidDeviceSize(d) => {
+                write!(f, "device {d} has a non-positive dimension")
+            }
+            NetlistError::PinConflict {
+                terminal,
+                microstrips,
+            } => write!(
                 f,
                 "pin {terminal} is used by both {} and {}",
                 microstrips.0, microstrips.1
@@ -169,7 +177,10 @@ impl Netlist {
 
     /// Microstrips attached to the given device.
     pub fn microstrips_at(&self, device: DeviceId) -> Vec<&Microstrip> {
-        self.microstrips.iter().filter(|m| m.touches(device)).collect()
+        self.microstrips
+            .iter()
+            .filter(|m| m.touches(device))
+            .collect()
     }
 
     /// Width of a microstrip, falling back to the technology default.
@@ -214,9 +225,10 @@ impl Netlist {
     /// Returns the first violation found; see [`NetlistError`] for the
     /// complete catalogue of checks.
     pub fn validate(&self) -> Result<(), NetlistError> {
-        if !(self.area_width > 0.0 && self.area_height > 0.0)
-            || !self.area_width.is_finite()
-            || !self.area_height.is_finite()
+        if !(self.area_width > 0.0
+            && self.area_height > 0.0
+            && self.area_width.is_finite()
+            && self.area_height.is_finite())
         {
             return Err(NetlistError::InvalidArea {
                 width: self.area_width,
@@ -240,7 +252,7 @@ impl Netlist {
         }
         let mut pin_users: HashMap<Terminal, MicrostripId> = HashMap::new();
         for m in &self.microstrips {
-            if !(m.target_length > 0.0) || !m.target_length.is_finite() {
+            if m.target_length <= 0.0 || !m.target_length.is_finite() {
                 return Err(NetlistError::InvalidLength {
                     microstrip: m.id,
                     length: m.target_length,
@@ -299,7 +311,12 @@ pub struct NetlistBuilder {
 
 impl NetlistBuilder {
     /// Starts a netlist with the given name, technology and layout area.
-    pub fn new(name: impl Into<String>, tech: Technology, area_width: f64, area_height: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        tech: Technology,
+        area_width: f64,
+        area_height: f64,
+    ) -> Self {
         NetlistBuilder {
             name: name.into(),
             tech,
@@ -321,10 +338,7 @@ impl NetlistBuilder {
         pins: Vec<(&str, Point)>,
     ) -> DeviceId {
         let id = DeviceId(self.devices.len());
-        let pins = pins
-            .into_iter()
-            .map(|(n, off)| Pin::new(n, off))
-            .collect();
+        let pins = pins.into_iter().map(|(n, off)| Pin::new(n, off)).collect();
         self.devices
             .push(Device::new(id, name, kind, width, height, pins));
         id
@@ -451,8 +465,10 @@ mod tests {
     #[test]
     fn build_valid_netlist() {
         let mut b = two_device_builder();
-        b.connect("TL0", (DeviceId(2), 0), (DeviceId(0), 0), 150.0).unwrap();
-        b.connect("TL1", (DeviceId(0), 1), (DeviceId(1), 0), 120.0).unwrap();
+        b.connect("TL0", (DeviceId(2), 0), (DeviceId(0), 0), 150.0)
+            .unwrap();
+        b.connect("TL1", (DeviceId(0), 1), (DeviceId(1), 0), 120.0)
+            .unwrap();
         let n = b.build().expect("valid netlist");
         let s = n.stats();
         assert_eq!(s.num_microstrips, 2);
@@ -482,19 +498,23 @@ mod tests {
     #[test]
     fn validation_rejects_self_loops_and_bad_lengths() {
         let mut b = two_device_builder();
-        b.connect("TL0", (DeviceId(0), 0), (DeviceId(0), 0), 100.0).unwrap();
+        b.connect("TL0", (DeviceId(0), 0), (DeviceId(0), 0), 100.0)
+            .unwrap();
         assert!(matches!(b.build(), Err(NetlistError::SelfLoop(_))));
 
         let mut b = two_device_builder();
-        b.connect("TL0", (DeviceId(0), 0), (DeviceId(1), 0), -5.0).unwrap();
+        b.connect("TL0", (DeviceId(0), 0), (DeviceId(1), 0), -5.0)
+            .unwrap();
         assert!(matches!(b.build(), Err(NetlistError::InvalidLength { .. })));
     }
 
     #[test]
     fn validation_rejects_pin_conflicts() {
         let mut b = two_device_builder();
-        b.connect("TL0", (DeviceId(0), 0), (DeviceId(1), 0), 100.0).unwrap();
-        b.connect("TL1", (DeviceId(0), 0), (DeviceId(2), 0), 100.0).unwrap();
+        b.connect("TL0", (DeviceId(0), 0), (DeviceId(1), 0), 100.0)
+            .unwrap();
+        b.connect("TL1", (DeviceId(0), 0), (DeviceId(2), 0), 100.0)
+            .unwrap();
         assert!(matches!(b.build(), Err(NetlistError::PinConflict { .. })));
     }
 
@@ -519,7 +539,8 @@ mod tests {
     #[test]
     fn with_area_keeps_everything_else() {
         let mut b = two_device_builder();
-        b.connect("TL0", (DeviceId(0), 0), (DeviceId(1), 0), 100.0).unwrap();
+        b.connect("TL0", (DeviceId(0), 0), (DeviceId(1), 0), 100.0)
+            .unwrap();
         let n = b.build().unwrap();
         let smaller = n.with_area(450.0, 380.0);
         assert_eq!(smaller.area(), (450.0, 380.0));
@@ -531,7 +552,10 @@ mod tests {
     fn error_display_strings() {
         let e = NetlistError::UnknownDevice(DeviceId(3));
         assert!(e.to_string().contains("D3"));
-        let e = NetlistError::InvalidArea { width: 0.0, height: 5.0 };
+        let e = NetlistError::InvalidArea {
+            width: 0.0,
+            height: 5.0,
+        };
         assert!(e.to_string().contains("invalid layout area"));
     }
 }

@@ -107,7 +107,9 @@ mod tests {
 
     #[test]
     fn builder_style_overrides() {
-        let t = Technology::cmos90().with_bend_delta(-1.0).with_strip_width(8.0);
+        let t = Technology::cmos90()
+            .with_bend_delta(-1.0)
+            .with_strip_width(8.0);
         assert_eq!(t.bend_delta, -1.0);
         assert_eq!(t.strip_width, 8.0);
     }

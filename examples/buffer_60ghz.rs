@@ -23,7 +23,11 @@ fn main() {
         "\nmanual baseline:     total bends {:>3}, worst length error {:>8.3} µm, DRC {}",
         manual_report.total_bends,
         manual_report.max_length_error,
-        if manual_report.drc_clean { "clean" } else { "violated" }
+        if manual_report.drc_clean {
+            "clean"
+        } else {
+            "violated"
+        }
     );
 
     // Sequential floorplan-then-route baseline: planar, but lengths are
@@ -34,7 +38,11 @@ fn main() {
         "sequential baseline: total bends {:>3}, worst length error {:>8.3} µm, DRC {}",
         seq_report.total_bends,
         seq_report.max_length_error,
-        if seq_report.drc_clean { "clean" } else { "violated" }
+        if seq_report.drc_clean {
+            "clean"
+        } else {
+            "violated"
+        }
     );
     let drc = drc_check(netlist, &sequential, &DrcOptions::default());
     println!("sequential DRC violations: {}", drc.len());

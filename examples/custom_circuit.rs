@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{}: target {:.1} µm, achieved {:.3} µm, {} bends, {} chain points",
             strip.name,
             strip.target_length,
-            result.layout.equivalent_length(&netlist, strip.id).unwrap_or(f64::NAN),
+            result
+                .layout
+                .equivalent_length(&netlist, strip.id)
+                .unwrap_or(f64::NAN),
             route.bend_count(),
             route.num_chain_points(),
         );

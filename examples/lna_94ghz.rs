@@ -31,15 +31,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Manual-style baseline (the meander-heavy witness layout).
     let manual = manual_report(&circuit, 2);
-    println!("\nmanual baseline: max bends {}, total bends {}", manual.max_bends, manual.total_bends);
+    println!(
+        "\nmanual baseline: max bends {}, total bends {}",
+        manual.max_bends, manual.total_bends
+    );
 
     // RF evaluation of the manual layout around 94 GHz.
     let layout = rfic_layout::baseline::manual_layout(&circuit);
     let spec = AmplifierSpec::lna(bench.operating_frequency_ghz());
-    let sweep = evaluate_layout(&circuit.netlist, &layout, &spec, &frequency_sweep(80.0, 108.0, 15));
+    let sweep = evaluate_layout(
+        &circuit.netlist,
+        &layout,
+        &spec,
+        &frequency_sweep(80.0, 108.0, 15),
+    );
     println!("\nfreq (GHz)   S11 (dB)   S21 (dB)   S22 (dB)");
     for p in &sweep {
-        println!("{:>9.1} {:>10.2} {:>10.2} {:>10.2}", p.freq_ghz, p.s11_db, p.s21_db, p.s22_db);
+        println!(
+            "{:>9.1} {:>10.2} {:>10.2} {:>10.2}",
+            p.freq_ghz, p.s11_db, p.s21_db, p.s22_db
+        );
     }
 
     if std::env::args().any(|a| a == "--full") {

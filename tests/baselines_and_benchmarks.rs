@@ -1,7 +1,9 @@
 //! Integration tests of the benchmark circuits, baselines and reference
 //! data (the Table-1 scaffolding).
 
-use rfic_layout::baseline::{manual_layout, published_table1, sequential_layout, SequentialOptions};
+use rfic_layout::baseline::{
+    manual_layout, published_table1, sequential_layout, SequentialOptions,
+};
 use rfic_layout::core::{drc_check, DrcOptions, LayoutReport};
 use rfic_layout::netlist::benchmarks::{AreaSetting, BenchmarkCircuit};
 use std::time::Duration;
@@ -27,7 +29,10 @@ fn manual_witnesses_of_all_benchmarks_are_exact_and_clean() {
         let layout = manual_layout(&circuit);
         let report = LayoutReport::new(&circuit.netlist, &layout, Duration::ZERO);
         assert!(report.drc_clean, "{bench}: manual layout must be DRC clean");
-        assert!(report.lengths_matched(1e-6), "{bench}: manual layout must be length exact");
+        assert!(
+            report.lengths_matched(1e-6),
+            "{bench}: manual layout must be length exact"
+        );
         // The witness bend counts sit in the same regime as the published
         // manual layouts (59 / 27 / 31 total bends).
         assert!(report.total_bends >= 15, "{bench}: {}", report.total_bends);
@@ -60,6 +65,9 @@ fn reduced_area_settings_are_strictly_smaller() {
         let reduced = circuit.netlist.with_area(rw, rh);
         let layout = manual_layout(&circuit);
         let drc = drc_check(&reduced, &layout, &DrcOptions::default());
-        assert!(drc.is_clean(), "{bench} witness in the reduced area:\n{drc}");
+        assert!(
+            drc.is_clean(),
+            "{bench} witness in the reduced area:\n{drc}"
+        );
     }
 }

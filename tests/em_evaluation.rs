@@ -40,7 +40,10 @@ fn fewer_bends_never_reduce_the_gain_at_f0() {
             "{bench}: removing bends must not reduce gain ({ideal_gain} vs {manual_gain})"
         );
         // The difference is in the sub-dB regime, like the paper's 0.2-0.7 dB.
-        assert!(ideal_gain - manual_gain < 5.0, "{bench}: difference implausibly large");
+        assert!(
+            ideal_gain - manual_gain < 5.0,
+            "{bench}: difference implausibly large"
+        );
     }
 }
 

@@ -7,7 +7,9 @@ use rfic_layout::netlist::benchmarks;
 fn pilp_flow_on_the_tiny_circuit_beats_the_manual_baseline_on_bends() {
     let circuit = benchmarks::tiny_circuit();
     let netlist = &circuit.netlist;
-    let result = Pilp::new(PilpConfig::fast()).run(netlist).expect("P-ILP run");
+    let result = Pilp::new(PilpConfig::fast())
+        .run(netlist)
+        .expect("P-ILP run");
 
     // Completeness: every device placed and every strip routed.
     assert!(result.layout.is_complete(netlist));
@@ -15,7 +17,11 @@ fn pilp_flow_on_the_tiny_circuit_beats_the_manual_baseline_on_bends() {
     let phases: Vec<PilpPhase> = result.snapshots.iter().map(|s| s.phase).collect();
     assert_eq!(
         phases,
-        vec![PilpPhase::GlobalRouting, PilpPhase::Visualization, PilpPhase::Refinement]
+        vec![
+            PilpPhase::GlobalRouting,
+            PilpPhase::Visualization,
+            PilpPhase::Refinement
+        ]
     );
 
     // The bend counts must land at or below the manual-style witness
@@ -32,7 +38,10 @@ fn pilp_flow_on_the_tiny_circuit_beats_the_manual_baseline_on_bends() {
     for pad in netlist.pads() {
         let c = result.layout.placement(pad.id).expect("placed").center;
         assert!(
-            c.x.abs() < 1e-3 || c.y.abs() < 1e-3 || (c.x - aw).abs() < 1e-3 || (c.y - ah).abs() < 1e-3,
+            c.x.abs() < 1e-3
+                || c.y.abs() < 1e-3
+                || (c.x - aw).abs() < 1e-3
+                || (c.y - ah).abs() < 1e-3,
             "pad {} at {c} must sit on the boundary",
             pad.id
         );
@@ -41,15 +50,29 @@ fn pilp_flow_on_the_tiny_circuit_beats_the_manual_baseline_on_bends() {
     // Length matching: the majority of strips reach their exact target with
     // the fast CI settings; the worst residual stays bounded.
     let report = result.report();
-    let exact = report.strips.iter().filter(|s| s.length_error.abs() < 1e-3).count();
-    assert!(exact * 2 >= report.strips.len(), "{exact}/{} exact", report.strips.len());
-    assert!(report.max_length_error < 40.0, "max error {}", report.max_length_error);
+    let exact = report
+        .strips
+        .iter()
+        .filter(|s| s.length_error.abs() < 1e-3)
+        .count();
+    assert!(
+        exact * 2 >= report.strips.len(),
+        "{exact}/{} exact",
+        report.strips.len()
+    );
+    assert!(
+        report.max_length_error < 40.0,
+        "max error {}",
+        report.max_length_error
+    );
 }
 
 #[test]
 fn pilp_runtime_is_minutes_not_weeks() {
     let circuit = benchmarks::tiny_circuit();
-    let result = Pilp::new(PilpConfig::fast()).run(&circuit.netlist).expect("run");
+    let result = Pilp::new(PilpConfig::fast())
+        .run(&circuit.netlist)
+        .expect("run");
     // The paper's point: automatic layout takes minutes, not weeks.
     assert!(result.runtime.as_secs() < 30 * 60);
 }

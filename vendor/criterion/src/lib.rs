@@ -1,0 +1,216 @@
+//! Minimal vendored stub of `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`) as a plain
+//! wall-clock harness: each benchmark is warmed up once and then sampled
+//! until a small time budget is exhausted, and the mean time per iteration
+//! is printed.
+//!
+//! Setting `RFIC_BENCH_JSON=<path>` additionally writes every measurement to
+//! `<path>` as JSON — this is how `BENCH_solver.json` baselines are
+//! recorded.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// How batched inputs are grouped (accepted and ignored: every batch has
+/// size one in the stub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup data.
+    SmallInput,
+    /// Large per-iteration setup data.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            time_budget: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let budget = self.time_budget;
+        run_benchmark(&name.into(), sample_size, budget, f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the per-benchmark time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.time_budget = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&id, sample_size, self.criterion.time_budget, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; measures the routine.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// `(total_duration, iterations)` accumulated by `iter`/`iter_batched`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (not measured).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.samples as u64 && start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.measured = Some((start.elapsed(), iters.max(1)));
+    }
+
+    /// Measures `routine` with a fresh setup value per iteration; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while iters < self.samples as u64 && wall.elapsed() < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((total.max(Duration::from_nanos(1)), iters.max(1)));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        budget,
+        measured: None,
+    };
+    f(&mut bencher);
+    let (total, iters) = bencher.measured.unwrap_or((Duration::ZERO, 0));
+    let mean_ns = if iters == 0 {
+        0.0
+    } else {
+        total.as_nanos() as f64 / iters as f64
+    };
+    println!(
+        "bench: {id:<55} {:>12.3} µs/iter (n={iters})",
+        mean_ns / 1e3
+    );
+    RESULTS
+        .lock()
+        .unwrap()
+        .push((id.to_string(), mean_ns, iters));
+}
+
+/// Internals used by `criterion_main!`.
+pub mod private {
+    /// Writes collected measurements as JSON when `RFIC_BENCH_JSON` is set.
+    pub fn finalize() {
+        let Some(path) = std::env::var_os("RFIC_BENCH_JSON") else {
+            return;
+        };
+        let results = super::RESULTS.lock().unwrap();
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, (name, mean_ns, iters)) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{name}\", \"mean_ns\": {mean_ns:.1}, \"iterations\": {iters} }}{sep}\n"
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion stub: failed to write {path:?}: {e}");
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::private::finalize();
+        }
+    };
+}

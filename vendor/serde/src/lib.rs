@@ -1,0 +1,57 @@
+//! Minimal vendored stub of `serde`.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` as marker
+//! capabilities (no serialisation is performed anywhere — there is no
+//! `serde_json` in the tree), so empty marker traits plus trivial derive
+//! macros are sufficient. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {} impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(
+    bool, char, String, str, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32,
+    f64
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<T: Deserialize> Deserialize for std::collections::BTreeSet<T> {}
+impl Serialize for std::time::Duration {}
+impl Deserialize for std::time::Duration {}
+
+macro_rules! impl_tuple_markers {
+    ($($name:ident),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {}
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    };
+}
+
+impl_tuple_markers!(A);
+impl_tuple_markers!(A, B);
+impl_tuple_markers!(A, B, C);
+impl_tuple_markers!(A, B, C, D);
