@@ -1,0 +1,140 @@
+//! CI bench-regression gate.
+//!
+//! Re-runs the solver micro-benchmarks (or takes a pre-recorded run via
+//! `--current`), diffs the per-iteration minima against the committed
+//! `BENCH_solver.json` baseline, and exits non-zero when any benchmark
+//! regressed by more than the threshold — or when a baseline benchmark
+//! silently disappeared.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rfic-bench --bin bench_gate -- \
+//!     [--baseline BENCH_solver.json] \
+//!     [--current target/bench_current.json]   # skip re-running the bench
+//!     [--threshold 30]                        # percent
+//! ```
+//!
+//! Refreshing the committed baseline after an intentional change:
+//!
+//! ```text
+//! RFIC_BENCH_JSON=BENCH_solver.json cargo bench -p rfic-bench --bench solver
+//! ```
+
+use std::process::{Command, ExitCode};
+
+use rfic_bench::gate::{compare, parse_bench_json};
+
+/// Absolute regression floor (ns): differences smaller than this are
+/// scheduler jitter on micro-scale benchmarks, never a real regression.
+const MIN_ABS_REGRESSION_NS: f64 = 2_000.0;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("bench-gate: error: {message}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = "BENCH_solver.json".to_string();
+    let mut current_path: Option<String> = None;
+    let mut threshold_pct = 30.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = v,
+                None => return fail("--baseline needs a path"),
+            },
+            "--current" => match args.next() {
+                Some(v) => current_path = Some(v),
+                None => return fail("--current needs a path"),
+            },
+            "--threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threshold_pct = v,
+                None => return fail("--threshold needs a number (percent)"),
+            },
+            "--help" | "-h" => {
+                println!("bench_gate [--baseline <json>] [--current <json>] [--threshold <pct>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other}")),
+        }
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("cannot read baseline {baseline_path}: {e}")),
+    };
+    let baseline = match parse_bench_json(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("cannot parse baseline {baseline_path}: {e}")),
+    };
+
+    // Without --current, re-run the solver benches and record them through
+    // the criterion stub's RFIC_BENCH_JSON hook.
+    let current_file = match &current_path {
+        Some(path) => path.clone(),
+        None => {
+            // Absolute path: cargo runs the bench binary with the *package*
+            // directory as cwd, not the workspace root.
+            let path = std::env::current_dir()
+                .map(|d| d.join("target").join("bench_current.json"))
+                .map(|p| p.to_string_lossy().into_owned())
+                .unwrap_or_else(|_| "bench_current.json".into());
+            println!("bench-gate: running `cargo bench -p rfic-bench --bench solver` ...");
+            let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+                .args(["bench", "-p", "rfic-bench", "--bench", "solver"])
+                .env("RFIC_BENCH_JSON", &path)
+                .status();
+            match status {
+                Ok(s) if s.success() => {}
+                Ok(s) => return fail(&format!("cargo bench failed with {s}")),
+                Err(e) => return fail(&format!("cannot spawn cargo bench: {e}")),
+            }
+            path
+        }
+    };
+    let current_text = match std::fs::read_to_string(&current_file) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("cannot read current run {current_file}: {e}")),
+    };
+    let current = match parse_bench_json(&current_text) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("cannot parse current run {current_file}: {e}")),
+    };
+
+    let report = compare(&baseline, &current, threshold_pct, MIN_ABS_REGRESSION_NS);
+
+    println!(
+        "bench-gate: {} compared, {} regressed, {} missing, {} new (threshold {threshold_pct} %)",
+        report.passed.len() + report.regressions.len(),
+        report.regressions.len(),
+        report.missing.len(),
+        report.added.len(),
+    );
+    for entry in &report.passed {
+        println!("  ok    {entry}");
+    }
+    for name in &report.added {
+        println!("  new   {name} (not in baseline; refresh BENCH_solver.json)");
+    }
+    for entry in &report.regressions {
+        println!("  FAIL  {entry}");
+    }
+    for name in &report.missing {
+        println!("  FAIL  {name} missing from the current run");
+    }
+
+    if report.ok() {
+        println!("bench-gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-gate: FAIL — investigate, or refresh the baseline with \
+             `RFIC_BENCH_JSON={baseline_path} cargo bench -p rfic-bench --bench solver` \
+             if the change is intentional"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,307 @@
+//! Benchmark-regression gate: parse `BENCH_solver.json`-style measurement
+//! files and diff a fresh run against the committed baseline.
+//!
+//! The CI `bench-gate` step re-runs the solver micro-benchmarks, records
+//! them via the criterion stub's `RFIC_BENCH_JSON` hook, and fails the job
+//! when any benchmark regresses by more than the threshold (30 % by
+//! default) against the committed baseline — so a speed win landed by one
+//! PR cannot silently rot in the next. The compared statistic is the
+//! **per-iteration minimum** (noise on shared runners only ever adds
+//! time); an absolute floor additionally exempts differences of a couple
+//! of microseconds, which are timer jitter, not a lost optimisation.
+
+use std::fmt;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark id (`group/name`).
+    pub name: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Minimum per-iteration time, nanoseconds (0 when the file predates
+    /// the field). This is what the gate compares: noise — host steal,
+    /// scheduler jitter — only ever *adds* time, so the minimum tracks the
+    /// true compute cost while the mean swings wildly on shared runners.
+    pub min_ns: f64,
+    /// Number of measured iterations.
+    pub iterations: u64,
+}
+
+impl BenchRecord {
+    /// The statistic the gate compares: the per-iteration minimum when
+    /// recorded, the mean for legacy files.
+    pub fn gate_ns(&self) -> f64 {
+        if self.min_ns > 0.0 {
+            self.min_ns
+        } else {
+            self.mean_ns
+        }
+    }
+}
+
+/// Outcome of one baseline/current pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateEntry {
+    /// Benchmark id.
+    pub name: String,
+    /// Baseline mean, ns.
+    pub baseline_ns: f64,
+    /// Current mean, ns.
+    pub current_ns: f64,
+    /// `current / baseline` ratio.
+    pub ratio: f64,
+}
+
+impl GateEntry {
+    fn change_pct(&self) -> f64 {
+        (self.ratio - 1.0) * 100.0
+    }
+}
+
+impl fmt::Display for GateEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<55} {:>12.1} -> {:>12.1} ns  ({:+7.1} %)",
+            self.name,
+            self.baseline_ns,
+            self.current_ns,
+            self.change_pct()
+        )
+    }
+}
+
+/// Result of gating a current run against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Benchmarks that regressed beyond the threshold.
+    pub regressions: Vec<GateEntry>,
+    /// Benchmarks compared and within bounds.
+    pub passed: Vec<GateEntry>,
+    /// Baseline benchmarks absent from the current run (a silently dropped
+    /// benchmark also fails the gate).
+    pub missing: Vec<String>,
+    /// Current benchmarks not yet in the baseline (informational).
+    pub added: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Parses the `{"benchmarks": [{"name": …, "mean_ns": …, "iterations": …}]}`
+/// format written by the vendored criterion stub. Deliberately minimal — it
+/// accepts exactly the shape this workspace writes, nothing more.
+pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut records = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find("\"name\"") {
+        rest = &rest[start..];
+        // Scope all lookups to this record's object so an absent optional
+        // key can never pick up the next record's value.
+        let end = rest.find('}').unwrap_or(rest.len());
+        let object = &rest[..end];
+        let name = extract_string_value(object, "name")?;
+        let mean_ns = extract_number_value(object, "mean_ns")?;
+        let min_ns = extract_number_value(object, "min_ns").unwrap_or(0.0);
+        let iterations = extract_number_value(object, "iterations")? as u64;
+        records.push(BenchRecord {
+            name,
+            mean_ns,
+            min_ns,
+            iterations,
+        });
+        rest = &rest[end..];
+    }
+    if records.is_empty() {
+        return Err("no benchmark records found".into());
+    }
+    Ok(records)
+}
+
+fn extract_string_value(object: &str, key: &str) -> Result<String, String> {
+    let pattern = format!("\"{key}\"");
+    let at = object
+        .find(&pattern)
+        .ok_or_else(|| format!("missing key {key}"))?;
+    let after_colon = object[at + pattern.len()..]
+        .find(':')
+        .map(|c| at + pattern.len() + c + 1)
+        .ok_or_else(|| format!("malformed key {key}"))?;
+    let open = object[after_colon..]
+        .find('"')
+        .map(|q| after_colon + q + 1)
+        .ok_or_else(|| format!("missing opening quote for {key}"))?;
+    let close = object[open..]
+        .find('"')
+        .map(|q| open + q)
+        .ok_or_else(|| format!("missing closing quote for {key}"))?;
+    Ok(object[open..close].to_string())
+}
+
+fn extract_number_value(object: &str, key: &str) -> Result<f64, String> {
+    let pattern = format!("\"{key}\"");
+    let at = object
+        .find(&pattern)
+        .ok_or_else(|| format!("missing key {key}"))?;
+    let after_colon = object[at + pattern.len()..]
+        .find(':')
+        .map(|c| at + pattern.len() + c + 1)
+        .ok_or_else(|| format!("malformed key {key}"))?;
+    let tail = object[after_colon..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(tail.len());
+    tail[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("bad number for {key}: {e}"))
+}
+
+/// Diffs `current` against `baseline` on the gate statistic
+/// ([`BenchRecord::gate_ns`]: per-iteration minimum, mean for legacy
+/// files).
+///
+/// A benchmark counts as a regression when the statistic grew by more than
+/// `threshold_pct` percent **and** by more than `min_abs_ns` nanoseconds
+/// (the absolute floor filters timer jitter on sub-microsecond
+/// benchmarks).
+pub fn compare(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    threshold_pct: f64,
+    min_abs_ns: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            report.missing.push(base.name.clone());
+            continue;
+        };
+        let (base_ns, cur_ns) = (base.gate_ns(), cur.gate_ns());
+        let entry = GateEntry {
+            name: base.name.clone(),
+            baseline_ns: base_ns,
+            current_ns: cur_ns,
+            ratio: if base_ns > 0.0 {
+                cur_ns / base_ns
+            } else {
+                f64::INFINITY
+            },
+        };
+        let regressed = entry.ratio > 1.0 + threshold_pct / 100.0 && cur_ns - base_ns > min_abs_ns;
+        if regressed {
+            report.regressions.push(entry);
+        } else {
+            report.passed.push(entry);
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            report.added.push(cur.name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmarks": [
+    { "name": "lp_simplex/revised_20x15", "mean_ns": 18766.6, "min_ns": 17000.5, "iterations": 20 },
+    { "name": "milp/knapsack_30", "mean_ns": 4519193.0, "min_ns": 4100000.0, "iterations": 20 }
+  ]
+}
+"#;
+
+    /// A pre-`min_ns` baseline file (the PR 1 format).
+    const LEGACY_SAMPLE: &str = r#"{
+  "benchmarks": [
+    { "name": "old/one", "mean_ns": 100.0, "iterations": 20 },
+    { "name": "new/two", "mean_ns": 200.0, "min_ns": 150.0, "iterations": 20 }
+  ]
+}
+"#;
+
+    fn record(name: &str, mean_ns: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            mean_ns,
+            min_ns: mean_ns,
+            iterations: 20,
+        }
+    }
+
+    #[test]
+    fn parses_the_criterion_stub_format() {
+        let records = parse_bench_json(SAMPLE).expect("parse");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "lp_simplex/revised_20x15");
+        assert!((records[0].mean_ns - 18766.6).abs() < 1e-9);
+        assert!((records[0].min_ns - 17000.5).abs() < 1e-9);
+        assert_eq!(records[1].iterations, 20);
+    }
+
+    #[test]
+    fn legacy_files_fall_back_to_the_mean() {
+        let records = parse_bench_json(LEGACY_SAMPLE).expect("parse");
+        assert_eq!(records[0].min_ns, 0.0, "absent min_ns stays zero");
+        assert_eq!(records[0].gate_ns(), 100.0, "gate falls back to mean");
+        assert_eq!(
+            records[1].gate_ns(),
+            150.0,
+            "min_ns of the next record must not leak into the previous one"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn regression_detection_honours_threshold_and_floor() {
+        let baseline = vec![record("a", 100_000.0), record("b", 1_000.0)];
+        // "a" regresses 50 %; "b" regresses 50 % but only by 500 ns (noise).
+        let current = vec![record("a", 150_000.0), record("b", 1_500.0)];
+        let report = compare(&baseline, &current, 30.0, 2_000.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].name, "a");
+        assert_eq!(report.passed.len(), 1);
+        assert!(!report.ok());
+
+        // Within threshold: passes.
+        let current = vec![record("a", 120_000.0), record("b", 900.0)];
+        let report = compare(&baseline, &current, 30.0, 2_000.0);
+        assert!(report.ok());
+        assert_eq!(report.passed.len(), 2);
+    }
+
+    #[test]
+    fn missing_benchmarks_fail_and_new_ones_inform() {
+        let baseline = vec![record("kept", 10_000.0), record("dropped", 10_000.0)];
+        let current = vec![record("kept", 10_000.0), record("brand_new", 5_000.0)];
+        let report = compare(&baseline, &current, 30.0, 2_000.0);
+        assert_eq!(report.missing, vec!["dropped".to_string()]);
+        assert_eq!(report.added, vec!["brand_new".to_string()]);
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn gate_entry_formats_change_percentage() {
+        let entry = GateEntry {
+            name: "x".into(),
+            baseline_ns: 100.0,
+            current_ns: 150.0,
+            ratio: 1.5,
+        };
+        let text = entry.to_string();
+        assert!(text.contains("+50.0"), "{text}");
+    }
+}

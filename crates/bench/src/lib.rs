@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use std::time::Duration;
 
 use rfic_baseline::manual::{manual_layout, manual_report};

@@ -39,6 +39,34 @@ use crate::layout::{Layout, Placement};
 use crate::model::{IlpConfig, IlpError, IlpWeights, LayoutIlp, ObjectId, PairSpec};
 use crate::report::LayoutReport;
 
+/// Optional per-phase wall-clock budgets for the individual MILP solves;
+/// phases without a budget fall back to [`PilpConfig::solve_time_limit`].
+///
+/// The three phases have very different solve profiles — Phase 1 routes
+/// blurred strips (cheap, many solves), Phase 3 repairs hard-length strips
+/// (few solves, occasionally expensive) — so one global per-solve limit is
+/// either too tight for refinement or too loose for routing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseBudgets {
+    /// Per-solve budget in Phase 1 (blurred global routing).
+    pub routing: Option<Duration>,
+    /// Per-solve budget in Phase 2 (device visualisation).
+    pub visualization: Option<Duration>,
+    /// Per-solve budget in Phase 3 (iterative refinement).
+    pub refinement: Option<Duration>,
+}
+
+impl PhaseBudgets {
+    /// The budget configured for `phase`, if any.
+    pub fn for_phase(&self, phase: PilpPhase) -> Option<Duration> {
+        match phase {
+            PilpPhase::GlobalRouting => self.routing,
+            PilpPhase::Visualization => self.visualization,
+            PilpPhase::Refinement => self.refinement,
+        }
+    }
+}
+
 /// Configuration of the P-ILP flow.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PilpConfig {
@@ -49,8 +77,15 @@ pub struct PilpConfig {
     pub max_refine_iters: usize,
     /// Maximum lazy overlap-separation rounds per ILP solve.
     pub max_separation_rounds: usize,
-    /// Time limit per individual MILP solve.
+    /// Time limit per individual MILP solve (the fallback when
+    /// [`PilpConfig::phase_budgets`] has no entry for a phase).
     pub solve_time_limit: Duration,
+    /// Optional per-phase overrides of the per-solve time limit.
+    pub phase_budgets: PhaseBudgets,
+    /// Branch-and-bound worker threads per MILP solve (`1` = serial, `0` =
+    /// available hardware parallelism; see
+    /// [`rfic_milp::SolveOptions::threads`]).
+    pub solver_threads: usize,
     /// Maximum extra chain points inserted on a strip during refinement.
     pub max_extra_chain_points: usize,
     /// Try rotating endpoint devices when a strip cannot be repaired by
@@ -69,6 +104,8 @@ impl Default for PilpConfig {
             max_refine_iters: 4,
             max_separation_rounds: 4,
             solve_time_limit: Duration::from_secs(10),
+            phase_budgets: PhaseBudgets::default(),
+            solver_threads: 1,
             max_extra_chain_points: 3,
             try_rotations: true,
             weights: IlpWeights::default(),
@@ -90,12 +127,20 @@ impl PilpConfig {
         }
     }
 
-    /// A thorough configuration for the benchmark circuits.
+    /// A thorough configuration for the benchmark circuits: parallel node
+    /// search and a larger refinement budget (Phase 3 is where hard-length
+    /// solves occasionally need the extra headroom).
     pub fn thorough() -> PilpConfig {
         PilpConfig {
             max_refine_iters: 6,
             max_separation_rounds: 6,
             solve_time_limit: Duration::from_secs(20),
+            phase_budgets: PhaseBudgets {
+                routing: Some(Duration::from_secs(10)),
+                visualization: None,
+                refinement: Some(Duration::from_secs(30)),
+            },
+            solver_threads: 2,
             max_extra_chain_points: 4,
             try_rotations: true,
             ..PilpConfig::default()
@@ -265,10 +310,24 @@ impl Pilp {
         }
     }
 
-    fn solve_options(&self) -> SolveOptions {
+    fn solve_options(&self, phase: PilpPhase) -> SolveOptions {
         SolveOptions {
-            time_limit: self.config.solve_time_limit,
+            time_limit: self
+                .config
+                .phase_budgets
+                .for_phase(phase)
+                .unwrap_or(self.config.solve_time_limit),
             mip_gap: 1e-4,
+            threads: self.config.solver_threads,
+            // Most-fractional, not the solver's default pseudocost rule: on
+            // the degenerate big-M layout models pseudocost estimates are
+            // noise, and the measured flow is never better and up to ~1.5x
+            // slower with worse length matching under pseudocost (DESIGN.md
+            // has the numbers).
+            branching: rfic_milp::BranchRule::MostFractional,
+            // Gomory cuts never survive the root-bound improvement gate on
+            // these models; separating them is pure overhead here.
+            cut_rounds: 0,
             ..SolveOptions::default()
         }
     }
@@ -311,7 +370,7 @@ impl Pilp {
                 .chain_points
                 .insert(strip.id, strip.suggested_chain_points.clamp(3, 6));
 
-            match self.solve_with_separation(netlist, config, &base, true) {
+            match self.solve_with_separation(netlist, config, &base, PilpPhase::GlobalRouting) {
                 Ok(layout) => base = layout,
                 Err(e) => {
                     // Fall back to a trivial two-point route between the
@@ -382,7 +441,9 @@ impl Pilp {
             config
                 .strip_windows
                 .insert(strip.id, self.strip_window(netlist, &layout, strip.id));
-            if let Ok(updated) = self.solve_with_separation(netlist, config, &layout, false) {
+            if let Ok(updated) =
+                self.solve_with_separation(netlist, config, &layout, PilpPhase::Visualization)
+            {
                 layout = updated;
             }
             // Failures are tolerated here: Phase 3 will retry with more
@@ -543,7 +604,7 @@ impl Pilp {
         config
             .strip_windows
             .insert(strip_id, self.strip_window(netlist, layout, strip_id));
-        match self.solve_with_separation(netlist, config.clone(), layout, false) {
+        match self.solve_with_separation(netlist, config.clone(), layout, PilpPhase::Refinement) {
             Ok(updated) => {
                 *layout = updated;
                 true
@@ -553,7 +614,9 @@ impl Pilp {
                 // least improves; the next iteration will retry hard with an
                 // extra chain point.
                 config.hard_length = false;
-                if let Ok(updated) = self.solve_with_separation(netlist, config, layout, false) {
+                if let Ok(updated) =
+                    self.solve_with_separation(netlist, config, layout, PilpPhase::Refinement)
+                {
                     let better = updated
                         .length_error(netlist, strip_id)
                         .map(f64::abs)
@@ -620,7 +683,9 @@ impl Pilp {
                     Rect::centered(p.center, 2.0 * self.config.tau_d, 2.0 * self.config.tau_d),
                 );
             }
-            if let Ok(updated) = self.solve_with_separation(netlist, config, layout, false) {
+            if let Ok(updated) =
+                self.solve_with_separation(netlist, config, layout, PilpPhase::Refinement)
+            {
                 let error_sum = |l: &Layout| -> f64 {
                     incident
                         .iter()
@@ -708,9 +773,10 @@ impl Pilp {
         netlist: &Netlist,
         config: IlpConfig,
         base: &Layout,
-        blurred: bool,
+        phase: PilpPhase,
     ) -> Result<Layout, IlpError> {
-        let options = self.solve_options();
+        let blurred = phase == PilpPhase::GlobalRouting;
+        let options = self.solve_options(phase);
         let mut ilp = LayoutIlp::build(netlist, config, base)?;
         let mut warm = rfic_milp::WarmStart::new();
         let mut best: Option<Layout> = None;

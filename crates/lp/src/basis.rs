@@ -134,6 +134,20 @@ impl Factorization {
         self.etas.len() >= self.max_etas
     }
 
+    /// `true` while the eta file is short enough that *reusing* this
+    /// factorisation (warm-start cache) still beats refactorising from
+    /// scratch. Every FTRAN/BTRAN replays the whole eta file, so a chain
+    /// inherited across many warm solves costs time — and, worse, each
+    /// replayed eta compounds rounding error, which on the ill-conditioned
+    /// big-M layout models measurably degrades the returned vertices (the
+    /// flow's length-matching suffered at a half-`max_etas` threshold).
+    /// A quarter of the refactorisation threshold keeps the speed win while
+    /// staying numerically indistinguishable from fresh factors.
+    #[inline]
+    pub fn worth_caching(&self) -> bool {
+        self.etas.len() * 4 < self.max_etas
+    }
+
     /// Number of eta updates applied since the last refactorisation.
     #[cfg(test)]
     pub fn eta_count(&self) -> usize {

@@ -50,9 +50,19 @@ mod revised;
 mod sparse;
 
 pub use problem::{Constraint, ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
-pub use revised::Basis;
+pub use revised::{Basis, NonbasicStatus, TableauEntry, TableauRow};
 pub use sparse::{CscMatrix, ScatterVec};
 
 /// Numerical tolerance used by the solver for feasibility and optimality
 /// tests.
 pub const TOLERANCE: f64 = 1e-7;
+
+// The warm-start state and the model itself cross thread boundaries in the
+// parallel branch-and-bound layer; keep them `Send + Sync` by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Basis>();
+    assert_send_sync::<LinearProgram>();
+    assert_send_sync::<LpSolution>();
+    assert_send_sync::<TableauRow>();
+};

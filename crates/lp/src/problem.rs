@@ -275,6 +275,28 @@ impl LinearProgram {
         revised::solve(self, warm)
     }
 
+    /// Extracts the simplex tableau rows of the given *basic structural*
+    /// variables under `basis` (typically the optimal basis returned by
+    /// [`LinearProgram::solve_warm`] on this very model).
+    ///
+    /// This is the raw material for cutting planes: a Gomory cut is a
+    /// rounding argument applied to one tableau row of a fractional basic
+    /// integer variable. Requested variables that are not basic in `basis`
+    /// are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] when `basis` does not match this model's
+    /// dimensions or is numerically singular for it.
+    pub fn tableau_rows(
+        &self,
+        basis: &Basis,
+        basic_vars: &[usize],
+    ) -> Result<Vec<crate::TableauRow>, LpError> {
+        self.validate()?;
+        revised::tableau_rows(self, basis, basic_vars)
+    }
+
     /// Solves with the legacy dense two-phase tableau simplex.
     ///
     /// Retained as a reference oracle for regression tests; production code

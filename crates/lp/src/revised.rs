@@ -63,11 +63,33 @@ enum VarStatus {
 /// rows start with their logical variable basic, which is exactly what makes
 /// re-solving after a branching bound change or a lazily separated
 /// constraint cheap (dual simplex from the parent optimum).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The basis additionally carries the **LU factorisation** it was produced
+/// with (shared, behind an [`Arc`]): variable-bound changes — the only
+/// difference between branch-and-bound parent and child LPs — do not touch
+/// the basis matrix, so a warm re-solve of a model with the *identical
+/// constraint matrix* (verified by fingerprint) can skip the from-scratch
+/// refactorisation entirely. That fixed cost, not the pivot count, used to
+/// dominate warm node solves.
+#[derive(Debug, Clone)]
 pub struct Basis {
     statuses: Vec<VarStatus>,
     basic: Vec<usize>,
     num_structural: usize,
+    /// Cached factorisation of this basis (valid only for the matrix with
+    /// the matching fingerprint).
+    factor: Option<std::sync::Arc<Factorization>>,
+    /// Fingerprint of the constraint matrix the factorisation belongs to.
+    matrix_fingerprint: u64,
+}
+
+impl PartialEq for Basis {
+    fn eq(&self, other: &Self) -> bool {
+        // The factorisation cache is an acceleration detail, not identity.
+        self.statuses == other.statuses
+            && self.basic == other.basic
+            && self.num_structural == other.num_structural
+    }
 }
 
 impl Basis {
@@ -80,6 +102,49 @@ impl Basis {
     pub fn num_rows(&self) -> usize {
         self.basic.len()
     }
+}
+
+/// Bound status of a nonbasic variable in a [`TableauRow`] entry.
+///
+/// Needed by cut generators to shift nonbasic variables to their bound
+/// (`x̄ = x − l` at the lower bound, `x̄ = u − x` at the upper) before
+/// applying an integer rounding argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonbasicStatus {
+    /// Sitting at its (finite) lower bound.
+    AtLower,
+    /// Sitting at its (finite) upper bound.
+    AtUpper,
+    /// Free nonbasic (no finite bound; value 0).
+    Free,
+}
+
+/// One nonbasic entry `ᾱ_j` of a simplex tableau row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableauEntry {
+    /// Variable index: `< num_vars` for structural variables, `num_vars + r`
+    /// for the logical (slack) variable of constraint row `r`.
+    pub var: usize,
+    /// Tableau coefficient `ᾱ_j = (eᵣᵀB⁻¹)·a_j`.
+    pub coeff: f64,
+    /// Which bound the nonbasic variable currently sits at.
+    pub status: NonbasicStatus,
+}
+
+/// A row of the simplex tableau `x_B(r) + Σ_j ᾱ_j·x_j = value + Σ_j ᾱ_j·x̄_j*`
+/// for the basis returned by [`crate::LinearProgram::solve_warm`].
+///
+/// `value` is the current value of the basic variable; entries cover every
+/// *nonbasic, non-fixed* variable (fixed variables — equal bounds — are
+/// omitted: they can never move, so they contribute nothing to a cut).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableauRow {
+    /// The (structural) variable basic in this row.
+    pub basic_var: usize,
+    /// Current value of the basic variable (`b̄ᵣ`).
+    pub value: f64,
+    /// Nonbasic coefficients of the row.
+    pub entries: Vec<TableauEntry>,
 }
 
 /// Outcome of the dual-simplex engine.
@@ -103,6 +168,10 @@ struct Solver<'a> {
     statuses: Vec<VarStatus>,
     basic: Vec<usize>,
     factor: Factorization,
+    /// FNV-1a fingerprint of `(n, m, matrix)` — the validity domain of a
+    /// cached factorisation (bounds and objective deliberately excluded:
+    /// they do not enter the basis matrix).
+    fingerprint: u64,
     /// Basic values by elimination position (parallel to `basic`).
     x_basic: Vec<f64>,
     iterations: usize,
@@ -162,6 +231,22 @@ impl<'a> Solver<'a> {
             cols
         };
         let matrix = CscMatrix::from_columns(m, &columns);
+        let fingerprint = {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            let mut mix = |x: u64| {
+                h ^= x;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            };
+            mix(n as u64);
+            mix(m as u64);
+            for j in 0..n {
+                for (r, v) in matrix.col_iter(j) {
+                    mix(r as u64);
+                    mix(v.to_bits());
+                }
+            }
+            h
+        };
 
         let mut solver = Solver {
             lp,
@@ -175,6 +260,7 @@ impl<'a> Solver<'a> {
             statuses: Vec::new(),
             basic: Vec::new(),
             factor: Factorization::factorize(0, &[]).expect("empty basis"),
+            fingerprint,
             x_basic: vec![0.0; m],
             iterations: 0,
             limit: lp.iteration_limit(),
@@ -268,6 +354,21 @@ impl<'a> Solver<'a> {
         if basic.len() != self.m || basic.iter().any(|&v| statuses[v] != VarStatus::Basic) {
             return false;
         }
+        // Fast path: the basis carries the factorisation it was produced
+        // with, and the constraint matrix is bit-identical (fingerprint) at
+        // unchanged dimensions — bound changes don't touch the basis
+        // matrix, so the cached factors are *this* basis' factors and the
+        // from-scratch refactorisation is skipped. This is what makes
+        // branch-and-bound node re-solves cheap: their fixed cost used to
+        // be dominated by exactly that refactorisation.
+        if old_n == self.n && old_m == self.m && warm.matrix_fingerprint == self.fingerprint {
+            if let Some(cached) = warm.factor.as_ref().filter(|f| f.worth_caching()) {
+                self.statuses = statuses;
+                self.basic = basic;
+                self.factor = (**cached).clone();
+                return true;
+            }
+        }
         let prev_statuses = std::mem::replace(&mut self.statuses, statuses);
         let prev_basic = std::mem::replace(&mut self.basic, basic);
         if self.refactorize().is_err() {
@@ -278,11 +379,19 @@ impl<'a> Solver<'a> {
         true
     }
 
-    fn snapshot(&self) -> Basis {
+    /// Snapshots the basis, **moving** the factorisation into the snapshot
+    /// (no clone — only valid as the very last step of a solve).
+    fn into_snapshot(mut self) -> Basis {
+        let factor = std::mem::replace(
+            &mut self.factor,
+            Factorization::factorize(0, &[]).expect("empty basis"),
+        );
         Basis {
-            statuses: self.statuses.clone(),
-            basic: self.basic.clone(),
+            statuses: self.statuses,
+            basic: self.basic,
             num_structural: self.n,
+            factor: Some(std::sync::Arc::new(factor)),
+            matrix_fingerprint: self.fingerprint,
         }
     }
 
@@ -792,8 +901,9 @@ impl<'a> Solver<'a> {
             .map_err(|_| LpError::InvalidModel("logical basis is singular".into()))
     }
 
-    /// Extracts the solution in the model's original sense.
-    fn extract(&mut self) -> (LpSolution, Basis) {
+    /// Extracts the solution in the model's original sense, consuming the
+    /// solver (the factorisation moves into the returned [`Basis`]).
+    fn extract(mut self) -> (LpSolution, Basis) {
         self.compute_x_basic();
         let mut values = vec![0.0; self.n];
         for (j, value) in values.iter_mut().enumerate() {
@@ -819,15 +929,75 @@ impl<'a> Solver<'a> {
             .zip(&values)
             .map(|(c, x)| c * x)
             .sum();
-        (
-            LpSolution {
-                values,
-                objective,
-                iterations: self.iterations,
-            },
-            self.snapshot(),
-        )
+        let solution = LpSolution {
+            values,
+            objective,
+            iterations: self.iterations,
+        };
+        (solution, self.into_snapshot())
     }
+}
+
+/// Extracts simplex tableau rows for the given *basic structural* variables
+/// under `basis` (which must belong to exactly this model — same variable
+/// and constraint counts). Requested variables that are not basic are
+/// skipped silently.
+pub(crate) fn tableau_rows(
+    lp: &LinearProgram,
+    basis: &Basis,
+    basic_vars: &[usize],
+) -> Result<Vec<TableauRow>, LpError> {
+    if basis.num_structural != lp.num_vars() || basis.num_rows() != lp.num_constraints() {
+        return Err(LpError::InvalidModel(
+            "tableau basis does not match the model dimensions".into(),
+        ));
+    }
+    let mut solver = Solver::new(lp, Some(basis))?;
+    if solver.basic != basis.basic {
+        // The warm basis was singular and Solver fell back to the logical
+        // basis; a tableau of a different basis would be meaningless.
+        return Err(LpError::InvalidModel(
+            "tableau basis is singular for this model".into(),
+        ));
+    }
+    solver.compute_x_basic();
+    let mut rows = Vec::with_capacity(basic_vars.len());
+    for &var in basic_vars {
+        let Some(pos) = solver.basic.iter().position(|&j| j == var) else {
+            continue;
+        };
+        // Row `pos` of B⁻¹A: ᾱ_j = (e_posᵀ B⁻¹)·a_j.
+        let mut rho = vec![0.0; solver.m];
+        rho[pos] = 1.0;
+        solver.factor.btran(&mut rho);
+        let mut entries = Vec::new();
+        for j in 0..solver.n + solver.m {
+            if solver.statuses[j] == VarStatus::Basic || solver.lower[j] == solver.upper[j] {
+                continue;
+            }
+            let coeff = solver.column_dot(j, &rho);
+            if coeff.abs() <= 1e-11 {
+                continue;
+            }
+            let status = match solver.statuses[j] {
+                VarStatus::AtLower => NonbasicStatus::AtLower,
+                VarStatus::AtUpper => NonbasicStatus::AtUpper,
+                VarStatus::Free => NonbasicStatus::Free,
+                VarStatus::Basic => unreachable!("filtered above"),
+            };
+            entries.push(TableauEntry {
+                var: j,
+                coeff,
+                status,
+            });
+        }
+        rows.push(TableauRow {
+            basic_var: var,
+            value: solver.x_basic[pos],
+            entries,
+        });
+    }
+    Ok(rows)
 }
 
 /// Solves `lp`, optionally warm-starting from `warm` (see [`Basis`]).

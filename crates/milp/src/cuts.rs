@@ -1,0 +1,416 @@
+//! Gomory mixed-integer (GMI) cutting planes from the revised-simplex
+//! tableau.
+//!
+//! At the root node of the branch-and-bound search, every basic integer
+//! variable with a fractional LP value yields one tableau row
+//!
+//! ```text
+//!   x_B(r) + Σ_j ᾱ_j·x̄_j = b̄_r          (x̄_j: nonbasics shifted to 0)
+//! ```
+//!
+//! to which the Gomory mixed-integer rounding argument applies: with
+//! `f0 = frac(b̄_r)` and `f_j = frac(ᾱ_j)`, the inequality
+//!
+//! ```text
+//!   Σ_{j int} min(f_j, f0(1-f_j)/(1-f0))·x̄_j
+//!     + Σ_{j cont, ᾱ≥0} ᾱ_j·x̄_j + Σ_{j cont, ᾱ<0} f0·(-ᾱ_j)/(1-f0)·x̄_j ≥ f0
+//! ```
+//!
+//! holds for every mixed-integer feasible point but is violated by exactly
+//! `f0` at the current fractional vertex. The shifted variables are then
+//! substituted back out — structural variables by un-shifting their bound,
+//! logical (slack) variables by their defining row `s_r = b_r − A_r·x` — so
+//! each cut lands as a plain `Σ c_k·x_k ≥ rhs` constraint over structural
+//! variables, valid for the *whole* search tree (root derivation).
+//!
+//! Numerical hygiene, in order of application: rows with `f0` outside
+//! `[MIN_FRACTIONALITY, 1 − MIN_FRACTIONALITY]` are skipped, rows leaning on
+//! a free nonbasic are skipped (no valid shift), near-zero cut coefficients
+//! are dropped with a conservative right-hand-side relaxation, cuts with an
+//! extreme coefficient dynamic range or a tiny violation are discarded, and
+//! a quantised-coefficient pool suppresses duplicates across rounds.
+
+use std::collections::BTreeSet;
+
+use rfic_lp::{Basis, ConstraintOp, LinearProgram, NonbasicStatus, TableauRow};
+
+/// Rows whose basic value is closer than this to an integer produce no cut.
+const MIN_FRACTIONALITY: f64 = 5e-3;
+/// Cut coefficients below this magnitude are dropped (with rhs relaxation).
+const COEFF_DROP_TOL: f64 = 1e-11;
+/// Maximum accepted ratio `max|c| / min|c|` over the kept coefficients.
+const MAX_DYNAMIC_RANGE: f64 = 1e7;
+/// Minimum violation of the current LP vertex for a cut to be kept.
+const MIN_VIOLATION: f64 = 1e-6;
+
+/// One globally valid cutting plane `Σ coeffs·x ≥ rhs` over structural
+/// variables.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Cut {
+    /// Sparse `(variable, coefficient)` list, sorted by variable.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Right-hand side of the `>=` inequality.
+    pub rhs: f64,
+    /// Violation of the LP vertex the cut was separated from, normalised by
+    /// the coefficient norm (the selection score).
+    pub score: f64,
+}
+
+impl Cut {
+    /// `rhs − Σ c·x`: positive when `values` violates the cut.
+    pub fn violation(&self, values: &[f64]) -> f64 {
+        let lhs: f64 = self.coeffs.iter().map(|&(v, c)| c * values[v]).sum();
+        self.rhs - lhs
+    }
+}
+
+/// Deduplicating cut pool: cuts whose normalised, quantised coefficient
+/// vectors collide are generated only once per solve.
+#[derive(Debug, Default)]
+pub(crate) struct CutPool {
+    seen: BTreeSet<Vec<(usize, i64)>>,
+    /// Cuts accepted into the model so far (for diagnostics).
+    pub accepted: usize,
+}
+
+impl CutPool {
+    pub fn new() -> CutPool {
+        CutPool::default()
+    }
+
+    fn key(cut: &Cut) -> Vec<(usize, i64)> {
+        let scale = cut
+            .coeffs
+            .iter()
+            .map(|&(_, c)| c.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-30);
+        cut.coeffs
+            .iter()
+            .map(|&(v, c)| (v, (c / scale * 1e8).round() as i64))
+            .chain(std::iter::once((
+                usize::MAX,
+                (cut.rhs / scale * 1e8).round() as i64,
+            )))
+            .collect()
+    }
+
+    /// `true` when an equivalent cut has already been registered.
+    fn contains(&self, cut: &Cut) -> bool {
+        self.seen.contains(&Self::key(cut))
+    }
+
+    /// Registers a cut so later rounds do not re-derive it.
+    fn insert(&mut self, cut: &Cut) {
+        self.seen.insert(Self::key(cut));
+    }
+}
+
+/// Separates one round of GMI cuts at the vertex `(values, basis)` of `lp`.
+///
+/// `is_integer[v]` marks the integer-constrained structural variables.
+/// Returns at most `max_cuts` cuts, best violation-per-norm first. An
+/// unusable basis (e.g. numerically singular on refactorisation) yields no
+/// cuts rather than an error — cutting is an optimisation, never a
+/// correctness requirement.
+pub(crate) fn separate_gomory(
+    lp: &LinearProgram,
+    basis: &Basis,
+    values: &[f64],
+    is_integer: &[bool],
+    pool: &mut CutPool,
+    max_cuts: usize,
+) -> Vec<Cut> {
+    if max_cuts == 0 {
+        return Vec::new();
+    }
+    // Fractional basic integer variables are the cut sources.
+    let fractional: Vec<usize> = (0..values.len())
+        .filter(|&v| is_integer[v])
+        .filter(|&v| {
+            let frac = values[v] - values[v].floor();
+            frac > MIN_FRACTIONALITY && frac < 1.0 - MIN_FRACTIONALITY
+        })
+        .collect();
+    if fractional.is_empty() {
+        return Vec::new();
+    }
+    let Ok(rows) = lp.tableau_rows(basis, &fractional) else {
+        return Vec::new();
+    };
+    let mut cuts: Vec<Cut> = rows
+        .iter()
+        .filter_map(|row| cut_from_row(lp, row, is_integer, values))
+        .filter(|cut| !pool.contains(cut))
+        .collect();
+    cuts.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    cuts.truncate(max_cuts);
+    // Only the cuts that survive the ranking enter the pool: a cut dropped
+    // by the per-round cap was never added to the LP, so a later round must
+    // stay free to re-separate it.
+    for cut in &cuts {
+        pool.insert(cut);
+    }
+    pool.accepted += cuts.len();
+    cuts
+}
+
+/// GMI coefficient of one shifted nonbasic variable.
+fn gamma(abar: f64, f0: f64, integer_shift: bool) -> f64 {
+    if integer_shift {
+        let fj = abar - abar.floor();
+        if fj <= f0 {
+            fj
+        } else {
+            f0 * (1.0 - fj) / (1.0 - f0)
+        }
+    } else if abar >= 0.0 {
+        abar
+    } else {
+        f0 * (-abar) / (1.0 - f0)
+    }
+}
+
+/// Derives the GMI cut of one tableau row, substituted back to structural
+/// variables; `None` when the row is unusable or the cut fails a filter.
+fn cut_from_row(
+    lp: &LinearProgram,
+    row: &TableauRow,
+    is_integer: &[bool],
+    values: &[f64],
+) -> Option<Cut> {
+    let n = lp.num_vars();
+    let f0 = row.value - row.value.floor();
+    if f0 <= MIN_FRACTIONALITY || f0 >= 1.0 - MIN_FRACTIONALITY {
+        return None;
+    }
+
+    let mut acc = vec![0.0f64; n];
+    let mut rhs = f0;
+    for entry in &row.entries {
+        let j = entry.var;
+        let (abar, at_upper) = match entry.status {
+            NonbasicStatus::AtLower => (entry.coeff, false),
+            NonbasicStatus::AtUpper => (-entry.coeff, true),
+            NonbasicStatus::Free => {
+                // A free nonbasic cannot be shifted to a bound; the rounding
+                // argument does not apply to this row.
+                return None;
+            }
+        };
+        if j < n {
+            // Structural variable: integer treatment only when the variable
+            // *and* the bound it is shifted from are integral.
+            let (l, u) = lp.bounds(j);
+            let bound = if at_upper { u } else { l };
+            let integer_shift = is_integer[j] && (bound - bound.round()).abs() < 1e-9;
+            let g = gamma(abar, f0, integer_shift);
+            if g == 0.0 {
+                continue;
+            }
+            if at_upper {
+                // γ·(u − x) ≥ …  →  −γ·x on the left, −γ·u onto the rhs.
+                acc[j] -= g;
+                rhs -= g * u;
+            } else {
+                acc[j] += g;
+                rhs += g * l;
+            }
+        } else {
+            // Logical variable of constraint row r: s_r = b_r − A_r·x with
+            // bounds [0, ∞) for `<=` rows and (−∞, 0] for `>=` rows, always
+            // treated as continuous.
+            let r = j - n;
+            let con = &lp.constraints()[r];
+            let g = gamma(abar, f0, false);
+            if g == 0.0 {
+                continue;
+            }
+            match con.op {
+                ConstraintOp::Le => {
+                    // x̄ = s_r: γ·(b_r − A_r·x) ≥ …
+                    debug_assert!(!at_upper);
+                    for &(k, a) in &con.coeffs {
+                        acc[k] -= g * a;
+                    }
+                    rhs -= g * con.rhs;
+                }
+                ConstraintOp::Ge => {
+                    // x̄ = −s_r: γ·(A_r·x − b_r) ≥ …
+                    debug_assert!(at_upper);
+                    for &(k, a) in &con.coeffs {
+                        acc[k] += g * a;
+                    }
+                    rhs += g * con.rhs;
+                }
+                ConstraintOp::Eq => {
+                    // Equality slacks are fixed at 0 and never appear as
+                    // movable nonbasics (fixed variables are filtered out of
+                    // tableau rows).
+                    return None;
+                }
+            }
+        }
+    }
+
+    // Keep significant coefficients; dropping c_k·x_k from `Σ ≥ rhs` is
+    // valid after relaxing rhs by max over the feasible x_k of c_k·x_k.
+    let mut coeffs = Vec::new();
+    for (v, &c) in acc.iter().enumerate() {
+        if c.abs() > COEFF_DROP_TOL {
+            coeffs.push((v, c));
+        } else if c != 0.0 {
+            let (l, u) = lp.bounds(v);
+            let worst = (c * l).max(c * u);
+            if !worst.is_finite() {
+                return None; // cannot safely drop against an infinite bound
+            }
+            rhs -= worst.max(0.0);
+        }
+    }
+    if coeffs.is_empty() {
+        return None;
+    }
+    let max_c = coeffs.iter().map(|&(_, c)| c.abs()).fold(0.0f64, f64::max);
+    let min_c = coeffs
+        .iter()
+        .map(|&(_, c)| c.abs())
+        .fold(f64::INFINITY, f64::min);
+    if max_c / min_c > MAX_DYNAMIC_RANGE {
+        return None;
+    }
+
+    let mut cut = Cut {
+        coeffs,
+        rhs,
+        score: 0.0,
+    };
+    let violation = cut.violation(values);
+    if violation < MIN_VIOLATION {
+        return None;
+    }
+    let norm: f64 = cut.coeffs.iter().map(|&(_, c)| c * c).sum::<f64>().sqrt();
+    cut.score = violation / (1.0 + norm);
+    Some(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfic_lp::Sense;
+
+    /// `max x  s.t. 2x <= 7, x ∈ [0,10] integer`: the LP vertex x = 3.5 must
+    /// produce the cut x <= 3 (up to scaling).
+    #[test]
+    fn pure_integer_row_yields_the_chvatal_cut() {
+        let mut lp = LinearProgram::new(1, Sense::Maximize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.set_bounds(0, 0.0, 10.0);
+        lp.add_constraint(vec![(0, 2.0)], ConstraintOp::Le, 7.0);
+        let (solution, basis) = lp.solve_warm(None).expect("solve");
+        assert!((solution.values[0] - 3.5).abs() < 1e-9);
+
+        let mut pool = CutPool::new();
+        let cuts = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4);
+        assert_eq!(cuts.len(), 1, "one fractional row, one cut");
+        let cut = &cuts[0];
+        // The cut must separate the vertex …
+        assert!(cut.violation(&solution.values) > 0.4);
+        // … and be satisfied by every integer-feasible point (x = 0..=3).
+        for x in 0..=3 {
+            assert!(
+                cut.violation(&[x as f64]) <= 1e-9,
+                "x={x} violates cut {cut:?}"
+            );
+        }
+        // x = 4 is integer but LP-infeasible; the cut need not admit it —
+        // together with 2x <= 7 the cut enforces x <= 3, i.e. it must cut
+        // off everything in (3, 3.5].
+        assert!(cut.violation(&[3.2]) > 0.0);
+    }
+
+    /// Cuts from a fractional knapsack vertex must be valid for every 0-1
+    /// feasible point (exhaustive enumeration).
+    #[test]
+    fn knapsack_cuts_are_valid_for_all_integer_points() {
+        // max 24a + 22b + 21c  s.t.  11a + 10b + 9c <= 15.
+        let weights = [11.0, 10.0, 9.0];
+        let values_obj = [24.0, 22.0, 21.0];
+        let mut lp = LinearProgram::new(3, Sense::Maximize);
+        for (v, &obj) in values_obj.iter().enumerate() {
+            lp.set_objective_coeff(v, obj);
+            lp.set_bounds(v, 0.0, 1.0);
+        }
+        lp.add_constraint(
+            weights.iter().copied().enumerate().collect(),
+            ConstraintOp::Le,
+            15.0,
+        );
+        let (solution, basis) = lp.solve_warm(None).expect("solve");
+        let frac_count = solution
+            .values
+            .iter()
+            .filter(|v| (*v - v.round()).abs() > 1e-6)
+            .count();
+        assert!(frac_count >= 1, "vertex should be fractional");
+
+        let mut pool = CutPool::new();
+        let cuts = separate_gomory(
+            &lp,
+            &basis,
+            &solution.values,
+            &[true, true, true],
+            &mut pool,
+            8,
+        );
+        assert!(!cuts.is_empty());
+        for cut in &cuts {
+            assert!(cut.violation(&solution.values) > 0.0);
+            for bits in 0..8u32 {
+                let point = [
+                    (bits & 1) as f64,
+                    ((bits >> 1) & 1) as f64,
+                    ((bits >> 2) & 1) as f64,
+                ];
+                let feasible = 11.0 * point[0] + 10.0 * point[1] + 9.0 * point[2] <= 15.0 + 1e-9;
+                if feasible {
+                    assert!(
+                        cut.violation(&point) <= 1e-7,
+                        "feasible point {point:?} violates {cut:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pool suppresses regeneration of an identical cut.
+    #[test]
+    fn pool_deduplicates_identical_cuts() {
+        let mut lp = LinearProgram::new(1, Sense::Maximize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.set_bounds(0, 0.0, 10.0);
+        lp.add_constraint(vec![(0, 2.0)], ConstraintOp::Le, 7.0);
+        let (solution, basis) = lp.solve_warm(None).expect("solve");
+        let mut pool = CutPool::new();
+        let first = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4);
+        assert_eq!(first.len(), 1);
+        let second = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4);
+        assert!(second.is_empty(), "duplicate cut must be suppressed");
+    }
+
+    /// Integral vertices produce no cuts.
+    #[test]
+    fn integral_vertex_produces_no_cuts() {
+        let mut lp = LinearProgram::new(1, Sense::Maximize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.set_bounds(0, 0.0, 3.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 8.0);
+        let (solution, basis) = lp.solve_warm(None).expect("solve");
+        let mut pool = CutPool::new();
+        assert!(separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4).is_empty());
+    }
+}

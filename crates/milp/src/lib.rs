@@ -12,12 +12,17 @@
 //!   variable with a bounded continuous expression following
 //!   Chen/Batson/Dang, indicator (big-M) constraints, absolute values) in
 //!   [`linearize`];
-//! * a branch-and-bound solver over the LP relaxation with most-fractional
-//!   branching, a rounding primal heuristic, time/node/gap limits and
-//!   **warm-started node LPs**: every node re-enters from its parent's
-//!   optimal basis through the dual simplex, and [`Model::solve_warm`]
-//!   carries the root basis across solves of a growing model (the lazy
-//!   constraint-separation protocol of the layout engine).
+//! * a **parallel best-first branch-and-bound** solver over the LP
+//!   relaxation: a shared node pool ordered by LP bound
+//!   ([`SolveOptions::threads`] workers, deterministic objective regardless
+//!   of the thread count), pseudocost branching, root-node **Gomory
+//!   mixed-integer cuts** separated from the simplex tableau
+//!   ([`SolveOptions::cut_rounds`]), a rounding primal heuristic,
+//!   time/node/gap limits and **warm-started node LPs**: every node
+//!   re-enters from its parent's optimal basis through the dual simplex,
+//!   and [`Model::solve_warm`] carries the root basis across solves of a
+//!   growing model (the lazy constraint-separation protocol of the layout
+//!   engine).
 //!
 //! # Examples
 //!
@@ -46,7 +51,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cuts;
 mod expr;
+pub mod instances;
 pub mod linearize;
 mod model;
 mod solve;
@@ -54,7 +61,7 @@ mod solve;
 pub use expr::LinExpr;
 pub use model::{Model, VarId, VarKind};
 pub use rfic_lp::{Basis, ConstraintOp, Sense};
-pub use solve::{MilpError, MilpSolution, SolveOptions, SolveStatus, WarmStart};
+pub use solve::{BranchRule, MilpError, MilpSolution, SolveOptions, SolveStatus, WarmStart};
 
 /// Integrality tolerance: a value within this distance of an integer is
 /// considered integral.

@@ -1,22 +1,48 @@
-//! Branch-and-bound MILP solver over the LP relaxation, with warm-started
-//! node re-solves.
+//! Parallel best-first branch-and-bound MILP solver over the LP relaxation,
+//! with warm-started node re-solves, root-node Gomory cuts and pseudocost
+//! branching.
 //!
-//! Every branch-and-bound node carries the optimal [`Basis`] of its parent's
-//! LP relaxation. A node differs from its parent by exactly one variable
-//! bound (the branching change), so the parent basis stays *dual feasible*
-//! and the node LP is re-solved by a handful of dual-simplex pivots instead
-//! of a cold two-phase solve — the classical warm-start scheme that makes
-//! LP-based branch and bound tractable. [`WarmStart`] additionally carries
-//! the root basis *between* solves of a growing model, which is what the
-//! lazy constraint-separation loop of the layout engine exploits: each
-//! separation round appends a few non-overlap rows and re-enters the search
-//! from the previous root optimum.
+//! **Search organisation.** Open nodes live in a shared pool ordered by
+//! their parent LP bound (best-first), tie-broken by a monotone sequence
+//! number so the pop order is reproducible. A configurable number of worker
+//! threads ([`SolveOptions::threads`]) pop the globally most promising node
+//! and then *plunge*: after branching, the preferred child (the classical
+//! up-first rule for binaries, LP-rounding for general integers) is kept on
+//! the worker and explored immediately while the sibling is published to
+//! the pool. Plunging preserves the incumbent-finding behaviour of the old
+//! depth-first dive — with one thread the search is the old dive with
+//! best-bound backtracking — while the pool gives idle workers the best
+//! global bound to work on.
+//!
+//! **Warm starts.** Every node carries the optimal [`Basis`] of its parent
+//! LP; a node differs from its parent by one variable bound, so the parent
+//! basis stays dual feasible and the node LP is re-solved by a handful of
+//! dual-simplex pivots. Each worker owns its LP workspace (`Basis` is
+//! `Send`, asserted in `rfic-lp`), so node solves never contend.
+//!
+//! **Bounds and determinism.** The incumbent objective is shared through an
+//! atomic (bit-cast `f64`), so bound pruning is lock-free on the hot path.
+//! Workers only prune nodes whose bound cannot improve the incumbent by
+//! more than the tolerance, which makes the *returned objective*
+//! deterministic and independent of the thread count (the tree shape and
+//! which optimal solution is returned may differ; see `DESIGN.md`).
+//!
+//! **Cuts.** Before the search starts, up to [`SolveOptions::cut_rounds`]
+//! rounds of Gomory mixed-integer cuts are separated from the root simplex
+//! tableau ([`crate::cuts`]), tightening the root bound for the entire
+//! tree. [`WarmStart`] keeps carrying the *pre-cut* root basis between
+//! solves of a growing model, which is what the lazy constraint-separation
+//! loop of the layout engine exploits.
 
+use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use rfic_lp::{Basis, LinearProgram, LpError, LpSolution, Sense};
+use rfic_lp::{Basis, ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
 
+use crate::cuts::{self, CutPool};
 use crate::model::Model;
 use crate::INT_TOLERANCE;
 
@@ -35,6 +61,17 @@ pub struct SolveOptions {
     /// Warm-start node LPs from the parent basis (dual simplex re-entry).
     /// Disable only for benchmarking cold-start behaviour.
     pub warm_start: bool,
+    /// Branch-and-bound worker threads: `1` searches on the calling thread,
+    /// `n > 1` spawns `n` workers over the shared node pool, `0` uses the
+    /// available hardware parallelism (capped at 8 — the node pools of the
+    /// layout MILPs are too shallow to feed more).
+    pub threads: usize,
+    /// Rounds of root-node Gomory cut separation (`0` disables cuts).
+    pub cut_rounds: usize,
+    /// Maximum cuts accepted per separation round (violation-ranked).
+    pub max_cuts_per_round: usize,
+    /// Branching-variable selection rule.
+    pub branching: BranchRule,
 }
 
 impl Default for SolveOptions {
@@ -45,6 +82,10 @@ impl Default for SolveOptions {
             mip_gap: 1e-6,
             rounding_heuristic: true,
             warm_start: true,
+            threads: 1,
+            cut_rounds: 2,
+            max_cuts_per_round: 10,
+            branching: BranchRule::default(),
         }
     }
 }
@@ -74,6 +115,54 @@ impl SolveOptions {
         self.warm_start = false;
         self
     }
+
+    /// The same configuration with the given worker-thread count
+    /// (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> SolveOptions {
+        self.threads = threads;
+        self
+    }
+
+    /// The same configuration with root Gomory cuts disabled (pure
+    /// branch-and-bound baseline for benchmarks and equivalence tests).
+    pub fn without_cuts(mut self) -> SolveOptions {
+        self.cut_rounds = 0;
+        self
+    }
+
+    /// The same configuration with the given branching rule.
+    pub fn with_branching(mut self, branching: BranchRule) -> SolveOptions {
+        self.branching = branching;
+        self
+    }
+
+    /// Resolved worker count (`threads == 0` → hardware parallelism,
+    /// capped).
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Which branching-variable selection rule the search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchRule {
+    /// Pseudocost branching: prefer variables whose past branchings moved
+    /// the LP bound the most (ties broken by fractionality). The default —
+    /// measurably stronger on knapsack/assignment-like models.
+    #[default]
+    Pseudocost,
+    /// Plain most-fractional branching. The layout engine pins this rule:
+    /// on its heavily degenerate big-M models pseudocost estimates are
+    /// noise and most-fractional measures both faster and with fewer bends
+    /// (see DESIGN.md).
+    MostFractional,
 }
 
 /// How a MILP solve terminated.
@@ -102,6 +191,8 @@ pub struct MilpSolution {
     /// Total simplex pivots across every node LP (and heuristic) solve —
     /// the cost metric the warm-start machinery optimises.
     pub simplex_iterations: usize,
+    /// Root Gomory cuts added to the relaxation before the search.
+    pub cuts: usize,
 }
 
 impl MilpSolution {
@@ -160,7 +251,9 @@ impl From<LpError> for MilpError {
 /// solve, separate violated constraints, append them, re-solve).
 ///
 /// The stored root basis also survives added variables/constraints — the LP
-/// layer reconciles the dimensions (see [`rfic_lp::Basis`]).
+/// layer reconciles the dimensions (see [`rfic_lp::Basis`]). The basis kept
+/// here is always the **pre-cut** root basis: Gomory cut rows are private
+/// to one solve and would make the basis stale for the next model.
 #[derive(Debug, Clone, Default)]
 pub struct WarmStart {
     root_basis: Option<Basis>,
@@ -178,28 +271,306 @@ impl WarmStart {
     }
 }
 
+/// How a node was created from its parent (pseudocost bookkeeping).
+#[derive(Debug, Clone, Copy)]
+struct BranchInfo {
+    var: usize,
+    up: bool,
+    /// Fractional part of the branching variable in the parent LP.
+    frac: f64,
+}
+
 /// A branch-and-bound node: bound tightenings relative to the root model,
 /// plus the optimal basis of the parent LP for the dual warm start.
 #[derive(Debug, Clone)]
 struct Node {
     /// `(variable index, new lower bound, new upper bound)` changes.
     bound_changes: Vec<(usize, f64, f64)>,
-    /// LP bound of the parent (used for best-bound ordering).
+    /// LP bound of the parent (used for best-bound ordering and pruning).
     parent_bound: f64,
     depth: usize,
     /// Optimal basis of the parent's LP relaxation.
     parent_basis: Option<Basis>,
+    /// Branching step that created this node.
+    branch: Option<BranchInfo>,
 }
 
-/// A pending node together with its parent's LP bound (in minimised form).
-///
-/// Nodes are explored depth-first (LIFO): the child that follows the LP
-/// solution's rounding is pushed last so it is explored first, which finds
-/// integer-feasible incumbents quickly; the parent-bound pruning then cuts
-/// the remaining stack against the incumbent.
-struct HeapEntry {
-    node: Node,
+/// An open node in the shared best-first pool. Ordered by `(key, seq)`
+/// ascending — `seq` is a global counter, so the pop order is fully
+/// determined for any fixed set of published nodes.
+struct OpenNode {
     key: f64,
+    seq: u64,
+    node: Node,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse both components for min-pop.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-variable pseudocost statistics: observed objective degradation per
+/// unit of fractionality, separately for up and down branches.
+#[derive(Debug, Clone, Copy, Default)]
+struct PseudoCost {
+    up_sum: f64,
+    up_n: u32,
+    down_sum: f64,
+    down_n: u32,
+}
+
+/// Mutable pool state guarded by one mutex.
+struct Pool {
+    heap: BinaryHeap<OpenNode>,
+    /// Nodes currently being plunged by workers.
+    in_flight: usize,
+    /// Nodes dropped on a per-LP limit: their subtree is unexplored, so
+    /// optimality may not be claimed past them.
+    dropped: bool,
+    dropped_bound: f64,
+}
+
+/// Everything the workers share.
+struct Shared<'a> {
+    model: &'a Model,
+    options: &'a SolveOptions,
+    /// Root relaxation plus accepted Gomory cut rows.
+    base_lp: &'a LinearProgram,
+    /// Original bounds of every variable (node bound resets).
+    base_bounds: &'a [(f64, f64)],
+    integer_vars: &'a [usize],
+    sense_sign: f64,
+    start: Instant,
+    pool: Mutex<Pool>,
+    cv: Condvar,
+    /// Best incumbent `(values, minimised objective)`.
+    incumbent: Mutex<Option<(Vec<f64>, f64)>>,
+    /// Bit-cast minimised incumbent objective for lock-free bound pruning.
+    incumbent_bound: AtomicU64,
+    /// Per-worker bound of the node currently being plunged (`f64::INFINITY`
+    /// bits when idle); feeds the global gap computation.
+    worker_bounds: Vec<AtomicU64>,
+    nodes: AtomicUsize,
+    pivots: AtomicUsize,
+    seq: AtomicU64,
+    /// Workers blocked on the pool condvar (starvation signal: active
+    /// workers donate local nodes when this is non-zero).
+    waiting: AtomicUsize,
+    stop: AtomicBool,
+    limit_hit: AtomicBool,
+    error: Mutex<Option<MilpError>>,
+    pseudo: Mutex<Vec<PseudoCost>>,
+}
+
+impl Shared<'_> {
+    fn incumbent_bound(&self) -> f64 {
+        f64::from_bits(self.incumbent_bound.load(Ordering::Acquire))
+    }
+
+    /// `true` when a subtree with LP bound `bound` cannot improve the
+    /// incumbent by more than the configured gap — the bound-pruning rule.
+    /// The relative-gap arm mirrors the serial solver's early stop: with a
+    /// loose `mip_gap` (the layout flow runs at 1e-4) whole near-optimal
+    /// subtrees are cut, which is where most of its wall-clock goes.
+    fn dominated(&self, bound: f64) -> bool {
+        let incumbent = self.incumbent_bound();
+        if !incumbent.is_finite() {
+            return false;
+        }
+        bound >= incumbent - 1e-9 || relative_gap(incumbent, bound) <= self.options.mip_gap
+    }
+
+    fn remaining_time(&self) -> Duration {
+        self.options.time_limit.saturating_sub(self.start.elapsed())
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Publishes a node to the pool and wakes one waiting worker.
+    fn publish(&self, node: Node) {
+        let open = OpenNode {
+            key: node.parent_bound,
+            seq: self.next_seq(),
+            node,
+        };
+        self.pool.lock().unwrap().heap.push(open);
+        self.cv.notify_one();
+    }
+
+    /// Offers `values` as an incumbent; on improvement updates the shared
+    /// bound and checks the global gap stop.
+    fn offer_incumbent(&self, values: Vec<f64>, minimised_objective: f64) {
+        let mut guard = self.incumbent.lock().unwrap();
+        let improved = guard
+            .as_ref()
+            .map(|(_, best)| minimised_objective < *best - 1e-12)
+            .unwrap_or(true);
+        if !improved {
+            return;
+        }
+        *guard = Some((values, minimised_objective));
+        self.incumbent_bound
+            .store(minimised_objective.to_bits(), Ordering::Release);
+        drop(guard);
+        // Gap-based early stop against the global open bound. An *infinite*
+        // open bound means nothing is queued or in flight — the search is
+        // draining on its own and must not be flagged as a gap stop (at the
+        // root the heuristic incumbent arrives before any node is
+        // published).
+        let open = self.open_bound();
+        if open.is_finite() && relative_gap(minimised_objective, open) <= self.options.mip_gap {
+            self.stop.store(true, Ordering::SeqCst);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Best (lowest) bound over queued nodes, in-flight plunges and dropped
+    /// subtrees.
+    fn open_bound(&self) -> f64 {
+        let pool = self.pool.lock().unwrap();
+        let mut open = pool
+            .heap
+            .iter()
+            .map(|e| e.key)
+            .fold(f64::INFINITY, f64::min);
+        if pool.dropped {
+            open = open.min(pool.dropped_bound);
+        }
+        drop(pool);
+        for b in &self.worker_bounds {
+            open = open.min(f64::from_bits(b.load(Ordering::Acquire)));
+        }
+        open
+    }
+
+    /// Pseudocost branching: pick the fractional integer variable with the
+    /// largest `max(d̂·f, ε)·max(û·(1−f), ε)` product score, where `d̂`/`û`
+    /// are the observed down/up degradations per unit of fractionality
+    /// (global per-side averages before a variable has its own
+    /// observations). Ties — including the all-degenerate case where every
+    /// observed degradation is zero, as in the big-M layout MILPs — are
+    /// broken by `f·(1−f)`, i.e. most-fractional, never by variable index.
+    ///
+    /// `observed` carries the pseudocost observation of the branch that
+    /// created the node being expanded (recorded under the same lock
+    /// acquisition — the pseudocost table is taken exactly once per node).
+    fn select_branch_var(
+        &self,
+        values: &[f64],
+        observed: Option<(&BranchInfo, f64)>,
+    ) -> Option<(usize, f64)> {
+        if self.options.branching == BranchRule::MostFractional {
+            // Lock-free fast path: no pseudocost table involved.
+            let mut best: Option<(usize, f64, f64)> = None; // (var, frac, f·(1−f))
+            for &v in self.integer_vars {
+                let val = values[v];
+                let frac = val - val.floor();
+                if frac <= INT_TOLERANCE || frac >= 1.0 - INT_TOLERANCE {
+                    continue;
+                }
+                let tie = frac * (1.0 - frac);
+                if best.map(|(_, _, t)| tie > t).unwrap_or(true) {
+                    best = Some((v, frac, tie));
+                }
+            }
+            return best.map(|(v, frac, _)| (v, frac));
+        }
+        let mut pc = self.pseudo.lock().unwrap();
+        if let Some((branch, degradation)) = observed {
+            let span = if branch.up {
+                (1.0 - branch.frac).max(1e-6)
+            } else {
+                branch.frac.max(1e-6)
+            };
+            let per_unit = degradation.max(0.0) / span;
+            let entry = &mut pc[branch.var];
+            if branch.up {
+                entry.up_sum += per_unit;
+                entry.up_n += 1;
+            } else {
+                entry.down_sum += per_unit;
+                entry.down_n += 1;
+            }
+        }
+        let mut up_sum = 0.0;
+        let mut up_n = 0u64;
+        let mut down_sum = 0.0;
+        let mut down_n = 0u64;
+        for e in pc.iter() {
+            up_sum += e.up_sum;
+            up_n += u64::from(e.up_n);
+            down_sum += e.down_sum;
+            down_n += u64::from(e.down_n);
+        }
+        let global_up = if up_n > 0 { up_sum / up_n as f64 } else { 0.0 };
+        let global_down = if down_n > 0 {
+            down_sum / down_n as f64
+        } else {
+            0.0
+        };
+        let mut best: Option<(usize, f64, f64, f64)> = None; // (var, frac, score, tie)
+        for &v in self.integer_vars {
+            let val = values[v];
+            let frac = val - val.floor();
+            if frac <= INT_TOLERANCE || frac >= 1.0 - INT_TOLERANCE {
+                continue;
+            }
+            let e = &pc[v];
+            let down = if e.down_n > 0 {
+                e.down_sum / f64::from(e.down_n)
+            } else {
+                global_down
+            };
+            let up = if e.up_n > 0 {
+                e.up_sum / f64::from(e.up_n)
+            } else {
+                global_up
+            };
+            // MostFractional took the lock-free fast path above; only the
+            // pseudocost score is computed here.
+            let score = (down * frac).max(1e-12) * (up * (1.0 - frac)).max(1e-12);
+            let tie = frac * (1.0 - frac);
+            let better = match best {
+                None => true,
+                Some((_, _, s, t)) => score > s * (1.0 + 1e-9) || (score >= s && tie > t),
+            };
+            if better {
+                best = Some((v, frac, score, tie));
+            }
+        }
+        best.map(|(v, frac, _, _)| (v, frac))
+    }
+}
+
+/// Resets the integer-variable bounds of a worker LP to the root bounds and
+/// applies a node's tightenings (later entries override earlier ones).
+fn load_node_bounds(lp: &mut LinearProgram, shared: &Shared<'_>, node: &Node) {
+    for &v in shared.integer_vars {
+        let (l, u) = shared.base_bounds[v];
+        lp.set_bounds(v, l, u);
+    }
+    for &(v, lo, hi) in &node.bound_changes {
+        lp.set_bounds(v, lo, hi);
+    }
 }
 
 /// Solves one node LP, warm-starting from the parent basis when enabled.
@@ -207,7 +578,7 @@ fn solve_node_lp(
     lp: &LinearProgram,
     parent_basis: Option<&Basis>,
     options: &SolveOptions,
-    simplex_iterations: &mut usize,
+    pivots: &AtomicUsize,
 ) -> Result<(LpSolution, Option<Basis>), LpError> {
     let result = if options.warm_start {
         lp.solve_warm(parent_basis)
@@ -216,12 +587,300 @@ fn solve_node_lp(
         lp.solve().map(|solution| (solution, None))
     };
     if let Ok((solution, _)) = &result {
-        *simplex_iterations += solution.iterations;
+        pivots.fetch_add(solution.iterations, Ordering::Relaxed);
     }
     result
 }
 
-/// Solves `model` by LP-based branch and bound.
+/// One worker: depth-first over a **worker-local LIFO stack** (the cheap,
+/// incumbent-finding dive order), refilled from the shared best-bound pool
+/// when the local stack drains, and **donating** its best-bound local node
+/// to the pool whenever another worker is starving. With one thread this is
+/// exactly the classical depth-first dive; with several, the pool keeps
+/// every worker on the globally most promising open subtrees.
+fn worker(shared: &Shared<'_>, worker_id: usize) {
+    let mut lp = shared.base_lp.clone();
+    let mut local: Vec<Node> = Vec::new();
+    loop {
+        let node = match local.pop() {
+            Some(node) => node,
+            None => match next_global(shared, worker_id) {
+                Some(open) => open.node,
+                None => return,
+            },
+        };
+        process_node(shared, &mut lp, node, &mut local);
+        if shared.stop.load(Ordering::SeqCst) {
+            // Give unexplored local work back so the final open-bound
+            // accounting still sees those subtrees.
+            for n in local.drain(..) {
+                shared.publish(n);
+            }
+        } else if shared.waiting.load(Ordering::SeqCst) > 0
+            && local.len() >= 2
+            && shared.incumbent_bound().is_finite()
+        {
+            // Feed starving workers — but never give away the last local
+            // node (handing over the only fallback just moves the plunge to
+            // another thread with a wake-up latency bill), and not before
+            // an incumbent exists: pre-incumbent sibling subtrees are pure
+            // speculation that the first dive's incumbent usually prunes.
+            donate_best(shared, &mut local);
+        }
+        publish_worker_bound(shared, worker_id, &local);
+        if local.is_empty() {
+            finish_active(shared, worker_id);
+        }
+    }
+}
+
+/// Advertises the lowest bound over the worker's local stack (for the
+/// global gap computation); `INFINITY` when the stack is empty.
+fn publish_worker_bound(shared: &Shared<'_>, worker_id: usize, local: &[Node]) {
+    let bound = local
+        .iter()
+        .map(|n| n.parent_bound)
+        .fold(f64::INFINITY, f64::min);
+    shared.worker_bounds[worker_id].store(bound.to_bits(), Ordering::Release);
+}
+
+/// Moves the best-bound local node into the shared pool — unless it is
+/// already dominated (donating doomed work only buys wake-up latency).
+fn donate_best(shared: &Shared<'_>, local: &mut Vec<Node>) {
+    let Some(best) = local
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.parent_bound
+                .partial_cmp(&b.1.parent_bound)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+    else {
+        return;
+    };
+    if shared.dominated(local[best].parent_bound) {
+        return;
+    }
+    let node = local.remove(best);
+    shared.publish(node);
+}
+
+/// Blocks until global work is available, the search is exhausted, or a
+/// stop is requested. Increments `in_flight` on success; the caller stays
+/// "active" until its local stack drains ([`finish_active`]).
+fn next_global(shared: &Shared<'_>, worker_id: usize) -> Option<OpenNode> {
+    let mut pool = shared.pool.lock().unwrap();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            shared.cv.notify_all();
+            return None;
+        }
+        if let Some(top) = pool.heap.pop() {
+            pool.in_flight += 1;
+            shared.worker_bounds[worker_id].store(top.key.to_bits(), Ordering::Release);
+            return Some(top);
+        }
+        if pool.in_flight == 0 {
+            shared.cv.notify_all();
+            return None;
+        }
+        shared.waiting.fetch_add(1, Ordering::SeqCst);
+        pool = shared.cv.wait(pool).unwrap();
+        shared.waiting.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Marks the worker idle once its local stack has drained and wakes
+/// everyone when the whole search has drained with it.
+fn finish_active(shared: &Shared<'_>, worker_id: usize) {
+    shared.worker_bounds[worker_id].store(f64::INFINITY.to_bits(), Ordering::Release);
+    let (empty, in_flight) = {
+        let mut pool = shared.pool.lock().unwrap();
+        pool.in_flight -= 1;
+        (pool.heap.is_empty(), pool.in_flight)
+    };
+    if empty && in_flight == 0 {
+        shared.cv.notify_all();
+    }
+}
+
+/// Solves one node, branches, and pushes the children onto the local stack
+/// (preferred child last, so it is dived into first).
+fn process_node(shared: &Shared<'_>, lp: &mut LinearProgram, current: Node, local: &mut Vec<Node>) {
+    let options = shared.options;
+    // Prune against the shared incumbent using the parent bound.
+    if shared.dominated(current.parent_bound) {
+        return;
+    }
+    // Global limits.
+    if shared.start.elapsed() >= options.time_limit
+        || shared.nodes.load(Ordering::Relaxed) >= options.node_limit
+    {
+        shared.limit_hit.store(true, Ordering::SeqCst);
+        shared.stop.store(true, Ordering::SeqCst);
+        shared.publish(current);
+        shared.cv.notify_all();
+        return;
+    }
+    shared.nodes.fetch_add(1, Ordering::Relaxed);
+
+    // Solve the node LP (dual-simplex re-entry from the parent basis: only
+    // one bound changed, so the parent basis stays dual feasible). The node
+    // LP inherits the remaining wall-clock budget so a single degenerate LP
+    // cannot blow through the global time limit.
+    load_node_bounds(lp, shared, &current);
+    lp.set_time_limit(Some(shared.remaining_time()));
+    let lp_result = solve_node_lp(lp, current.parent_basis.as_ref(), options, &shared.pivots);
+    let (lp_solution, node_basis) = match lp_result {
+        Ok(pair) => pair,
+        Err(LpError::Infeasible) | Err(LpError::Unbounded) => {
+            // Tightening bounds cannot make a bounded relaxation unbounded,
+            // so both outcomes prune this subtree.
+            return;
+        }
+        Err(LpError::IterationLimit) | Err(LpError::TimeLimit) => {
+            // A pathological node LP exhausted its pivot or wall-clock
+            // budget: drop the node but remember that the search is no
+            // longer exhaustive, like any other limit.
+            shared.limit_hit.store(true, Ordering::SeqCst);
+            let mut pool = shared.pool.lock().unwrap();
+            pool.dropped = true;
+            pool.dropped_bound = pool.dropped_bound.min(current.parent_bound);
+            return;
+        }
+        Err(e) => {
+            *shared.error.lock().unwrap() = Some(MilpError::Lp(e));
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.cv.notify_all();
+            return;
+        }
+    };
+    let node_bound = shared.sense_sign * lp_solution.objective;
+    let observed = current
+        .branch
+        .as_ref()
+        .map(|b| (b, node_bound - current.parent_bound));
+    let branch_choice = shared.select_branch_var(&lp_solution.values, observed);
+    if shared.dominated(node_bound) {
+        return; // bound-dominated (the pseudocost observation is kept)
+    }
+
+    match branch_choice {
+        None => {
+            // Integer feasible: candidate incumbent.
+            let values = round_integers(&lp_solution.values, shared.integer_vars);
+            let objective = evaluate_objective(shared.model, &values) * shared.sense_sign;
+            shared.offer_incumbent(values, objective);
+        }
+        Some((var, _frac)) => {
+            // Optional rounding heuristic to seed the incumbent.
+            if options.rounding_heuristic && shared.incumbent_bound() == f64::INFINITY {
+                if let Some((vals, objective)) = rounding_heuristic(
+                    shared.model,
+                    shared.base_lp,
+                    &current.bound_changes,
+                    node_basis.as_ref(),
+                    &lp_solution.values,
+                    shared.integer_vars,
+                    shared.sense_sign,
+                    options,
+                    shared.remaining_time(),
+                    &shared.pivots,
+                ) {
+                    shared.offer_incumbent(vals, objective);
+                }
+            }
+            let (preferred, sibling) =
+                make_children(shared, &current, var, &lp_solution, node_bound, node_basis);
+            if let Some(sibling) = sibling {
+                local.push(sibling);
+            }
+            if let Some(child) = preferred {
+                local.push(child);
+            }
+        }
+    }
+}
+
+/// Builds the two children of a branching step and picks the plunge child:
+/// the up branch for binaries (it decides "one-of" groups and relaxes big-M
+/// disjunctions immediately), the LP-rounding side for general integers.
+fn make_children(
+    shared: &Shared<'_>,
+    node: &Node,
+    var: usize,
+    lp_solution: &LpSolution,
+    node_bound: f64,
+    node_basis: Option<Basis>,
+) -> (Option<Node>, Option<Node>) {
+    let val = lp_solution.values[var];
+    let frac = val - val.floor();
+    let floor = val.floor();
+    let ceil = val.ceil();
+    let (lo, hi) = shared.base_bounds[var];
+    let node_lo = node
+        .bound_changes
+        .iter()
+        .rev()
+        .find(|(i, _, _)| *i == var)
+        .map(|&(_, l, _)| l)
+        .unwrap_or(lo);
+    let node_hi = node
+        .bound_changes
+        .iter()
+        .rev()
+        .find(|(i, _, _)| *i == var)
+        .map(|&(_, _, h)| h)
+        .unwrap_or(hi);
+
+    let child = |up: bool, basis: Option<Basis>| -> Option<Node> {
+        if up {
+            (ceil <= node_hi + 1e-9).then(|| {
+                let mut changes = node.bound_changes.clone();
+                changes.push((var, ceil, node_hi));
+                Node {
+                    bound_changes: changes,
+                    parent_bound: node_bound,
+                    depth: node.depth + 1,
+                    parent_basis: basis,
+                    branch: Some(BranchInfo {
+                        var,
+                        up: true,
+                        frac,
+                    }),
+                }
+            })
+        } else {
+            (floor >= node_lo - 1e-9).then(|| {
+                let mut changes = node.bound_changes.clone();
+                changes.push((var, node_lo, floor));
+                Node {
+                    bound_changes: changes,
+                    parent_bound: node_bound,
+                    depth: node.depth + 1,
+                    parent_basis: basis,
+                    branch: Some(BranchInfo {
+                        var,
+                        up: false,
+                        frac,
+                    }),
+                }
+            })
+        }
+    };
+
+    let is_binary = (node_hi - node_lo - 1.0).abs() < 1e-9 && node_lo.abs() < 1e-9;
+    let up_first = if is_binary { true } else { frac > 0.5 };
+    let first = child(up_first, node_basis.clone());
+    let second = child(!up_first, node_basis);
+    match first {
+        Some(f) => (Some(f), second),
+        None => (second, None),
+    }
+}
+
+/// Solves `model` by parallel best-first branch and bound with root cuts.
 pub(crate) fn branch_and_bound(
     model: &Model,
     options: &SolveOptions,
@@ -239,243 +898,205 @@ pub(crate) fn branch_and_bound(
         .filter(|(_, v)| v.kind.is_integer())
         .map(|(i, _)| i)
         .collect();
+    let base_bounds: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lower, v.upper)).collect();
 
-    let base_lp = model.relaxation();
-    let mut simplex_iterations = 0usize;
+    if options.node_limit == 0 {
+        return Err(MilpError::LimitReached);
+    }
 
-    let root_basis = warm
+    // --- root node (serial) ------------------------------------------------
+    let mut base_lp = model.relaxation();
+    base_lp.set_time_limit(Some(options.time_limit));
+    let root_warm = warm
         .as_ref()
         .and_then(|w| w.root_basis.clone())
         .filter(|_| options.warm_start);
-    let mut captured_root_basis: Option<Basis> = None;
+    let mut pivots_total = 0usize;
+    let (root_solution, root_basis) = match base_lp.solve_warm(root_warm.as_ref()) {
+        Ok(pair) => pair,
+        Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
+        Err(LpError::Unbounded) => return Err(MilpError::Unbounded),
+        Err(LpError::IterationLimit) | Err(LpError::TimeLimit) => {
+            return Err(MilpError::LimitReached)
+        }
+        Err(e) => return Err(MilpError::Lp(e)),
+    };
+    pivots_total += root_solution.iterations;
+    // The *pre-cut* root basis is what survives into the next solve of a
+    // grown model (cut rows are private to this solve).
+    if let Some(w) = warm {
+        w.root_basis = Some(root_basis.clone());
+    }
 
-    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, minimised objective)
-    let mut nodes_explored = 0usize;
-    let mut stack: Vec<HeapEntry> = Vec::new();
-    stack.push(HeapEntry {
-        node: Node {
-            bound_changes: Vec::new(),
-            parent_bound: f64::NEG_INFINITY,
-            depth: 0,
-            parent_basis: root_basis,
-        },
-        key: f64::NEG_INFINITY,
-    });
-
-    let mut best_open_bound = f64::NEG_INFINITY;
-    let mut root_infeasible = false;
-    let mut root_unbounded = false;
-    let mut limit_hit = false;
-    // Bound bookkeeping for nodes dropped on a per-LP limit: their subtree
-    // is unexplored, so optimality may not be claimed past them and their
-    // parent bound stays part of the open bound.
-    let mut dropped_nodes = false;
-    let mut dropped_bound = f64::INFINITY;
-
-    while let Some(entry) = stack.pop() {
-        let node = entry.node;
-        // Global termination checks.
-        if nodes_explored >= options.node_limit || start.elapsed() >= options.time_limit {
-            // Put the node back conceptually; just stop.
-            best_open_bound = entry.key.min(best_open_bound.max(entry.key));
-            limit_hit = true;
+    // --- root Gomory cut rounds -------------------------------------------
+    let is_integer: Vec<bool> = model.vars.iter().map(|v| v.kind.is_integer()).collect();
+    let mut cut_pool = CutPool::new();
+    let mut cuts_added = 0usize;
+    let mut current_solution = root_solution;
+    let mut current_basis = root_basis;
+    for _round in 0..options.cut_rounds {
+        if !has_fractional(&current_solution.values, &integer_vars) {
             break;
         }
-        // Prune against incumbent using the parent bound.
-        if let Some((_, inc_obj)) = &incumbent {
-            if node.parent_bound >= *inc_obj - 1e-9 {
-                continue;
-            }
-        }
-
-        // Solve the node LP (dual-simplex re-entry from the parent basis:
-        // only one bound changed, so the parent basis stays dual feasible).
-        // The node LP inherits the *remaining* wall-clock budget so a
-        // single degenerate LP cannot blow through the global time limit.
-        let mut lp = base_lp.clone();
-        for &(var, lo, hi) in &node.bound_changes {
-            lp.set_bounds(var, lo, hi);
-        }
-        lp.set_time_limit(Some(options.time_limit.saturating_sub(start.elapsed())));
-        nodes_explored += 1;
-        let lp_result = solve_node_lp(
-            &lp,
-            node.parent_basis.as_ref(),
-            options,
-            &mut simplex_iterations,
+        let cuts = cuts::separate_gomory(
+            &base_lp,
+            &current_basis,
+            &current_solution.values,
+            &is_integer,
+            &mut cut_pool,
+            options.max_cuts_per_round,
         );
-        let (lp_solution, node_basis) = match lp_result {
-            Ok(pair) => pair,
-            Err(LpError::Infeasible) => {
-                if node.depth == 0 {
-                    root_infeasible = true;
-                }
-                continue;
-            }
-            Err(LpError::Unbounded) => {
-                if node.depth == 0 {
-                    root_unbounded = true;
+        if cuts.is_empty() {
+            break;
+        }
+        let saved = base_lp.clone();
+        let bound_before = sense_sign * current_solution.objective;
+        for cut in &cuts {
+            base_lp.add_constraint(cut.coeffs.clone(), ConstraintOp::Ge, cut.rhs);
+        }
+        base_lp.set_time_limit(Some(options.time_limit.saturating_sub(start.elapsed())));
+        match base_lp.solve_warm(Some(&current_basis)) {
+            Ok((solution, basis)) => {
+                pivots_total += solution.iterations;
+                // Keep the round only if it actually moved the root bound:
+                // on the big-M layout models Gomory cuts are typically too
+                // weak to pay for the extra rows in every node LP, and this
+                // gate is what keeps them free there.
+                let improvement = sense_sign * solution.objective - bound_before;
+                if improvement < 1e-9 + 1e-7 * bound_before.abs() {
+                    base_lp = saved;
                     break;
                 }
-                continue;
+                cuts_added += cuts.len();
+                current_solution = solution;
+                current_basis = basis;
             }
-            Err(LpError::IterationLimit) | Err(LpError::TimeLimit) => {
-                // A pathological node LP (heavy degeneracy) exhausted its
-                // pivot or wall-clock budget: drop the node but remember
-                // that the search is no longer exhaustive, like any other
-                // limit.
-                limit_hit = true;
-                dropped_nodes = true;
-                dropped_bound = dropped_bound.min(node.parent_bound);
-                continue;
-            }
-            Err(e) => return Err(MilpError::Lp(e)),
-        };
-        if node.depth == 0 {
-            captured_root_basis = node_basis.clone();
-        }
-        let node_bound = sense_sign * lp_solution.objective;
-        if let Some((_, inc_obj)) = &incumbent {
-            if node_bound >= *inc_obj - 1e-9 {
-                continue; // bound-dominated
-            }
-        }
-
-        // Find the most fractional integer variable.
-        let mut branch_var: Option<usize> = None;
-        let mut best_frac = INT_TOLERANCE;
-        for &v in &integer_vars {
-            let val = lp_solution.values[v];
-            let frac = (val - val.round()).abs();
-            if frac > best_frac {
-                best_frac = frac;
-                branch_var = Some(v);
-            }
-        }
-
-        match branch_var {
-            None => {
-                // Integer feasible: candidate incumbent.
-                let values = round_integers(&lp_solution.values, &integer_vars);
-                let obj = evaluate_objective(model, &values) * sense_sign;
-                if incumbent
-                    .as_ref()
-                    .map(|(_, o)| obj < *o - 1e-12)
-                    .unwrap_or(true)
-                {
-                    incumbent = Some((values, obj));
-                }
-            }
-            Some(v) => {
-                // Optional rounding heuristic to seed/improve the incumbent.
-                if options.rounding_heuristic && incumbent.is_none() {
-                    if let Some((vals, obj)) = rounding_heuristic(
-                        model,
-                        &base_lp,
-                        &node,
-                        node_basis.as_ref(),
-                        &lp_solution.values,
-                        &integer_vars,
-                        sense_sign,
-                        options,
-                        options.time_limit.saturating_sub(start.elapsed()),
-                        &mut simplex_iterations,
-                    ) {
-                        if incumbent
-                            .as_ref()
-                            .map(|(_, o)| obj < *o - 1e-12)
-                            .unwrap_or(true)
-                        {
-                            incumbent = Some((vals, obj));
-                        }
-                    }
-                }
-                let val = lp_solution.values[v];
-                let floor = val.floor();
-                let ceil = val.ceil();
-                let (lo, hi) = model.var_bounds(crate::VarId(v));
-                let node_lo = node
-                    .bound_changes
-                    .iter()
-                    .rev()
-                    .find(|(i, _, _)| *i == v)
-                    .map(|&(_, l, _)| l)
-                    .unwrap_or(lo);
-                let node_hi = node
-                    .bound_changes
-                    .iter()
-                    .rev()
-                    .find(|(i, _, _)| *i == v)
-                    .map(|&(_, _, h)| h)
-                    .unwrap_or(hi);
-
-                let mut children: Vec<HeapEntry> = Vec::with_capacity(2);
-                // Down branch: x <= floor
-                if floor >= node_lo - 1e-9 {
-                    let mut changes = node.bound_changes.clone();
-                    changes.push((v, node_lo, floor));
-                    children.push(HeapEntry {
-                        key: node_bound,
-                        node: Node {
-                            bound_changes: changes,
-                            parent_bound: node_bound,
-                            depth: node.depth + 1,
-                            parent_basis: node_basis.clone(),
-                        },
-                    });
-                }
-                // Up branch: x >= ceil
-                if ceil <= node_hi + 1e-9 {
-                    let mut changes = node.bound_changes.clone();
-                    changes.push((v, ceil, node_hi));
-                    children.push(HeapEntry {
-                        key: node_bound,
-                        node: Node {
-                            bound_changes: changes,
-                            parent_bound: node_bound,
-                            depth: node.depth + 1,
-                            parent_basis: node_basis,
-                        },
-                    });
-                }
-                // Depth-first diving order (LIFO: the child pushed last is
-                // explored first). For 0-1 variables the up branch (fix to 1)
-                // is explored first — it immediately decides "one-of" groups
-                // such as the segment-direction variables and relaxes big-M
-                // disjunctions, which reaches integer-feasible leaves much
-                // faster than rounding would. For general integers the child
-                // matching the LP rounding is explored first.
-                let is_binary = (node_hi - node_lo - 1.0).abs() < 1e-9 && node_lo.abs() < 1e-9;
-                let explore_up_first = if is_binary { true } else { val - floor > 0.5 };
-                if children.len() == 2 && !explore_up_first {
-                    children.swap(0, 1);
-                }
-                stack.extend(children);
-            }
-        }
-
-        // Early stop on gap.
-        if let Some((_, inc_obj)) = &incumbent {
-            let open_bound = stack.iter().map(|e| e.key).fold(f64::INFINITY, f64::min);
-            let gap = relative_gap(*inc_obj, open_bound);
-            if gap <= options.mip_gap {
-                best_open_bound = open_bound;
+            Err(_) => {
+                // Numerical trouble on the cut LP: cutting is optional, so
+                // fall back to the last good relaxation.
+                base_lp = saved;
                 break;
             }
         }
     }
 
-    if let Some(w) = warm {
-        if captured_root_basis.is_some() {
-            w.root_basis = captured_root_basis;
+    let root_bound = sense_sign * current_solution.objective;
+
+    // --- shared search state ----------------------------------------------
+    let thread_count = options.effective_threads().max(1);
+    let shared = Shared {
+        model,
+        options,
+        base_lp: &base_lp,
+        base_bounds: &base_bounds,
+        integer_vars: &integer_vars,
+        sense_sign,
+        start,
+        pool: Mutex::new(Pool {
+            heap: BinaryHeap::new(),
+            in_flight: 0,
+            dropped: false,
+            dropped_bound: f64::INFINITY,
+        }),
+        cv: Condvar::new(),
+        incumbent: Mutex::new(None),
+        incumbent_bound: AtomicU64::new(f64::INFINITY.to_bits()),
+        worker_bounds: (0..thread_count)
+            .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+            .collect(),
+        nodes: AtomicUsize::new(1), // the root
+        pivots: AtomicUsize::new(pivots_total),
+        seq: AtomicU64::new(0),
+        waiting: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        limit_hit: AtomicBool::new(false),
+        error: Mutex::new(None),
+        pseudo: Mutex::new(vec![PseudoCost::default(); model.num_vars()]),
+    };
+
+    match shared.select_branch_var(&current_solution.values, None) {
+        None => {
+            // Root already integral: done.
+            let values = round_integers(&current_solution.values, &integer_vars);
+            let objective = evaluate_objective(model, &values) * sense_sign;
+            shared.offer_incumbent(values, objective);
+        }
+        Some((var, _)) => {
+            if options.rounding_heuristic {
+                if let Some((vals, objective)) = rounding_heuristic(
+                    model,
+                    &base_lp,
+                    &[],
+                    Some(&current_basis),
+                    &current_solution.values,
+                    &integer_vars,
+                    sense_sign,
+                    options,
+                    shared.remaining_time(),
+                    &shared.pivots,
+                ) {
+                    shared.offer_incumbent(vals, objective);
+                }
+            }
+            let root_node = Node {
+                bound_changes: Vec::new(),
+                parent_bound: root_bound,
+                depth: 0,
+                parent_basis: Some(current_basis.clone()),
+                branch: None,
+            };
+            let (preferred, sibling) = make_children(
+                &shared,
+                &root_node,
+                var,
+                &current_solution,
+                root_bound,
+                Some(current_basis),
+            );
+            // Publish in plunge order: the preferred child carries the lower
+            // sequence number and is popped first on equal bounds.
+            if let Some(child) = preferred {
+                shared.publish(child);
+            }
+            if let Some(child) = sibling {
+                shared.publish(child);
+            }
+
+            // --- the parallel search ---------------------------------------
+            let already_done = {
+                let inc = shared.incumbent_bound();
+                inc.is_finite() && relative_gap(inc, root_bound) <= options.mip_gap
+            };
+            if !already_done {
+                if thread_count == 1 {
+                    worker(&shared, 0);
+                } else {
+                    std::thread::scope(|scope| {
+                        for id in 0..thread_count {
+                            let shared = &shared;
+                            scope.spawn(move || worker(shared, id));
+                        }
+                    });
+                }
+            }
         }
     }
+
+    // --- assemble the result ----------------------------------------------
+    let nodes_explored = shared.nodes.load(Ordering::Relaxed);
+    let simplex_iterations = shared.pivots.load(Ordering::Relaxed);
+    let limit_hit = shared.limit_hit.load(Ordering::SeqCst);
+    if let Some(err) = shared.error.lock().unwrap().take() {
+        return Err(err);
+    }
+    let pool = shared.pool.into_inner().unwrap();
+    let incumbent = shared.incumbent.into_inner().unwrap();
 
     // Per-solve diagnostic line for profiling the layout flow's solver
     // traffic (see DESIGN.md); off unless RFIC_MILP_DEBUG is set.
     if std::env::var_os("RFIC_MILP_DEBUG").is_some() {
         eprintln!(
-            "[milp-solve] vars={} ints={} cons={} nodes={nodes_explored} pivots={simplex_iterations} elapsed={:?} incumbent={:?} limit_hit={limit_hit}",
+            "[milp-solve] vars={} ints={} cons={} threads={thread_count} cuts={cuts_added} nodes={nodes_explored} pivots={simplex_iterations} elapsed={:?} incumbent={:?} limit_hit={limit_hit}",
             model.num_vars(),
             model.num_integer_vars(),
             model.num_constraints(),
@@ -484,21 +1105,23 @@ pub(crate) fn branch_and_bound(
         );
     }
 
-    if root_unbounded {
-        return Err(MilpError::Unbounded);
-    }
-
     match incumbent {
         Some((values, min_obj)) => {
-            let open_bound = if stack.is_empty() {
-                min_obj
+            let mut open_bound = pool
+                .heap
+                .iter()
+                .map(|e| e.key)
+                .fold(f64::INFINITY, f64::min);
+            if pool.dropped {
+                open_bound = open_bound.min(pool.dropped_bound);
+            }
+            let exhausted = pool.heap.is_empty() && !pool.dropped;
+            let gap = if exhausted {
+                0.0
             } else {
-                stack.iter().map(|e| e.key).fold(best_open_bound, f64::min)
+                relative_gap(min_obj, open_bound)
             };
-            // Dropped nodes keep their (unexplored) subtree open.
-            let open_bound = open_bound.min(dropped_bound);
-            let gap = relative_gap(min_obj, open_bound);
-            let status = if (stack.is_empty() && !dropped_nodes) || gap <= options.mip_gap {
+            let status = if exhausted || gap <= options.mip_gap {
                 SolveStatus::Optimal
             } else {
                 SolveStatus::Feasible
@@ -510,16 +1133,25 @@ pub(crate) fn branch_and_bound(
                 nodes: nodes_explored,
                 gap: gap.max(0.0),
                 simplex_iterations,
+                cuts: cuts_added,
             })
         }
         None => {
-            if root_infeasible || (stack.is_empty() && !limit_hit) {
-                Err(MilpError::Infeasible)
-            } else {
+            if limit_hit {
                 Err(MilpError::LimitReached)
+            } else {
+                Err(MilpError::Infeasible)
             }
         }
     }
+}
+
+/// `true` when any integer variable is fractional beyond the tolerance.
+fn has_fractional(values: &[f64], integer_vars: &[usize]) -> bool {
+    integer_vars.iter().any(|&v| {
+        let frac = values[v] - values[v].floor();
+        frac > INT_TOLERANCE && frac < 1.0 - INT_TOLERANCE
+    })
 }
 
 /// Relative gap between the incumbent and the best open bound (both in
@@ -556,45 +1188,42 @@ fn evaluate_objective(model: &Model, values: &[f64]) -> f64 {
 fn rounding_heuristic(
     model: &Model,
     base_lp: &LinearProgram,
-    node: &Node,
+    bound_changes: &[(usize, f64, f64)],
     node_basis: Option<&Basis>,
     lp_values: &[f64],
     integer_vars: &[usize],
     sense_sign: f64,
     options: &SolveOptions,
     remaining_time: Duration,
-    simplex_iterations: &mut usize,
+    pivots: &AtomicUsize,
 ) -> Option<(Vec<f64>, f64)> {
     let mut lp = base_lp.clone();
-    for &(var, lo, hi) in &node.bound_changes {
+    for &(var, lo, hi) in bound_changes {
         lp.set_bounds(var, lo, hi);
     }
     // The heuristic LP shares the global wall-clock budget like any node LP.
     lp.set_time_limit(Some(remaining_time));
     for &v in integer_vars {
         let r = lp_values[v].round();
-        let (lo, hi) = {
-            let (l, h) = model.var_bounds(crate::VarId(v));
-            (l, h)
-        };
+        let (lo, hi) = model.var_bounds(crate::VarId(v));
         if r < lo - 1e-9 || r > hi + 1e-9 {
             return None;
         }
         lp.set_bounds(v, r, r);
     }
-    let (sol, _) = solve_node_lp(&lp, node_basis, options, simplex_iterations).ok()?;
+    let (sol, _) = solve_node_lp(&lp, node_basis, options, pivots).ok()?;
     let values = round_integers(&sol.values, integer_vars);
     if !model.violated_constraints(&values, 1e-6).is_empty() {
         return None;
     }
-    let obj = evaluate_objective(model, &values) * sense_sign;
-    Some((values, obj))
+    let objective = evaluate_objective(model, &values) * sense_sign;
+    Some((values, objective))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LinExpr, Model};
+    use crate::{instances, LinExpr, Model};
 
     #[test]
     fn pure_lp_model_is_solved_directly() {
@@ -753,32 +1382,21 @@ mod tests {
         );
     }
 
-    /// A knapsack family mirroring the `solver.rs` bench problems.
-    fn bench_knapsack(items: usize) -> Model {
-        let mut m = Model::new(Sense::Maximize);
-        let mut cap = LinExpr::new();
-        for i in 0..items {
-            let value = 10.0 + (i % 7) as f64 * 3.0;
-            let weight = 5.0 + (i % 5) as f64 * 4.0;
-            let x = m.add_binary(format!("x{i}"), value);
-            cap.add_term(x, weight);
-        }
-        m.add_le(cap, items as f64 * 3.0);
-        m
-    }
-
     #[test]
     fn warm_start_prunes_simplex_work_with_identical_objectives() {
         // The acceptance criterion of the solver refactor: across the bench
         // knapsacks, warm-started B&B reaches the same optima with fewer
-        // total simplex pivots than cold-starting every node.
+        // total simplex pivots than cold-starting every node. Cuts are off
+        // so both sides search the same tree.
         let mut warm_total = 0usize;
         let mut cold_total = 0usize;
         for items in [10usize, 20, 30] {
-            let m = bench_knapsack(items);
-            let warm = m.solve(&SolveOptions::default()).expect("warm solve");
+            let m = instances::seeded_knapsack(items, 0xDAC2016);
+            let warm = m
+                .solve(&SolveOptions::default().without_cuts())
+                .expect("warm solve");
             let cold = m
-                .solve(&SolveOptions::default().cold())
+                .solve(&SolveOptions::default().without_cuts().cold())
                 .expect("cold solve");
             assert_eq!(warm.status, SolveStatus::Optimal);
             assert_eq!(cold.status, SolveStatus::Optimal);
@@ -801,7 +1419,7 @@ mod tests {
     fn solve_warm_reuses_the_root_basis_across_growing_models() {
         // Lazy-separation protocol: solve, append a violated constraint,
         // re-solve warm. The warm re-solve must agree with a cold solve.
-        let mut m = bench_knapsack(16);
+        let mut m = instances::seeded_knapsack(16, 11);
         let mut warm = WarmStart::new();
         let first = m
             .solve_warm(&SolveOptions::default(), &mut warm)
@@ -827,5 +1445,41 @@ mod tests {
             cold.objective
         );
         assert!(second.objective <= first.objective + 1e-9);
+    }
+
+    #[test]
+    fn parallel_solve_matches_serial_objective() {
+        let m = instances::seeded_knapsack(24, 0xBEEF);
+        let serial = m.solve(&SolveOptions::default()).expect("serial");
+        for threads in [2usize, 4] {
+            let parallel = m
+                .solve(&SolveOptions::default().with_threads(threads))
+                .expect("parallel");
+            assert_eq!(parallel.status, SolveStatus::Optimal);
+            assert!(
+                (parallel.objective - serial.objective).abs() < 1e-6,
+                "threads={threads}: {} vs {}",
+                parallel.objective,
+                serial.objective
+            );
+            assert!(m.violated_constraints(&parallel.values, 1e-6).is_empty());
+        }
+    }
+
+    #[test]
+    fn root_cuts_tighten_the_bound_without_changing_the_optimum() {
+        let m = instances::seeded_knapsack(20, 0xC0FFEE);
+        let with_cuts = m.solve(&SolveOptions::default()).expect("cuts on");
+        let without = m
+            .solve(&SolveOptions::default().without_cuts())
+            .expect("cuts off");
+        assert!(
+            (with_cuts.objective - without.objective).abs() < 1e-6,
+            "cuts must not change the optimum: {} vs {}",
+            with_cuts.objective,
+            without.objective
+        );
+        assert!(with_cuts.cuts > 0, "expected root cuts on this instance");
+        assert_eq!(without.cuts, 0);
     }
 }

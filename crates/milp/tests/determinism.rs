@@ -1,0 +1,187 @@
+//! Determinism and equivalence guarantees of the parallel branch-and-bound
+//! solver.
+//!
+//! The contract (see `DESIGN.md`): for any model and any thread count the
+//! solver returns the **same optimal objective** and a **valid incumbent**
+//! — the tree shape and which optimal solution is returned may vary, the
+//! value may not. Root Gomory cuts likewise must never change the optimum,
+//! only the effort needed to prove it.
+
+use proptest::prelude::*;
+use rfic_milp::{
+    instances, LinExpr, MilpSolution, Model, Sense, SolveOptions, SolveStatus, VarKind,
+};
+
+/// The golden MILP suite: one representative model per structural class the
+/// layout engine generates.
+fn golden_suite() -> Vec<(&'static str, Model)> {
+    let mut suite = Vec::new();
+
+    suite.push(("knapsack_small", instances::seeded_knapsack(12, 0xDAC2016)));
+    suite.push(("knapsack_medium", instances::seeded_knapsack(22, 0x51)));
+    suite.push(("facility_mixed", instances::seeded_facility(7, 0x99)));
+
+    // Equality-constrained selection (the "choose exactly k" rows of the
+    // segment-direction one-hot groups).
+    let mut select = Model::new(Sense::Minimize);
+    let xs: Vec<_> = (0..8)
+        .map(|i| select.add_binary(format!("x{i}"), 1.0 + (i % 4) as f64))
+        .collect();
+    select.add_eq(LinExpr::sum(xs.iter().copied()), 3.0);
+    select.add_ge(LinExpr::from(xs[0]) + xs[1] + xs[2], 1.0);
+    suite.push(("equality_selection", select));
+
+    // Big-M indicator structure (the non-overlap disjunctions).
+    let mut bigm = Model::new(Sense::Minimize);
+    let d1 = bigm.add_binary("d1", 0.0);
+    let d2 = bigm.add_binary("d2", 0.0);
+    let x = bigm.add_continuous("x", 0.0, 100.0, 1.0);
+    let y = bigm.add_continuous("y", 0.0, 100.0, 1.0);
+    bigm.add_ge(LinExpr::from(x) - (d1, 100.0), 30.0 - 100.0);
+    bigm.add_ge(LinExpr::from(y) - (d2, 100.0), 40.0 - 100.0);
+    bigm.add_le(LinExpr::from(d1) + d2, 1.0);
+    bigm.add_ge(LinExpr::from(x) + y, 25.0);
+    suite.push(("big_m_disjunction", bigm));
+
+    // General integers with a fractional relaxation.
+    let mut general = Model::new(Sense::Maximize);
+    let a = general.add_integer("a", 0.0, 9.0, 5.0);
+    let b = general.add_integer("b", 0.0, 9.0, 4.0);
+    let c = general.add_var("c", VarKind::Integer, 0.0, 9.0, 3.0);
+    general.add_le(LinExpr::from((a, 6.0)) + (b, 4.0) + (c, 5.0), 29.0);
+    general.add_le(LinExpr::from((a, 1.0)) + (b, 3.0) + (c, 1.0), 11.0);
+    suite.push(("general_integers", general));
+
+    suite
+}
+
+fn assert_valid_incumbent(name: &str, model: &Model, solution: &MilpSolution) {
+    assert!(
+        model
+            .violated_constraints(&solution.values, 1e-5)
+            .is_empty(),
+        "{name}: incumbent violates constraints"
+    );
+    let relaxation = model.relaxation();
+    for (v, &value) in solution.values.iter().enumerate() {
+        let (lo, hi) = relaxation.bounds(v);
+        assert!(
+            value >= lo - 1e-6 && value <= hi + 1e-6,
+            "{name}: value {value} of var {v} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+/// Same objective (and a valid incumbent) for `threads ∈ {1, 2, 4}` on the
+/// whole golden suite.
+#[test]
+fn golden_suite_objective_is_thread_count_invariant() {
+    for (name, model) in golden_suite() {
+        let reference = model
+            .solve(&SolveOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: serial solve failed: {e}"));
+        assert_eq!(reference.status, SolveStatus::Optimal, "{name}");
+        assert_valid_incumbent(name, &model, &reference);
+        for threads in [2usize, 4] {
+            let parallel = model
+                .solve(&SolveOptions::default().with_threads(threads))
+                .unwrap_or_else(|e| panic!("{name}: threads={threads} solve failed: {e}"));
+            assert_eq!(
+                parallel.status,
+                SolveStatus::Optimal,
+                "{name} threads={threads}"
+            );
+            assert!(
+                (parallel.objective - reference.objective).abs()
+                    <= 1e-6 * (1.0 + reference.objective.abs()),
+                "{name}: threads={threads} objective {} != serial {}",
+                parallel.objective,
+                reference.objective
+            );
+            assert_valid_incumbent(name, &model, &parallel);
+        }
+    }
+}
+
+/// Root Gomory cuts must be *equivalence-preserving*: the same optimum with
+/// and without them, across the golden suite.
+#[test]
+fn golden_suite_cuts_on_off_equivalence() {
+    for (name, model) in golden_suite() {
+        let with_cuts = model
+            .solve(&SolveOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: cuts-on solve failed: {e}"));
+        let without = model
+            .solve(&SolveOptions::default().without_cuts())
+            .unwrap_or_else(|e| panic!("{name}: cuts-off solve failed: {e}"));
+        assert!(
+            (with_cuts.objective - without.objective).abs()
+                <= 1e-6 * (1.0 + without.objective.abs()),
+            "{name}: cuts changed the optimum: {} vs {}",
+            with_cuts.objective,
+            without.objective
+        );
+        assert_valid_incumbent(name, &model, &with_cuts);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomised determinism property: seeded knapsacks of arbitrary size
+    /// and seed solve to the same objective for 1, 2 and 4 threads, with
+    /// and without cuts.
+    #[test]
+    fn random_knapsack_objective_is_solver_config_invariant(
+        items in 8usize..20,
+        seed in 0u64..1000,
+    ) {
+        let model = instances::seeded_knapsack(items, seed);
+        let reference = model.solve(&SolveOptions::default().without_cuts()).expect("plain");
+        prop_assert_eq!(reference.status, SolveStatus::Optimal);
+        for opts in [
+            SolveOptions::default(),
+            SolveOptions::default().with_threads(2),
+            SolveOptions::default().with_threads(4),
+            SolveOptions::default().without_cuts().with_threads(4),
+            SolveOptions::default().cold(),
+        ] {
+            let other = model.solve(&opts).expect("solve");
+            prop_assert_eq!(other.status, SolveStatus::Optimal);
+            prop_assert!(
+                (other.objective - reference.objective).abs()
+                    <= 1e-6 * (1.0 + reference.objective.abs()),
+                "objective {} != reference {} under {:?}",
+                other.objective,
+                reference.objective,
+                opts
+            );
+            prop_assert!(model.violated_constraints(&other.values, 1e-5).is_empty());
+        }
+    }
+
+    /// Mixed-integer models (continuous columns in the Gomory derivation):
+    /// cuts and threads never change the optimum.
+    #[test]
+    fn random_facility_objective_is_solver_config_invariant(
+        facilities in 4usize..9,
+        seed in 0u64..500,
+    ) {
+        let model = instances::seeded_facility(facilities, seed);
+        let reference = model.solve(&SolveOptions::default().without_cuts()).expect("plain");
+        for opts in [
+            SolveOptions::default(),
+            SolveOptions::default().with_threads(4),
+        ] {
+            let other = model.solve(&opts).expect("solve");
+            prop_assert!(
+                (other.objective - reference.objective).abs()
+                    <= 1e-6 * (1.0 + reference.objective.abs()),
+                "objective {} != reference {} under {:?}",
+                other.objective,
+                reference.objective,
+                opts
+            );
+        }
+    }
+}

@@ -57,6 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\nrunning the full P-ILP flow (this takes several minutes) ...");
         let config = PilpConfig {
             solve_time_limit: Duration::from_secs(15),
+            // Parallel node search for the big refinement MILPs, and a
+            // larger per-solve budget for Phase 3 only (routing stays on
+            // the default budget — its many blurred solves are cheap).
+            solver_threads: 0, // all available cores
+            phase_budgets: rfic_layout::core::PhaseBudgets {
+                refinement: Some(Duration::from_secs(30)),
+                ..Default::default()
+            },
             ..PilpConfig::thorough()
         };
         let result = Pilp::new(config).run(&circuit.netlist)?;

@@ -18,7 +18,8 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+/// `(id, mean_ns, min_ns, iterations)` per benchmark.
+static RESULTS: Mutex<Vec<(String, f64, f64, u64)>> = Mutex::new(Vec::new());
 
 /// How batched inputs are grouped (accepted and ignored: every batch has
 /// size one in the stub).
@@ -108,8 +109,12 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: usize,
     budget: Duration,
-    /// `(total_duration, iterations)` accumulated by `iter`/`iter_batched`.
-    measured: Option<(Duration, u64)>,
+    /// `(total_duration, min_iteration, iterations)` accumulated by
+    /// `iter`/`iter_batched`. The per-iteration minimum is recorded because
+    /// it is the noise-robust statistic: host steal and scheduler jitter
+    /// only ever *add* time, so the minimum tracks the true compute cost
+    /// (the regression gate compares minima, not means).
+    measured: Option<(Duration, Duration, u64)>,
 }
 
 impl Bencher {
@@ -117,13 +122,22 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up (not measured).
         black_box(routine());
-        let start = Instant::now();
+        let wall = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
         let mut iters = 0u64;
-        while iters < self.samples as u64 && start.elapsed() < self.budget {
+        while iters < self.samples as u64 && wall.elapsed() < self.budget {
+            let start = Instant::now();
             black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
             iters += 1;
         }
-        self.measured = Some((start.elapsed(), iters.max(1)));
+        if iters == 0 {
+            min = Duration::ZERO;
+        }
+        self.measured = Some((total, min, iters.max(1)));
     }
 
     /// Measures `routine` with a fresh setup value per iteration; only the
@@ -135,16 +149,22 @@ impl Bencher {
     {
         black_box(routine(setup()));
         let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
         let mut iters = 0u64;
         let wall = Instant::now();
         while iters < self.samples as u64 && wall.elapsed() < self.budget {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            total += start.elapsed();
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
             iters += 1;
         }
-        self.measured = Some((total.max(Duration::from_nanos(1)), iters.max(1)));
+        if iters == 0 {
+            min = Duration::ZERO;
+        }
+        self.measured = Some((total.max(Duration::from_nanos(1)), min, iters.max(1)));
     }
 }
 
@@ -155,20 +175,24 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Durat
         measured: None,
     };
     f(&mut bencher);
-    let (total, iters) = bencher.measured.unwrap_or((Duration::ZERO, 0));
+    let (total, min, iters) = bencher
+        .measured
+        .unwrap_or((Duration::ZERO, Duration::ZERO, 0));
     let mean_ns = if iters == 0 {
         0.0
     } else {
         total.as_nanos() as f64 / iters as f64
     };
+    let min_ns = min.as_nanos() as f64;
     println!(
-        "bench: {id:<55} {:>12.3} µs/iter (n={iters})",
-        mean_ns / 1e3
+        "bench: {id:<55} {:>12.3} µs/iter (min {:>12.3} µs, n={iters})",
+        mean_ns / 1e3,
+        min_ns / 1e3
     );
     RESULTS
         .lock()
         .unwrap()
-        .push((id.to_string(), mean_ns, iters));
+        .push((id.to_string(), mean_ns, min_ns, iters));
 }
 
 /// Internals used by `criterion_main!`.
@@ -180,10 +204,10 @@ pub mod private {
         };
         let results = super::RESULTS.lock().unwrap();
         let mut out = String::from("{\n  \"benchmarks\": [\n");
-        for (i, (name, mean_ns, iters)) in results.iter().enumerate() {
+        for (i, (name, mean_ns, min_ns, iters)) in results.iter().enumerate() {
             let sep = if i + 1 == results.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{ \"name\": \"{name}\", \"mean_ns\": {mean_ns:.1}, \"iterations\": {iters} }}{sep}\n"
+                "    {{ \"name\": \"{name}\", \"mean_ns\": {mean_ns:.1}, \"min_ns\": {min_ns:.1}, \"iterations\": {iters} }}{sep}\n"
             ));
         }
         out.push_str("  ]\n}\n");
