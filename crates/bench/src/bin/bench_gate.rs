@@ -23,7 +23,7 @@
 
 use std::process::{Command, ExitCode};
 
-use rfic_bench::gate::{compare, parse_bench_json};
+use rfic_bench::gate::{compare, parse_bench_json, strip_parallel_only};
 
 /// Absolute regression floor (ns): differences smaller than this are
 /// scheduler jitter on micro-scale benchmarks, never a real regression.
@@ -66,10 +66,25 @@ fn main() -> ExitCode {
         Ok(text) => text,
         Err(e) => return fail(&format!("cannot read baseline {baseline_path}: {e}")),
     };
-    let baseline = match parse_bench_json(&baseline_text) {
+    let mut baseline = match parse_bench_json(&baseline_text) {
         Ok(b) => b,
         Err(e) => return fail(&format!("cannot parse baseline {baseline_path}: {e}")),
     };
+
+    // A single-core runner cannot measure the thread-count sweep: the pool
+    // never beats the one-thread dive there, so those comparisons are
+    // noise-gating, not regression-gating.
+    let single_core = std::thread::available_parallelism()
+        .map(|n| n.get() == 1)
+        .unwrap_or(false);
+    if single_core {
+        for name in strip_parallel_only(&mut baseline) {
+            println!(
+                "bench-gate: NOTE: skipping {name} — available_parallelism() == 1, \
+                 the parallel sweep is not measurable on this runner"
+            );
+        }
+    }
 
     // Without --current, re-run the solver benches and record them through
     // the criterion stub's RFIC_BENCH_JSON hook.

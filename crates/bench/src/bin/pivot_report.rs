@@ -1,0 +1,158 @@
+//! Pivot-count report for CI.
+//!
+//! Re-runs the solver benchmark workloads once each (no timing — the bench
+//! gate owns wall-clock) and records the *work counters*: simplex pivots
+//! and from-scratch basis refactorisations per workload, plus node counts
+//! for the branch-and-bound instances. Wall-clock on shared runners is
+//! noisy; these counters are exact and machine-independent, so a pricing
+//! or factorisation regression shows up here even when the timing gate is
+//! drowned in noise.
+//!
+//! Usage: `cargo run --release -p rfic-bench --bin pivot_report
+//! [-- --out <path>]` (default `target/pivot_report.txt`); CI uploads the
+//! file next to the bench JSON artifact.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use rfic_bench::workloads::random_lp;
+use rfic_lp::PricingRule;
+use rfic_milp::{instances, BranchRule, SolveOptions};
+
+fn main() {
+    let mut out_path = "target/pivot_report.txt".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            "--help" | "-h" => {
+                println!("pivot_report [--out <path>]");
+                return;
+            }
+            other => {
+                eprintln!("pivot_report: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(report, "# solver pivot report (exact work counters)");
+    let _ = writeln!(
+        report,
+        "# {:<42} {:>7}  {:>16}  {:>5}",
+        "benchmark", "pivots", "refactorisations", "nodes"
+    );
+    let mut line = |name: String, pivots: usize, refactorizations: usize, nodes: Option<usize>| {
+        let nodes = nodes.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            report,
+            "  {name:<42} {pivots:>7}  {refactorizations:>16}  {nodes:>5}"
+        );
+    };
+
+    // Cold LP solves under both pricing rules.
+    for (vars, rows) in [(20usize, 15usize), (60, 40), (120, 80)] {
+        for (rule, name) in [
+            (PricingRule::Dantzig, "dantzig"),
+            (PricingRule::Devex, "devex"),
+        ] {
+            let mut lp = random_lp(vars, rows, 42);
+            lp.set_pricing(rule);
+            let s = lp.solve().expect("solvable");
+            line(
+                format!("lp_pricing/{name}_{vars}x{rows}"),
+                s.iterations,
+                s.refactorizations,
+                None,
+            );
+        }
+    }
+
+    // Warm LP re-solve after a branching-style bound change (the flow's
+    // most frequent operation).
+    {
+        let lp = random_lp(120, 80, 42);
+        let (base, basis) = lp.solve_warm(None).expect("base solve");
+        let (branch, _) = base
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, (v - v.round()).abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("vars");
+        let mut branched = lp.clone();
+        branched.set_bounds(branch, 0.0, base.values[branch].floor().max(0.0));
+        let (warm, _) = branched.solve_warm(Some(&basis)).expect("warm");
+        let cold = branched.solve().expect("cold");
+        line(
+            "lp_warm_resolve/warm_120x80".into(),
+            warm.iterations,
+            warm.refactorizations,
+            None,
+        );
+        line(
+            "lp_warm_resolve/cold_120x80".into(),
+            cold.iterations,
+            cold.refactorizations,
+            None,
+        );
+    }
+
+    // Branch-and-bound knapsacks, warm and cold (counters aggregated over
+    // every node/heuristic LP of the search).
+    for items in [10usize, 20, 30] {
+        let model = if items == 20 {
+            instances::seeded_knapsack(20, instances::KNAPSACK20_BENCH_SEED)
+        } else {
+            instances::seeded_knapsack(items, 0xDAC2016)
+        };
+        for (opts, name) in [
+            (SolveOptions::default(), "warm"),
+            (SolveOptions::default().cold(), "cold"),
+        ] {
+            let s = model.solve(&opts).expect("solvable");
+            line(
+                format!("milp_warm_vs_cold/{name}_knapsack_{items}"),
+                s.simplex_iterations,
+                s.lp_refactorizations,
+                Some(s.nodes),
+            );
+        }
+    }
+
+    // The layout engine's solver configuration on the 30-item knapsack
+    // stand-in is covered above; the single-strip layout solve itself is
+    // exercised by the bench gate (it needs the netlist fixtures, which
+    // this report keeps out of its dependency set).
+    let plain = SolveOptions::default()
+        .without_cuts()
+        .with_branching(BranchRule::MostFractional)
+        .with_pricing(PricingRule::Dantzig);
+    let s = instances::seeded_knapsack(30, 0xDAC2016)
+        .solve(&SolveOptions {
+            time_limit: Duration::from_secs(30),
+            ..plain
+        })
+        .expect("solvable");
+    line(
+        "milp_plain_dantzig/knapsack_30".into(),
+        s.simplex_iterations,
+        s.lp_refactorizations,
+        Some(s.nodes),
+    );
+
+    print!("{report}");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("pivot_report: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("pivot_report: written to {out_path}");
+}

@@ -161,6 +161,28 @@ fn extract_number_value(object: &str, key: &str) -> Result<f64, String> {
         .map_err(|e| format!("bad number for {key}: {e}"))
 }
 
+/// `true` for benchmarks that only measure something meaningful with more
+/// than one hardware thread (the `milp_parallel/*` thread-count sweep).
+/// On a single-core runner the pool can never beat the one-thread dive, so
+/// the gate skips these comparisons (with a logged notice) instead of
+/// failing CI on numbers the machine cannot measure.
+pub fn is_parallel_only(name: &str) -> bool {
+    name.starts_with("milp_parallel/")
+}
+
+/// Drops the parallel-only benchmarks from a record set (used by the gate
+/// when `available_parallelism() == 1`). Returns the removed names so the
+/// caller can log them.
+pub fn strip_parallel_only(records: &mut Vec<BenchRecord>) -> Vec<String> {
+    let removed = records
+        .iter()
+        .filter(|r| is_parallel_only(&r.name))
+        .map(|r| r.name.clone())
+        .collect();
+    records.retain(|r| !is_parallel_only(&r.name));
+    removed
+}
+
 /// Diffs `current` against `baseline` on the gate statistic
 /// ([`BenchRecord::gate_ns`]: per-iteration minimum, mean for legacy
 /// files).
@@ -291,6 +313,25 @@ mod tests {
         assert_eq!(report.missing, vec!["dropped".to_string()]);
         assert_eq!(report.added, vec!["brand_new".to_string()]);
         assert!(!report.ok());
+    }
+
+    #[test]
+    fn parallel_only_benches_are_stripped_for_single_core_gates() {
+        let mut records = vec![
+            record("milp_parallel/knapsack_30_t2", 1_000.0),
+            record("lp_simplex/revised_20x15", 1_000.0),
+            record("milp_parallel/knapsack_30_t4", 1_000.0),
+        ];
+        let removed = strip_parallel_only(&mut records);
+        assert_eq!(
+            removed,
+            vec![
+                "milp_parallel/knapsack_30_t2".to_string(),
+                "milp_parallel/knapsack_30_t4".to_string()
+            ]
+        );
+        assert_eq!(records.len(), 1);
+        assert!(!is_parallel_only(&records[0].name));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod workloads;
 
 use std::time::Duration;
 

@@ -2,54 +2,98 @@
 //!
 //! The basis matrix `B` (one column per basic variable) is factorised as
 //! `B = P^T L U` by sparse Gaussian elimination with partial pivoting; the
-//! factors are stored column-wise as explicit sparse lists. Pivots replace
-//! one basis column at a time, which is absorbed with **product-form (eta)
-//! updates**: instead of refactorising, the update `B' = B·E_r(w)` with
-//! `w = B⁻¹ a_q` is appended to an eta file applied after (FTRAN) or before
-//! (BTRAN) the LU solves. The factorisation is rebuilt from scratch
-//! periodically — when the eta file grows past a threshold or a pivot is
-//! numerically unacceptable — which bounds both fill-in and error
-//! accumulation (the classical Bartels–Golub motivation; see `DESIGN.md`
-//! for the deviation note).
+//! factors are stored column-wise as explicit sparse lists, with `U`
+//! additionally mirrored row-wise so rows can be eliminated cheaply.
+//!
+//! Simplex pivots replace one basis column at a time and are absorbed with
+//! **Forrest–Tomlin updates**: the replaced column of `U` is overwritten by
+//! the spike `v = L⁻¹·a_q`, the column's elimination position is cyclically
+//! rotated to the end of the pivot order, and the now sub-diagonal remnants
+//! of its old row are eliminated with a single **row eta** (a sparse row
+//! transformation appended to the `L` side). Unlike the product-form eta
+//! file this repo used before, the transformed `U` stays genuinely upper
+//! triangular: each update costs one short row elimination instead of a
+//! whole `B⁻¹a_q` column replayed by every subsequent FTRAN/BTRAN, so the
+//! eta file grows far slower and the factorisation stays reusable across
+//! many more warm-started solves. A stability gate (tiny or collapsing
+//! transformed diagonal) refuses the update, in which case the caller must
+//! refactorise; refactorisation also fires periodically to bound fill-in
+//! and rounding-error accumulation.
 
 use crate::sparse::ScatterVec;
 
 /// Smallest pivot magnitude accepted during factorisation.
 const PIVOT_TOL: f64 = 1e-10;
-/// Smallest eta pivot accepted during an update; below this the caller must
-/// refactorise.
+/// Smallest transformed diagonal accepted by a Forrest–Tomlin update;
+/// below this the caller must refactorise.
 const ETA_PIVOT_TOL: f64 = 1e-8;
 /// Entries below this magnitude are dropped from stored factor columns.
 const DROP_TOL: f64 = 1e-13;
+/// A Forrest–Tomlin update whose transformed diagonal is smaller than
+/// `STABILITY_RATIO * max|spike|` is refused as numerically unstable
+/// (catastrophic cancellation in the row elimination).
+const STABILITY_RATIO: f64 = 1e-9;
+/// A Forrest–Tomlin update whose row elimination produces a multiplier
+/// larger than this is refused: large multipliers amplify rounding error
+/// through every subsequent solve (the classical growth gate).
+const MULT_GROWTH_LIMIT: f64 = 1e7;
 
-/// One product-form update: the basis column at elimination position
-/// `pos` was replaced; `w = B⁻¹ a_q` is stored split into its pivot element
-/// and the remaining non-zeros.
+/// One Forrest–Tomlin row transformation: after the `L` solve,
+/// `b[row] -= Σ mult·b[pos]` over `entries = (pos, mult)` (position space).
 #[derive(Debug, Clone)]
-struct Eta {
-    pos: usize,
-    pivot: f64,
-    /// `(position, w_i)` for `i != pos`.
+struct RowEta {
+    row: usize,
     entries: Vec<(usize, f64)>,
 }
 
-/// LU factorisation of a basis with an eta-file of pending updates.
+/// LU factorisation of a basis with pending Forrest–Tomlin updates.
 #[derive(Debug, Clone)]
 pub(crate) struct Factorization {
     m: usize,
-    /// `lower[k]`: multipliers `(row, l)` of elimination step `k`
-    /// (rows still unpivoted at step `k`).
-    lower: Vec<Vec<(usize, f64)>>,
-    /// `upper[k]`: above-diagonal entries `(position, u)` of column `k` of
-    /// `U` (positions `< k`).
-    upper: Vec<Vec<(usize, f64)>>,
-    /// Diagonal of `U` per elimination position.
-    upper_diag: Vec<f64>,
+    /// Multipliers of the elimination steps, flattened: step `k`'s
+    /// `(row, l)` entries live at `lower_data[lower_ptr[k]..lower_ptr[k+1]]`
+    /// (rows still unpivoted at step `k`). Flat storage makes cloning a
+    /// cached factorisation — every warm branch-and-bound node does one —
+    /// two memcpys instead of `m` small-vector clones.
+    lower_ptr: Vec<usize>,
+    lower_data: Vec<(usize, f64)>,
     /// Row chosen as pivot of elimination step `k`.
     pivot_rows: Vec<usize>,
-    etas: Vec<Eta>,
+    /// Off-diagonal entries `(row position, u)` of `U` column `p`
+    /// (positions earlier than `p` in [`Factorization::pos_order`]).
+    ucols: Vec<Vec<(usize, f64)>>,
+    /// Row-wise mirror of `ucols`: off-diagonal entries
+    /// `(column position, u)` of `U` row `p`.
+    urows: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U` per elimination position.
+    diag: Vec<f64>,
+    /// Triangular elimination order of the positions: `U` is upper
+    /// triangular with respect to this order (identity after a fresh
+    /// factorisation; Forrest–Tomlin updates rotate positions to the end).
+    pos_order: Vec<usize>,
+    /// Inverse of `pos_order`.
+    order_index: Vec<usize>,
+    /// Forrest–Tomlin row transformations, applied oldest-first after the
+    /// `L` solve in FTRAN (transposed, newest-first before it in BTRAN).
+    etas: Vec<RowEta>,
     /// Refactorise once the eta file reaches this many updates.
     max_etas: usize,
+    /// Off-diagonal non-zeros of `U` at factorisation time (fill guard).
+    base_fill: usize,
+    /// Current off-diagonal non-zeros of `U`.
+    fill: usize,
+    /// Reusable dense scratch (FTRAN result / BTRAN position pass) — the
+    /// solves run once per pivot, so per-call allocation was measurable.
+    xwork: Vec<f64>,
+    /// Reusable dense scratch (BTRAN row-space pass).
+    ywork: Vec<f64>,
+    /// The intermediate `v = L⁻¹·b` of the most recent [`Factorization::ftran`]
+    /// (after the row etas, before the `U` back-substitution) — exactly the
+    /// Forrest–Tomlin spike of that column, captured so
+    /// [`Factorization::update`] does not have to recompute `U·w`.
+    last_spike: Vec<f64>,
+    /// Reusable sparse accumulator for the update's row elimination.
+    scatter: ScatterVec,
 }
 
 /// Error returned when the candidate basis is numerically singular.
@@ -66,12 +110,28 @@ impl Factorization {
         debug_assert_eq!(columns.len(), m);
         let mut f = Factorization {
             m,
-            lower: Vec::with_capacity(m),
-            upper: Vec::with_capacity(m),
-            upper_diag: Vec::with_capacity(m),
+            lower_ptr: vec![0],
+            lower_data: Vec::new(),
             pivot_rows: Vec::with_capacity(m),
-            etas: Vec::new(),
+            ucols: Vec::with_capacity(m),
+            urows: vec![Vec::new(); m],
+            diag: Vec::with_capacity(m),
+            pos_order: (0..m).collect(),
+            order_index: (0..m).collect(),
+            // Forrest–Tomlin etas are single sparse rows (not whole spike
+            // columns) — cheaper to replay and numerically tamer than the
+            // old product-form spikes — but the big-M layout bases degrade
+            // fast enough that the chain cap stays at the product-form
+            // cadence; the win is spent on the warm-start cache instead
+            // (`worth_caching` admits chains twice as long as before).
             max_etas: (m / 2).clamp(16, 64),
+            etas: Vec::new(),
+            base_fill: 0,
+            fill: 0,
+            xwork: vec![0.0; m],
+            ywork: vec![0.0; m],
+            last_spike: vec![0.0; m],
+            scatter: ScatterVec::new(m),
         };
         let mut pivoted = vec![false; m];
         let mut work = ScatterVec::new(m);
@@ -86,7 +146,7 @@ impl Factorization {
                 let u = work.get(f.pivot_rows[j]);
                 if u.abs() > DROP_TOL {
                     upper_col.push((j, u));
-                    for &(row, l) in &f.lower[j] {
+                    for &(row, l) in &f.lower_data[f.lower_ptr[j]..f.lower_ptr[j + 1]] {
                         work.add(row, -l * u);
                     }
                 }
@@ -104,21 +164,25 @@ impl Factorization {
                 return Err(SingularBasis);
             }
             pivoted[pivot_row] = true;
-            let mut lower_col: Vec<(usize, f64)> = Vec::new();
             for &r in work.touched() {
                 if !pivoted[r] {
                     let l = work.get(r) / pivot_val;
                     if l.abs() > DROP_TOL {
-                        lower_col.push((r, l));
+                        f.lower_data.push((r, l));
                     }
                 }
             }
+            f.lower_ptr.push(f.lower_data.len());
             work.clear();
+            for &(i, u) in &upper_col {
+                f.urows[i].push((k, u));
+            }
+            f.fill += upper_col.len();
             f.pivot_rows.push(pivot_row);
-            f.upper_diag.push(pivot_val);
-            f.upper.push(upper_col);
-            f.lower.push(lower_col);
+            f.diag.push(pivot_val);
+            f.ucols.push(upper_col);
         }
+        f.base_fill = f.fill;
         Ok(f)
     }
 
@@ -128,27 +192,30 @@ impl Factorization {
         self.m
     }
 
-    /// `true` when the eta file is due for a refactorisation.
+    /// `true` when the factorisation is due for a rebuild: the eta file
+    /// reached its cap, or Forrest–Tomlin spikes have more than tripled the
+    /// `U` fill (dense spikes make every solve walk long columns).
     #[inline]
     pub fn needs_refactorization(&self) -> bool {
-        self.etas.len() >= self.max_etas
+        self.etas.len() >= self.max_etas || self.fill > 3 * self.base_fill + 8 * self.m
     }
 
     /// `true` while the eta file is short enough that *reusing* this
     /// factorisation (warm-start cache) still beats refactorising from
-    /// scratch. Every FTRAN/BTRAN replays the whole eta file, so a chain
-    /// inherited across many warm solves costs time — and, worse, each
-    /// replayed eta compounds rounding error, which on the ill-conditioned
-    /// big-M layout models measurably degrades the returned vertices (the
-    /// flow's length-matching suffered at a half-`max_etas` threshold).
-    /// A quarter of the refactorisation threshold keeps the speed win while
-    /// staying numerically indistinguishable from fresh factors.
+    /// scratch. Forrest–Tomlin row etas are cheaper to replay than the old
+    /// product-form spike columns, but the quarter-of-the-cap ceiling is
+    /// kept: on the ill-conditioned big-M layout models, factors inherited
+    /// with longer chains measurably degraded the returned vertices —
+    /// relaxing this gate to half the cap produced tolerance-infeasible
+    /// optima whose node LPs cycled to the iteration limit (see the
+    /// phase-flap guard in `revised.rs`).
     #[inline]
     pub fn worth_caching(&self) -> bool {
         self.etas.len() * 4 < self.max_etas
     }
 
-    /// Number of eta updates applied since the last refactorisation.
+    /// Number of Forrest–Tomlin updates applied since the last
+    /// refactorisation.
     #[cfg(test)]
     pub fn eta_count(&self) -> usize {
         self.etas.len()
@@ -157,103 +224,242 @@ impl Factorization {
     /// FTRAN: solves `B x = b`. `b` is indexed by *row*, the result by
     /// *elimination position* (i.e. `x[k]` belongs to the basic variable in
     /// position `k`). Works in place on a dense buffer of length `m`.
-    pub fn ftran(&self, b: &mut [f64]) {
+    pub fn ftran(&mut self, b: &mut [f64]) {
         debug_assert_eq!(b.len(), self.m);
         // L-solve: replay the elimination steps on b (row space).
         for j in 0..self.m {
             let y = b[self.pivot_rows[j]];
             if y != 0.0 {
-                for &(row, l) in &self.lower[j] {
+                for &(row, l) in &self.lower_data[self.lower_ptr[j]..self.lower_ptr[j + 1]] {
                     b[row] -= l * y;
                 }
             }
         }
         // Permute into position space: y_k lives at pivot_rows[k].
-        let mut x = vec![0.0; self.m];
+        let mut x = std::mem::take(&mut self.xwork);
         for k in 0..self.m {
             x[k] = b[self.pivot_rows[k]];
         }
-        // U back-substitution (column oriented).
-        for k in (0..self.m).rev() {
-            let xk = x[k] / self.upper_diag[k];
-            x[k] = xk;
-            if xk != 0.0 {
-                for &(i, u) in &self.upper[k] {
-                    x[i] -= u * xk;
-                }
-            }
-        }
-        // Eta file: x := E⁻¹ x, oldest first.
+        // Forrest–Tomlin row transformations, oldest first.
         for eta in &self.etas {
-            let xr = x[eta.pos] / eta.pivot;
-            x[eta.pos] = xr;
-            if xr != 0.0 {
-                for &(i, w) in &eta.entries {
-                    x[i] -= w * xr;
+            let mut acc = x[eta.row];
+            for &(pos, mult) in &eta.entries {
+                acc -= mult * x[pos];
+            }
+            x[eta.row] = acc;
+        }
+        // Capture the spike `v = L⁻¹·b` for a following update().
+        self.last_spike.copy_from_slice(&x);
+        // U back-substitution (column oriented) along the pivot order.
+        for k in (0..self.m).rev() {
+            let p = self.pos_order[k];
+            let xp = x[p] / self.diag[p];
+            x[p] = xp;
+            if xp != 0.0 {
+                for &(i, u) in self.ucols[p].iter() {
+                    x[i] -= u * xp;
                 }
             }
         }
         b.copy_from_slice(&x);
+        self.xwork = x;
     }
 
     /// BTRAN: solves `Bᵀ y = c`. `c` is indexed by *elimination position*
     /// (cost of the basic variable in position `k`), the result by *row*
     /// (dual value per constraint row). Works in place.
-    pub fn btran(&self, c: &mut [f64]) {
+    pub fn btran(&mut self, c: &mut [f64]) {
         debug_assert_eq!(c.len(), self.m);
-        // Eta file transposed, newest first: c := E⁻ᵀ c.
-        for eta in self.etas.iter().rev() {
-            let mut cr = c[eta.pos];
-            for &(i, w) in &eta.entries {
-                cr -= w * c[i];
-            }
-            c[eta.pos] = cr / eta.pivot;
-        }
-        // Uᵀ forward solve (Uᵀ is lower triangular in position space).
-        let mut w = vec![0.0; self.m];
+        // Uᵀ forward solve (lower triangular along the pivot order).
+        let mut w = std::mem::take(&mut self.xwork);
         for k in 0..self.m {
-            let mut v = c[k];
-            for &(i, u) in &self.upper[k] {
+            let p = self.pos_order[k];
+            let mut v = c[p];
+            for &(i, u) in self.ucols[p].iter() {
                 v -= u * w[i];
             }
-            w[k] = v / self.upper_diag[k];
+            w[p] = v / self.diag[p];
+        }
+        self.btran_tail(&mut w, c);
+        self.xwork = w;
+    }
+
+    /// BTRAN of a unit vector: solves `Bᵀ y = e_pos` (the pivot-row solve
+    /// of pricing updates and cut separation). Exploits that `e_pos` is
+    /// zero at every elimination position ordered before `pos`, so the
+    /// `Uᵀ` forward solve skips the leading prefix — on average half the
+    /// triangular work of a generic [`Factorization::btran`].
+    pub fn btran_unit(&mut self, pos: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.m);
+        let mut w = std::mem::take(&mut self.xwork);
+        let start = self.order_index[pos];
+        for k in 0..start {
+            w[self.pos_order[k]] = 0.0;
+        }
+        for k in start..self.m {
+            let p = self.pos_order[k];
+            let mut v = if p == pos { 1.0 } else { 0.0 };
+            for &(i, u) in self.ucols[p].iter() {
+                v -= u * w[i];
+            }
+            w[p] = v / self.diag[p];
+        }
+        self.btran_tail(&mut w, out);
+        self.xwork = w;
+    }
+
+    /// Shared BTRAN tail: the transposed eta file, the scatter to row
+    /// space and the transposed elimination steps. `w` is the `Uᵀ` solve
+    /// result (position space); the answer lands in `out` (row space).
+    fn btran_tail(&mut self, w: &mut [f64], out: &mut [f64]) {
+        // Forrest–Tomlin transformations transposed, newest first.
+        for eta in self.etas.iter().rev() {
+            let wr = w[eta.row];
+            if wr != 0.0 {
+                for &(pos, mult) in &eta.entries {
+                    w[pos] -= mult * wr;
+                }
+            }
         }
         // Scatter to row space and apply the transposed elimination steps in
         // reverse order.
-        let mut y = vec![0.0; self.m];
+        let mut y = std::mem::take(&mut self.ywork);
         for k in 0..self.m {
             y[self.pivot_rows[k]] = w[k];
         }
         for j in (0..self.m).rev() {
             let mut acc = 0.0;
-            for &(row, l) in &self.lower[j] {
+            for &(row, l) in &self.lower_data[self.lower_ptr[j]..self.lower_ptr[j + 1]] {
                 acc += l * y[row];
             }
             y[self.pivot_rows[j]] -= acc;
         }
-        c.copy_from_slice(&y);
+        out.copy_from_slice(&y);
+        self.ywork = y;
     }
 
-    /// Absorbs a basis change at elimination position `pos`, where
-    /// `w = B⁻¹ a_entering` (position space, as produced by
-    /// [`Factorization::ftran`]). Returns `false` when the pivot element is
-    /// too small — the caller must refactorise instead.
+    /// Absorbs a basis change at elimination position `pos` with a
+    /// Forrest–Tomlin update. **Contract:** the entering column must have
+    /// been the argument of the most recent [`Factorization::ftran`] call —
+    /// simplex always FTRANs the entering column for the ratio test, and
+    /// that solve's intermediate `v = L⁻¹·a_entering` (captured before the
+    /// `U` back-substitution) *is* the Forrest–Tomlin spike, so it is
+    /// reused here instead of being recomputed as `U·w`. Returns `false`
+    /// when the transformed diagonal is numerically unacceptable — the
+    /// caller must refactorise instead.
+    ///
+    /// The spike is written into column `pos`, the position is rotated to
+    /// the end of the pivot order, and the stale row remnants are
+    /// eliminated into one row eta.
     pub fn update(&mut self, pos: usize, w: &[f64]) -> bool {
-        let pivot = w[pos];
-        if pivot.abs() < ETA_PIVOT_TOL {
+        debug_assert_eq!(w.len(), self.m);
+        // Spike v = L⁻¹·a_entering, captured by the entering column's ftran.
+        let v = std::mem::take(&mut self.last_spike);
+        // Debug-only contract check: the captured spike must actually be
+        // `U·w` — i.e. the most recent ftran was the entering column's. An
+        // ftran slipped in between (a compute_x_basic, say) would silently
+        // corrupt the factors in release; in debug tests it fails here.
+        #[cfg(debug_assertions)]
+        {
+            let mut check = vec![0.0; self.m];
+            for (c, &wc) in w.iter().enumerate() {
+                if wc != 0.0 {
+                    check[c] += self.diag[c] * wc;
+                    for &(i, u) in &self.ucols[c] {
+                        check[i] += u * wc;
+                    }
+                }
+            }
+            let scale = 1e-6 * (1.0 + v.iter().fold(0.0f64, |a, &x| a.max(x.abs())));
+            debug_assert!(
+                v.iter().zip(&check).all(|(a, b)| (a - b).abs() <= scale),
+                "update() called without a preceding ftran of the entering column"
+            );
+        }
+        let vmax = v.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+        let t = self.order_index[pos];
+
+        // Stage the elimination of the stale row `pos` (its off-diagonal
+        // entries all sit at later order positions, i.e. below the diagonal
+        // once `pos` rotates to the end). Column `pos` is handled out of
+        // band: its new content is the spike, so the running diagonal
+        // accumulator starts at v[pos] and each elimination step folds in
+        // the spike entry of its pivot row. Nothing is committed until the
+        // stability gate passes.
+        let mut scatter = std::mem::take(&mut self.scatter);
+        for &(col, u) in self.urows[pos].iter() {
+            scatter.add(col, u);
+        }
+        let mut new_diag = v[pos];
+        let mut eta_entries: Vec<(usize, f64)> = Vec::new();
+        let mut growth_ok = true;
+        for k in t + 1..self.m {
+            let c = self.pos_order[k];
+            let val = scatter.get(c);
+            if val.abs() <= DROP_TOL {
+                continue;
+            }
+            let mult = val / self.diag[c];
+            if mult.abs() > MULT_GROWTH_LIMIT {
+                growth_ok = false;
+                break;
+            }
+            eta_entries.push((c, mult));
+            for &(j, u) in self.urows[c].iter() {
+                scatter.add(j, -mult * u);
+            }
+            if v[c] != 0.0 {
+                new_diag -= mult * v[c];
+            }
+        }
+
+        scatter.clear();
+        self.scatter = scatter;
+
+        // Stability gate: refuse on multiplier growth, and on a tiny
+        // transformed diagonal (absolute, or relative to the spike —
+        // catastrophic cancellation in the row elimination).
+        if !growth_ok || new_diag.abs() < ETA_PIVOT_TOL || new_diag.abs() < STABILITY_RATIO * vmax {
+            self.last_spike = v;
             return false;
         }
-        let entries: Vec<(usize, f64)> = w
-            .iter()
-            .enumerate()
-            .filter(|&(i, &v)| i != pos && v.abs() > DROP_TOL)
-            .map(|(i, &v)| (i, v))
-            .collect();
-        self.etas.push(Eta {
-            pos,
-            pivot,
-            entries,
-        });
+
+        // Commit. Remove the old column and row of `pos` from both mirrors…
+        for &(i, _) in &self.ucols[pos] {
+            self.urows[i].retain(|&(j, _)| j != pos);
+        }
+        self.fill -= self.ucols[pos].len();
+        let old_row = std::mem::take(&mut self.urows[pos]);
+        for &(c, _) in &old_row {
+            self.ucols[c].retain(|&(i, _)| i != pos);
+        }
+        self.fill -= old_row.len();
+        // …write the spike as the new (last-position) column…
+        let mut new_col: Vec<(usize, f64)> = Vec::new();
+        for (i, &vi) in v.iter().enumerate() {
+            if i != pos && vi.abs() > DROP_TOL {
+                new_col.push((i, vi));
+                self.urows[i].push((pos, vi));
+            }
+        }
+        self.fill += new_col.len();
+        self.ucols[pos] = new_col;
+        self.diag[pos] = new_diag;
+        // …rotate `pos` to the end of the pivot order…
+        self.pos_order.remove(t);
+        self.pos_order.push(pos);
+        for k in t..self.m {
+            self.order_index[self.pos_order[k]] = k;
+        }
+        // …and record the row transformation (skipped when the stale row
+        // was already empty — the update is then a pure column replacement).
+        if !eta_entries.is_empty() {
+            self.etas.push(RowEta {
+                row: pos,
+                entries: eta_entries,
+            });
+        }
+        self.last_spike = v;
         true
     }
 }
@@ -289,7 +495,7 @@ mod tests {
     fn ftran_btran_solve_small_system() {
         // B columns (3x3), deliberately needing a row swap.
         let cols: Vec<&[f64]> = vec![&[0.0, 2.0, 1.0], &[1.0, 0.0, 1.0], &[1.0, 1.0, 0.0]];
-        let f = Factorization::factorize(3, &dense_columns(&cols)).expect("nonsingular");
+        let mut f = Factorization::factorize(3, &dense_columns(&cols)).expect("nonsingular");
         assert_eq!(f.dim(), 3);
 
         let mut b = vec![3.0, 5.0, 4.0];
@@ -320,7 +526,7 @@ mod tests {
     }
 
     #[test]
-    fn eta_update_matches_refactorization() {
+    fn forrest_tomlin_update_matches_refactorization() {
         let cols: Vec<&[f64]> = vec![&[2.0, 0.0, 1.0], &[0.0, 1.0, 1.0], &[1.0, 1.0, 0.0]];
         let mut f = Factorization::factorize(3, &dense_columns(&cols)).expect("nonsingular");
 
@@ -329,10 +535,9 @@ mod tests {
         let mut w = a_q.to_vec();
         f.ftran(&mut w);
         assert!(f.update(1, &w));
-        assert_eq!(f.eta_count(), 1);
 
         let new_cols: Vec<&[f64]> = vec![&[2.0, 0.0, 1.0], &a_q, &[1.0, 1.0, 0.0]];
-        let g = Factorization::factorize(3, &dense_columns(&new_cols)).expect("nonsingular");
+        let mut g = Factorization::factorize(3, &dense_columns(&new_cols)).expect("nonsingular");
 
         let rhs = [4.0, -1.0, 2.5];
         let mut x1 = rhs.to_vec();
@@ -353,12 +558,107 @@ mod tests {
         }
     }
 
+    /// A long randomized chain of updates must keep agreeing with a fresh
+    /// factorisation of the final column set — the regression test for the
+    /// row-eta bookkeeping (order rotation, fill mirrors, spike algebra).
     #[test]
-    fn tiny_eta_pivot_is_refused() {
+    fn chained_updates_match_refactorization() {
+        let m = 8;
+        let mut state = 0x5EED_1234_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f64 - 1000.0) / 250.0
+        };
+        // Start from a well-conditioned random basis.
+        let mut cols: Vec<Vec<f64>> = (0..m)
+            .map(|k| {
+                let mut c: Vec<f64> = (0..m).map(|_| next()).collect();
+                c[k] += 6.0; // diagonal dominance
+                c
+            })
+            .collect();
+        let dense = |cols: &[Vec<f64>]| -> Vec<Vec<(usize, f64)>> {
+            cols.iter()
+                .map(|c| {
+                    c.iter()
+                        .enumerate()
+                        .filter(|(_, &v)| v != 0.0)
+                        .map(|(r, &v)| (r, v))
+                        .collect()
+                })
+                .collect()
+        };
+        let mut f = Factorization::factorize(m, &dense(&cols)).expect("nonsingular");
+        for step in 0..20 {
+            let pos = (step * 5) % m;
+            let mut a_q: Vec<f64> = (0..m).map(|_| next()).collect();
+            a_q[pos] += 6.0;
+            let mut w = a_q.clone();
+            f.ftran(&mut w);
+            if !f.update(pos, &w) {
+                // Stability refusal is legal; refactorise like the solver.
+                cols[pos] = a_q;
+                f = Factorization::factorize(m, &dense(&cols)).expect("nonsingular");
+                continue;
+            }
+            cols[pos] = a_q;
+
+            let mut g = Factorization::factorize(m, &dense(&cols)).expect("nonsingular");
+            let rhs: Vec<f64> = (0..m).map(|i| (i as f64) - 3.0).collect();
+            let mut x1 = rhs.clone();
+            f.ftran(&mut x1);
+            let mut x2 = rhs.clone();
+            g.ftran(&mut x2);
+            for (a, b) in x1.iter().zip(&x2) {
+                assert!((a - b).abs() < 1e-6, "step {step}: ftran diverged");
+            }
+            let mut y1 = rhs.clone();
+            f.btran(&mut y1);
+            let mut y2 = rhs;
+            g.btran(&mut y2);
+            for (a, b) in y1.iter().zip(&y2) {
+                assert!((a - b).abs() < 1e-6, "step {step}: btran diverged");
+            }
+        }
+        assert!(
+            f.eta_count() >= 1,
+            "the chain should have exercised row etas"
+        );
+    }
+
+    #[test]
+    fn tiny_update_pivot_is_refused() {
         let cols: Vec<&[f64]> = vec![&[1.0, 0.0], &[0.0, 1.0]];
         let mut f = Factorization::factorize(2, &dense_columns(&cols)).expect("nonsingular");
-        // w with a ~zero pivot element in position 0.
-        assert!(!f.update(0, &[1e-12, 1.0]));
+        // An entering column whose pivot element in position 0 is ~zero
+        // (the spike diagonal is equally tiny for the identity basis).
+        let mut w = vec![1e-12, 1.0];
+        f.ftran(&mut w);
+        assert!(!f.update(0, &w));
         assert_eq!(f.eta_count(), 0);
+    }
+
+    #[test]
+    fn update_without_stale_row_is_a_pure_column_swap() {
+        // Replacing the *last* pivot-order column leaves no sub-diagonal
+        // remnants, so no row eta is recorded.
+        let cols: Vec<&[f64]> = vec![&[1.0, 0.0], &[0.5, 1.0]];
+        let mut f = Factorization::factorize(2, &dense_columns(&cols)).expect("nonsingular");
+        let a_q = [1.0, 2.0];
+        let mut w = a_q.to_vec();
+        f.ftran(&mut w);
+        assert!(f.update(1, &w));
+        assert_eq!(f.eta_count(), 0, "pure column replacement needs no eta");
+        let new_cols: Vec<&[f64]> = vec![&[1.0, 0.0], &a_q];
+        let mut g = Factorization::factorize(2, &dense_columns(&new_cols)).expect("nonsingular");
+        let mut x1 = vec![3.0, -1.0];
+        f.ftran(&mut x1);
+        let mut x2 = vec![3.0, -1.0];
+        g.ftran(&mut x2);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-9);
+        }
     }
 }

@@ -320,6 +320,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
         values,
         objective,
         iterations,
+        refactorizations: 0,
     })
 }
 

@@ -49,9 +49,11 @@ mod problem;
 mod revised;
 mod sparse;
 
-pub use problem::{Constraint, ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
+pub use problem::{
+    Constraint, ConstraintOp, LinearProgram, LpError, LpSolution, PricingRule, Sense,
+};
 pub use revised::{Basis, NonbasicStatus, TableauEntry, TableauRow};
-pub use sparse::{CscMatrix, ScatterVec};
+pub use sparse::{CscMatrix, CsrMatrix, ScatterVec};
 
 /// Numerical tolerance used by the solver for feasibility and optimality
 /// tests.

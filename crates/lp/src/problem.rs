@@ -15,6 +15,28 @@ pub enum Sense {
     Maximize,
 }
 
+/// Entering-variable pricing rule of the primal simplex.
+///
+/// The default devex rule prices over a maintained candidate list with
+/// reference-framework weights — the fast path. The classic Dantzig rule
+/// (full most-negative-reduced-cost scan every pivot) is retained so tests
+/// and benchmarks can pin the old behaviour and cross-check the two paths
+/// against each other and the dense oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Devex reference-framework pricing over a candidate list with
+    /// periodic full refreshes (partial pricing).
+    #[default]
+    Devex,
+    /// Full Dantzig scan: recompute every reduced cost each pivot and take
+    /// the most negative. The pinned pre-devex behaviour, and still the
+    /// better rule for the heavily degenerate layout LPs, whose warm
+    /// re-solves finish in a handful of pivots — a devex refresh costs a
+    /// full scan anyway, so the candidate list never pays for itself
+    /// there.
+    Dantzig,
+}
+
 /// Relational operator of a linear constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConstraintOp {
@@ -47,12 +69,32 @@ pub struct Constraint {
     pub rhs: f64,
 }
 
+/// The solver-side view of the constraint matrix: CSC storage plus the
+/// FNV-1a fingerprint of `(n, m, matrix)` that keys the warm-start
+/// factorisation cache.
+///
+/// Building this costs one pass over every non-zero, which used to be paid
+/// by *every* solve — including the thousands of warm branch-and-bound node
+/// re-solves whose matrix never changes. It is therefore memoised on the
+/// [`LinearProgram`] (shared behind an [`Arc`](std::sync::Arc), invalidated
+/// by structural mutations; bound/objective/limit changes keep it).
+#[derive(Debug)]
+pub(crate) struct MatrixCache {
+    /// Structural columns in compressed-sparse-column form.
+    pub matrix: crate::sparse::CscMatrix,
+    /// Row-major mirror of `matrix` for the dual simplex's sparse pivot-row
+    /// pricing (see [`crate::sparse::CsrMatrix`]).
+    pub rows: crate::sparse::CsrMatrix,
+    /// FNV-1a fingerprint of `(num_vars, num_constraints, matrix)`.
+    pub fingerprint: u64,
+}
+
 /// A linear program over `num_vars` variables.
 ///
 /// Variables default to bounds `[0, +inf)`; use
 /// [`LinearProgram::set_bounds`] for other ranges (including free
 /// variables via `f64::NEG_INFINITY` / `f64::INFINITY`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LinearProgram {
     num_vars: usize,
     sense: Sense,
@@ -62,6 +104,25 @@ pub struct LinearProgram {
     constraints: Vec<Constraint>,
     iteration_limit: usize,
     time_limit: Option<std::time::Duration>,
+    pricing: PricingRule,
+    /// Memoised constraint-matrix view (see [`MatrixCache`]); cleared by
+    /// [`LinearProgram::add_var`] and [`LinearProgram::add_constraint`].
+    matrix_cache: std::sync::OnceLock<std::sync::Arc<MatrixCache>>,
+}
+
+impl PartialEq for LinearProgram {
+    fn eq(&self, other: &Self) -> bool {
+        // The matrix cache is derived state, not model identity.
+        self.num_vars == other.num_vars
+            && self.sense == other.sense
+            && self.objective == other.objective
+            && self.lower == other.lower
+            && self.upper == other.upper
+            && self.constraints == other.constraints
+            && self.iteration_limit == other.iteration_limit
+            && self.time_limit == other.time_limit
+            && self.pricing == other.pricing
+    }
 }
 
 /// Result of a successful LP solve.
@@ -73,6 +134,10 @@ pub struct LpSolution {
     pub objective: f64,
     /// Number of simplex pivots performed (both phases).
     pub iterations: usize,
+    /// Number of from-scratch basis refactorisations performed (the other
+    /// half of the solve cost next to the pivots; warm starts exist to
+    /// drive this to zero).
+    pub refactorizations: usize,
 }
 
 /// Error returned by [`LinearProgram::solve`].
@@ -119,11 +184,14 @@ impl LinearProgram {
             constraints: Vec::new(),
             iteration_limit: 50_000,
             time_limit: None,
+            pricing: PricingRule::default(),
+            matrix_cache: std::sync::OnceLock::new(),
         }
     }
 
     /// Adds a fresh variable with bounds `[0, +inf)` and returns its index.
     pub fn add_var(&mut self) -> usize {
+        self.matrix_cache = std::sync::OnceLock::new();
         self.objective.push(0.0);
         self.lower.push(0.0);
         self.upper.push(f64::INFINITY);
@@ -186,6 +254,16 @@ impl LinearProgram {
         self.iteration_limit = limit;
     }
 
+    /// Selects the primal pricing rule (default [`PricingRule::Devex`]).
+    pub fn set_pricing(&mut self, pricing: PricingRule) {
+        self.pricing = pricing;
+    }
+
+    /// The configured primal pricing rule.
+    pub fn pricing(&self) -> PricingRule {
+        self.pricing
+    }
+
     /// Sets an optional wall-clock deadline for a solve; `None` (the
     /// default) means unlimited. Exceeding it returns
     /// [`LpError::TimeLimit`]. Callers running many solves under a global
@@ -198,7 +276,60 @@ impl LinearProgram {
     /// Adds a constraint from a sparse coefficient list. Repeated indices
     /// are summed.
     pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) {
+        self.matrix_cache = std::sync::OnceLock::new();
         self.constraints.push(Constraint { coeffs, op, rhs });
+    }
+
+    /// The memoised CSC view of the constraint matrix with its fingerprint,
+    /// built on first use and shared by every subsequent solve of this
+    /// model (and its bound-mutated clones, which is what branch-and-bound
+    /// node re-solves are).
+    pub(crate) fn matrix_cache(&self) -> std::sync::Arc<MatrixCache> {
+        self.matrix_cache
+            .get_or_init(|| {
+                let n = self.num_vars;
+                let m = self.constraints.len();
+                let columns: Vec<Vec<(usize, f64)>> = {
+                    let mut cols = vec![Vec::new(); n];
+                    for (r, con) in self.constraints.iter().enumerate() {
+                        for &(v, c) in &con.coeffs {
+                            cols[v].push((r, c));
+                        }
+                    }
+                    cols
+                };
+                let matrix = crate::sparse::CscMatrix::from_columns(m, &columns);
+                let rows = crate::sparse::CsrMatrix::from_rows(
+                    n,
+                    &self
+                        .constraints
+                        .iter()
+                        .map(|con| con.coeffs.clone())
+                        .collect::<Vec<_>>(),
+                );
+                let fingerprint = {
+                    let mut h = 0xcbf2_9ce4_8422_2325u64;
+                    let mut mix = |x: u64| {
+                        h ^= x;
+                        h = h.wrapping_mul(0x100_0000_01b3);
+                    };
+                    mix(n as u64);
+                    mix(m as u64);
+                    for j in 0..n {
+                        for (r, v) in matrix.col_iter(j) {
+                            mix(r as u64);
+                            mix(v.to_bits());
+                        }
+                    }
+                    h
+                };
+                std::sync::Arc::new(MatrixCache {
+                    matrix,
+                    rows,
+                    fingerprint,
+                })
+            })
+            .clone()
     }
 
     /// Validates indices, coefficients and bounds.

@@ -16,11 +16,18 @@
 //!
 //! * **primal phase 1/2** — a composite-objective primal simplex: while any
 //!   basic variable violates its bounds the objective is the (piecewise
-//!   linear) sum of infeasibilities, afterwards the true costs; the ratio
-//!   test lets infeasible basics travel to their violated bound,
+//!   linear) sum of infeasibilities, afterwards the true costs. Phase-2
+//!   pricing is **devex** (reference-framework weights over a candidate
+//!   list, reduced costs maintained incrementally from the BTRAN'd pivot
+//!   row) with periodic full refreshes; [`PricingRule::Dantzig`] pins the
+//!   classic full most-negative scan for cross-checks. The ratio test is a
+//!   **Harris two-pass** (bounded-tolerance) test that picks the largest
+//!   pivot among the near-tied blockers, with Bland's rule (entering and
+//!   leaving) as the anti-cycling fallback after degenerate stalls,
 //! * **dual simplex** — entered when a warm-start basis is dual feasible,
 //!   which is the cheap path after branch-and-bound bound changes or after
-//!   appending lazily separated constraint rows,
+//!   appending lazily separated constraint rows; its reduced costs are also
+//!   maintained incrementally across pivots,
 //! * **bound flips** — nonbasic variables with two finite bounds move
 //!   bound-to-bound without a basis change.
 //!
@@ -31,8 +38,9 @@
 //! or singular.
 
 use crate::basis::Factorization;
-use crate::problem::{ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
-use crate::sparse::CscMatrix;
+use crate::problem::{
+    ConstraintOp, LinearProgram, LpError, LpSolution, MatrixCache, PricingRule, Sense,
+};
 use crate::TOLERANCE;
 
 /// Reduced-cost (dual) tolerance.
@@ -44,6 +52,11 @@ const DEGENERATE_STEP: f64 = 1e-10;
 /// Residual bound violation accepted when the phase-1 objective stalls at a
 /// numerically tiny value.
 const ACCEPT_INFEAS: f64 = 1e-6;
+/// Hard ceiling on the violation the phase-flap guard may write off (see
+/// the flap counter in [`Solver::primal`]).
+const ACCEPT_FLAP_CAP: f64 = 1e-4;
+/// Phase-2 → phase-1 re-entries tolerated before the flap guard fires.
+const MAX_PHASE_FLAPS: usize = 8;
 
 /// Status of one variable relative to the current basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +84,8 @@ enum VarStatus {
 /// constraint matrix* (verified by fingerprint) can skip the from-scratch
 /// refactorisation entirely. That fixed cost, not the pivot count, used to
 /// dominate warm node solves.
+///
+/// [`Arc`]: std::sync::Arc
 #[derive(Debug, Clone)]
 pub struct Basis {
     statuses: Vec<VarStatus>,
@@ -155,6 +170,15 @@ enum DualOutcome {
     Abandoned,
 }
 
+/// What blocks the entering variable in the primal ratio test.
+#[derive(Clone, Copy)]
+enum Blocker {
+    /// The entering variable reaches its own opposite bound.
+    Flip,
+    /// The basic variable at elimination position `pos` reaches a bound.
+    Basic { pos: usize, to_upper: bool },
+}
+
 struct Solver<'a> {
     lp: &'a LinearProgram,
     n: usize,
@@ -163,24 +187,37 @@ struct Solver<'a> {
     cost: Vec<f64>,
     lower: Vec<f64>,
     upper: Vec<f64>,
-    matrix: CscMatrix,
+    /// Shared CSC view of the constraint matrix plus its fingerprint
+    /// (memoised on the model — see [`MatrixCache`]).
+    cache: std::sync::Arc<MatrixCache>,
     rhs: Vec<f64>,
     statuses: Vec<VarStatus>,
     basic: Vec<usize>,
     factor: Factorization,
-    /// FNV-1a fingerprint of `(n, m, matrix)` — the validity domain of a
-    /// cached factorisation (bounds and objective deliberately excluded:
-    /// they do not enter the basis matrix).
-    fingerprint: u64,
     /// Basic values by elimination position (parallel to `basic`).
     x_basic: Vec<f64>,
+    /// Pivots applied since `x_basic` was last recomputed from scratch —
+    /// `usize::MAX` while it holds no valid values at all. Lets the
+    /// engines share one computation across the dual entry, the primal
+    /// start and the extraction instead of recomputing at each hand-off.
+    x_staleness: usize,
     iterations: usize,
+    refactorizations: usize,
     limit: usize,
     /// Wall-clock deadline, checked periodically inside the pivot loops.
     deadline: Option<std::time::Instant>,
     /// Consecutive degenerate steps; beyond a threshold the pricing falls
     /// back to Bland's rule.
     stall: usize,
+    /// Devex pricing state: incrementally maintained reduced costs (exact
+    /// for candidate-list members, stale elsewhere), reference-framework
+    /// weights, and the candidate list itself. Valid only while
+    /// `reduced_valid` holds; every full refresh recomputes the reduced
+    /// costs from fresh duals and resets the reference framework.
+    reduced: Vec<f64>,
+    devex_weights: Vec<f64>,
+    candidates: Vec<usize>,
+    reduced_valid: bool,
 }
 
 impl<'a> Solver<'a> {
@@ -221,32 +258,7 @@ impl<'a> Solver<'a> {
             }
         }
 
-        let columns: Vec<Vec<(usize, f64)>> = {
-            let mut cols = vec![Vec::new(); n];
-            for (r, con) in lp.constraints().iter().enumerate() {
-                for &(v, c) in &con.coeffs {
-                    cols[v].push((r, c));
-                }
-            }
-            cols
-        };
-        let matrix = CscMatrix::from_columns(m, &columns);
-        let fingerprint = {
-            let mut h = 0xcbf2_9ce4_8422_2325u64;
-            let mut mix = |x: u64| {
-                h ^= x;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            };
-            mix(n as u64);
-            mix(m as u64);
-            for j in 0..n {
-                for (r, v) in matrix.col_iter(j) {
-                    mix(r as u64);
-                    mix(v.to_bits());
-                }
-            }
-            h
-        };
+        let cache = lp.matrix_cache();
 
         let mut solver = Solver {
             lp,
@@ -255,17 +267,22 @@ impl<'a> Solver<'a> {
             cost,
             lower,
             upper,
-            matrix,
+            cache,
             rhs,
             statuses: Vec::new(),
             basic: Vec::new(),
             factor: Factorization::factorize(0, &[]).expect("empty basis"),
-            fingerprint,
             x_basic: vec![0.0; m],
+            x_staleness: usize::MAX,
             iterations: 0,
+            refactorizations: 0,
             limit: lp.iteration_limit(),
             deadline: lp.time_limit().map(|d| std::time::Instant::now() + d),
             stall: 0,
+            reduced: Vec::new(),
+            devex_weights: Vec::new(),
+            candidates: Vec::new(),
+            reduced_valid: false,
         };
 
         let warm_applied = warm.is_some_and(|b| solver.try_warm_basis(b));
@@ -361,7 +378,7 @@ impl<'a> Solver<'a> {
         // from-scratch refactorisation is skipped. This is what makes
         // branch-and-bound node re-solves cheap: their fixed cost used to
         // be dominated by exactly that refactorisation.
-        if old_n == self.n && old_m == self.m && warm.matrix_fingerprint == self.fingerprint {
+        if old_n == self.n && old_m == self.m && warm.matrix_fingerprint == self.cache.fingerprint {
             if let Some(cached) = warm.factor.as_ref().filter(|f| f.worth_caching()) {
                 self.statuses = statuses;
                 self.basic = basic;
@@ -391,7 +408,7 @@ impl<'a> Solver<'a> {
             basic: self.basic,
             num_structural: self.n,
             factor: Some(std::sync::Arc::new(factor)),
-            matrix_fingerprint: self.fingerprint,
+            matrix_fingerprint: self.cache.fingerprint,
         }
     }
 
@@ -399,7 +416,7 @@ impl<'a> Solver<'a> {
     /// `j` (structural: matrix column; logical: unit vector).
     fn column(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let (structural, logical) = if j < self.n {
-            (Some(self.matrix.col_iter(j)), None)
+            (Some(self.cache.matrix.col_iter(j)), None)
         } else {
             (None, Some((j - self.n, 1.0)))
         };
@@ -409,7 +426,7 @@ impl<'a> Solver<'a> {
     /// Dot product of the column of variable `j` with a dense row vector.
     fn column_dot(&self, j: usize, dense: &[f64]) -> f64 {
         if j < self.n {
-            self.matrix.col_dot(j, dense)
+            self.cache.matrix.col_dot(j, dense)
         } else {
             dense[j - self.n]
         }
@@ -422,6 +439,7 @@ impl<'a> Solver<'a> {
             .map(|&j| self.column(j).collect())
             .collect();
         self.factor = Factorization::factorize(self.m, &columns)?;
+        self.refactorizations += 1;
         Ok(())
     }
 
@@ -432,6 +450,15 @@ impl<'a> Solver<'a> {
             VarStatus::AtUpper => self.upper[j],
             VarStatus::Free => 0.0,
             VarStatus::Basic => unreachable!("basic variable has no nonbasic value"),
+        }
+    }
+
+    /// Ensures `x_basic` is populated and drift-free: recomputes it unless
+    /// it was already computed from scratch and no pivot has touched it
+    /// since.
+    fn ensure_x_basic(&mut self) {
+        if self.x_staleness != 0 {
+            self.compute_x_basic();
         }
     }
 
@@ -451,6 +478,7 @@ impl<'a> Solver<'a> {
         }
         self.factor.ftran(&mut rhs);
         self.x_basic = rhs;
+        self.x_staleness = 0;
     }
 
     /// Bound-violation tolerance for a bound value.
@@ -494,96 +522,496 @@ impl<'a> Solver<'a> {
         (out, total)
     }
 
-    /// Reduced costs `d_j = c_j − yᵀ a_j` for all variables (basics ≈ 0)
-    /// under the given cost vector (indexed by variable).
-    fn duals(&self, cost: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.m];
-        for (k, &j) in self.basic.iter().enumerate() {
+    /// Duals `y = B⁻ᵀc_B` under the given cost vector (indexed by
+    /// variable). An associated function over disjoint fields so callers
+    /// can hand in `&self.cost` while the factorisation is borrowed
+    /// mutably.
+    fn duals_vec(factor: &mut Factorization, basic: &[usize], m: usize, cost: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; m];
+        for (k, &j) in basic.iter().enumerate() {
             y[k] = cost[j];
         }
-        self.factor.btran(&mut y);
+        factor.btran(&mut y);
         y
+    }
+
+    /// Eligibility of nonbasic variable `j` as an entering candidate given
+    /// its reduced cost `d`: returns the movement direction, or `None`.
+    #[inline]
+    fn entering_direction(&self, j: usize, d: f64) -> Option<f64> {
+        match self.statuses[j] {
+            VarStatus::AtLower => (d < -DUAL_TOL).then_some(1.0),
+            VarStatus::AtUpper => (d > DUAL_TOL).then_some(-1.0),
+            VarStatus::Free => {
+                if d < -DUAL_TOL {
+                    Some(1.0)
+                } else if d > DUAL_TOL {
+                    Some(-1.0)
+                } else {
+                    None
+                }
+            }
+            VarStatus::Basic => None,
+        }
+    }
+
+    /// Full devex refresh: recompute every reduced cost from fresh duals,
+    /// reset the reference framework (all weights 1) and rebuild the
+    /// candidate list from the most attractive eligible columns.
+    fn devex_refresh(&mut self) {
+        let y = Self::duals_vec(&mut self.factor, &self.basic, self.m, &self.cost);
+        if self.reduced.len() != self.n + self.m {
+            self.reduced = vec![0.0; self.n + self.m];
+            self.devex_weights = vec![1.0; self.n + self.m];
+        }
+        let mut eligible: Vec<(usize, f64)> = Vec::new();
+        for j in 0..self.n + self.m {
+            self.devex_weights[j] = 1.0;
+            if self.statuses[j] == VarStatus::Basic {
+                self.reduced[j] = 0.0;
+                continue;
+            }
+            let d = self.cost[j] - self.column_dot(j, &y);
+            self.reduced[j] = d;
+            if self.lower[j] == self.upper[j] {
+                continue; // fixed: can never move
+            }
+            if self.entering_direction(j, d).is_some() {
+                eligible.push((j, d.abs()));
+            }
+        }
+        // Keep the most attractive columns (weights are all 1 right after a
+        // refresh, so |d| is the devex score). The cap keeps per-pivot
+        // pricing O(list · column) instead of O(nnz(A)).
+        let cap = ((self.n + self.m) / 6).clamp(16, 64);
+        if eligible.len() > cap {
+            eligible.select_nth_unstable_by(cap - 1, |a, b| {
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            eligible.truncate(cap);
+        }
+        self.candidates = eligible.into_iter().map(|(j, _)| j).collect();
+        self.reduced_valid = true;
+    }
+
+    /// Picks the entering variable under devex pricing: the candidate with
+    /// the best `d²/w` score. Candidates that became basic or lost
+    /// eligibility are pruned in place; an empty (or exhausted) list
+    /// triggers a full refresh. Returns `None` only when a *fresh* refresh
+    /// finds no eligible column — the true optimality test.
+    fn devex_entering(&mut self) -> Option<(usize, f64)> {
+        for attempt in 0..2 {
+            if !self.reduced_valid {
+                self.devex_refresh();
+            }
+            let mut best: Option<(usize, f64, f64)> = None; // (var, dir, score)
+            let mut kept = std::mem::take(&mut self.candidates);
+            // Members that went basic (or fixed) leave the list; members
+            // that merely lost eligibility stay — their reduced costs keep
+            // being maintained and often recover, and dropping them caused
+            // a full refresh every few pivots near the optimum.
+            kept.retain(|&j| {
+                if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                    return false;
+                }
+                let d = self.reduced[j];
+                if let Some(dir) = self.entering_direction(j, d) {
+                    let score = d * d / self.devex_weights[j];
+                    if best.map(|(_, _, s)| score > s).unwrap_or(true) {
+                        best = Some((j, dir, score));
+                    }
+                }
+                true
+            });
+            self.candidates = kept;
+            if let Some((q, dir, _)) = best {
+                return Some((q, dir));
+            }
+            if attempt == 0 {
+                // List drained: the maintained reduced costs say nothing is
+                // attractive among the candidates, but stale columns outside
+                // the list may be. Refresh and try once more.
+                self.reduced_valid = false;
+            }
+        }
+        None
+    }
+
+    /// Devex post-pivot bookkeeping (old-basis quantities): update the
+    /// maintained reduced costs and reference weights of the candidate list
+    /// from the BTRAN'd pivot row, and hand the leaving variable a weight
+    /// and a place on the list.
+    ///
+    /// `rho` is `B⁻ᵀe_r` of the basis *before* the pivot, `alpha_rq` the
+    /// pivot element `w_r`.
+    fn devex_post_pivot(&mut self, q: usize, leaving: usize, rho: &[f64], alpha_rq: f64) {
+        let theta_d = self.reduced[q] / alpha_rq;
+        let w_ref = self.devex_weights[q];
+        for idx in 0..self.candidates.len() {
+            let j = self.candidates[idx];
+            if j == q || self.statuses[j] == VarStatus::Basic {
+                continue;
+            }
+            let alpha = self.column_dot(j, rho);
+            if alpha != 0.0 {
+                self.reduced[j] -= theta_d * alpha;
+                let ratio = alpha / alpha_rq;
+                let candidate_weight = ratio * ratio * w_ref;
+                if candidate_weight > self.devex_weights[j] {
+                    self.devex_weights[j] = candidate_weight;
+                }
+            }
+        }
+        // The leaving variable's reduced cost is exactly −θ_d (its tableau
+        // row coefficient is 1); it inherits the reference weight through
+        // the pivot and joins the candidate list.
+        self.reduced[leaving] = -theta_d;
+        self.devex_weights[leaving] = (w_ref / (alpha_rq * alpha_rq)).max(1.0);
+        self.reduced[q] = 0.0;
+        if !self.candidates.contains(&leaving) {
+            self.candidates.push(leaving);
+        }
+    }
+
+    /// Primal ratio test for entering variable `q` moving in direction
+    /// `sigma` with FTRAN'd column `w`. Returns `(step, blocker)`; no
+    /// blocker means the direction is unbounded.
+    ///
+    /// Under devex pricing (`harris = true`) this is a **Harris two-pass**
+    /// (bounded-tolerance) test: pass 1 finds the largest step acceptable
+    /// when every bound is relaxed by its feasibility tolerance; pass 2
+    /// picks, among the blockers whose exact ratio fits under that limit,
+    /// the one with the numerically largest pivot. Degenerate near-ties
+    /// thus resolve towards stable pivots and strictly longer steps
+    /// (bounded by the tolerance) instead of 1e-12 tie-windows.
+    ///
+    /// With `harris = false` — the pinned Dantzig rule, and always in
+    /// Bland fallback mode — the test is the exact pre-devex one: smallest
+    /// ratio wins, 1e-12 near-ties break on the larger pivot (Dantzig) or
+    /// the smallest basic variable index (Bland, which together with
+    /// smallest-index entering provably breaks cycles). Pinning the ratio
+    /// test alongside the pricing rule keeps `PricingRule::Dantzig` a
+    /// faithful reproduction of the old pivot sequence — the layout flow's
+    /// trajectory is chaotic in exactly these tie decisions.
+    fn ratio_test(
+        &self,
+        q: usize,
+        sigma: f64,
+        w: &[f64],
+        use_bland: bool,
+        harris: bool,
+    ) -> (f64, Option<Blocker>) {
+        // Breakpoint of one basic row: (exact ratio, relaxed ratio, to_upper).
+        let breakpoint = |k: usize, wk: f64| -> Option<(f64, f64, bool)> {
+            let g = -sigma * wk;
+            let j = self.basic[k];
+            let x = self.x_basic[k];
+            let (l, u) = (self.lower[j], self.upper[j]);
+            // Each basic row yields at most one breakpoint: feasible basics
+            // stop at the bound they move towards; infeasible basics stop
+            // at the (violated) bound they re-enter through.
+            if x < l - Self::feas_tol(l) {
+                (g > 0.0).then(|| ((l - x) / g, (l - x + Self::feas_tol(l)) / g, false))
+            } else if x > u + Self::feas_tol(u) {
+                (g < 0.0).then(|| ((u - x) / g, (u - x - Self::feas_tol(u)) / g, true))
+            } else if g > 0.0 && u.is_finite() {
+                Some(((u - x) / g, (u - x + Self::feas_tol(u)) / g, true))
+            } else if g < 0.0 && l.is_finite() {
+                Some(((x - l) / -g, (x - l + Self::feas_tol(l)) / -g, false))
+            } else {
+                None
+            }
+        };
+
+        let flip_span = (self.lower[q].is_finite() && self.upper[q].is_finite())
+            .then(|| self.upper[q] - self.lower[q]);
+
+        if !harris || use_bland {
+            // Exact test with the pre-devex tie-breaks.
+            let mut t_best = f64::INFINITY;
+            let mut best_pivot = 0.0f64;
+            let mut best_leaving = usize::MAX;
+            let mut blocker: Option<Blocker> = None;
+            if let Some(span) = flip_span {
+                t_best = span;
+                best_pivot = 1.0;
+                blocker = Some(Blocker::Flip);
+            }
+            for (k, &wk) in w.iter().enumerate() {
+                if wk.abs() <= RATIO_PIVOT_TOL {
+                    continue;
+                }
+                if let Some((ratio, _, to_upper)) = breakpoint(k, wk) {
+                    let ratio = ratio.max(0.0);
+                    let j = self.basic[k];
+                    let tie_break = if use_bland {
+                        j < best_leaving
+                    } else {
+                        wk.abs() > best_pivot.abs()
+                    };
+                    if ratio < t_best - 1e-12 || (ratio < t_best + 1e-12 && tie_break) {
+                        t_best = ratio;
+                        best_pivot = wk;
+                        best_leaving = j;
+                        blocker = Some(Blocker::Basic { pos: k, to_upper });
+                    }
+                }
+            }
+            return (t_best, blocker);
+        }
+
+        // Harris pass 1: collect the breakpoints once and find the
+        // tolerance-relaxed limit step.
+        let mut breaks: Vec<(usize, f64, f64, bool)> = Vec::new(); // (pos, |wk|, exact, to_upper)
+        let mut t_lim = f64::INFINITY;
+        if let Some(span) = flip_span {
+            t_lim = span + TOLERANCE;
+        }
+        for (k, &wk) in w.iter().enumerate() {
+            if wk.abs() <= RATIO_PIVOT_TOL {
+                continue;
+            }
+            if let Some((exact, relaxed, to_upper)) = breakpoint(k, wk) {
+                breaks.push((k, wk.abs(), exact, to_upper));
+                if relaxed < t_lim {
+                    t_lim = relaxed;
+                }
+            }
+        }
+        if !t_lim.is_finite() {
+            return (f64::INFINITY, flip_span.map(|_| Blocker::Flip));
+        }
+        // Harris pass 2: among the blockers whose exact ratio fits under
+        // the relaxed limit, take the largest pivot.
+        let mut best: Option<(usize, f64, f64, bool)> = None;
+        for &(pos, amag, exact, to_upper) in &breaks {
+            if exact <= t_lim && best.map(|(_, b, _, _)| amag > b).unwrap_or(true) {
+                best = Some((pos, amag, exact, to_upper));
+            }
+        }
+        match (best, flip_span) {
+            (Some((_, _, exact, _)), Some(span)) if span < exact => (span, Some(Blocker::Flip)),
+            (Some((pos, _, exact, to_upper)), _) => {
+                (exact.max(0.0), Some(Blocker::Basic { pos, to_upper }))
+            }
+            (None, Some(span)) => (span, Some(Blocker::Flip)),
+            (None, None) => (f64::INFINITY, None),
+        }
+    }
+
+    /// Long-step (piecewise-linear) phase-1 ratio test.
+    ///
+    /// The composite phase-1 objective `f = Σ violations` is piecewise
+    /// linear along the entering direction: every basic variable crossing
+    /// a bound changes the slope by `|w_k|` — an infeasible basic
+    /// re-entering through its violated bound stops contributing, a
+    /// feasible one crossing a bound starts to, an infeasible one sailing
+    /// past the *opposite* bound contributes again. Instead of stopping at
+    /// the first breakpoint (which lets a pivot trade a counted violation
+    /// for an uncounted near-tolerance one and a later pivot trade it
+    /// straight back — a non-degenerate cycle), the test sweeps the
+    /// breakpoints in ratio order, accumulating slope, and stops at the
+    /// one where the slope turns non-negative. Each pivot then decreases
+    /// the total violation monotonically, takes the longest profitable
+    /// step through degenerate breakpoint clusters, and the entering
+    /// column's own bound span stays a hard stop (bound flip).
+    ///
+    /// `d_q` is the composite reduced cost of the entering variable
+    /// (`sigma·d_q < 0` by eligibility — the initial slope).
+    fn ratio_test_phase1(
+        &self,
+        q: usize,
+        sigma: f64,
+        w: &[f64],
+        d_q: f64,
+    ) -> (f64, Option<Blocker>) {
+        // (ratio, |w_k|, position, to_upper)
+        let mut breaks: Vec<(f64, f64, usize, bool)> = Vec::new();
+        for (k, &wk) in w.iter().enumerate() {
+            if wk.abs() <= RATIO_PIVOT_TOL {
+                continue;
+            }
+            let g = -sigma * wk;
+            let j = self.basic[k];
+            let x = self.x_basic[k];
+            let (l, u) = (self.lower[j], self.upper[j]);
+            if x < l - Self::feas_tol(l) {
+                if g > 0.0 {
+                    breaks.push((((l - x) / g).max(0.0), wk.abs(), k, false));
+                    if u.is_finite() {
+                        // Sailing past the opposite bound re-accrues cost.
+                        breaks.push((((u - x) / g).max(0.0), wk.abs(), k, true));
+                    }
+                }
+            } else if x > u + Self::feas_tol(u) {
+                if g < 0.0 {
+                    breaks.push((((u - x) / g).max(0.0), wk.abs(), k, true));
+                    if l.is_finite() {
+                        breaks.push((((x - l) / -g).max(0.0), wk.abs(), k, false));
+                    }
+                }
+            } else if g > 0.0 && u.is_finite() {
+                breaks.push((((u - x) / g).max(0.0), wk.abs(), k, true));
+            } else if g < 0.0 && l.is_finite() {
+                breaks.push((((x - l) / -g).max(0.0), wk.abs(), k, false));
+            }
+        }
+        let flip_span = (self.lower[q].is_finite() && self.upper[q].is_finite())
+            .then(|| self.upper[q] - self.lower[q]);
+        if breaks.is_empty() {
+            return match flip_span {
+                Some(span) => (span, Some(Blocker::Flip)),
+                None => (f64::INFINITY, None),
+            };
+        }
+        // Ratio order; among equal ratios take large pivots first, so the
+        // breakpoint where the slope flips carries a stable pivot.
+        breaks.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let mut slope = sigma * d_q; // negative by eligibility
+        let mut chosen: Option<(f64, usize, bool)> = None;
+        for &(t, amag, k, to_upper) in &breaks {
+            if let Some(span) = flip_span {
+                if span < t {
+                    // The entering variable's own bound blocks first.
+                    return (span, Some(Blocker::Flip));
+                }
+            }
+            slope += amag;
+            if slope >= -DUAL_TOL {
+                chosen = Some((t, k, to_upper));
+                break;
+            }
+        }
+        match chosen {
+            Some((t, k, to_upper)) => (t, Some(Blocker::Basic { pos: k, to_upper })),
+            None => {
+                // Slope never turned non-negative: every violation this
+                // direction can fix is fixed at the last breakpoint; any
+                // remaining decrease is unbounded only through the flip.
+                match flip_span {
+                    Some(span) => (span, Some(Blocker::Flip)),
+                    None => {
+                        let &(t, _, k, to_upper) = breaks.last().expect("nonempty");
+                        (t, Some(Blocker::Basic { pos: k, to_upper }))
+                    }
+                }
+            }
+        }
     }
 
     /// One primal simplex run with the composite phase-1/phase-2 objective.
     /// Terminates at optimality, or with `Infeasible` / `Unbounded` /
     /// `IterationLimit`.
     ///
-    /// Basic values are maintained incrementally (`x_B ← x_B − σ·t·w` per
-    /// pivot) and refreshed from scratch at every refactorisation.
+    /// Phase 2 under [`PricingRule::Devex`] prices over the maintained
+    /// candidate list; phase 1 (composite costs change with the infeasible
+    /// set) and [`PricingRule::Dantzig`] scan all columns against fresh
+    /// duals. Basic values are maintained incrementally
+    /// (`x_B ← x_B − σ·t·w` per pivot) and refreshed from scratch at every
+    /// refactorisation.
     fn primal(&mut self) -> Result<(), LpError> {
-        self.compute_x_basic();
+        self.ensure_x_basic();
+        self.reduced_valid = false;
         // Once phase 1 stalls at a numerically tiny residual, those
         // violations are written off (up to ACCEPT_INFEAS) so the loop
         // proceeds to optimise the true objective instead of returning a
         // never-optimised point.
         let mut accept = 0.0f64;
+        // Phase-flap guard. On the big-M layout models the FTRAN residual
+        // can reach ~1e-6 in absolute terms (coefficients of 1e3–1e6 at
+        // relative accuracy ~1e-12), so the true-cost optimum occasionally
+        // sits a hair outside a bound tolerance: phase 2 pivots to it,
+        // phase 1 pivots away, phase 2 pivots straight back — a
+        // non-degenerate 2-cycle that no stall counter catches (each pivot
+        // takes a real step). Repeated phase-2 → phase-1 re-entries at a
+        // numerically tiny violation therefore write the residual off
+        // (bounded by [`ACCEPT_FLAP_CAP`]), exactly like the existing
+        // stalled-phase-1 accept ratchet. The written-off slack never
+        // reaches callers as an out-of-bounds *value* — `extract` clamps
+        // every variable into its bounds, so branch-and-bound cannot see a
+        // branching bound violated by it (only a ≤1e-4 residual on some
+        // constraint row, the same class of slack `ACCEPT_INFEAS` already
+        // admits).
+        let mut was_phase1 = true;
+        let mut phase_flaps = 0usize;
         loop {
             self.check_limits()?;
             if self.factor.needs_refactorization() {
                 self.refactorize_or_reset()?;
                 self.compute_x_basic();
+                // Refresh the maintained reduced costs against the fresh
+                // factors: incremental updates drift with the eta file.
+                self.reduced_valid = false;
             }
-            let (infeasible, violation) = self.infeasible_positions(accept);
-            let phase1 = !infeasible.is_empty();
-
-            // Composite costs: sum of infeasibilities while any exist.
-            let cost_owned;
-            let cost: &[f64] = if phase1 {
-                let mut c = vec![0.0; self.n + self.m];
-                for &k in &infeasible {
-                    let j = self.basic[k];
-                    c[j] = if self.x_basic[k] < self.lower[j] {
-                        -1.0
-                    } else {
-                        1.0
-                    };
+            let (infeasible, mut violation) = self.infeasible_positions(accept);
+            let mut phase1 = !infeasible.is_empty();
+            if phase1 && !was_phase1 {
+                phase_flaps += 1;
+                if phase_flaps > MAX_PHASE_FLAPS && violation <= ACCEPT_FLAP_CAP {
+                    accept = accept.max((violation * 2.0).min(ACCEPT_FLAP_CAP));
+                    let relaxed = self.infeasible_positions(accept);
+                    phase1 = !relaxed.0.is_empty();
+                    violation = relaxed.1;
                 }
-                cost_owned = c;
-                &cost_owned
-            } else {
-                &self.cost
-            };
-
-            let y = self.duals(cost);
+            }
+            was_phase1 = phase1;
             let use_bland = self.stall > self.m.max(50);
-            let mut entering: Option<(usize, f64, f64)> = None; // (var, d, direction)
-            for (j, &cj) in cost.iter().enumerate() {
-                if self.statuses[j] == VarStatus::Basic {
-                    continue;
-                }
-                if self.lower[j] == self.upper[j] {
-                    continue; // fixed: can never move
-                }
-                let d = cj - self.column_dot(j, &y);
-                let candidate = match self.statuses[j] {
-                    VarStatus::AtLower => (d < -DUAL_TOL).then_some((d, 1.0)),
-                    VarStatus::AtUpper => (d > DUAL_TOL).then_some((d, -1.0)),
-                    VarStatus::Free => {
-                        if d < -DUAL_TOL {
-                            Some((d, 1.0))
-                        } else if d > DUAL_TOL {
-                            Some((d, -1.0))
+            let use_devex = !phase1 && !use_bland && self.lp.pricing() == PricingRule::Devex;
+
+            let entering: Option<(usize, f64, f64)> = if use_devex {
+                self.devex_entering()
+                    .map(|(q, dir)| (q, dir, self.reduced[q]))
+            } else {
+                // Full-scan pricing against fresh duals: composite costs in
+                // phase 1, Dantzig (most negative) or Bland (smallest
+                // index) selection. Any pivot taken here invalidates the
+                // devex state.
+                self.reduced_valid = false;
+                let cost_owned;
+                let cost: &[f64] = if phase1 {
+                    let infeasible = self.infeasible_positions(accept).0;
+                    let mut c = vec![0.0; self.n + self.m];
+                    for &k in &infeasible {
+                        let j = self.basic[k];
+                        c[j] = if self.x_basic[k] < self.lower[j] {
+                            -1.0
                         } else {
-                            None
+                            1.0
+                        };
+                    }
+                    cost_owned = c;
+                    &cost_owned
+                } else {
+                    &self.cost
+                };
+                let y = Self::duals_vec(&mut self.factor, &self.basic, self.m, cost);
+                let mut chosen: Option<(usize, f64, f64)> = None; // (var, dir, d)
+                for (j, &cj) in cost.iter().enumerate() {
+                    if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                        continue;
+                    }
+                    let d = cj - self.column_dot(j, &y);
+                    if let Some(dir) = self.entering_direction(j, d) {
+                        if use_bland {
+                            chosen = Some((j, dir, d));
+                            break;
+                        }
+                        if chosen
+                            .map(|(_, _, best)| d.abs() > best.abs())
+                            .unwrap_or(true)
+                        {
+                            chosen = Some((j, dir, d));
                         }
                     }
-                    VarStatus::Basic => None,
-                };
-                if let Some((d, dir)) = candidate {
-                    if use_bland {
-                        entering = Some((j, d, dir));
-                        break;
-                    }
-                    if entering
-                        .map(|(_, best, _)| d.abs() > best.abs())
-                        .unwrap_or(true)
-                    {
-                        entering = Some((j, d, dir));
-                    }
                 }
-            }
-            let Some((q, _dq, sigma)) = entering else {
+                chosen
+            };
+
+            let Some((q, sigma, d_q)) = entering else {
                 if phase1 {
                     if violation <= ACCEPT_INFEAS && accept < ACCEPT_INFEAS {
                         // Numerically feasible: absorb the residual and
@@ -603,65 +1031,15 @@ impl<'a> Solver<'a> {
             }
             self.factor.ftran(&mut w);
 
-            // Ratio test. `g_k = dx_k/dt` for step `t ≥ 0` of the entering
-            // variable in direction `sigma`.
-            #[derive(Clone, Copy)]
-            enum Blocker {
-                Flip,
-                Basic { pos: usize, to_upper: bool },
-            }
-            let mut t_best = f64::INFINITY;
-            let mut best_pivot = 0.0f64;
-            let mut best_leaving = usize::MAX; // basic var id, for Bland ties
-            let mut blocker: Option<Blocker> = None;
-            if self.lower[q].is_finite() && self.upper[q].is_finite() {
-                t_best = self.upper[q] - self.lower[q];
-                best_pivot = 1.0;
-                blocker = Some(Blocker::Flip);
-            }
-            for (k, &wk) in w.iter().enumerate() {
-                if wk.abs() <= RATIO_PIVOT_TOL {
-                    continue;
-                }
-                let g = -sigma * wk;
-                let j = self.basic[k];
-                let x = self.x_basic[k];
-                let (l, u) = (self.lower[j], self.upper[j]);
-                // Each basic row yields at most one breakpoint: feasible
-                // basics stop at the bound they move towards; infeasible
-                // basics stop at the (violated) bound they re-enter through.
-                let candidate: Option<(f64, bool)> = if x < l - Self::feas_tol(l) {
-                    (g > 0.0).then(|| ((l - x) / g, false))
-                } else if x > u + Self::feas_tol(u) {
-                    (g < 0.0).then(|| ((u - x) / g, true))
-                } else if g > 0.0 && u.is_finite() {
-                    Some(((u - x) / g, true))
-                } else if g < 0.0 && l.is_finite() {
-                    Some(((x - l) / -g, false))
-                } else {
-                    None
-                };
-                if let Some((ratio, to_upper)) = candidate {
-                    let ratio = ratio.max(0.0);
-                    // Prefer strictly smaller ratios. On (near-)ties the
-                    // default rule keeps the numerically larger pivot; in
-                    // Bland mode the smallest basic variable index wins,
-                    // which (with the smallest-index entering rule) breaks
-                    // degenerate cycles.
-                    let tie_break = if use_bland {
-                        j < best_leaving
-                    } else {
-                        wk.abs() > best_pivot.abs()
-                    };
-                    if ratio < t_best - 1e-12 || (ratio < t_best + 1e-12 && tie_break) {
-                        t_best = ratio;
-                        best_pivot = wk;
-                        best_leaving = j;
-                        blocker = Some(Blocker::Basic { pos: k, to_upper });
-                    }
-                }
-            }
-
+            // Phase 1 sweeps the piecewise-linear composite objective for
+            // the longest profitable step; phase 2 (and the Bland
+            // fallback, whose anti-cycling argument needs the plain
+            // smallest-ratio rule) uses the bound-blocking test.
+            let (t_best, blocker) = if phase1 && !use_bland {
+                self.ratio_test_phase1(q, sigma, &w, d_q)
+            } else {
+                self.ratio_test(q, sigma, &w, use_bland, use_devex)
+            };
             let Some(block) = blocker else {
                 return if phase1 {
                     // Cannot happen for a correctly signed direction; treat
@@ -678,6 +1056,7 @@ impl<'a> Solver<'a> {
                 0
             };
             self.iterations += 1;
+            self.x_staleness = self.x_staleness.saturating_add(1);
             // Incremental basic-value update: x_B ← x_B − σ·t·w.
             let step = sigma * t_best;
             if step != 0.0 {
@@ -692,8 +1071,19 @@ impl<'a> Solver<'a> {
                         VarStatus::AtUpper => VarStatus::AtLower,
                         other => other,
                     };
+                    // Basis unchanged: the devex state stays exact; the
+                    // flipped variable loses eligibility on its own.
                 }
                 Blocker::Basic { pos, to_upper } => {
+                    // The devex update needs the BTRAN'd pivot row of the
+                    // *pre-pivot* basis.
+                    let rho = if use_devex && self.reduced_valid {
+                        let mut rho = vec![0.0; self.m];
+                        self.factor.btran_unit(pos, &mut rho);
+                        Some(rho)
+                    } else {
+                        None
+                    };
                     let entering_value = self.nonbasic_value(q) + step;
                     let leaving = self.basic[pos];
                     self.statuses[leaving] = if to_upper {
@@ -704,9 +1094,13 @@ impl<'a> Solver<'a> {
                     self.statuses[q] = VarStatus::Basic;
                     self.basic[pos] = q;
                     self.x_basic[pos] = entering_value;
+                    if let Some(rho) = rho {
+                        self.devex_post_pivot(q, leaving, &rho, w[pos]);
+                    }
                     if !self.factor.update(pos, &w) {
                         self.refactorize_or_reset()?;
                         self.compute_x_basic();
+                        self.reduced_valid = false;
                     }
                 }
             }
@@ -715,20 +1109,27 @@ impl<'a> Solver<'a> {
 
     /// Dual simplex from a dual-feasible basis; bails out (for the primal
     /// engine) when dual feasibility is lost or progress stalls.
+    ///
+    /// Reduced costs are computed once on entry and then maintained
+    /// incrementally across pivots from the tableau row the ratio test
+    /// already computes — the old per-pivot BTRAN-plus-full-rescan is gone.
     fn dual(&mut self) -> Result<DualOutcome, LpError> {
         // Entry check: reduced costs must be dual feasible for the current
         // statuses (loose tolerance — minor violations are left to the
-        // finishing primal run).
-        let y = self.duals(&self.cost);
-        for j in 0..self.n + self.m {
+        // finishing primal run). The same pass seeds the maintained
+        // reduced-cost vector.
+        let y = Self::duals_vec(&mut self.factor, &self.basic, self.m, &self.cost);
+        let mut d = vec![0.0; self.n + self.m];
+        for (j, slot) in d.iter_mut().enumerate() {
             if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
                 continue;
             }
-            let d = self.cost[j] - self.column_dot(j, &y);
+            let dj = self.cost[j] - self.column_dot(j, &y);
+            *slot = dj;
             let ok = match self.statuses[j] {
-                VarStatus::AtLower => d >= -1e-6,
-                VarStatus::AtUpper => d <= 1e-6,
-                VarStatus::Free => d.abs() <= 1e-6,
+                VarStatus::AtLower => dj >= -1e-6,
+                VarStatus::AtUpper => dj <= 1e-6,
+                VarStatus::Free => dj.abs() <= 1e-6,
                 VarStatus::Basic => true,
             };
             if !ok {
@@ -743,7 +1144,13 @@ impl<'a> Solver<'a> {
         let budget = 2 * self.m + 200;
         let mut dual_pivots = 0usize;
         let mut dual_stall = 0usize;
-        self.compute_x_basic();
+        // Sparse pivot row α = ρᵀ[A | I], accumulated row-wise over the
+        // non-zeros of ρ only (the CSR mirror): on the layout models ρ has
+        // a handful of entries, so this replaces an every-column dot
+        // product with work proportional to the touched rows.
+        let mut alpha = crate::sparse::ScatterVec::new(self.n + self.m);
+        let mut touched_sorted: Vec<usize> = Vec::new();
+        self.ensure_x_basic();
         loop {
             self.check_limits()?;
             if dual_stall > self.m.max(50) || dual_pivots > budget {
@@ -752,6 +1159,7 @@ impl<'a> Solver<'a> {
             if self.factor.needs_refactorization() {
                 self.refactorize_or_reset()?;
                 self.compute_x_basic();
+                self.recompute_dual_reduced(&mut d);
             }
 
             // Leaving row: the most violated basic.
@@ -775,23 +1183,38 @@ impl<'a> Solver<'a> {
                 return Ok(DualOutcome::Feasible);
             };
 
-            // Row r of B⁻¹A: alpha_j = (eᵣᵀ B⁻¹) a_j. Reduced costs are
-            // evaluated lazily — only for columns that survive the
-            // eligibility test.
+            // Row r of B⁻¹A: alpha_j = (eᵣᵀ B⁻¹) a_j, needed for the ratio
+            // test anyway — and sufficient to update every reduced cost
+            // after the pivot.
             let mut rho = vec![0.0; self.m];
-            rho[r] = 1.0;
-            self.factor.btran(&mut rho);
-            let y = self.duals(&self.cost);
+            self.factor.btran_unit(r, &mut rho);
+
+            alpha.clear();
+            for (i, &ri) in rho.iter().enumerate() {
+                if ri.abs() > 1e-13 {
+                    alpha.add(self.n + i, ri); // logical column of row i
+                    let (cols, vals) = self.cache.rows.row(i);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        alpha.add(c, ri * v);
+                    }
+                }
+            }
 
             // Dual ratio test: smallest |d_j / alpha_j| over the eligible
-            // entering candidates (ties: largest pivot).
+            // entering candidates (ties: largest pivot). The touched set is
+            // scanned in ascending column order — the pre-devex scan order,
+            // so near-tie outcomes (which steer the chaotic layout flow)
+            // stay pinned.
+            touched_sorted.clear();
+            touched_sorted.extend_from_slice(alpha.touched());
+            touched_sorted.sort_unstable();
             let mut entering: Option<(usize, f64, f64)> = None; // (var, ratio, alpha)
-            for j in 0..self.n + self.m {
+            for &j in &touched_sorted {
                 if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
                     continue;
                 }
-                let alpha = self.column_dot(j, &rho);
-                if alpha.abs() <= RATIO_PIVOT_TOL {
+                let a = alpha.get(j);
+                if a.abs() <= RATIO_PIVOT_TOL {
                     continue;
                 }
                 // x_r must move towards its violated bound when j moves in
@@ -799,16 +1222,16 @@ impl<'a> Solver<'a> {
                 let eligible = match self.statuses[j] {
                     VarStatus::AtLower => {
                         if below {
-                            alpha < 0.0
+                            a < 0.0
                         } else {
-                            alpha > 0.0
+                            a > 0.0
                         }
                     }
                     VarStatus::AtUpper => {
                         if below {
-                            alpha > 0.0
+                            a > 0.0
                         } else {
-                            alpha < 0.0
+                            a < 0.0
                         }
                     }
                     VarStatus::Free => true,
@@ -817,20 +1240,18 @@ impl<'a> Solver<'a> {
                 if !eligible {
                     continue;
                 }
-                let d = self.cost[j] - self.column_dot(j, &y);
-                let ratio = (d / alpha).abs();
+                let ratio = (d[j] / a).abs();
                 let better = match entering {
                     None => true,
                     Some((_, best, best_alpha)) => {
-                        ratio < best - 1e-12
-                            || (ratio < best + 1e-12 && alpha.abs() > best_alpha.abs())
+                        ratio < best - 1e-12 || (ratio < best + 1e-12 && a.abs() > best_alpha.abs())
                     }
                 };
                 if better {
-                    entering = Some((j, ratio, alpha));
+                    entering = Some((j, ratio, a));
                 }
             }
-            let Some((q, ratio, _)) = entering else {
+            let Some((q, ratio, alpha_rq)) = entering else {
                 // Dual ray found — but the entry check was only loose
                 // (1e-6) and tiny-pivot columns were excluded, so hand the
                 // infeasibility proof to the composite primal instead of
@@ -854,6 +1275,7 @@ impl<'a> Solver<'a> {
                 // refactorise and retry (or give up to the primal).
                 self.refactorize_or_reset()?;
                 self.compute_x_basic();
+                self.recompute_dual_reduced(&mut d);
                 dual_stall += 1;
                 dual_pivots += 1;
                 continue;
@@ -882,11 +1304,37 @@ impl<'a> Solver<'a> {
             self.basic[r] = q;
             self.x_basic[r] = entering_value;
             self.iterations += 1;
+            self.x_staleness = self.x_staleness.saturating_add(1);
             dual_pivots += 1;
+            // Incremental dual update: d_j ← d_j − θ_d·α_rj with
+            // θ_d = d_q/α_rq; the leaving variable ends at exactly −θ_d
+            // (its own tableau coefficient is 1), the entering one at 0.
+            let theta_d = d[q] / alpha_rq;
+            if theta_d != 0.0 {
+                for &j in alpha.touched() {
+                    d[j] -= theta_d * alpha.get(j);
+                }
+            }
+            d[leaving_var] = -theta_d;
+            d[q] = 0.0;
             if !self.factor.update(r, &w) {
                 self.refactorize_or_reset()?;
                 self.compute_x_basic();
+                self.recompute_dual_reduced(&mut d);
             }
+        }
+    }
+
+    /// Recomputes the dual engine's maintained reduced costs from fresh
+    /// duals (after a refactorisation invalidated the incremental state).
+    fn recompute_dual_reduced(&mut self, d: &mut [f64]) {
+        let y = Self::duals_vec(&mut self.factor, &self.basic, self.m, &self.cost);
+        for (j, dj) in d.iter_mut().enumerate() {
+            *dj = if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                0.0
+            } else {
+                self.cost[j] - self.column_dot(j, &y)
+            };
         }
     }
 
@@ -904,7 +1352,7 @@ impl<'a> Solver<'a> {
     /// Extracts the solution in the model's original sense, consuming the
     /// solver (the factorisation moves into the returned [`Basis`]).
     fn extract(mut self) -> (LpSolution, Basis) {
-        self.compute_x_basic();
+        self.ensure_x_basic();
         let mut values = vec![0.0; self.n];
         for (j, value) in values.iter_mut().enumerate() {
             *value = match self.statuses[j] {
@@ -933,6 +1381,7 @@ impl<'a> Solver<'a> {
             values,
             objective,
             iterations: self.iterations,
+            refactorizations: self.refactorizations,
         };
         (solution, self.into_snapshot())
     }
@@ -968,8 +1417,7 @@ pub(crate) fn tableau_rows(
         };
         // Row `pos` of B⁻¹A: ᾱ_j = (e_posᵀ B⁻¹)·a_j.
         let mut rho = vec![0.0; solver.m];
-        rho[pos] = 1.0;
-        solver.factor.btran(&mut rho);
+        solver.factor.btran_unit(pos, &mut rho);
         let mut entries = Vec::new();
         for j in 0..solver.n + solver.m {
             if solver.statuses[j] == VarStatus::Basic || solver.lower[j] == solver.upper[j] {
@@ -1019,11 +1467,12 @@ pub(crate) fn solve(
     let result = solver.primal();
     if debug && t0.elapsed() > std::time::Duration::from_millis(500) {
         eprintln!(
-            "[lp] n={} m={} warm={} dual_iters={dual_iters} total_iters={} stall={} elapsed={:?} result={result:?}",
+            "[lp] n={} m={} warm={} dual_iters={dual_iters} total_iters={} refactors={} stall={} elapsed={:?} result={result:?}",
             solver.n,
             solver.m,
             warm.is_some(),
             solver.iterations,
+            solver.refactorizations,
             solver.stall,
             t0.elapsed()
         );

@@ -93,10 +93,75 @@ impl CscMatrix {
     }
 }
 
+/// A read-only sparse matrix in compressed-sparse-row form — the row-major
+/// mirror of [`CscMatrix`].
+///
+/// The dual simplex prices against one BTRAN'd row `ρ = B⁻ᵀe_r` per pivot:
+/// with column storage every column must be dotted against `ρ` even though
+/// `ρ` is sparse for sparse bases. Row storage turns that into
+/// `Σ_{i: ρ_i≠0} ρ_i·A_{i·}` — work proportional to the touched rows only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from per-row `(column, value)` entry lists.
+    /// Duplicate column entries within a row are summed; explicit zeros are
+    /// dropped.
+    pub fn from_rows(ncols: usize, rows: &[Vec<(usize, f64)>]) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut acc = ScatterVec::new(ncols);
+        row_ptr.push(0);
+        for row in rows {
+            for &(c, v) in row {
+                debug_assert!(c < ncols, "column {c} out of range (ncols {ncols})");
+                acc.add(c, v);
+            }
+            for (c, v) in acc.drain_sparse(0.0) {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The `(columns, values)` slices of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+}
+
 /// A sparse vector that accumulates entries into a dense buffer while
 /// tracking which positions were touched, so it can be cleared in
 /// `O(touched)` instead of `O(len)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ScatterVec {
     values: Vec<f64>,
     touched: Vec<usize>,

@@ -1,0 +1,208 @@
+//! Pricing-rule equivalence and degeneracy regression suite.
+//!
+//! The devex + Forrest–Tomlin path is the production default; the pinned
+//! Dantzig rule reproduces the pre-devex behaviour. Both must agree with
+//! each other and with the dense-tableau oracle on objective and status
+//! for random bounded LPs, and the Harris ratio test (plus the Bland
+//! fallback) must terminate on classic degenerate/cycling instances.
+
+use proptest::prelude::*;
+use rfic_lp::{ConstraintOp, LinearProgram, LpError, PricingRule, Sense};
+
+const TOL: f64 = 1e-6;
+
+/// Builds a random bounded LP from a seed (deterministic xorshift).
+fn random_bounded_lp(vars: usize, rows: usize, seed: u64) -> LinearProgram {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1_000) as f64 / 500.0 - 1.0 // [-1, 1)
+    };
+    let sense = if seed.is_multiple_of(2) {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut lp = LinearProgram::new(vars, sense);
+    for v in 0..vars {
+        lp.set_objective_coeff(v, 5.0 * next());
+        let lo = -3.0 + 2.0 * next();
+        let hi = lo + 2.0 + 3.0 * next().abs();
+        lp.set_bounds(v, lo, hi);
+    }
+    for r in 0..rows {
+        let mut coeffs = Vec::new();
+        for v in 0..vars {
+            let c = next();
+            if c.abs() > 0.3 {
+                coeffs.push((v, c));
+            }
+        }
+        if coeffs.is_empty() {
+            coeffs.push((r % vars, 1.0 + next().abs()));
+        }
+        let op = match r % 3 {
+            0 => ConstraintOp::Le,
+            1 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        lp.add_constraint(coeffs, op, 2.0 * next());
+    }
+    lp
+}
+
+/// Solves under the given pricing rule.
+fn solve_with(lp: &LinearProgram, rule: PricingRule) -> Result<f64, LpError> {
+    let mut lp = lp.clone();
+    lp.set_pricing(rule);
+    lp.solve().map(|s| s.objective)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Devex and the pinned Dantzig path must agree with the dense oracle
+    /// (objective and infeasible/unbounded status) on random bounded LPs.
+    #[test]
+    fn devex_and_dantzig_match_the_dense_oracle(
+        vars in 2usize..9,
+        rows in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let lp = random_bounded_lp(vars, rows, seed);
+        let devex = solve_with(&lp, PricingRule::Devex);
+        let dantzig = solve_with(&lp, PricingRule::Dantzig);
+        let oracle = lp.solve_dense().map(|s| s.objective);
+        match (&devex, &dantzig, &oracle) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                prop_assert!(
+                    (a - c).abs() <= TOL * (1.0 + c.abs()),
+                    "devex {a} != oracle {c}"
+                );
+                prop_assert!(
+                    (b - c).abs() <= TOL * (1.0 + c.abs()),
+                    "dantzig {b} != oracle {c}"
+                );
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            other => prop_assert!(false, "solver disagreement: {other:?}"),
+        }
+    }
+
+    /// A feasible warm re-solve after a bound change must agree across both
+    /// pricing rules (the warm path enters through the dual simplex, whose
+    /// incremental reduced costs this exercises).
+    #[test]
+    fn warm_resolve_agrees_across_pricing_rules(
+        vars in 3usize..8,
+        seed in 0u64..5_000,
+    ) {
+        let mut lp = random_bounded_lp(vars, 3, seed);
+        let base = lp.clone();
+        // An infeasible/unbounded base has nothing to re-solve warm.
+        if let Ok((solution, basis)) = base.solve_warm(None) {
+            // Tighten the first variable towards its current value.
+            let (lo, hi) = base.bounds(0);
+            let mid = solution.values[0].clamp(lo, hi);
+            lp.set_bounds(0, lo, mid);
+            for rule in [PricingRule::Devex, PricingRule::Dantzig] {
+                let mut warm_lp = lp.clone();
+                warm_lp.set_pricing(rule);
+                let warm = warm_lp.solve_warm(Some(&basis)).map(|(s, _)| s.objective);
+                let cold = warm_lp.solve().map(|s| s.objective);
+                match (&warm, &cold) {
+                    (Ok(a), Ok(b)) => prop_assert!(
+                        (a - b).abs() <= TOL * (1.0 + b.abs()),
+                        "{rule:?}: warm {a} != cold {b}"
+                    ),
+                    (Err(ea), Err(eb)) => prop_assert!(ea == eb, "{rule:?}: {ea:?} vs {eb:?}"),
+                    other => prop_assert!(false, "{rule:?}: warm/cold disagreement {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Beale's classic cycling example: plain Dantzig pricing with a naive
+/// ratio test cycles forever on it. The Harris two-pass test plus the
+/// Bland fallback must terminate at the optimum (−0.05) under both rules.
+#[test]
+fn beale_cycling_example_terminates() {
+    // min −0.75x1 + 150x2 − 0.02x3 + 6x4
+    //  s.t. 0.25x1 − 60x2 − 0.04x3 + 9x4 ≤ 0
+    //       0.5x1 − 90x2 − 0.02x3 + 3x4 ≤ 0
+    //       x3 ≤ 1,   x ≥ 0.
+    for rule in [PricingRule::Devex, PricingRule::Dantzig] {
+        let mut lp = LinearProgram::new(4, Sense::Minimize);
+        for (v, c) in [(0, -0.75), (1, 150.0), (2, -0.02), (3, 6.0)] {
+            lp.set_objective_coeff(v, c);
+        }
+        lp.add_constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(2, 1.0)], ConstraintOp::Le, 1.0);
+        lp.set_pricing(rule);
+        lp.set_iteration_limit(1_000);
+        let s = lp
+            .solve()
+            .unwrap_or_else(|e| panic!("{rule:?}: Beale LP failed: {e}"));
+        assert!(
+            (s.objective + 0.05).abs() < 1e-9,
+            "{rule:?}: objective {} != -0.05",
+            s.objective
+        );
+    }
+}
+
+/// Kuhn's degenerate example (another classical cycler) must terminate at
+/// its optimum under both pricing rules.
+#[test]
+fn kuhn_degenerate_example_terminates() {
+    // min −2x1 − 3x2 + x3 + 12x4
+    //  s.t. −2x1 − 9x2 + x3 + 9x4 ≤ 0
+    //        x1/3 + x2 − x3/3 − 2x4 ≤ 0
+    //        2x1 + 3x2 − x3 − 12x4 ≤ 2,   x ≥ 0.
+    for rule in [PricingRule::Devex, PricingRule::Dantzig] {
+        let mut lp = LinearProgram::new(4, Sense::Minimize);
+        for (v, c) in [(0, -2.0), (1, -3.0), (2, 1.0), (3, 12.0)] {
+            lp.set_objective_coeff(v, c);
+        }
+        lp.add_constraint(
+            vec![(0, -2.0), (1, -9.0), (2, 1.0), (3, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(0, 1.0 / 3.0), (1, 1.0), (2, -1.0 / 3.0), (3, -2.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(0, 2.0), (1, 3.0), (2, -1.0), (3, -12.0)],
+            ConstraintOp::Le,
+            2.0,
+        );
+        lp.set_pricing(rule);
+        lp.set_iteration_limit(1_000);
+        let s = lp
+            .solve()
+            .unwrap_or_else(|e| panic!("{rule:?}: Kuhn LP failed: {e}"));
+        let oracle = lp.solve_dense().expect("oracle solves");
+        assert!(
+            (s.objective - oracle.objective).abs() < 1e-6 * (1.0 + oracle.objective.abs()),
+            "{rule:?}: objective {} != oracle {}",
+            s.objective,
+            oracle.objective
+        );
+    }
+}

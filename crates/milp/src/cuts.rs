@@ -159,6 +159,128 @@ pub(crate) fn separate_gomory(
     cuts
 }
 
+/// Separates one round of (extended) **cover cuts** from the knapsack-style
+/// capacity rows of `lp` at the point `values`.
+///
+/// A row `Σ a_j·x_j ≤ b` over binary variables with `a_j > 0` admits, for
+/// every *minimal cover* `C` (a set with `Σ_{j∈C} a_j > b` whose proper
+/// subsets all fit), the valid inequality `Σ_{j∈C} x_j ≤ |C| − 1` — no
+/// feasible 0-1 point selects a whole cover. The separation heuristic is
+/// the classical greedy on the LP point: take items by ascending
+/// `(1 − x*_j)/a_j` until the capacity is exceeded, shrink to a minimal
+/// cover, then *extend* with every item at least as heavy as the heaviest
+/// cover member (extension preserves validity for minimal covers and only
+/// strengthens the cut). Cuts are returned in the pool's `≥` orientation
+/// (`Σ −x_j ≥ 1 − |C|`), deduplicated against `pool`, violation-ranked
+/// and capped at `max_cuts` — exactly the contract of
+/// [`separate_gomory`], so the root loop can run both families.
+pub(crate) fn separate_covers(
+    lp: &LinearProgram,
+    values: &[f64],
+    is_integer: &[bool],
+    pool: &mut CutPool,
+    max_cuts: usize,
+) -> Vec<Cut> {
+    if max_cuts == 0 {
+        return Vec::new();
+    }
+    let binary = |v: usize| -> bool {
+        let (l, u) = lp.bounds(v);
+        is_integer[v] && l == 0.0 && u == 1.0
+    };
+    let mut cuts: Vec<Cut> = Vec::new();
+    for con in lp.constraints() {
+        if con.op != ConstraintOp::Le || con.rhs <= 0.0 {
+            continue;
+        }
+        // Knapsack shape: all-positive coefficients on binary variables.
+        if !con.coeffs.iter().all(|&(v, a)| a > 0.0 && binary(v)) {
+            continue;
+        }
+        let total: f64 = con.coeffs.iter().map(|&(_, a)| a).sum();
+        if total <= con.rhs + 1e-7 {
+            continue; // no cover exists
+        }
+        // Greedy cover: ascending (1 − x*)/a until the capacity is
+        // exceeded (strictly, with a safety margin against float noise).
+        let mut items: Vec<(usize, f64)> = con.coeffs.clone();
+        items.sort_by(|&(va, aa), &(vb, ab)| {
+            let ka = (1.0 - values[va]).max(0.0) / aa;
+            let kb = (1.0 - values[vb]).max(0.0) / ab;
+            ka.partial_cmp(&kb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(va.cmp(&vb))
+        });
+        let mut cover: Vec<(usize, f64)> = Vec::new();
+        let mut weight = 0.0;
+        for &(v, a) in &items {
+            cover.push((v, a));
+            weight += a;
+            if weight > con.rhs + 1e-7 {
+                break;
+            }
+        }
+        if weight <= con.rhs + 1e-7 {
+            continue;
+        }
+        // Minimalise: drop members (least fractional first — they hurt the
+        // violation most) while the remainder still overflows.
+        let mut by_value = cover.clone();
+        by_value.sort_by(|&(va, _), &(vb, _)| {
+            values[va]
+                .partial_cmp(&values[vb])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(va.cmp(&vb))
+        });
+        for &(v, a) in &by_value {
+            if weight - a > con.rhs + 1e-7 {
+                cover.retain(|&(cv, _)| cv != v);
+                weight -= a;
+            }
+        }
+        let k = cover.len();
+        if k < 2 {
+            continue; // a 1-cover is a bound tightening, not a useful cut
+        }
+        // Extension: every non-cover item at least as heavy as the
+        // heaviest cover member can join the left-hand side for free.
+        let a_max = cover.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
+        let mut members: Vec<usize> = cover.iter().map(|&(v, _)| v).collect();
+        for &(v, a) in &con.coeffs {
+            if a >= a_max - 1e-12 && !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        // Σ_{members} x ≤ k−1, pool-oriented as Σ −x ≥ 1−k.
+        members.sort_unstable();
+        let mut cut = Cut {
+            coeffs: members.iter().map(|&v| (v, -1.0)).collect(),
+            rhs: 1.0 - k as f64,
+            score: 0.0,
+        };
+        let violation = cut.violation(values);
+        if violation < MIN_VIOLATION {
+            continue;
+        }
+        let norm = (cut.coeffs.len() as f64).sqrt();
+        cut.score = violation / (1.0 + norm);
+        if !pool.contains(&cut) {
+            cuts.push(cut);
+        }
+    }
+    cuts.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    cuts.truncate(max_cuts);
+    for cut in &cuts {
+        pool.insert(cut);
+    }
+    pool.accepted += cuts.len();
+    cuts
+}
+
 /// GMI coefficient of one shifted nonbasic variable.
 fn gamma(abar: f64, f0: f64, integer_shift: bool) -> f64 {
     if integer_shift {
@@ -400,6 +522,73 @@ mod tests {
         assert_eq!(first.len(), 1);
         let second = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4);
         assert!(second.is_empty(), "duplicate cut must be suppressed");
+    }
+
+    /// The greedy cover separator must cut a fractional knapsack vertex
+    /// with a cut valid for every feasible 0-1 point.
+    #[test]
+    fn cover_cut_separates_fractional_knapsack_vertex() {
+        // max 16a + 15b + 14c  s.t.  8a + 7b + 6c <= 10: the LP optimum
+        // is fractional (c = 1, b = 4/7) and the minimal cover {b, c}
+        // (7 + 6 > 10) yields x_b + x_c <= 1, violated by ~0.57; the
+        // extension adds a (8 >= 7).
+        let weights = [8.0, 7.0, 6.0];
+        let profits = [16.0, 15.0, 14.0];
+        let mut lp = LinearProgram::new(3, Sense::Maximize);
+        for (v, &p) in profits.iter().enumerate() {
+            lp.set_objective_coeff(v, p);
+            lp.set_bounds(v, 0.0, 1.0);
+        }
+        lp.add_constraint(
+            weights.iter().copied().enumerate().collect(),
+            ConstraintOp::Le,
+            10.0,
+        );
+        let (solution, _) = lp.solve_warm(None).expect("solve");
+        let fractional = solution
+            .values
+            .iter()
+            .filter(|v| (*v - v.round()).abs() > 1e-6)
+            .count();
+        assert!(fractional >= 1, "vertex should be fractional");
+        let mut pool = CutPool::new();
+        let cuts = separate_covers(&lp, &solution.values, &[true, true, true], &mut pool, 8);
+        assert!(!cuts.is_empty(), "expected a violated cover cut");
+        for cut in &cuts {
+            assert!(cut.violation(&solution.values) > 0.0);
+            for bits in 0..8u32 {
+                let point = [
+                    (bits & 1) as f64,
+                    ((bits >> 1) & 1) as f64,
+                    ((bits >> 2) & 1) as f64,
+                ];
+                let feasible =
+                    weights.iter().zip(&point).map(|(w, x)| w * x).sum::<f64>() <= 10.0 + 1e-9;
+                if feasible {
+                    assert!(
+                        cut.violation(&point) <= 1e-9,
+                        "feasible point {point:?} violates cover cut {cut:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rows that are not knapsack-shaped (continuous variables, negative
+    /// coefficients, `>=` rows) must produce no cover cuts.
+    #[test]
+    fn cover_separator_skips_non_knapsack_rows() {
+        let mut lp = LinearProgram::new(2, Sense::Maximize);
+        lp.set_objective_coeff(0, 1.0);
+        lp.set_objective_coeff(1, 1.0);
+        lp.set_bounds(0, 0.0, 1.0);
+        lp.set_bounds(1, 0.0, 5.0); // not binary
+        lp.add_constraint(vec![(0, 2.0), (1, 3.0)], ConstraintOp::Le, 4.0);
+        lp.add_constraint(vec![(0, -1.0)], ConstraintOp::Le, 0.5); // negative coeff
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 0.0); // wrong op
+        let (solution, _) = lp.solve_warm(None).expect("solve");
+        let mut pool = CutPool::new();
+        assert!(separate_covers(&lp, &solution.values, &[true, false], &mut pool, 8).is_empty());
     }
 
     /// Integral vertices produce no cuts.

@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use rfic_lp::{Basis, ConstraintOp, LinearProgram, LpError, LpSolution, Sense};
+use rfic_lp::{Basis, ConstraintOp, LinearProgram, LpError, LpSolution, PricingRule, Sense};
 
 use crate::cuts::{self, CutPool};
 use crate::model::Model;
@@ -72,6 +72,10 @@ pub struct SolveOptions {
     pub max_cuts_per_round: usize,
     /// Branching-variable selection rule.
     pub branching: BranchRule,
+    /// Primal pricing rule handed to every LP solve (node re-solves, root,
+    /// heuristics). [`PricingRule::Devex`] is the general-purpose default;
+    /// the layout engine pins [`PricingRule::Dantzig`] — see the enum docs.
+    pub pricing: PricingRule,
 }
 
 impl Default for SolveOptions {
@@ -86,6 +90,7 @@ impl Default for SolveOptions {
             cut_rounds: 2,
             max_cuts_per_round: 10,
             branching: BranchRule::default(),
+            pricing: PricingRule::default(),
         }
     }
 }
@@ -133,6 +138,12 @@ impl SolveOptions {
     /// The same configuration with the given branching rule.
     pub fn with_branching(mut self, branching: BranchRule) -> SolveOptions {
         self.branching = branching;
+        self
+    }
+
+    /// The same configuration with the given LP pricing rule.
+    pub fn with_pricing(mut self, pricing: PricingRule) -> SolveOptions {
+        self.pricing = pricing;
         self
     }
 
@@ -191,7 +202,12 @@ pub struct MilpSolution {
     /// Total simplex pivots across every node LP (and heuristic) solve —
     /// the cost metric the warm-start machinery optimises.
     pub simplex_iterations: usize,
-    /// Root Gomory cuts added to the relaxation before the search.
+    /// Total from-scratch basis refactorisations across those solves — the
+    /// fixed cost the factorisation cache exists to avoid (reported next
+    /// to the pivot count in the CI pivot report).
+    pub lp_refactorizations: usize,
+    /// Root Gomory and cover cuts added to the relaxation before the
+    /// search.
     pub cuts: usize,
 }
 
@@ -369,6 +385,7 @@ struct Shared<'a> {
     worker_bounds: Vec<AtomicU64>,
     nodes: AtomicUsize,
     pivots: AtomicUsize,
+    refactorizations: AtomicUsize,
     seq: AtomicU64,
     /// Workers blocked on the pool condvar (starvation signal: active
     /// workers donate local nodes when this is non-zero).
@@ -573,14 +590,26 @@ fn load_node_bounds(lp: &mut LinearProgram, shared: &Shared<'_>, node: &Node) {
     }
 }
 
-/// Solves one node LP, warm-starting from the parent basis when enabled.
+/// `true` when warm-starting a node LP of this model is worth its fixed
+/// costs. Reusing a basis buys skipped refactorisations and dual re-entry,
+/// but pays for basis reconciliation, the factorisation clone and the dual
+/// feasibility check — on tiny models (the 10-item knapsack: 11 columns)
+/// a cold solve-from-logical finishes faster than that bookkeeping, which
+/// showed up as `warm_knapsack_10` benchmarking *slower* than cold.
+fn worth_warm_starting(lp: &LinearProgram) -> bool {
+    lp.num_vars() + lp.num_constraints() >= 16
+}
+
+/// Solves one node LP, warm-starting from the parent basis when enabled
+/// (and worth it — see [`worth_warm_starting`]).
 fn solve_node_lp(
     lp: &LinearProgram,
     parent_basis: Option<&Basis>,
     options: &SolveOptions,
     pivots: &AtomicUsize,
+    refactorizations: &AtomicUsize,
 ) -> Result<(LpSolution, Option<Basis>), LpError> {
-    let result = if options.warm_start {
+    let result = if options.warm_start && worth_warm_starting(lp) {
         lp.solve_warm(parent_basis)
             .map(|(solution, basis)| (solution, Some(basis)))
     } else {
@@ -588,6 +617,7 @@ fn solve_node_lp(
     };
     if let Ok((solution, _)) = &result {
         pivots.fetch_add(solution.iterations, Ordering::Relaxed);
+        refactorizations.fetch_add(solution.refactorizations, Ordering::Relaxed);
     }
     result
 }
@@ -731,7 +761,13 @@ fn process_node(shared: &Shared<'_>, lp: &mut LinearProgram, current: Node, loca
     // cannot blow through the global time limit.
     load_node_bounds(lp, shared, &current);
     lp.set_time_limit(Some(shared.remaining_time()));
-    let lp_result = solve_node_lp(lp, current.parent_basis.as_ref(), options, &shared.pivots);
+    let lp_result = solve_node_lp(
+        lp,
+        current.parent_basis.as_ref(),
+        options,
+        &shared.pivots,
+        &shared.refactorizations,
+    );
     let (lp_solution, node_basis) = match lp_result {
         Ok(pair) => pair,
         Err(LpError::Infeasible) | Err(LpError::Unbounded) => {
@@ -739,7 +775,10 @@ fn process_node(shared: &Shared<'_>, lp: &mut LinearProgram, current: Node, loca
             // so both outcomes prune this subtree.
             return;
         }
-        Err(LpError::IterationLimit) | Err(LpError::TimeLimit) => {
+        Err(ref e @ (LpError::IterationLimit | LpError::TimeLimit)) => {
+            if std::env::var_os("RFIC_MILP_DEBUG").is_some() {
+                eprintln!("[node-lp-limit] {e:?}");
+            }
             // A pathological node LP exhausted its pivot or wall-clock
             // budget: drop the node but remember that the search is no
             // longer exhaustive, like any other limit.
@@ -787,6 +826,7 @@ fn process_node(shared: &Shared<'_>, lp: &mut LinearProgram, current: Node, loca
                     options,
                     shared.remaining_time(),
                     &shared.pivots,
+                    &shared.refactorizations,
                 ) {
                     shared.offer_incumbent(vals, objective);
                 }
@@ -906,12 +946,14 @@ pub(crate) fn branch_and_bound(
 
     // --- root node (serial) ------------------------------------------------
     let mut base_lp = model.relaxation();
+    base_lp.set_pricing(options.pricing);
     base_lp.set_time_limit(Some(options.time_limit));
     let root_warm = warm
         .as_ref()
         .and_then(|w| w.root_basis.clone())
         .filter(|_| options.warm_start);
     let mut pivots_total = 0usize;
+    let mut refactorizations_total = 0usize;
     let (root_solution, root_basis) = match base_lp.solve_warm(root_warm.as_ref()) {
         Ok(pair) => pair,
         Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
@@ -922,6 +964,7 @@ pub(crate) fn branch_and_bound(
         Err(e) => return Err(MilpError::Lp(e)),
     };
     pivots_total += root_solution.iterations;
+    refactorizations_total += root_solution.refactorizations;
     // The *pre-cut* root basis is what survives into the next solve of a
     // grown model (cut rows are private to this solve).
     if let Some(w) = warm {
@@ -938,7 +981,7 @@ pub(crate) fn branch_and_bound(
         if !has_fractional(&current_solution.values, &integer_vars) {
             break;
         }
-        let cuts = cuts::separate_gomory(
+        let mut cuts = cuts::separate_gomory(
             &base_lp,
             &current_basis,
             &current_solution.values,
@@ -946,6 +989,18 @@ pub(crate) fn branch_and_bound(
             &mut cut_pool,
             options.max_cuts_per_round,
         );
+        // Cover cuts from the knapsack-style capacity rows fill whatever
+        // of the per-round budget the Gomory separator left (they need no
+        // basis, only the fractional point).
+        if cuts.len() < options.max_cuts_per_round {
+            cuts.extend(cuts::separate_covers(
+                &base_lp,
+                &current_solution.values,
+                &is_integer,
+                &mut cut_pool,
+                options.max_cuts_per_round - cuts.len(),
+            ));
+        }
         if cuts.is_empty() {
             break;
         }
@@ -958,6 +1013,7 @@ pub(crate) fn branch_and_bound(
         match base_lp.solve_warm(Some(&current_basis)) {
             Ok((solution, basis)) => {
                 pivots_total += solution.iterations;
+                refactorizations_total += solution.refactorizations;
                 // Keep the round only if it actually moved the root bound:
                 // on the big-M layout models Gomory cuts are typically too
                 // weak to pay for the extra rows in every node LP, and this
@@ -1006,6 +1062,7 @@ pub(crate) fn branch_and_bound(
             .collect(),
         nodes: AtomicUsize::new(1), // the root
         pivots: AtomicUsize::new(pivots_total),
+        refactorizations: AtomicUsize::new(refactorizations_total),
         seq: AtomicU64::new(0),
         waiting: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
@@ -1034,6 +1091,7 @@ pub(crate) fn branch_and_bound(
                     options,
                     shared.remaining_time(),
                     &shared.pivots,
+                    &shared.refactorizations,
                 ) {
                     shared.offer_incumbent(vals, objective);
                 }
@@ -1085,6 +1143,7 @@ pub(crate) fn branch_and_bound(
     // --- assemble the result ----------------------------------------------
     let nodes_explored = shared.nodes.load(Ordering::Relaxed);
     let simplex_iterations = shared.pivots.load(Ordering::Relaxed);
+    let lp_refactorizations = shared.refactorizations.load(Ordering::Relaxed);
     let limit_hit = shared.limit_hit.load(Ordering::SeqCst);
     if let Some(err) = shared.error.lock().unwrap().take() {
         return Err(err);
@@ -1133,6 +1192,7 @@ pub(crate) fn branch_and_bound(
                 nodes: nodes_explored,
                 gap: gap.max(0.0),
                 simplex_iterations,
+                lp_refactorizations,
                 cuts: cuts_added,
             })
         }
@@ -1196,6 +1256,7 @@ fn rounding_heuristic(
     options: &SolveOptions,
     remaining_time: Duration,
     pivots: &AtomicUsize,
+    refactorizations: &AtomicUsize,
 ) -> Option<(Vec<f64>, f64)> {
     let mut lp = base_lp.clone();
     for &(var, lo, hi) in bound_changes {
@@ -1211,7 +1272,7 @@ fn rounding_heuristic(
         }
         lp.set_bounds(v, r, r);
     }
-    let (sol, _) = solve_node_lp(&lp, node_basis, options, pivots).ok()?;
+    let (sol, _) = solve_node_lp(&lp, node_basis, options, pivots, refactorizations).ok()?;
     let values = round_integers(&sol.values, integer_vars);
     if !model.violated_constraints(&values, 1e-6).is_empty() {
         return None;
