@@ -66,6 +66,41 @@ fn bench_lp_pricing(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_lp_dual_resolve(c: &mut Criterion) {
+    // The dual re-solve head-to-head the DSE refactor is judged by: the
+    // same branched 120x80 instance as `lp_warm_resolve`, re-solved warm
+    // under the pinned Dantzig dual (max-violation leaving row, textbook
+    // ratio test) and under dual steepest-edge (δ²/β leaving rule plus
+    // the bound-flipping long-step ratio test).
+    let mut group = c.benchmark_group("lp_dual_resolve");
+    for (rule, name) in [
+        (PricingRule::Dantzig, "dantzig"),
+        (PricingRule::DualSteepestEdge, "dse"),
+    ] {
+        let mut lp = random_lp(120, 80, 42);
+        lp.set_pricing(rule);
+        let (base, basis) = lp.solve_warm(None).expect("base solve");
+        let (branch, _) = base
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, (v - v.round()).abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("vars");
+        let mut branched = lp.clone();
+        branched.set_bounds(branch, 0.0, base.values[branch].floor().max(0.0));
+        let (warm, _) = branched.solve_warm(Some(&basis)).expect("warm");
+        println!(
+            "bench-info: lp_dual_resolve/{name}_120x80: {} pivots ({} dual, {} bound flips)",
+            warm.iterations, warm.dual_iterations, warm.bound_flips
+        );
+        group.bench_function(format!("{name}_120x80"), |b| {
+            b.iter(|| branched.solve_warm(Some(&basis)).expect("warm"));
+        });
+    }
+    group.finish();
+}
+
 fn bench_lp_warm_resolve(c: &mut Criterion) {
     // Warm vs cold re-solve after a branching-style bound change — the
     // single most frequent operation of the whole layout flow.
@@ -182,6 +217,35 @@ fn bench_milp_cuts(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_milp_dual_pricing(c: &mut Criterion) {
+    // Warm branch-and-bound under the pinned Dantzig dual vs dual
+    // steepest-edge: every node re-solve enters through the dual engine,
+    // so this workload measures exactly the path the DSE leaving rule and
+    // the bound-flipping ratio test accelerate (on all-binary knapsacks
+    // every nonbasic is boxed — the long-step test's best case).
+    let mut group = c.benchmark_group("milp_dual_pricing");
+    let model = knapsack_model(30);
+    for (rule, name) in [
+        (PricingRule::Dantzig, "dantzig"),
+        (PricingRule::DualSteepestEdge, "dse"),
+    ] {
+        let opts = SolveOptions::default().with_pricing(rule);
+        let reference = model.solve(&opts).expect("solvable");
+        assert_eq!(reference.status, rfic_milp::SolveStatus::Optimal);
+        println!(
+            "bench-info: milp_dual_pricing/knapsack_30_{name}: {} pivots ({} dual, {} bound flips), {} nodes",
+            reference.simplex_iterations,
+            reference.lp_dual_iterations,
+            reference.lp_bound_flips,
+            reference.nodes
+        );
+        group.bench_function(format!("knapsack_30_{name}"), |b| {
+            b.iter(|| model.solve(&opts).expect("solvable"));
+        });
+    }
+    group.finish();
+}
+
 fn bench_strip_ilp(c: &mut Criterion) {
     let circuit = benchmarks::tiny_circuit();
     let netlist = circuit.netlist.clone();
@@ -215,11 +279,13 @@ fn bench_strip_ilp(c: &mut Criterion) {
         );
     });
     // The layout engine's own solver configuration (most-fractional
-    // branching, no cut separation — see `Pilp::solve_options`), with the
-    // four-worker pool of the acceptance criterion.
+    // branching, no cut separation, dual steepest-edge pricing — see
+    // `Pilp::solve_options`), with the four-worker pool of the acceptance
+    // criterion.
     let solve_opts = SolveOptions::with_time_limit(Duration::from_secs(10))
         .with_threads(4)
         .with_branching(BranchRule::MostFractional)
+        .with_pricing(PricingRule::DualSteepestEdge)
         .without_cuts();
     group.bench_function("solve_single_strip_exact_length", |b| {
         b.iter_batched(
@@ -239,11 +305,13 @@ criterion_group!(
     benches,
     bench_lp,
     bench_lp_pricing,
+    bench_lp_dual_resolve,
     bench_lp_warm_resolve,
     bench_milp,
     bench_milp_parallel,
     bench_milp_cuts,
     bench_milp_warm_vs_cold,
+    bench_milp_dual_pricing,
     bench_strip_ilp
 );
 criterion_main!(benches);

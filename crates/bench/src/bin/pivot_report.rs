@@ -2,11 +2,15 @@
 //!
 //! Re-runs the solver benchmark workloads once each (no timing — the bench
 //! gate owns wall-clock) and records the *work counters*: simplex pivots
-//! and from-scratch basis refactorisations per workload, plus node counts
-//! for the branch-and-bound instances. Wall-clock on shared runners is
-//! noisy; these counters are exact and machine-independent, so a pricing
-//! or factorisation regression shows up here even when the timing gate is
-//! drowned in noise.
+//! (with the dual-engine subset and the bound flips applied by the
+//! long-step dual ratio test) and from-scratch basis refactorisations per
+//! workload, plus node counts for the branch-and-bound instances.
+//! Wall-clock on shared runners is noisy; these counters are exact and
+//! machine-independent, so a pricing or factorisation regression shows up
+//! here even when the timing gate is drowned in noise. The per-pricing-rule
+//! rows (`dantzig` vs `dse`) are the acceptance record for the dual
+//! steepest-edge + bound-flipping refactor: the `dse` rows must keep their
+//! dual-pivot counts well below the `dantzig` rows on the warm workloads.
 //!
 //! Usage: `cargo run --release -p rfic-bench --bin pivot_report
 //! [-- --out <path>]` (default `target/pivot_report.txt`); CI uploads the
@@ -18,6 +22,13 @@ use std::time::Duration;
 use rfic_bench::workloads::random_lp;
 use rfic_lp::PricingRule;
 use rfic_milp::{instances, BranchRule, SolveOptions};
+
+/// The pricing rules reported side by side.
+const RULES: [(PricingRule, &str); 3] = [
+    (PricingRule::Dantzig, "dantzig"),
+    (PricingRule::Devex, "devex"),
+    (PricingRule::DualSteepestEdge, "dse"),
+];
 
 fn main() {
     let mut out_path = "target/pivot_report.txt".to_string();
@@ -44,29 +55,33 @@ fn main() {
     let _ = writeln!(report, "# solver pivot report (exact work counters)");
     let _ = writeln!(
         report,
-        "# {:<42} {:>7}  {:>16}  {:>5}",
-        "benchmark", "pivots", "refactorisations", "nodes"
+        "# {:<46} {:>7}  {:>6}  {:>6}  {:>9}  {:>5}",
+        "benchmark", "pivots", "dual", "flips", "refactors", "nodes"
     );
-    let mut line = |name: String, pivots: usize, refactorizations: usize, nodes: Option<usize>| {
+    let mut line = |name: String,
+                    pivots: usize,
+                    dual: usize,
+                    flips: usize,
+                    refactorizations: usize,
+                    nodes: Option<usize>| {
         let nodes = nodes.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
         let _ = writeln!(
             report,
-            "  {name:<42} {pivots:>7}  {refactorizations:>16}  {nodes:>5}"
+            "  {name:<46} {pivots:>7}  {dual:>6}  {flips:>6}  {refactorizations:>9}  {nodes:>5}"
         );
     };
 
-    // Cold LP solves under both pricing rules.
+    // Cold LP solves under every pricing rule.
     for (vars, rows) in [(20usize, 15usize), (60, 40), (120, 80)] {
-        for (rule, name) in [
-            (PricingRule::Dantzig, "dantzig"),
-            (PricingRule::Devex, "devex"),
-        ] {
+        for (rule, name) in RULES {
             let mut lp = random_lp(vars, rows, 42);
             lp.set_pricing(rule);
             let s = lp.solve().expect("solvable");
             line(
                 format!("lp_pricing/{name}_{vars}x{rows}"),
                 s.iterations,
+                s.dual_iterations,
+                s.bound_flips,
                 s.refactorizations,
                 None,
             );
@@ -74,7 +89,8 @@ fn main() {
     }
 
     // Warm LP re-solve after a branching-style bound change (the flow's
-    // most frequent operation).
+    // most frequent operation), under every pricing rule — the dual
+    // engine is where the rules diverge.
     {
         let lp = random_lp(120, 80, 42);
         let (base, basis) = lp.solve_warm(None).expect("base solve");
@@ -85,19 +101,28 @@ fn main() {
             .map(|(i, &v)| (i, (v - v.round()).abs()))
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .expect("vars");
+        for (rule, name) in RULES {
+            let mut branched = lp.clone();
+            branched.set_pricing(rule);
+            branched.set_bounds(branch, 0.0, base.values[branch].floor().max(0.0));
+            let (warm, _) = branched.solve_warm(Some(&basis)).expect("warm");
+            line(
+                format!("lp_warm_resolve/warm_120x80_{name}"),
+                warm.iterations,
+                warm.dual_iterations,
+                warm.bound_flips,
+                warm.refactorizations,
+                None,
+            );
+        }
         let mut branched = lp.clone();
         branched.set_bounds(branch, 0.0, base.values[branch].floor().max(0.0));
-        let (warm, _) = branched.solve_warm(Some(&basis)).expect("warm");
         let cold = branched.solve().expect("cold");
-        line(
-            "lp_warm_resolve/warm_120x80".into(),
-            warm.iterations,
-            warm.refactorizations,
-            None,
-        );
         line(
             "lp_warm_resolve/cold_120x80".into(),
             cold.iterations,
+            cold.dual_iterations,
+            cold.bound_flips,
             cold.refactorizations,
             None,
         );
@@ -119,6 +144,36 @@ fn main() {
             line(
                 format!("milp_warm_vs_cold/{name}_knapsack_{items}"),
                 s.simplex_iterations,
+                s.lp_dual_iterations,
+                s.lp_bound_flips,
+                s.lp_refactorizations,
+                Some(s.nodes),
+            );
+        }
+    }
+
+    // Warm branch and bound per dual pricing rule: the acceptance
+    // workload of the DSE refactor — on the all-binary knapsacks every
+    // nonbasic is boxed, so the bound-flipping ratio test gets its best
+    // case and the dual-pivot column is the headline number.
+    for items in [20usize, 30] {
+        let model = if items == 20 {
+            instances::seeded_knapsack(20, instances::KNAPSACK20_BENCH_SEED)
+        } else {
+            instances::seeded_knapsack(items, 0xDAC2016)
+        };
+        for (rule, name) in [
+            (PricingRule::Dantzig, "dantzig"),
+            (PricingRule::DualSteepestEdge, "dse"),
+        ] {
+            let s = model
+                .solve(&SolveOptions::default().with_pricing(rule))
+                .expect("solvable");
+            line(
+                format!("milp_dual_pricing/{name}_knapsack_{items}"),
+                s.simplex_iterations,
+                s.lp_dual_iterations,
+                s.lp_bound_flips,
                 s.lp_refactorizations,
                 Some(s.nodes),
             );
@@ -133,18 +188,26 @@ fn main() {
         .without_cuts()
         .with_branching(BranchRule::MostFractional)
         .with_pricing(PricingRule::Dantzig);
-    let s = instances::seeded_knapsack(30, 0xDAC2016)
-        .solve(&SolveOptions {
-            time_limit: Duration::from_secs(30),
-            ..plain
-        })
-        .expect("solvable");
-    line(
-        "milp_plain_dantzig/knapsack_30".into(),
-        s.simplex_iterations,
-        s.lp_refactorizations,
-        Some(s.nodes),
-    );
+    for (rule, name) in [
+        (PricingRule::Dantzig, "dantzig"),
+        (PricingRule::DualSteepestEdge, "dse"),
+    ] {
+        let s = instances::seeded_knapsack(30, 0xDAC2016)
+            .solve(&SolveOptions {
+                time_limit: Duration::from_secs(30),
+                pricing: rule,
+                ..plain.clone()
+            })
+            .expect("solvable");
+        line(
+            format!("milp_plain_{name}/knapsack_30"),
+            s.simplex_iterations,
+            s.lp_dual_iterations,
+            s.lp_bound_flips,
+            s.lp_refactorizations,
+            Some(s.nodes),
+        );
+    }
 
     print!("{report}");
     if let Some(parent) = std::path::Path::new(&out_path).parent() {

@@ -82,9 +82,13 @@ pub struct PilpConfig {
     pub solve_time_limit: Duration,
     /// Optional per-phase overrides of the per-solve time limit.
     pub phase_budgets: PhaseBudgets,
-    /// Branch-and-bound worker threads per MILP solve (`1` = serial, `0` =
-    /// available hardware parallelism; see
-    /// [`rfic_milp::SolveOptions::threads`]).
+    /// Branch-and-bound worker threads per MILP solve. `1` = serial;
+    /// explicit values pass through untouched; `0` resolves to the
+    /// machine's `available_parallelism()` (capped at 8, matching
+    /// [`rfic_milp::SolveOptions::threads`]) when the flow builds its
+    /// [`rfic_milp::SolveOptions`] (see `Pilp::solve_options`), so a
+    /// deployment can opt into "use whatever the hardware has" without
+    /// hard-coding a count.
     pub solver_threads: usize,
     /// Maximum extra chain points inserted on a strip during refinement.
     pub max_extra_chain_points: usize,
@@ -331,7 +335,23 @@ impl Pilp {
                 .for_phase(phase)
                 .unwrap_or(self.config.solve_time_limit),
             mip_gap: 1e-4,
-            threads: self.config.solver_threads,
+            // `solver_threads: 0` resolves to the machine's available
+            // parallelism here, at the flow level (explicit values pass
+            // through untouched). Resolving early — instead of forwarding
+            // the 0 for `rfic_milp::SolveOptions::effective_threads` to
+            // interpret per solve — keeps the whole flow on one consistent
+            // worker count and lets it show up in diagnostics. The same
+            // cap of 8 workers applies: the node pools of the layout
+            // MILPs are too shallow to feed more, and an uncapped count
+            // on a big server would oversubscribe every solve.
+            threads: if self.config.solver_threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(8)
+            } else {
+                self.config.solver_threads
+            },
             // Most-fractional, not the solver's default pseudocost rule: on
             // the degenerate big-M layout models pseudocost estimates are
             // noise, and the measured flow is never better and up to ~1.5x
@@ -341,12 +361,16 @@ impl Pilp {
             // Gomory cuts never survive the root-bound improvement gate on
             // these models; separating them is pure overhead here.
             cut_rounds: 0,
-            // Dantzig, not the solver's devex default: the layout node LPs
-            // are warm dual re-solves that finish in a handful of primal
-            // pivots, where a devex refresh costs a full pricing scan
-            // anyway and the candidate list is pure overhead (measured
-            // ~20% slower on the single-strip solve under devex).
-            pricing: rfic_milp::PricingRule::Dantzig,
+            // Dual steepest-edge, re-decided from flow-level measurement
+            // (DESIGN.md has the numbers): the layout node LPs are warm
+            // dual re-solves, and the DSE leaving rule plus the
+            // bound-flipping ratio test cut the tiny-circuit flow from
+            // ~23 s (the previous Dantzig pin) to ~7.3 s at the same 3/3
+            // exact lengths and DRC-clean result (total bends 2 → 4,
+            // still at the manual witness). Devex remains the wrong rule
+            // here — its refresh costs a full pricing scan on solves that
+            // finish in a handful of pivots.
+            pricing: rfic_milp::PricingRule::DualSteepestEdge,
             ..SolveOptions::default()
         }
     }
@@ -1006,6 +1030,29 @@ pub(crate) fn violating_pairs(
 mod tests {
     use super::*;
     use rfic_netlist::benchmarks;
+
+    #[test]
+    fn solver_threads_zero_resolves_to_available_parallelism() {
+        let auto = Pilp::new(PilpConfig {
+            solver_threads: 0,
+            ..PilpConfig::fast()
+        });
+        let resolved = auto.solve_options(PilpPhase::GlobalRouting).threads;
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        assert_eq!(resolved, expected, "0 must resolve at the flow level");
+        assert!(resolved >= 1, "never hand the solver a zero worker count");
+        assert!(resolved <= 8, "the layout MILP worker cap must survive");
+
+        // Explicit counts pass through untouched.
+        let pinned = Pilp::new(PilpConfig {
+            solver_threads: 3,
+            ..PilpConfig::fast()
+        });
+        assert_eq!(pinned.solve_options(PilpPhase::Refinement).threads, 3);
+    }
 
     #[test]
     fn pilp_lays_out_the_tiny_circuit() {

@@ -224,7 +224,25 @@ impl Factorization {
     /// FTRAN: solves `B x = b`. `b` is indexed by *row*, the result by
     /// *elimination position* (i.e. `x[k]` belongs to the basic variable in
     /// position `k`). Works in place on a dense buffer of length `m`.
+    ///
+    /// Captures the Forrest–Tomlin spike for a following
+    /// [`Factorization::update`] — use this for *entering columns* and
+    /// [`Factorization::ftran_aux`] for every other right-hand side
+    /// (basic-value recomputation, batched bound-flip columns), so an
+    /// auxiliary solve between the entering column's FTRAN and the update
+    /// cannot corrupt the captured spike.
     pub fn ftran(&mut self, b: &mut [f64]) {
+        self.ftran_impl(b, true);
+    }
+
+    /// FTRAN of an auxiliary right-hand side: identical to
+    /// [`Factorization::ftran`] but leaves the captured update spike
+    /// untouched (and skips the capture copy).
+    pub fn ftran_aux(&mut self, b: &mut [f64]) {
+        self.ftran_impl(b, false);
+    }
+
+    fn ftran_impl(&mut self, b: &mut [f64], capture_spike: bool) {
         debug_assert_eq!(b.len(), self.m);
         // L-solve: replay the elimination steps on b (row space).
         for j in 0..self.m {
@@ -249,7 +267,9 @@ impl Factorization {
             x[eta.row] = acc;
         }
         // Capture the spike `v = L⁻¹·b` for a following update().
-        self.last_spike.copy_from_slice(&x);
+        if capture_spike {
+            self.last_spike.copy_from_slice(&x);
+        }
         // U back-substitution (column oriented) along the pivot order.
         for k in (0..self.m).rev() {
             let p = self.pos_order[k];
@@ -340,7 +360,8 @@ impl Factorization {
 
     /// Absorbs a basis change at elimination position `pos` with a
     /// Forrest–Tomlin update. **Contract:** the entering column must have
-    /// been the argument of the most recent [`Factorization::ftran`] call —
+    /// been the argument of the most recent [`Factorization::ftran`] call
+    /// (auxiliary [`Factorization::ftran_aux`] solves do not count) —
     /// simplex always FTRANs the entering column for the ratio test, and
     /// that solve's intermediate `v = L⁻¹·a_entering` (captured before the
     /// `U` back-substitution) *is* the Forrest–Tomlin spike, so it is
@@ -361,18 +382,34 @@ impl Factorization {
         // corrupt the factors in release; in debug tests it fails here.
         #[cfg(debug_assertions)]
         {
+            // Reconstruct U·w alongside the absolute magnitude of the
+            // summed terms: on ill-conditioned bases (tiny transformed
+            // diagonals on the big-M layout models) `w` can be ~1e13 while
+            // `v` stays ~1e2, so rounding in the reconstruction alone
+            // reaches `ε·Σ|u·w|` — the tolerance must scale with the
+            // cancellation actually incurred, or the check false-fires on
+            // pivot sequences that merely steer into ill-conditioned
+            // corners. A real contract break (the last capturing ftran was
+            // not the entering column) still trips it: the difference is
+            // then of the order of `v` itself, far above the rounding term.
             let mut check = vec![0.0; self.m];
+            let mut check_abs = vec![0.0; self.m];
             for (c, &wc) in w.iter().enumerate() {
                 if wc != 0.0 {
                     check[c] += self.diag[c] * wc;
+                    check_abs[c] += (self.diag[c] * wc).abs();
                     for &(i, u) in &self.ucols[c] {
                         check[i] += u * wc;
+                        check_abs[i] += (u * wc).abs();
                     }
                 }
             }
             let scale = 1e-6 * (1.0 + v.iter().fold(0.0f64, |a, &x| a.max(x.abs())));
             debug_assert!(
-                v.iter().zip(&check).all(|(a, b)| (a - b).abs() <= scale),
+                v.iter()
+                    .zip(&check)
+                    .zip(&check_abs)
+                    .all(|((a, b), abs)| (a - b).abs() <= scale + 1e-11 * abs),
                 "update() called without a preceding ftran of the entering column"
             );
         }

@@ -321,6 +321,8 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
         objective,
         iterations,
         refactorizations: 0,
+        dual_iterations: 0,
+        bound_flips: 0,
     })
 }
 

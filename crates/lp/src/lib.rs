@@ -16,6 +16,12 @@
 //!   of a previous solve — also of a smaller model — and re-enters through
 //!   the **dual simplex**, which makes branch-and-bound bound changes and
 //!   lazily separated constraints cheap re-solves,
+//! * **dual steepest-edge pricing** with a **bound-flipping (long-step)
+//!   dual ratio test** ([`PricingRule::DualSteepestEdge`]): `δ²/β`
+//!   leaving-row selection with Forrest–Goldfarb reference weights that
+//!   survive warm-start handoff on the [`Basis`], and batched
+//!   bound-to-bound flips of boxed nonbasics — the accelerator for the
+//!   warm branch-and-bound re-solve path,
 //! * infeasibility and unboundedness detection, and
 //! * Bland's anti-cycling rule as a fallback after degenerate stalls.
 //!

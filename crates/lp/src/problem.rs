@@ -15,13 +15,15 @@ pub enum Sense {
     Maximize,
 }
 
-/// Entering-variable pricing rule of the primal simplex.
+/// Pricing rule of the simplex engines.
 ///
-/// The default devex rule prices over a maintained candidate list with
-/// reference-framework weights — the fast path. The classic Dantzig rule
-/// (full most-negative-reduced-cost scan every pivot) is retained so tests
-/// and benchmarks can pin the old behaviour and cross-check the two paths
-/// against each other and the dense oracle.
+/// The default devex rule prices the *primal* over a maintained candidate
+/// list with reference-framework weights — the fast path for cold solves.
+/// The classic Dantzig rule (full most-negative-reduced-cost scan every
+/// pivot) is retained so tests and benchmarks can pin the old behaviour
+/// and cross-check the paths against each other and the dense oracle.
+/// [`PricingRule::DualSteepestEdge`] instead accelerates the *dual*
+/// engine — the warm branch-and-bound re-solve path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PricingRule {
     /// Devex reference-framework pricing over a candidate list with
@@ -29,12 +31,24 @@ pub enum PricingRule {
     #[default]
     Devex,
     /// Full Dantzig scan: recompute every reduced cost each pivot and take
-    /// the most negative. The pinned pre-devex behaviour, and still the
-    /// better rule for the heavily degenerate layout LPs, whose warm
-    /// re-solves finish in a handful of pivots — a devex refresh costs a
-    /// full scan anyway, so the candidate list never pays for itself
-    /// there.
+    /// the most negative. The pinned pre-devex behaviour — and a faithful
+    /// reproduction of the old pivot sequence, ratio-test tie-breaks
+    /// included.
     Dantzig,
+    /// Dual steepest-edge pricing with the bound-flipping (long-step)
+    /// dual ratio test.
+    ///
+    /// The *dual* engine selects its leaving row by `δ²/β` (bound
+    /// violation squared over a Forrest–Goldfarb reference weight
+    /// approximating `‖B⁻ᵀeᵣ‖²`, maintained incrementally from the
+    /// FTRAN'd entering column) instead of by maximum violation, and its
+    /// ratio test sweeps multiple breakpoints of the piecewise-linear
+    /// dual objective, flipping boxed nonbasic variables bound-to-bound
+    /// in one batched step. The *primal* engine under this rule behaves
+    /// exactly like [`PricingRule::Dantzig`] (full scan, exact ratio
+    /// test), so cold solves stay on the pinned trajectory and the rule
+    /// only changes the warm dual re-solve path it is meant to speed up.
+    DualSteepestEdge,
 }
 
 /// Relational operator of a linear constraint.
@@ -132,12 +146,20 @@ pub struct LpSolution {
     pub values: Vec<f64>,
     /// Optimal objective value (in the model's own sense).
     pub objective: f64,
-    /// Number of simplex pivots performed (both phases).
+    /// Number of simplex pivots performed (both phases, primal and dual).
     pub iterations: usize,
     /// Number of from-scratch basis refactorisations performed (the other
     /// half of the solve cost next to the pivots; warm starts exist to
     /// drive this to zero).
     pub refactorizations: usize,
+    /// Subset of `iterations` performed by the dual engine (the warm
+    /// re-solve path dual steepest-edge pricing accelerates).
+    pub dual_iterations: usize,
+    /// Nonbasic bound flips applied by the long-step (bound-flipping)
+    /// dual ratio test — each batch rides on one dual pivot, so a high
+    /// flip-per-pivot ratio is the signature of the long-step test paying
+    /// off on boxed degenerate models.
+    pub bound_flips: usize,
 }
 
 /// Error returned by [`LinearProgram::solve`].

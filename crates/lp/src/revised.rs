@@ -27,7 +27,14 @@
 //! * **dual simplex** — entered when a warm-start basis is dual feasible,
 //!   which is the cheap path after branch-and-bound bound changes or after
 //!   appending lazily separated constraint rows; its reduced costs are also
-//!   maintained incrementally across pivots,
+//!   maintained incrementally across pivots. Under
+//!   [`PricingRule::DualSteepestEdge`] the leaving row is chosen by the
+//!   steepest-edge score `δ²/β` (Forrest–Goldfarb reference weights,
+//!   updated incrementally from the FTRAN'd entering column and carried
+//!   across warm starts on the [`Basis`]) and the ratio test is the
+//!   **bound-flipping (long-step)** test, which sweeps multiple
+//!   breakpoints of the piecewise-linear dual objective and flips boxed
+//!   nonbasics bound-to-bound in one batched extra FTRAN,
 //! * **bound flips** — nonbasic variables with two finite bounds move
 //!   bound-to-bound without a basis change.
 //!
@@ -57,6 +64,18 @@ const ACCEPT_INFEAS: f64 = 1e-6;
 const ACCEPT_FLAP_CAP: f64 = 1e-4;
 /// Phase-2 → phase-1 re-entries tolerated before the flap guard fires.
 const MAX_PHASE_FLAPS: usize = 8;
+/// Floor on a dual steepest-edge reference weight: the exact leaving-row
+/// weight `βᵣ/αᵣ²` can collapse towards zero through a huge pivot, which
+/// would make that row look infinitely attractive forever after.
+const DSE_MIN_WEIGHT: f64 = 1e-4;
+/// Ceiling on a dual steepest-edge reference weight: past this the
+/// incrementally maintained framework has drifted into pure noise (tiny
+/// pivots compounding), so the whole framework resets to unit weights.
+const DSE_WEIGHT_CAP: f64 = 1e12;
+/// Remaining slope below which the bound-flipping ratio test stops
+/// passing breakpoints: flipping through a near-zero slope buys no dual
+/// progress but costs primal accuracy.
+const BFRT_SLOPE_TOL: f64 = 1e-9;
 
 /// Status of one variable relative to the current basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +115,15 @@ pub struct Basis {
     factor: Option<std::sync::Arc<Factorization>>,
     /// Fingerprint of the constraint matrix the factorisation belongs to.
     matrix_fingerprint: u64,
+    /// Dual steepest-edge reference weights by elimination position
+    /// (aligned with `basic`), carried across warm starts so a
+    /// branch-and-bound child re-solve prices its dual pivots with the
+    /// parent's converged weights instead of restarting from the unit
+    /// framework. `None` when the producing solve did not maintain them
+    /// ([`crate::PricingRule::DualSteepestEdge`] only). Only re-adopted
+    /// when the matrix fingerprint and dimensions still match — any
+    /// structural edit resets the inheritor to unit weights.
+    dse_weights: Option<Vec<f64>>,
 }
 
 impl PartialEq for Basis {
@@ -218,6 +246,19 @@ struct Solver<'a> {
     devex_weights: Vec<f64>,
     candidates: Vec<usize>,
     reduced_valid: bool,
+    /// `true` while dual steepest-edge weights are being maintained
+    /// ([`PricingRule::DualSteepestEdge`]): every basis change — primal or
+    /// dual — then updates `dse_weights`, so the snapshot handed to the
+    /// next warm start always describes the final basis.
+    track_dse: bool,
+    /// Forrest–Goldfarb reference weights `β_k ≈ ‖B⁻ᵀe_k‖²` by
+    /// elimination position, parallel to `basic`. Empty unless
+    /// `track_dse`.
+    dse_weights: Vec<f64>,
+    /// Dual-engine pivots (subset of `iterations`).
+    dual_iterations: usize,
+    /// Bound flips applied by the long-step dual ratio test.
+    bound_flips: usize,
 }
 
 impl<'a> Solver<'a> {
@@ -283,6 +324,10 @@ impl<'a> Solver<'a> {
             devex_weights: Vec::new(),
             candidates: Vec::new(),
             reduced_valid: false,
+            track_dse: lp.pricing() == PricingRule::DualSteepestEdge,
+            dse_weights: Vec::new(),
+            dual_iterations: 0,
+            bound_flips: 0,
         };
 
         let warm_applied = warm.is_some_and(|b| solver.try_warm_basis(b));
@@ -291,6 +336,13 @@ impl<'a> Solver<'a> {
             solver
                 .refactorize()
                 .map_err(|_| LpError::InvalidModel("logical basis is singular".into()))?;
+        }
+        // Weight handoff contract: `try_warm_basis` adopts the warm basis'
+        // weights only on the exact-match fast path; everything else —
+        // cold start, structural edits, stale bases — starts from the unit
+        // reference framework.
+        if solver.track_dse && solver.dse_weights.len() != solver.m {
+            solver.dse_weights = vec![1.0; solver.m];
         }
         Ok(solver)
     }
@@ -378,11 +430,34 @@ impl<'a> Solver<'a> {
         // from-scratch refactorisation is skipped. This is what makes
         // branch-and-bound node re-solves cheap: their fixed cost used to
         // be dominated by exactly that refactorisation.
-        if old_n == self.n && old_m == self.m && warm.matrix_fingerprint == self.cache.fingerprint {
+        // The exact-match condition of the factorisation cache also
+        // revalidates the inherited dual steepest-edge weights: they
+        // describe `‖B⁻ᵀe_k‖²` of *this* basis over *this* matrix, so
+        // structural edits (which change the fingerprint or the
+        // dimensions) leave `inherited` empty and `Solver::new` resets to
+        // the unit framework. They are only *committed* on the success
+        // paths below — adopting a warm basis can still fail on a
+        // singular refactorisation, and weights of a basis that was never
+        // installed would poison the leaving-row selection.
+        let exact_match =
+            old_n == self.n && old_m == self.m && warm.matrix_fingerprint == self.cache.fingerprint;
+        let inherited = if self.track_dse && exact_match {
+            warm.dse_weights
+                .as_ref()
+                .filter(|w| w.len() == self.m)
+                .filter(|w| w.iter().all(|&b| b.is_finite() && b >= DSE_MIN_WEIGHT))
+                .cloned()
+        } else {
+            None
+        };
+        if exact_match {
             if let Some(cached) = warm.factor.as_ref().filter(|f| f.worth_caching()) {
                 self.statuses = statuses;
                 self.basic = basic;
                 self.factor = (**cached).clone();
+                if let Some(w) = inherited {
+                    self.dse_weights = w;
+                }
                 return true;
             }
         }
@@ -392,6 +467,9 @@ impl<'a> Solver<'a> {
             self.statuses = prev_statuses;
             self.basic = prev_basic;
             return false;
+        }
+        if let Some(w) = inherited {
+            self.dse_weights = w;
         }
         true
     }
@@ -403,12 +481,18 @@ impl<'a> Solver<'a> {
             &mut self.factor,
             Factorization::factorize(0, &[]).expect("empty basis"),
         );
+        let dse_weights = if self.track_dse && self.dse_weights.len() == self.m {
+            Some(std::mem::take(&mut self.dse_weights))
+        } else {
+            None
+        };
         Basis {
             statuses: self.statuses,
             basic: self.basic,
             num_structural: self.n,
             factor: Some(std::sync::Arc::new(factor)),
             matrix_fingerprint: self.cache.fingerprint,
+            dse_weights,
         }
     }
 
@@ -476,7 +560,7 @@ impl<'a> Solver<'a> {
                 }
             }
         }
-        self.factor.ftran(&mut rhs);
+        self.factor.ftran_aux(&mut rhs);
         self.x_basic = rhs;
         self.x_staleness = 0;
     }
@@ -671,6 +755,58 @@ impl<'a> Solver<'a> {
         if !self.candidates.contains(&leaving) {
             self.candidates.push(leaving);
         }
+    }
+
+    /// Dual steepest-edge (Forrest–Goldfarb) reference-weight update for a
+    /// basis change at elimination position `pos` with FTRAN'd entering
+    /// column `w` — old-basis quantities, so this must run *before* the
+    /// factorisation update.
+    ///
+    /// With `ρ_k = B⁻ᵀe_k` and pivot element `α = w_pos = ρ_pos·a_q`, the
+    /// new inverse rows are `ρ'_pos = ρ_pos/α` and
+    /// `ρ'_k = ρ_k − (w_k/α)·ρ_pos`, hence exactly
+    ///
+    /// ```text
+    ///   β'_pos = β_pos/α²
+    ///   β'_k   = β_k − 2·(w_k/α)·(ρ_k·ρ_pos) + (w_k/α)²·β_pos
+    /// ```
+    ///
+    /// The cross terms `τ_k = ρ_k·ρ_pos` would cost an extra FTRAN of `ρ`
+    /// every pivot; like devex, the reference-framework variant drops them
+    /// and keeps the weights as the monotone lower envelope
+    /// `β'_k = max(β_k, (w_k/α)²·β_pos)` — free, since `w` is already in
+    /// hand from the ratio test, and accurate enough to steer the leaving
+    /// choice (the exact `β'_pos` is kept). The framework resets to unit
+    /// weights when a weight blows past [`DSE_WEIGHT_CAP`] or the
+    /// factorisation is rebuilt after a refused (unstable)
+    /// Forrest–Tomlin update.
+    fn dse_update_weights(&mut self, pos: usize, w: &[f64]) {
+        let alpha = w[pos];
+        let beta_r = self.dse_weights[pos];
+        let mut max_seen = 0.0f64;
+        for (k, &wk) in w.iter().enumerate() {
+            if k == pos || wk == 0.0 {
+                continue;
+            }
+            let ratio = wk / alpha;
+            let candidate = ratio * ratio * beta_r;
+            if candidate > self.dse_weights[k] {
+                self.dse_weights[k] = candidate;
+                max_seen = max_seen.max(candidate);
+            }
+        }
+        let new_r = (beta_r / (alpha * alpha)).max(DSE_MIN_WEIGHT);
+        self.dse_weights[pos] = new_r;
+        if !new_r.is_finite() || max_seen > DSE_WEIGHT_CAP || new_r > DSE_WEIGHT_CAP {
+            self.dse_reset_weights();
+        }
+    }
+
+    /// Resets the dual steepest-edge framework to unit weights (cold
+    /// reference framework).
+    fn dse_reset_weights(&mut self) {
+        self.dse_weights.clear();
+        self.dse_weights.resize(self.m, 1.0);
     }
 
     /// Primal ratio test for entering variable `q` moving in direction
@@ -947,7 +1083,7 @@ impl<'a> Solver<'a> {
                 // factors: incremental updates drift with the eta file.
                 self.reduced_valid = false;
             }
-            let (infeasible, mut violation) = self.infeasible_positions(accept);
+            let (mut infeasible, mut violation) = self.infeasible_positions(accept);
             let mut phase1 = !infeasible.is_empty();
             if phase1 && !was_phase1 {
                 phase_flaps += 1;
@@ -956,6 +1092,7 @@ impl<'a> Solver<'a> {
                     let relaxed = self.infeasible_positions(accept);
                     phase1 = !relaxed.0.is_empty();
                     violation = relaxed.1;
+                    infeasible = relaxed.0;
                 }
             }
             was_phase1 = phase1;
@@ -973,7 +1110,8 @@ impl<'a> Solver<'a> {
                 self.reduced_valid = false;
                 let cost_owned;
                 let cost: &[f64] = if phase1 {
-                    let infeasible = self.infeasible_positions(accept).0;
+                    // `infeasible` is the set just computed above (post
+                    // flap-guard relaxation) — no second O(m) scan.
                     let mut c = vec![0.0; self.n + self.m];
                     for &k in &infeasible {
                         let j = self.basic[k];
@@ -1084,6 +1222,13 @@ impl<'a> Solver<'a> {
                     } else {
                         None
                     };
+                    if self.track_dse {
+                        // The weights describe the basis, not the engine:
+                        // primal pivots after the dual hand-off must keep
+                        // them current or the snapshot would poison the
+                        // next warm start.
+                        self.dse_update_weights(pos, &w);
+                    }
                     let entering_value = self.nonbasic_value(q) + step;
                     let leaving = self.basic[pos];
                     self.statuses[leaving] = if to_upper {
@@ -1098,6 +1243,11 @@ impl<'a> Solver<'a> {
                         self.devex_post_pivot(q, leaving, &rho, w[pos]);
                     }
                     if !self.factor.update(pos, &w) {
+                        // Stability-triggered rebuild: the incremental DSE
+                        // framework rode on the same drifting factors.
+                        if self.track_dse {
+                            self.dse_reset_weights();
+                        }
                         self.refactorize_or_reset()?;
                         self.compute_x_basic();
                         self.reduced_valid = false;
@@ -1142,8 +1292,13 @@ impl<'a> Solver<'a> {
         // over. This also bounds the warm-start overhead on bases that turn
         // out to be far from the new optimum.
         let budget = 2 * self.m + 200;
+        let use_dse = self.track_dse;
         let mut dual_pivots = 0usize;
         let mut dual_stall = 0usize;
+        // Bound-flipping ratio test scratch (DSE only): breakpoint list and
+        // the variables flipped bound-to-bound by the current pivot.
+        let mut bfrt_breaks: Vec<(usize, f64, f64)> = Vec::new();
+        let mut flips: Vec<usize> = Vec::new();
         // Sparse pivot row α = ρᵀ[A | I], accumulated row-wise over the
         // non-zeros of ρ only (the CSR mirror): on the layout models ρ has
         // a handful of entries, so this replaces an every-column dot
@@ -1162,24 +1317,34 @@ impl<'a> Solver<'a> {
                 self.recompute_dual_reduced(&mut d);
             }
 
-            // Leaving row: the most violated basic.
-            let mut leaving: Option<(usize, f64, bool)> = None; // (pos, violation, below)
+            // Leaving row: the most violated basic (the pinned pre-DSE
+            // rule) — or, under dual steepest-edge pricing, the best
+            // `δ²/β` score: the dual objective improves at rate δ per unit
+            // step, a step of steepest-edge length `√β`, so `δ²/β` ranks
+            // rows by improvement per unit of *actual* dual movement
+            // instead of by raw violation (which over-prices rows whose
+            // inverse row is long).
+            let mut leaving: Option<(usize, f64, bool, f64)> = None; // (pos, violation, below, score)
             for (k, &j) in self.basic.iter().enumerate() {
                 let x = self.x_basic[k];
                 let (l, u) = (self.lower[j], self.upper[j]);
-                if x < l - Self::feas_tol(l) {
-                    let v = l - x;
-                    if leaving.map(|(_, best, _)| v > best).unwrap_or(true) {
-                        leaving = Some((k, v, true));
-                    }
+                let (v, is_below) = if x < l - Self::feas_tol(l) {
+                    (l - x, true)
                 } else if x > u + Self::feas_tol(u) {
-                    let v = x - u;
-                    if leaving.map(|(_, best, _)| v > best).unwrap_or(true) {
-                        leaving = Some((k, v, false));
-                    }
+                    (x - u, false)
+                } else {
+                    continue;
+                };
+                let score = if use_dse {
+                    v * v / self.dse_weights[k]
+                } else {
+                    v
+                };
+                if leaving.map(|(_, _, _, best)| score > best).unwrap_or(true) {
+                    leaving = Some((k, v, is_below, score));
                 }
             }
-            let Some((r, _, below)) = leaving else {
+            let Some((r, violation, below)) = leaving.map(|(k, v, b, _)| (k, v, b)) else {
                 return Ok(DualOutcome::Feasible);
             };
 
@@ -1200,26 +1365,17 @@ impl<'a> Solver<'a> {
                 }
             }
 
-            // Dual ratio test: smallest |d_j / alpha_j| over the eligible
-            // entering candidates (ties: largest pivot). The touched set is
-            // scanned in ascending column order — the pre-devex scan order,
-            // so near-tie outcomes (which steer the chaotic layout flow)
-            // stay pinned.
+            // Dual ratio test. The touched set is scanned in ascending
+            // column order — the pre-devex scan order, so near-tie
+            // outcomes (which steer the chaotic layout flow) stay pinned
+            // for the non-DSE rules.
             touched_sorted.clear();
             touched_sorted.extend_from_slice(alpha.touched());
             touched_sorted.sort_unstable();
-            let mut entering: Option<(usize, f64, f64)> = None; // (var, ratio, alpha)
-            for &j in &touched_sorted {
-                if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
-                    continue;
-                }
-                let a = alpha.get(j);
-                if a.abs() <= RATIO_PIVOT_TOL {
-                    continue;
-                }
-                // x_r must move towards its violated bound when j moves in
-                // its own feasible direction: dx_r = −alpha·dx_j.
-                let eligible = match self.statuses[j] {
+            // x_r must move towards its violated bound when j moves in its
+            // own feasible direction: dx_r = −alpha·dx_j.
+            let eligible_dir = |statuses: &[VarStatus], j: usize, a: f64| -> bool {
+                match statuses[j] {
                     VarStatus::AtLower => {
                         if below {
                             a < 0.0
@@ -1236,19 +1392,86 @@ impl<'a> Solver<'a> {
                     }
                     VarStatus::Free => true,
                     VarStatus::Basic => false,
-                };
-                if !eligible {
-                    continue;
                 }
-                let ratio = (d[j] / a).abs();
-                let better = match entering {
-                    None => true,
-                    Some((_, best, best_alpha)) => {
-                        ratio < best - 1e-12 || (ratio < best + 1e-12 && a.abs() > best_alpha.abs())
+            };
+            let mut entering: Option<(usize, f64, f64)> = None; // (var, ratio, alpha)
+            flips.clear();
+            if use_dse {
+                // Bound-flipping (long-step) ratio test. The dual
+                // objective is piecewise linear in the dual step θ with
+                // initial slope equal to the violation δ of row r; at the
+                // breakpoint θ_j = |d_j/α_j| the reduced cost of
+                // candidate j crosses zero, and if j is *boxed* the sweep
+                // may pass the breakpoint by flipping j to its opposite
+                // bound — which moves x_r towards its violated bound by
+                // |α_j|·span_j, i.e. lowers the slope by that amount.
+                // Sweeping breakpoints in ratio order while the slope
+                // stays positive takes the longest dual step that still
+                // improves, flipping every passed candidate in one
+                // batch — the classic multiplier on boxed degenerate
+                // models (the one-hot direction groups of the layout
+                // ILP), where the textbook test grinds through the same
+                // breakpoints one degenerate pivot at a time.
+                bfrt_breaks.clear();
+                for &j in &touched_sorted {
+                    if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                        continue;
                     }
-                };
-                if better {
-                    entering = Some((j, ratio, a));
+                    let a = alpha.get(j);
+                    if a.abs() <= RATIO_PIVOT_TOL || !eligible_dir(&self.statuses, j, a) {
+                        continue;
+                    }
+                    bfrt_breaks.push((j, (d[j] / a).abs(), a));
+                }
+                bfrt_breaks.sort_by(|x, y| {
+                    x.1.partial_cmp(&y.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(
+                            y.2.abs()
+                                .partial_cmp(&x.2.abs())
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
+                });
+                let mut slope = violation;
+                for (idx, &(j, ratio, a)) in bfrt_breaks.iter().enumerate() {
+                    let span = self.upper[j] - self.lower[j];
+                    let boxed = span.is_finite()
+                        && matches!(self.statuses[j], VarStatus::AtLower | VarStatus::AtUpper);
+                    let remaining = slope - a.abs() * span;
+                    // Never flip the last breakpoint: a pivot needs an
+                    // entering column, and a positive final slope with no
+                    // column left would otherwise only prove dual
+                    // unboundedness the loose entry check cannot certify.
+                    if boxed && remaining > BFRT_SLOPE_TOL && idx + 1 < bfrt_breaks.len() {
+                        flips.push(j);
+                        slope = remaining;
+                    } else {
+                        entering = Some((j, ratio, a));
+                        break;
+                    }
+                }
+            } else {
+                // Pinned test: smallest |d_j / α_j| over the eligible
+                // entering candidates (ties: largest pivot).
+                for &j in &touched_sorted {
+                    if self.statuses[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                        continue;
+                    }
+                    let a = alpha.get(j);
+                    if a.abs() <= RATIO_PIVOT_TOL || !eligible_dir(&self.statuses, j, a) {
+                        continue;
+                    }
+                    let ratio = (d[j] / a).abs();
+                    let better = match entering {
+                        None => true,
+                        Some((_, best, best_alpha)) => {
+                            ratio < best - 1e-12
+                                || (ratio < best + 1e-12 && a.abs() > best_alpha.abs())
+                        }
+                    };
+                    if better {
+                        entering = Some((j, ratio, a));
+                    }
                 }
             }
             let Some((q, ratio, alpha_rq)) = entering else {
@@ -1281,6 +1504,43 @@ impl<'a> Solver<'a> {
                 continue;
             }
 
+            // Apply the batched bound flips of the long-step ratio test:
+            // one auxiliary FTRAN of the accumulated flip column `Σ a_j·Δx_j`
+            // updates every basic value at once (`x_B ← x_B − B⁻¹Σa_j·Δx_j`).
+            // By construction of the sweep, row r stays infeasible in the
+            // same direction afterwards (the slope — its remaining
+            // violation — was still positive), so the pivot below proceeds
+            // exactly as in the single-breakpoint test. The statuses only
+            // toggle here, after the pivot column survived its numerical
+            // check: committing flips and then abandoning the pivot would
+            // leave reduced costs dual-infeasible for the new bounds.
+            if !flips.is_empty() {
+                let mut flip_col = vec![0.0; self.m];
+                for &j in &flips {
+                    let dx = match self.statuses[j] {
+                        VarStatus::AtLower => self.upper[j] - self.lower[j],
+                        VarStatus::AtUpper => self.lower[j] - self.upper[j],
+                        _ => 0.0,
+                    };
+                    for (row, a) in self.column(j) {
+                        flip_col[row] += a * dx;
+                    }
+                }
+                self.factor.ftran_aux(&mut flip_col);
+                for (k, &dk) in flip_col.iter().enumerate() {
+                    self.x_basic[k] -= dk;
+                }
+                for &j in &flips {
+                    self.statuses[j] = match self.statuses[j] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other,
+                    };
+                }
+                self.bound_flips += flips.len();
+                self.x_staleness = self.x_staleness.saturating_add(1);
+            }
+
             // Incremental primal update along w: drive x_r exactly to the
             // bound it leaves at.
             let target = if below {
@@ -1294,6 +1554,9 @@ impl<'a> Solver<'a> {
                 self.x_basic[k] -= delta * wk;
             }
 
+            if use_dse {
+                self.dse_update_weights(r, &w);
+            }
             let leaving_var = self.basic[r];
             self.statuses[leaving_var] = if below {
                 VarStatus::AtLower
@@ -1304,6 +1567,7 @@ impl<'a> Solver<'a> {
             self.basic[r] = q;
             self.x_basic[r] = entering_value;
             self.iterations += 1;
+            self.dual_iterations += 1;
             self.x_staleness = self.x_staleness.saturating_add(1);
             dual_pivots += 1;
             // Incremental dual update: d_j ← d_j − θ_d·α_rj with
@@ -1318,6 +1582,11 @@ impl<'a> Solver<'a> {
             d[leaving_var] = -theta_d;
             d[q] = 0.0;
             if !self.factor.update(r, &w) {
+                // Stability-triggered rebuild resets the DSE framework
+                // along with the factors.
+                if use_dse {
+                    self.dse_reset_weights();
+                }
                 self.refactorize_or_reset()?;
                 self.compute_x_basic();
                 self.recompute_dual_reduced(&mut d);
@@ -1345,6 +1614,11 @@ impl<'a> Solver<'a> {
             return Ok(());
         }
         self.cold_basis();
+        if self.track_dse {
+            // The basis itself changed wholesale; the weights describe the
+            // old one.
+            self.dse_reset_weights();
+        }
         self.refactorize()
             .map_err(|_| LpError::InvalidModel("logical basis is singular".into()))
     }
@@ -1382,6 +1656,8 @@ impl<'a> Solver<'a> {
             objective,
             iterations: self.iterations,
             refactorizations: self.refactorizations,
+            dual_iterations: self.dual_iterations,
+            bound_flips: self.bound_flips,
         };
         (solution, self.into_snapshot())
     }

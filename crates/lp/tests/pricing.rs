@@ -1,10 +1,16 @@
 //! Pricing-rule equivalence and degeneracy regression suite.
 //!
-//! The devex + Forrest–Tomlin path is the production default; the pinned
-//! Dantzig rule reproduces the pre-devex behaviour. Both must agree with
-//! each other and with the dense-tableau oracle on objective and status
-//! for random bounded LPs, and the Harris ratio test (plus the Bland
-//! fallback) must terminate on classic degenerate/cycling instances.
+//! The devex + Forrest–Tomlin path is the general-purpose default, the
+//! pinned Dantzig rule reproduces the pre-devex behaviour, and dual
+//! steepest-edge (with the bound-flipping long-step dual ratio test) is
+//! the layout engine's warm re-solve rule. All must agree with each
+//! other and with the dense-tableau oracle on objective and status for
+//! random bounded LPs (cold and warm), the Harris ratio test (plus the
+//! Bland fallback) must terminate on classic degenerate/cycling
+//! instances, the long-step test must actually batch bound flips on a
+//! boxed degenerate instance, and the DSE weight-handoff contract
+//! (inherit on exact match, reset to unit on structural edits) is locked
+//! in by warm-chain and grown-model tests.
 
 use proptest::prelude::*;
 use rfic_lp::{ConstraintOp, LinearProgram, LpError, PricingRule, Sense};
@@ -63,10 +69,11 @@ fn solve_with(lp: &LinearProgram, rule: PricingRule) -> Result<f64, LpError> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Devex and the pinned Dantzig path must agree with the dense oracle
-    /// (objective and infeasible/unbounded status) on random bounded LPs.
+    /// Devex, the pinned Dantzig path and dual steepest-edge must agree
+    /// with the dense oracle (objective and infeasible/unbounded status)
+    /// on random bounded LPs.
     #[test]
-    fn devex_and_dantzig_match_the_dense_oracle(
+    fn all_pricing_rules_match_the_dense_oracle(
         vars in 2usize..9,
         rows in 1usize..8,
         seed in 0u64..10_000,
@@ -74,9 +81,10 @@ proptest! {
         let lp = random_bounded_lp(vars, rows, seed);
         let devex = solve_with(&lp, PricingRule::Devex);
         let dantzig = solve_with(&lp, PricingRule::Dantzig);
+        let dse = solve_with(&lp, PricingRule::DualSteepestEdge);
         let oracle = lp.solve_dense().map(|s| s.objective);
-        match (&devex, &dantzig, &oracle) {
-            (Ok(a), Ok(b), Ok(c)) => {
+        match (&devex, &dantzig, &dse, &oracle) {
+            (Ok(a), Ok(b), Ok(d), Ok(c)) => {
                 prop_assert!(
                     (a - c).abs() <= TOL * (1.0 + c.abs()),
                     "devex {a} != oracle {c}"
@@ -85,16 +93,31 @@ proptest! {
                     (b - c).abs() <= TOL * (1.0 + c.abs()),
                     "dantzig {b} != oracle {c}"
                 );
+                prop_assert!(
+                    (d - c).abs() <= TOL * (1.0 + c.abs()),
+                    "dual steepest-edge {d} != oracle {c}"
+                );
             }
-            (Err(LpError::Infeasible), Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
-            (Err(LpError::Unbounded), Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (
+                Err(LpError::Infeasible),
+                Err(LpError::Infeasible),
+                Err(LpError::Infeasible),
+                Err(LpError::Infeasible),
+            ) => {}
+            (
+                Err(LpError::Unbounded),
+                Err(LpError::Unbounded),
+                Err(LpError::Unbounded),
+                Err(LpError::Unbounded),
+            ) => {}
             other => prop_assert!(false, "solver disagreement: {other:?}"),
         }
     }
 
-    /// A feasible warm re-solve after a bound change must agree across both
+    /// A feasible warm re-solve after a bound change must agree across all
     /// pricing rules (the warm path enters through the dual simplex, whose
-    /// incremental reduced costs this exercises).
+    /// incremental reduced costs — and, under dual steepest-edge, whose
+    /// weight framework and bound-flipping ratio test — this exercises).
     #[test]
     fn warm_resolve_agrees_across_pricing_rules(
         vars in 3usize..8,
@@ -108,7 +131,11 @@ proptest! {
             let (lo, hi) = base.bounds(0);
             let mid = solution.values[0].clamp(lo, hi);
             lp.set_bounds(0, lo, mid);
-            for rule in [PricingRule::Devex, PricingRule::Dantzig] {
+            for rule in [
+                PricingRule::Devex,
+                PricingRule::Dantzig,
+                PricingRule::DualSteepestEdge,
+            ] {
                 let mut warm_lp = lp.clone();
                 warm_lp.set_pricing(rule);
                 let warm = warm_lp.solve_warm(Some(&basis)).map(|(s, _)| s.objective);
@@ -123,6 +150,131 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// Bound-flip regression: on a boxed degenerate instance the dual
+/// steepest-edge warm re-solve must take the long-step ratio test — one
+/// dual pivot flipping several boxed nonbasics bound-to-bound — and still
+/// land on the cold optimum.
+#[test]
+fn bound_flipping_ratio_test_flips_boxed_nonbasics() {
+    // min x₁ + Σ_{j≥2} (j)·x_j  s.t.  Σ x_j ≥ 2,
+    // x₁ ∈ [0,1], x_j ∈ [0,1/4] for j ≥ 2: the optimum fills the cheap
+    // x₁ to 1 and four of the boxed quarters. Branching x₁ to zero rips a
+    // violation of 1 into the row whose repair crosses four quarter-span
+    // breakpoints — the textbook test grinds through them one degenerate
+    // pivot at a time, the bound-flipping test flips through in a batch.
+    let n = 10;
+    let mut lp = LinearProgram::new(n, Sense::Minimize);
+    lp.set_objective_coeff(0, 1.0);
+    lp.set_bounds(0, 0.0, 1.0);
+    for v in 1..n {
+        lp.set_objective_coeff(v, 1.0 + v as f64);
+        lp.set_bounds(v, 0.0, 0.25);
+    }
+    lp.add_constraint((0..n).map(|v| (v, 1.0)).collect(), ConstraintOp::Ge, 2.0);
+
+    let (base, basis) = lp.solve_warm(None).expect("base solve");
+    assert!(
+        (base.objective - 4.5).abs() < 1e-9,
+        "base {}",
+        base.objective
+    );
+
+    // Branch x₁ down to zero and re-solve warm under dual steepest-edge.
+    lp.set_bounds(0, 0.0, 0.0);
+    let mut dse_lp = lp.clone();
+    dse_lp.set_pricing(PricingRule::DualSteepestEdge);
+    let (warm, _) = dse_lp.solve_warm(Some(&basis)).expect("warm DSE");
+    let cold = lp.solve().expect("cold");
+    assert!(
+        (warm.objective - cold.objective).abs() <= TOL * (1.0 + cold.objective.abs()),
+        "warm {} vs cold {}",
+        warm.objective,
+        cold.objective
+    );
+    assert!(
+        warm.dual_iterations >= 1,
+        "the re-solve must enter through the dual engine"
+    );
+    assert!(
+        warm.bound_flips >= 2,
+        "expected a batched bound flip, got {} flips over {} dual pivots",
+        warm.bound_flips,
+        warm.dual_iterations
+    );
+    // The long-step test must not pivot once per breakpoint: the flips
+    // ride on strictly fewer dual pivots than flipped variables.
+    assert!(
+        warm.dual_iterations < warm.bound_flips + 4,
+        "flips {} vs dual pivots {}",
+        warm.bound_flips,
+        warm.dual_iterations
+    );
+}
+
+/// Warm-start weight handoff, part 1: a chain of warm re-solves under
+/// dual steepest-edge (each inheriting the previous basis *and* its
+/// weight framework, with mid-solve refactorisations resetting drifted
+/// weights) must agree with a cold solve at every step.
+#[test]
+fn dse_weight_handoff_survives_a_warm_resolve_chain() {
+    let mut lp = random_bounded_lp(24, 16, 7);
+    lp.set_pricing(PricingRule::DualSteepestEdge);
+    let (mut solution, mut basis) = lp.solve_warm(None).expect("base solve");
+    for step in 0..6 {
+        // Tighten a rotating variable towards its current value — the
+        // branch-and-bound bound-change pattern.
+        let v = (step * 5) % lp.num_vars();
+        let (lo, hi) = lp.bounds(v);
+        let mid = solution.values[v].clamp(lo, hi);
+        lp.set_bounds(v, lo, mid);
+        let warm = lp.solve_warm(Some(&basis));
+        let cold = lp.solve();
+        match (warm, cold) {
+            (Ok((w, b)), Ok(c)) => {
+                assert!(
+                    (w.objective - c.objective).abs() <= TOL * (1.0 + c.objective.abs()),
+                    "step {step}: warm {} vs cold {}",
+                    w.objective,
+                    c.objective
+                );
+                solution = w;
+                basis = b;
+            }
+            (Err(we), Err(ce)) => {
+                assert_eq!(we, ce, "step {step}");
+                break;
+            }
+            other => panic!("step {step}: warm/cold disagreement {other:?}"),
+        }
+    }
+}
+
+/// Warm-start weight handoff, part 2: a structural edit (new constraint →
+/// new matrix fingerprint) must drop the inherited weights back to the
+/// unit framework — observable as the warm re-solve still agreeing with a
+/// cold solve of the grown model.
+#[test]
+fn dse_weights_reset_on_structural_edits() {
+    let mut lp = random_bounded_lp(12, 6, 3);
+    lp.set_pricing(PricingRule::DualSteepestEdge);
+    let (solution, basis) = lp.solve_warm(None).expect("base solve");
+    // Append a violated-ish cut through the current point: structural
+    // edit, fingerprint changes, weights must not be trusted.
+    let coeffs: Vec<(usize, f64)> = (0..lp.num_vars()).map(|v| (v, 1.0)).collect();
+    let total: f64 = solution.values.iter().sum();
+    lp.add_constraint(coeffs, ConstraintOp::Le, total - 0.1);
+    let warm = lp.solve_warm(Some(&basis)).map(|(s, _)| s.objective);
+    let cold = lp.solve().map(|s| s.objective);
+    match (warm, cold) {
+        (Ok(a), Ok(b)) => assert!(
+            (a - b).abs() <= TOL * (1.0 + b.abs()),
+            "warm {a} vs cold {b}"
+        ),
+        (Err(a), Err(b)) => assert_eq!(a, b),
+        other => panic!("warm/cold disagreement {other:?}"),
     }
 }
 

@@ -1,5 +1,7 @@
-//! Gomory mixed-integer (GMI) cutting planes from the revised-simplex
-//! tableau.
+//! Root cutting planes: Gomory mixed-integer (GMI) cuts from the
+//! revised-simplex tableau, plus the basis-free cover
+//! ([`separate_covers`]) and clique ([`separate_cliques`]) separators
+//! that share its pool/ranking contract.
 //!
 //! At the root node of the branch-and-bound search, every basic integer
 //! variable with a fractional LP value yields one tableau row
@@ -106,6 +108,30 @@ impl CutPool {
     }
 }
 
+/// The shared tail of every separator: rank candidate cuts by score
+/// (violation per norm, best first), cap at `max_cuts`, and register the
+/// survivors with the pool — only cuts that make the cap enter the pool,
+/// so a later round stays free to re-separate one dropped by the budget.
+fn rank_and_pool(mut cuts: Vec<Cut>, pool: &mut CutPool, max_cuts: usize) -> Vec<Cut> {
+    cuts.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    cuts.truncate(max_cuts);
+    for cut in &cuts {
+        pool.insert(cut);
+    }
+    pool.accepted += cuts.len();
+    cuts
+}
+
+/// `true` when `v` is a 0/1-bounded integer variable of `lp`.
+fn is_binary(lp: &LinearProgram, is_integer: &[bool], v: usize) -> bool {
+    let (l, u) = lp.bounds(v);
+    is_integer[v] && l == 0.0 && u == 1.0
+}
+
 /// Separates one round of GMI cuts at the vertex `(values, basis)` of `lp`.
 ///
 /// `is_integer[v]` marks the integer-constrained structural variables.
@@ -138,25 +164,12 @@ pub(crate) fn separate_gomory(
     let Ok(rows) = lp.tableau_rows(basis, &fractional) else {
         return Vec::new();
     };
-    let mut cuts: Vec<Cut> = rows
+    let cuts: Vec<Cut> = rows
         .iter()
         .filter_map(|row| cut_from_row(lp, row, is_integer, values))
         .filter(|cut| !pool.contains(cut))
         .collect();
-    cuts.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    cuts.truncate(max_cuts);
-    // Only the cuts that survive the ranking enter the pool: a cut dropped
-    // by the per-round cap was never added to the LP, so a later round must
-    // stay free to re-separate it.
-    for cut in &cuts {
-        pool.insert(cut);
-    }
-    pool.accepted += cuts.len();
-    cuts
+    rank_and_pool(cuts, pool, max_cuts)
 }
 
 /// Separates one round of (extended) **cover cuts** from the knapsack-style
@@ -184,17 +197,17 @@ pub(crate) fn separate_covers(
     if max_cuts == 0 {
         return Vec::new();
     }
-    let binary = |v: usize| -> bool {
-        let (l, u) = lp.bounds(v);
-        is_integer[v] && l == 0.0 && u == 1.0
-    };
     let mut cuts: Vec<Cut> = Vec::new();
     for con in lp.constraints() {
         if con.op != ConstraintOp::Le || con.rhs <= 0.0 {
             continue;
         }
         // Knapsack shape: all-positive coefficients on binary variables.
-        if !con.coeffs.iter().all(|&(v, a)| a > 0.0 && binary(v)) {
+        if !con
+            .coeffs
+            .iter()
+            .all(|&(v, a)| a > 0.0 && is_binary(lp, is_integer, v))
+        {
             continue;
         }
         let total: f64 = con.coeffs.iter().map(|&(_, a)| a).sum();
@@ -268,17 +281,126 @@ pub(crate) fn separate_covers(
             cuts.push(cut);
         }
     }
-    cuts.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    cuts.truncate(max_cuts);
-    for cut in &cuts {
-        pool.insert(cut);
+    rank_and_pool(cuts, pool, max_cuts)
+}
+
+/// Rows longer than this are ignored by the clique conflict-graph build
+/// (adjacency is quadratic in the row length; the one-hot groups this
+/// separator targets have a handful of members).
+const MAX_CLIQUE_ROW: usize = 64;
+/// Clique-growth seeds tried per separation round.
+const MAX_CLIQUE_SEEDS: usize = 48;
+
+/// Separates one round of **clique cuts** from the generalised
+/// upper-bound (GUB) rows of `lp` at the point `values`.
+///
+/// A GUB row `Σ_{j∈S} x_j ≤ 1` (or `= 1`) over binary variables — the
+/// one-hot segment-direction groups of the layout ILP are exactly this
+/// shape — makes every pair of its members *conflicting*: no feasible 0-1
+/// point sets two of them. Those pairwise conflicts form a graph in which
+/// every clique `C`, even one spanning several GUB rows, yields the valid
+/// inequality `Σ_{j∈C} x_j ≤ 1`. Single rows never produce a violated
+/// clique (the LP already satisfies them), so the value of the separator
+/// is precisely the cross-row cliques: overlapping one-hot groups whose
+/// union the relaxation over-fills.
+///
+/// Separation is the classical greedy on the fractional point: seed with
+/// a high-`x*` member of the conflict graph and grow the clique through
+/// the candidates in descending `x*` order, keeping a vertex only when it
+/// conflicts with every member so far. Cuts are returned in the pool's
+/// `≥` orientation (`Σ −x_j ≥ −1`), deduplicated against `pool`,
+/// violation-ranked and capped at `max_cuts` — the same contract as
+/// [`separate_gomory`] and [`separate_covers`], so the root loop runs all
+/// three families through one ranking.
+pub(crate) fn separate_cliques(
+    lp: &LinearProgram,
+    values: &[f64],
+    is_integer: &[bool],
+    pool: &mut CutPool,
+    max_cuts: usize,
+) -> Vec<Cut> {
+    if max_cuts == 0 {
+        return Vec::new();
     }
-    pool.accepted += cuts.len();
-    cuts
+    // Conflict graph from the GUB rows: var -> set of conflicting vars.
+    let mut conflicts: std::collections::BTreeMap<usize, BTreeSet<usize>> =
+        std::collections::BTreeMap::new();
+    for con in lp.constraints() {
+        let gub_shape = matches!(con.op, ConstraintOp::Le | ConstraintOp::Eq)
+            && (con.rhs - 1.0).abs() < 1e-9
+            && con.coeffs.len() >= 2
+            && con.coeffs.len() <= MAX_CLIQUE_ROW
+            && con
+                .coeffs
+                .iter()
+                .all(|&(v, a)| (a - 1.0).abs() < 1e-9 && is_binary(lp, is_integer, v));
+        if !gub_shape {
+            continue;
+        }
+        for &(u, _) in &con.coeffs {
+            for &(v, _) in &con.coeffs {
+                if u != v {
+                    conflicts.entry(u).or_default().insert(v);
+                }
+            }
+        }
+    }
+    if conflicts.is_empty() {
+        return Vec::new();
+    }
+    // Fractionally active members, most loaded first (ties: index, for
+    // determinism).
+    let mut candidates: Vec<usize> = conflicts
+        .keys()
+        .copied()
+        .filter(|&v| values[v] > 1e-6)
+        .collect();
+    candidates.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut seen_members: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut cuts: Vec<Cut> = Vec::new();
+    for &seed in candidates.iter().take(MAX_CLIQUE_SEEDS) {
+        let mut members = vec![seed];
+        let mut load = values[seed];
+        for &v in &candidates {
+            if v == seed {
+                continue;
+            }
+            let ok = members
+                .iter()
+                .all(|&m| conflicts.get(&v).map(|s| s.contains(&m)).unwrap_or(false));
+            if ok {
+                members.push(v);
+                load += values[v];
+            }
+        }
+        if members.len() < 2 || load <= 1.0 + MIN_VIOLATION {
+            continue;
+        }
+        members.sort_unstable();
+        if !seen_members.insert(members.clone()) {
+            continue; // same clique reached from another seed this round
+        }
+        let mut cut = Cut {
+            coeffs: members.iter().map(|&v| (v, -1.0)).collect(),
+            rhs: -1.0,
+            score: 0.0,
+        };
+        let violation = cut.violation(values);
+        if violation < MIN_VIOLATION {
+            continue;
+        }
+        let norm = (cut.coeffs.len() as f64).sqrt();
+        cut.score = violation / (1.0 + norm);
+        if !pool.contains(&cut) {
+            cuts.push(cut);
+        }
+    }
+    rank_and_pool(cuts, pool, max_cuts)
 }
 
 /// GMI coefficient of one shifted nonbasic variable.
@@ -589,6 +711,109 @@ mod tests {
         let (solution, _) = lp.solve_warm(None).expect("solve");
         let mut pool = CutPool::new();
         assert!(separate_covers(&lp, &solution.values, &[true, false], &mut pool, 8).is_empty());
+    }
+
+    /// Three pairwise-overlapping GUB rows admit the triangle clique
+    /// `x_a + x_b + x_c <= 1`, which must separate the all-half vertex
+    /// and stay valid for every feasible 0-1 point.
+    #[test]
+    fn clique_cut_separates_across_overlapping_gub_rows() {
+        // max a + b + c  s.t. a+b <= 1, b+c <= 1, a+c <= 1: the LP
+        // optimum is a = b = c = 1/2 (objective 1.5) but the pairwise
+        // conflicts form a triangle, so at most one can be 1.
+        let mut lp = LinearProgram::new(3, Sense::Maximize);
+        for v in 0..3 {
+            lp.set_objective_coeff(v, 1.0);
+            lp.set_bounds(v, 0.0, 1.0);
+        }
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(1, 1.0), (2, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (2, 1.0)], ConstraintOp::Le, 1.0);
+        let (solution, _) = lp.solve_warm(None).expect("solve");
+        assert!(
+            solution.values.iter().all(|v| (v - 0.5).abs() < 1e-6),
+            "expected the all-half vertex, got {:?}",
+            solution.values
+        );
+        let mut pool = CutPool::new();
+        let cuts = separate_cliques(&lp, &solution.values, &[true, true, true], &mut pool, 8);
+        assert_eq!(cuts.len(), 1, "one triangle clique: {cuts:?}");
+        let cut = &cuts[0];
+        assert_eq!(cut.coeffs.len(), 3, "the full triangle, not an edge");
+        assert!(cut.violation(&solution.values) > 0.4);
+        for bits in 0..8u32 {
+            let point = [
+                (bits & 1) as f64,
+                ((bits >> 1) & 1) as f64,
+                ((bits >> 2) & 1) as f64,
+            ];
+            let feasible = point[0] + point[1] <= 1.0
+                && point[1] + point[2] <= 1.0
+                && point[0] + point[2] <= 1.0;
+            if feasible {
+                assert!(
+                    cut.violation(&point) <= 1e-9,
+                    "feasible point {point:?} violates clique cut {cut:?}"
+                );
+            }
+        }
+        // Second round: the pool suppresses re-derivation.
+        assert!(
+            separate_cliques(&lp, &solution.values, &[true, true, true], &mut pool, 8).is_empty()
+        );
+    }
+
+    /// One-hot `= 1` rows also feed the conflict graph (the layout ILP's
+    /// segment-direction groups are equalities).
+    #[test]
+    fn clique_cut_handles_one_hot_equality_rows() {
+        // a+b = 1 and b+c = 1 and a+c <= 1: conflicts again form the
+        // triangle; the fractional point (0.5, 0.5, 0.5) satisfies all
+        // rows but violates the clique.
+        let mut lp = LinearProgram::new(3, Sense::Maximize);
+        for v in 0..3 {
+            lp.set_bounds(v, 0.0, 1.0);
+        }
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 1.0);
+        lp.add_constraint(vec![(1, 1.0), (2, 1.0)], ConstraintOp::Eq, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (2, 1.0)], ConstraintOp::Le, 1.0);
+        let point = [0.5, 0.5, 0.5];
+        let mut pool = CutPool::new();
+        let cuts = separate_cliques(&lp, &point, &[true, true, true], &mut pool, 8);
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].coeffs.len(), 3);
+        assert!(cuts[0].violation(&point) > 0.4);
+    }
+
+    /// Rows that are not GUB-shaped (non-unit coefficients, rhs != 1,
+    /// continuous or non-binary members) must contribute no conflicts.
+    #[test]
+    fn clique_separator_skips_non_gub_rows() {
+        let mut lp = LinearProgram::new(3, Sense::Maximize);
+        lp.set_bounds(0, 0.0, 1.0);
+        lp.set_bounds(1, 0.0, 1.0);
+        lp.set_bounds(2, 0.0, 5.0); // not binary
+        lp.add_constraint(vec![(0, 2.0), (1, 1.0)], ConstraintOp::Le, 1.0); // non-unit coeff
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 2.0); // rhs != 1
+        lp.add_constraint(vec![(1, 1.0), (2, 1.0)], ConstraintOp::Le, 1.0); // non-binary member
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0); // wrong op
+        let point = [0.9, 0.9, 0.9];
+        let mut pool = CutPool::new();
+        assert!(separate_cliques(&lp, &point, &[true, true, false], &mut pool, 8).is_empty());
+    }
+
+    /// A single GUB row yields no cut: the LP satisfies it, so no clique
+    /// inside one row can be violated.
+    #[test]
+    fn single_gub_row_never_separates() {
+        let mut lp = LinearProgram::new(3, Sense::Maximize);
+        for v in 0..3 {
+            lp.set_bounds(v, 0.0, 1.0);
+        }
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintOp::Le, 1.0);
+        let point = [0.5, 0.3, 0.2]; // on the row, satisfied
+        let mut pool = CutPool::new();
+        assert!(separate_cliques(&lp, &point, &[true, true, true], &mut pool, 8).is_empty());
     }
 
     /// Integral vertices produce no cuts.

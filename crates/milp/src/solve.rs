@@ -72,9 +72,11 @@ pub struct SolveOptions {
     pub max_cuts_per_round: usize,
     /// Branching-variable selection rule.
     pub branching: BranchRule,
-    /// Primal pricing rule handed to every LP solve (node re-solves, root,
+    /// Pricing rule handed to every LP solve (node re-solves, root,
     /// heuristics). [`PricingRule::Devex`] is the general-purpose default;
-    /// the layout engine pins [`PricingRule::Dantzig`] — see the enum docs.
+    /// the layout engine pins [`PricingRule::DualSteepestEdge`], which
+    /// accelerates exactly the warm dual node re-solves — see the enum
+    /// docs.
     pub pricing: PricingRule,
 }
 
@@ -206,8 +208,16 @@ pub struct MilpSolution {
     /// fixed cost the factorisation cache exists to avoid (reported next
     /// to the pivot count in the CI pivot report).
     pub lp_refactorizations: usize,
-    /// Root Gomory and cover cuts added to the relaxation before the
-    /// search.
+    /// Subset of `simplex_iterations` performed by the dual engine — the
+    /// warm node re-solve path that dual steepest-edge pricing
+    /// ([`PricingRule::DualSteepestEdge`]) accelerates.
+    pub lp_dual_iterations: usize,
+    /// Total nonbasic bound flips applied by the long-step dual ratio
+    /// test across every node LP (each batch of flips rides on a single
+    /// dual pivot).
+    pub lp_bound_flips: usize,
+    /// Root Gomory, cover and clique cuts added to the relaxation before
+    /// the search.
     pub cuts: usize,
 }
 
@@ -342,6 +352,31 @@ impl Ord for OpenNode {
     }
 }
 
+/// Aggregated LP work counters, shared lock-free across the workers (and
+/// reported on the [`MilpSolution`]): total pivots, refactorisations,
+/// dual-engine pivots and long-step bound flips over every node,
+/// heuristic and root LP solve.
+#[derive(Debug, Default)]
+struct LpWorkCounters {
+    pivots: AtomicUsize,
+    refactorizations: AtomicUsize,
+    dual_pivots: AtomicUsize,
+    bound_flips: AtomicUsize,
+}
+
+impl LpWorkCounters {
+    fn record(&self, solution: &LpSolution) {
+        self.pivots
+            .fetch_add(solution.iterations, Ordering::Relaxed);
+        self.refactorizations
+            .fetch_add(solution.refactorizations, Ordering::Relaxed);
+        self.dual_pivots
+            .fetch_add(solution.dual_iterations, Ordering::Relaxed);
+        self.bound_flips
+            .fetch_add(solution.bound_flips, Ordering::Relaxed);
+    }
+}
+
 /// Per-variable pseudocost statistics: observed objective degradation per
 /// unit of fractionality, separately for up and down branches.
 #[derive(Debug, Clone, Copy, Default)]
@@ -384,8 +419,7 @@ struct Shared<'a> {
     /// bits when idle); feeds the global gap computation.
     worker_bounds: Vec<AtomicU64>,
     nodes: AtomicUsize,
-    pivots: AtomicUsize,
-    refactorizations: AtomicUsize,
+    lp_work: LpWorkCounters,
     seq: AtomicU64,
     /// Workers blocked on the pool condvar (starvation signal: active
     /// workers donate local nodes when this is non-zero).
@@ -606,8 +640,7 @@ fn solve_node_lp(
     lp: &LinearProgram,
     parent_basis: Option<&Basis>,
     options: &SolveOptions,
-    pivots: &AtomicUsize,
-    refactorizations: &AtomicUsize,
+    counters: &LpWorkCounters,
 ) -> Result<(LpSolution, Option<Basis>), LpError> {
     let result = if options.warm_start && worth_warm_starting(lp) {
         lp.solve_warm(parent_basis)
@@ -616,8 +649,7 @@ fn solve_node_lp(
         lp.solve().map(|solution| (solution, None))
     };
     if let Ok((solution, _)) = &result {
-        pivots.fetch_add(solution.iterations, Ordering::Relaxed);
-        refactorizations.fetch_add(solution.refactorizations, Ordering::Relaxed);
+        counters.record(solution);
     }
     result
 }
@@ -761,13 +793,7 @@ fn process_node(shared: &Shared<'_>, lp: &mut LinearProgram, current: Node, loca
     // cannot blow through the global time limit.
     load_node_bounds(lp, shared, &current);
     lp.set_time_limit(Some(shared.remaining_time()));
-    let lp_result = solve_node_lp(
-        lp,
-        current.parent_basis.as_ref(),
-        options,
-        &shared.pivots,
-        &shared.refactorizations,
-    );
+    let lp_result = solve_node_lp(lp, current.parent_basis.as_ref(), options, &shared.lp_work);
     let (lp_solution, node_basis) = match lp_result {
         Ok(pair) => pair,
         Err(LpError::Infeasible) | Err(LpError::Unbounded) => {
@@ -825,8 +851,7 @@ fn process_node(shared: &Shared<'_>, lp: &mut LinearProgram, current: Node, loca
                     shared.sense_sign,
                     options,
                     shared.remaining_time(),
-                    &shared.pivots,
-                    &shared.refactorizations,
+                    &shared.lp_work,
                 ) {
                     shared.offer_incumbent(vals, objective);
                 }
@@ -952,8 +977,7 @@ pub(crate) fn branch_and_bound(
         .as_ref()
         .and_then(|w| w.root_basis.clone())
         .filter(|_| options.warm_start);
-    let mut pivots_total = 0usize;
-    let mut refactorizations_total = 0usize;
+    let lp_work = LpWorkCounters::default();
     let (root_solution, root_basis) = match base_lp.solve_warm(root_warm.as_ref()) {
         Ok(pair) => pair,
         Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
@@ -963,8 +987,7 @@ pub(crate) fn branch_and_bound(
         }
         Err(e) => return Err(MilpError::Lp(e)),
     };
-    pivots_total += root_solution.iterations;
-    refactorizations_total += root_solution.refactorizations;
+    lp_work.record(&root_solution);
     // The *pre-cut* root basis is what survives into the next solve of a
     // grown model (cut rows are private to this solve).
     if let Some(w) = warm {
@@ -989,11 +1012,21 @@ pub(crate) fn branch_and_bound(
             &mut cut_pool,
             options.max_cuts_per_round,
         );
-        // Cover cuts from the knapsack-style capacity rows fill whatever
-        // of the per-round budget the Gomory separator left (they need no
-        // basis, only the fractional point).
+        // Cover cuts from the knapsack-style capacity rows and clique cuts
+        // from the one-hot (GUB) rows fill whatever of the per-round
+        // budget the Gomory separator left (neither needs a basis, only
+        // the fractional point).
         if cuts.len() < options.max_cuts_per_round {
             cuts.extend(cuts::separate_covers(
+                &base_lp,
+                &current_solution.values,
+                &is_integer,
+                &mut cut_pool,
+                options.max_cuts_per_round - cuts.len(),
+            ));
+        }
+        if cuts.len() < options.max_cuts_per_round {
+            cuts.extend(cuts::separate_cliques(
                 &base_lp,
                 &current_solution.values,
                 &is_integer,
@@ -1012,8 +1045,7 @@ pub(crate) fn branch_and_bound(
         base_lp.set_time_limit(Some(options.time_limit.saturating_sub(start.elapsed())));
         match base_lp.solve_warm(Some(&current_basis)) {
             Ok((solution, basis)) => {
-                pivots_total += solution.iterations;
-                refactorizations_total += solution.refactorizations;
+                lp_work.record(&solution);
                 // Keep the round only if it actually moved the root bound:
                 // on the big-M layout models Gomory cuts are typically too
                 // weak to pay for the extra rows in every node LP, and this
@@ -1061,8 +1093,7 @@ pub(crate) fn branch_and_bound(
             .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
             .collect(),
         nodes: AtomicUsize::new(1), // the root
-        pivots: AtomicUsize::new(pivots_total),
-        refactorizations: AtomicUsize::new(refactorizations_total),
+        lp_work,
         seq: AtomicU64::new(0),
         waiting: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
@@ -1090,8 +1121,7 @@ pub(crate) fn branch_and_bound(
                     sense_sign,
                     options,
                     shared.remaining_time(),
-                    &shared.pivots,
-                    &shared.refactorizations,
+                    &shared.lp_work,
                 ) {
                     shared.offer_incumbent(vals, objective);
                 }
@@ -1142,8 +1172,10 @@ pub(crate) fn branch_and_bound(
 
     // --- assemble the result ----------------------------------------------
     let nodes_explored = shared.nodes.load(Ordering::Relaxed);
-    let simplex_iterations = shared.pivots.load(Ordering::Relaxed);
-    let lp_refactorizations = shared.refactorizations.load(Ordering::Relaxed);
+    let simplex_iterations = shared.lp_work.pivots.load(Ordering::Relaxed);
+    let lp_refactorizations = shared.lp_work.refactorizations.load(Ordering::Relaxed);
+    let lp_dual_iterations = shared.lp_work.dual_pivots.load(Ordering::Relaxed);
+    let lp_bound_flips = shared.lp_work.bound_flips.load(Ordering::Relaxed);
     let limit_hit = shared.limit_hit.load(Ordering::SeqCst);
     if let Some(err) = shared.error.lock().unwrap().take() {
         return Err(err);
@@ -1193,6 +1225,8 @@ pub(crate) fn branch_and_bound(
                 gap: gap.max(0.0),
                 simplex_iterations,
                 lp_refactorizations,
+                lp_dual_iterations,
+                lp_bound_flips,
                 cuts: cuts_added,
             })
         }
@@ -1255,8 +1289,7 @@ fn rounding_heuristic(
     sense_sign: f64,
     options: &SolveOptions,
     remaining_time: Duration,
-    pivots: &AtomicUsize,
-    refactorizations: &AtomicUsize,
+    counters: &LpWorkCounters,
 ) -> Option<(Vec<f64>, f64)> {
     let mut lp = base_lp.clone();
     for &(var, lo, hi) in bound_changes {
@@ -1272,7 +1305,7 @@ fn rounding_heuristic(
         }
         lp.set_bounds(v, r, r);
     }
-    let (sol, _) = solve_node_lp(&lp, node_basis, options, pivots, refactorizations).ok()?;
+    let (sol, _) = solve_node_lp(&lp, node_basis, options, counters).ok()?;
     let values = round_integers(&sol.values, integer_vars);
     if !model.violated_constraints(&values, 1e-6).is_empty() {
         return None;
