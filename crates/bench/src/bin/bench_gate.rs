@@ -23,7 +23,9 @@
 
 use std::process::{Command, ExitCode};
 
-use rfic_bench::gate::{compare, parse_bench_json, strip_parallel_only};
+use rfic_bench::gate::{
+    compare, format_report, parse_bench_json, strip_parallel_only, write_target_artifact,
+};
 
 /// Absolute regression floor (ns): differences smaller than this are
 /// scheduler jitter on micro-scale benchmarks, never a real regression.
@@ -121,25 +123,13 @@ fn main() -> ExitCode {
 
     let report = compare(&baseline, &current, threshold_pct, MIN_ABS_REGRESSION_NS);
 
-    println!(
-        "bench-gate: {} compared, {} regressed, {} missing, {} new (threshold {threshold_pct} %)",
-        report.passed.len() + report.regressions.len(),
-        report.regressions.len(),
-        report.missing.len(),
-        report.added.len(),
-    );
-    for entry in &report.passed {
-        println!("  ok    {entry}");
-    }
-    for name in &report.added {
-        println!("  new   {name} (not in baseline; refresh BENCH_solver.json)");
-    }
-    for entry in &report.regressions {
-        println!("  FAIL  {entry}");
-    }
-    for name in &report.missing {
-        println!("  FAIL  {name} missing from the current run");
-    }
+    // The full per-bench diff table — old/new minima and change for every
+    // benchmark, worst regression first — both on stdout and as a file for
+    // the CI failure artifact. A failure log that only names the first
+    // offender forces a local re-run to see the rest; the table doesn't.
+    let table = format_report(&report, threshold_pct);
+    print!("{table}");
+    write_target_artifact("bench_gate_diff.txt", &table);
 
     if report.ok() {
         println!("bench-gate: PASS");

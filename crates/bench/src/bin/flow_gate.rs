@@ -1,0 +1,181 @@
+//! CI flow-regression gate: the end-to-end companion of `bench_gate`.
+//!
+//! The solver micro-benchmarks protect individual kernels; this gate
+//! protects the *flow-level* result those kernels buy — the tiny-circuit
+//! P-ILP run that must reach exact length on every strip in seconds, not
+//! minutes. It runs the flow, records wall time, length matching, bends,
+//! DRC status and the aggregate branch-and-bound traffic, writes the
+//! measurement to `target/flow_current.json`, and fails when a strip loses
+//! its exact length or the wall time regresses past the threshold against
+//! the committed `BENCH_flow.json` baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rfic-bench --bin flow_gate -- \
+//!     [--baseline BENCH_flow.json] \
+//!     [--current target/flow_current.json]  # skip re-running the flow
+//!     [--threshold 30]                      # percent wall-time regression
+//!     [--record BENCH_flow.json]            # refresh the baseline instead
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rfic_bench::gate::{flow_gate, flow_json, parse_flow_json, write_target_artifact, FlowRecord};
+use rfic_core::{Pilp, PilpConfig};
+use rfic_netlist::benchmarks;
+
+/// Absolute wall-time regression floor (ms): differences smaller than this
+/// are scheduler noise on a shared runner, never a lost optimisation. The
+/// tiny flow runs ~7 s, so 2 s ≈ the noise band observed across CI hosts.
+const MIN_ABS_REGRESSION_MS: f64 = 2_000.0;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("flow-gate: error: {message}");
+    ExitCode::from(2)
+}
+
+/// Runs the tiny-circuit flow once and measures it.
+fn measure_tiny_flow() -> Result<FlowRecord, String> {
+    let circuit = benchmarks::tiny_circuit();
+    let netlist = &circuit.netlist;
+    println!("flow-gate: running the tiny-circuit P-ILP flow (fast config) ...");
+    let start = Instant::now();
+    let result = Pilp::new(PilpConfig::fast())
+        .run(netlist)
+        .map_err(|e| format!("P-ILP run failed: {e}"))?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = result.report();
+    let exact = report
+        .strips
+        .iter()
+        .filter(|s| s.length_error.abs() < 1e-3)
+        .count() as u64;
+    Ok(FlowRecord {
+        name: netlist.name().to_owned(),
+        wall_ms,
+        strips: report.strips.len() as u64,
+        exact_lengths: exact,
+        total_bends: report.total_bends as u64,
+        max_length_error_um: report.max_length_error,
+        drc_violations: report.drc_violations as u64,
+        bnb_nodes: result.solver.nodes as u64,
+        solves: result.solver.solves as u64,
+        simplex_iterations: result.solver.simplex_iterations as u64,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = "BENCH_flow.json".to_string();
+    let mut current_path: Option<String> = None;
+    let mut record_path: Option<String> = None;
+    let mut threshold_pct = 30.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = v,
+                None => return fail("--baseline needs a path"),
+            },
+            "--current" => match args.next() {
+                Some(v) => current_path = Some(v),
+                None => return fail("--current needs a path"),
+            },
+            "--record" => match args.next() {
+                Some(v) => record_path = Some(v),
+                None => return fail("--record needs a path"),
+            },
+            "--threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threshold_pct = v,
+                None => return fail("--threshold needs a number (percent)"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "flow_gate [--baseline <json>] [--current <json>] [--threshold <pct>] \
+                     [--record <json>]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other}")),
+        }
+    }
+
+    // Obtain the current measurement (a pre-recorded file, or a live run).
+    let current = match &current_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => return fail(&format!("cannot read current run {path}: {e}")),
+            };
+            match parse_flow_json(&text) {
+                Ok(records) => records,
+                Err(e) => return fail(&format!("cannot parse current run {path}: {e}")),
+            }
+        }
+        None => match measure_tiny_flow() {
+            Ok(record) => vec![record],
+            Err(e) => return fail(&e),
+        },
+    };
+    for record in &current {
+        println!(
+            "flow-gate: {}: wall {:.0} ms, {}/{} exact lengths, {} bends, max |ΔL| {:.3} µm, \
+             {} DRC violations, {} B&B nodes over {} solves ({} pivots)",
+            record.name,
+            record.wall_ms,
+            record.exact_lengths,
+            record.strips,
+            record.total_bends,
+            record.max_length_error_um,
+            record.drc_violations,
+            record.bnb_nodes,
+            record.solves,
+            record.simplex_iterations,
+        );
+    }
+
+    // Persist the measurement for the CI artifact.
+    let current_json = flow_json(&current);
+    write_target_artifact("flow_current.json", &current_json);
+
+    // Baseline-refresh mode: record and exit.
+    if let Some(path) = record_path {
+        return match std::fs::write(&path, &current_json) {
+            Ok(()) => {
+                println!("flow-gate: baseline written to {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("cannot write baseline {path}: {e}")),
+        };
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("cannot read baseline {baseline_path}: {e}")),
+    };
+    let baseline = match parse_flow_json(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("cannot parse baseline {baseline_path}: {e}")),
+    };
+
+    let report = flow_gate(&baseline, &current, threshold_pct, MIN_ABS_REGRESSION_MS);
+    for note in &report.notes {
+        println!("  note  {note}");
+    }
+    for failure in &report.failures {
+        println!("  FAIL  {failure}");
+    }
+    if report.ok() {
+        println!("flow-gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "flow-gate: FAIL — investigate, or refresh the baseline with \
+             `cargo run --release -p rfic-bench --bin flow_gate -- --record {baseline_path}` \
+             if the change is intentional"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -229,6 +229,246 @@ pub fn compare(
     report
 }
 
+/// Formats a [`GateReport`] as the full per-bench diff table (old/new
+/// minima and change percentage for every compared benchmark, not just the
+/// offenders). Printed on stdout by the gate binary and written to
+/// `target/bench_gate_diff.txt` so CI can upload the complete diff as an
+/// artifact when the gate fails.
+pub fn format_report(report: &GateReport, threshold_pct: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench-gate diff (threshold {threshold_pct} %): {} compared, {} regressed, {} missing, {} new\n",
+        report.passed.len() + report.regressions.len(),
+        report.regressions.len(),
+        report.missing.len(),
+        report.added.len(),
+    ));
+    out.push_str(&format!(
+        "{:<7} {:<55} {:>12}  {:>12}  {:>9}\n",
+        "status", "benchmark", "old min ns", "new min ns", "change"
+    ));
+    let mut rows: Vec<(&str, &GateEntry)> = report
+        .regressions
+        .iter()
+        .map(|e| ("FAIL", e))
+        .chain(report.passed.iter().map(|e| ("ok", e)))
+        .collect();
+    // Worst regression first, then alphabetical — the offender is the
+    // first line a human reads in the failure log.
+    rows.sort_by(|a, b| {
+        b.1.ratio
+            .partial_cmp(&a.1.ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.name.cmp(&b.1.name))
+    });
+    for (status, entry) in rows {
+        out.push_str(&format!(
+            "{:<7} {:<55} {:>12.1}  {:>12.1}  {:>+8.1} %\n",
+            status,
+            entry.name,
+            entry.baseline_ns,
+            entry.current_ns,
+            entry.change_pct()
+        ));
+    }
+    for name in &report.missing {
+        out.push_str(&format!(
+            "{:<7} {:<55} (missing from the current run)\n",
+            "FAIL", name
+        ));
+    }
+    for name in &report.added {
+        out.push_str(&format!(
+            "{:<7} {:<55} (not in baseline; refresh it)\n",
+            "new", name
+        ));
+    }
+    out
+}
+
+/// Writes a gate artifact to `target/<file_name>` (absolute path — cargo
+/// runs binaries with the *package* directory as cwd, not the workspace
+/// root) and returns the path it wrote to. Failures are reported on
+/// stderr but never fail the caller: the artifact is diagnostics, not the
+/// gate verdict.
+pub fn write_target_artifact(file_name: &str, content: &str) -> String {
+    let path = std::env::current_dir()
+        .map(|d| d.join("target").join(file_name))
+        .map(|p| p.to_string_lossy().into_owned())
+        .unwrap_or_else(|_| file_name.to_string());
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("gate: warning: cannot write {path}: {e}");
+    }
+    path
+}
+
+// --- flow-level gate --------------------------------------------------------
+
+/// One end-to-end flow measurement (the tiny-circuit P-ILP run): the
+/// quality and solver-work numbers the flow gate protects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowRecord {
+    /// Flow id (circuit name).
+    pub name: String,
+    /// Wall-clock time of the whole flow, milliseconds.
+    pub wall_ms: f64,
+    /// Number of microstrips in the circuit.
+    pub strips: u64,
+    /// Strips that reached their exact target length (|error| < 1 nm·10³,
+    /// i.e. the flow's own `length_tolerance`).
+    pub exact_lengths: u64,
+    /// Total 90° bends over all strips.
+    pub total_bends: u64,
+    /// Largest absolute length error, µm.
+    pub max_length_error_um: f64,
+    /// DRC violations of the final layout.
+    pub drc_violations: u64,
+    /// Branch-and-bound nodes summed over every MILP solve of the run.
+    pub bnb_nodes: u64,
+    /// Individual MILP solves issued by the flow.
+    pub solves: u64,
+    /// Simplex pivots summed over every node LP.
+    pub simplex_iterations: u64,
+}
+
+/// Serialises flow records in the committed `BENCH_flow.json` format.
+pub fn flow_json(records: &[FlowRecord]) -> String {
+    let mut out = String::from("{\n  \"flows\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"wall_ms\": {:.1}, \"strips\": {}, \"exact_lengths\": {}, \
+             \"total_bends\": {}, \"max_length_error_um\": {:.6}, \"drc_violations\": {}, \
+             \"bnb_nodes\": {}, \"solves\": {}, \"simplex_iterations\": {} }}{}\n",
+            r.name,
+            r.wall_ms,
+            r.strips,
+            r.exact_lengths,
+            r.total_bends,
+            r.max_length_error_um,
+            r.drc_violations,
+            r.bnb_nodes,
+            r.solves,
+            r.simplex_iterations,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the `BENCH_flow.json` format written by [`flow_json`].
+pub fn parse_flow_json(text: &str) -> Result<Vec<FlowRecord>, String> {
+    let mut records = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find("\"name\"") {
+        rest = &rest[start..];
+        let end = rest.find('}').unwrap_or(rest.len());
+        let object = &rest[..end];
+        records.push(FlowRecord {
+            name: extract_string_value(object, "name")?,
+            wall_ms: extract_number_value(object, "wall_ms")?,
+            strips: extract_number_value(object, "strips")? as u64,
+            exact_lengths: extract_number_value(object, "exact_lengths")? as u64,
+            total_bends: extract_number_value(object, "total_bends")? as u64,
+            max_length_error_um: extract_number_value(object, "max_length_error_um")?,
+            drc_violations: extract_number_value(object, "drc_violations")? as u64,
+            bnb_nodes: extract_number_value(object, "bnb_nodes")? as u64,
+            solves: extract_number_value(object, "solves")? as u64,
+            simplex_iterations: extract_number_value(object, "simplex_iterations")? as u64,
+        });
+        rest = &rest[end..];
+    }
+    if records.is_empty() {
+        return Err("no flow records found".into());
+    }
+    Ok(records)
+}
+
+/// Result of gating a fresh flow run against the committed baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowGateReport {
+    /// Hard failures (quality or wall-time regressions).
+    pub failures: Vec<String>,
+    /// Informational notes (new flows, improvements).
+    pub notes: Vec<String>,
+}
+
+impl FlowGateReport {
+    /// `true` when the gate passes.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Gates a fresh flow run against the committed baseline.
+///
+/// Two failure classes, per the CI contract:
+/// * **quality**: a flow that no longer reaches exact length on every
+///   strip (`exact_lengths < strips`) fails outright — the headline
+///   3/3-exact result must never silently rot;
+/// * **wall time**: a flow slower than baseline by more than
+///   `threshold_pct` percent *and* more than `min_abs_ms` milliseconds
+///   (the absolute floor filters scheduler noise on short flows).
+///
+/// Baseline flows missing from the current run fail; current flows absent
+/// from the baseline are reported as notes.
+pub fn flow_gate(
+    baseline: &[FlowRecord],
+    current: &[FlowRecord],
+    threshold_pct: f64,
+    min_abs_ms: f64,
+) -> FlowGateReport {
+    let mut report = FlowGateReport::default();
+    for cur in current {
+        if cur.exact_lengths < cur.strips {
+            report.failures.push(format!(
+                "{}: only {}/{} strips reached exact length",
+                cur.name, cur.exact_lengths, cur.strips
+            ));
+        }
+        match baseline.iter().find(|b| b.name == cur.name) {
+            None => report
+                .notes
+                .push(format!("{}: not in baseline (new flow)", cur.name)),
+            Some(base) => {
+                let limit = base.wall_ms * (1.0 + threshold_pct / 100.0);
+                if cur.wall_ms > limit && cur.wall_ms - base.wall_ms > min_abs_ms {
+                    report.failures.push(format!(
+                        "{}: wall time {:.0} ms vs baseline {:.0} ms (+{:.1} %, threshold {} %)",
+                        cur.name,
+                        cur.wall_ms,
+                        base.wall_ms,
+                        (cur.wall_ms / base.wall_ms - 1.0) * 100.0,
+                        threshold_pct
+                    ));
+                } else {
+                    report.notes.push(format!(
+                        "{}: wall {:.0} ms (baseline {:.0} ms), {} nodes ({} baseline), bends {} ({})",
+                        cur.name,
+                        cur.wall_ms,
+                        base.wall_ms,
+                        cur.bnb_nodes,
+                        base.bnb_nodes,
+                        cur.total_bends,
+                        base.total_bends
+                    ));
+                }
+            }
+        }
+    }
+    for base in baseline {
+        if !current.iter().any(|c| c.name == base.name) {
+            report
+                .failures
+                .push(format!("{}: missing from the current run", base.name));
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,5 +584,89 @@ mod tests {
         };
         let text = entry.to_string();
         assert!(text.contains("+50.0"), "{text}");
+    }
+
+    #[test]
+    fn format_report_lists_every_bench_worst_first() {
+        let baseline = vec![
+            record("group/fast", 100_000.0),
+            record("group/slow", 100_000.0),
+            record("group/gone", 100_000.0),
+        ];
+        let current = vec![
+            record("group/fast", 90_000.0),
+            record("group/slow", 200_000.0),
+            record("group/fresh", 10_000.0),
+        ];
+        let report = compare(&baseline, &current, 30.0, 2_000.0);
+        let table = format_report(&report, 30.0);
+        // Every compared bench appears, regression first, with old/new/%.
+        let fail_at = table.find("FAIL    group/slow").expect("regression row");
+        let ok_at = table.find("ok      group/fast").expect("passed row");
+        assert!(fail_at < ok_at, "worst regression sorts first:\n{table}");
+        assert!(table.contains("+100.0"), "{table}");
+        assert!(table.contains("-10.0"), "{table}");
+        assert!(table.contains("group/gone"), "{table}");
+        assert!(table.contains("group/fresh"), "{table}");
+    }
+
+    fn flow(name: &str, wall_ms: f64, exact: u64) -> FlowRecord {
+        FlowRecord {
+            name: name.into(),
+            wall_ms,
+            strips: 3,
+            exact_lengths: exact,
+            total_bends: 4,
+            max_length_error_um: 0.0,
+            drc_violations: 0,
+            bnb_nodes: 1000,
+            solves: 40,
+            simplex_iterations: 9000,
+        }
+    }
+
+    #[test]
+    fn flow_json_round_trips() {
+        let records = vec![flow("tiny", 7300.5, 3), flow("small", 60000.0, 5)];
+        let text = flow_json(&records);
+        let parsed = parse_flow_json(&text).expect("parse");
+        assert_eq!(parsed, records);
+        assert!(parse_flow_json("{}").is_err());
+    }
+
+    #[test]
+    fn flow_gate_fails_on_lost_exact_lengths() {
+        let baseline = vec![flow("tiny", 7000.0, 3)];
+        let current = vec![flow("tiny", 7000.0, 2)];
+        let report = flow_gate(&baseline, &current, 30.0, 2_000.0);
+        assert!(!report.ok());
+        assert!(report.failures[0].contains("2/3"), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn flow_gate_honours_wall_threshold_and_floor() {
+        let baseline = vec![flow("tiny", 7000.0, 3)];
+        // +50 % and above the absolute floor: fails.
+        let report = flow_gate(&baseline, &[flow("tiny", 10500.0, 3)], 30.0, 2_000.0);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        // +20 %: within threshold, passes with a note.
+        let report = flow_gate(&baseline, &[flow("tiny", 8400.0, 3)], 30.0, 2_000.0);
+        assert!(report.ok());
+        assert!(!report.notes.is_empty());
+        // Tiny baseline: a large relative jump below the absolute floor is
+        // scheduler noise, not a regression.
+        let short = vec![flow("tiny", 100.0, 3)];
+        let report = flow_gate(&short, &[flow("tiny", 1500.0, 3)], 30.0, 2_000.0);
+        assert!(report.ok(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn flow_gate_tracks_missing_and_new_flows() {
+        let baseline = vec![flow("tiny", 7000.0, 3)];
+        let current = vec![flow("small", 60000.0, 5)];
+        let report = flow_gate(&baseline, &current, 30.0, 2_000.0);
+        assert!(!report.ok());
+        assert!(report.failures.iter().any(|f| f.contains("tiny")));
+        assert!(report.notes.iter().any(|n| n.contains("small")));
     }
 }

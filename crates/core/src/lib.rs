@@ -42,7 +42,7 @@ pub use drc::{check as drc_check, DrcOptions, DrcReport, DrcViolation};
 pub use layout::{Layout, Placement};
 pub use model::{IlpConfig, IlpError, IlpOutcome, IlpWeights, LayoutIlp, ObjectId, PairSpec};
 pub use pilp::{
-    legalize_placements, PhaseBudgets, PhaseSnapshot, Pilp, PilpConfig, PilpError, PilpPhase,
-    PilpResult,
+    legalize_placements, CutBudget, PhaseBudgets, PhaseSnapshot, Pilp, PilpConfig, PilpError,
+    PilpPhase, PilpResult, SolverTotals,
 };
 pub use report::{ComparisonRow, LayoutReport, StripReport};

@@ -39,13 +39,46 @@ use crate::layout::{Layout, Placement};
 use crate::model::{IlpConfig, IlpError, IlpWeights, LayoutIlp, ObjectId, PairSpec};
 use crate::report::LayoutReport;
 
+/// Tree-cut budget of one flow phase, mapped onto
+/// [`rfic_milp::SolveOptions`]'s `cut_every` / `max_cut_rounds` /
+/// `local_cuts` knobs. `None` in [`PhaseBudgets`] keeps that phase on
+/// root-only separation (which the flow additionally pins *off* — Gomory
+/// cuts never survive the root improvement gate on the big-M layout
+/// models, so tree cuts are the only separation a phase can opt into).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutBudget {
+    /// Separate at nodes whose depth is a multiple of this (`>= 1`).
+    pub cut_every: usize,
+    /// Maximum separation rounds per eligible node.
+    pub max_cut_rounds: usize,
+    /// Allow locally valid cuts (kept on the node's subtree).
+    pub local_cuts: bool,
+}
+
+impl CutBudget {
+    /// A budget separating every `cut_every` levels with the solver's
+    /// default per-node round limit and local cuts enabled.
+    pub fn every(cut_every: usize) -> CutBudget {
+        CutBudget {
+            cut_every: cut_every.max(1),
+            max_cut_rounds: 2,
+            local_cuts: true,
+        }
+    }
+}
+
 /// Optional per-phase wall-clock budgets for the individual MILP solves;
 /// phases without a budget fall back to [`PilpConfig::solve_time_limit`].
 ///
 /// The three phases have very different solve profiles — Phase 1 routes
 /// blurred strips (cheap, many solves), Phase 3 repairs hard-length strips
 /// (few solves, occasionally expensive) — so one global per-solve limit is
-/// either too tight for refinement or too loose for routing.
+/// either too tight for refinement or too loose for routing. The same
+/// argument applies to cut separation, so each phase also carries an
+/// optional [`CutBudget`] (default: no tree cuts anywhere — measured at
+/// flow level, the small layout MILPs solve in so few nodes that
+/// separation overhead does not pay; the knobs exist for the larger
+/// windowed models of bigger circuits).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PhaseBudgets {
     /// Per-solve budget in Phase 1 (blurred global routing).
@@ -54,6 +87,12 @@ pub struct PhaseBudgets {
     pub visualization: Option<Duration>,
     /// Per-solve budget in Phase 3 (iterative refinement).
     pub refinement: Option<Duration>,
+    /// Tree-cut budget in Phase 1.
+    pub routing_cuts: Option<CutBudget>,
+    /// Tree-cut budget in Phase 2.
+    pub visualization_cuts: Option<CutBudget>,
+    /// Tree-cut budget in Phase 3.
+    pub refinement_cuts: Option<CutBudget>,
 }
 
 impl PhaseBudgets {
@@ -63,6 +102,15 @@ impl PhaseBudgets {
             PilpPhase::GlobalRouting => self.routing,
             PilpPhase::Visualization => self.visualization,
             PilpPhase::Refinement => self.refinement,
+        }
+    }
+
+    /// The tree-cut budget configured for `phase`, if any.
+    pub fn cuts_for_phase(&self, phase: PilpPhase) -> Option<CutBudget> {
+        match phase {
+            PilpPhase::GlobalRouting => self.routing_cuts,
+            PilpPhase::Visualization => self.visualization_cuts,
+            PilpPhase::Refinement => self.refinement_cuts,
         }
     }
 }
@@ -156,6 +204,7 @@ impl PilpConfig {
                 routing: Some(Duration::from_secs(8)),
                 visualization: None,
                 refinement: Some(Duration::from_secs(20)),
+                ..PhaseBudgets::default()
             },
             solver_threads: 2,
             max_extra_chain_points: 4,
@@ -226,6 +275,35 @@ pub struct PhaseSnapshot {
     pub elapsed: Duration,
 }
 
+/// Aggregate MILP solver traffic of one P-ILP run — every windowed solve
+/// of every phase, summed. This is what the flow-level CI gate records
+/// next to the layout quality numbers: a layout can stay perfect while
+/// the solver quietly does 10x the work, and these counters are where
+/// that shows first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverTotals {
+    /// Individual MILP solves issued by the flow.
+    pub solves: usize,
+    /// Branch-and-bound nodes explored across them.
+    pub nodes: usize,
+    /// Simplex pivots across every node LP.
+    pub simplex_iterations: usize,
+    /// Root cuts added across the solves.
+    pub root_cuts: usize,
+    /// Tree (non-root) cuts separated across the solves.
+    pub tree_cuts: usize,
+}
+
+impl SolverTotals {
+    fn record(&mut self, solution: &rfic_milp::MilpSolution) {
+        self.solves += 1;
+        self.nodes += solution.nodes;
+        self.simplex_iterations += solution.simplex_iterations;
+        self.root_cuts += solution.cuts;
+        self.tree_cuts += solution.tree_cuts;
+    }
+}
+
 /// Result of a P-ILP run.
 #[derive(Debug, Clone)]
 pub struct PilpResult {
@@ -235,6 +313,8 @@ pub struct PilpResult {
     pub snapshots: Vec<PhaseSnapshot>,
     /// Total wall-clock runtime.
     pub runtime: Duration,
+    /// Aggregate solver work behind the layout.
+    pub solver: SolverTotals,
     report: LayoutReport,
 }
 
@@ -288,17 +368,18 @@ impl Pilp {
             .map_err(|e| PilpError::InvalidNetlist(e.to_string()))?;
         let start = Instant::now();
         let mut snapshots = Vec::new();
+        let mut solver = SolverTotals::default();
 
         let t0 = Instant::now();
-        let phase1 = self.phase1(netlist)?;
+        let phase1 = self.phase1(netlist, &mut solver)?;
         snapshots.push(self.snapshot(netlist, PilpPhase::GlobalRouting, &phase1, t0.elapsed()));
 
         let t1 = Instant::now();
-        let phase2 = self.phase2(netlist, &phase1)?;
+        let phase2 = self.phase2(netlist, &phase1, &mut solver)?;
         snapshots.push(self.snapshot(netlist, PilpPhase::Visualization, &phase2, t1.elapsed()));
 
         let t2 = Instant::now();
-        let phase3 = self.phase3(netlist, phase2)?;
+        let phase3 = self.phase3(netlist, phase2, &mut solver)?;
         snapshots.push(self.snapshot(netlist, PilpPhase::Refinement, &phase3, t2.elapsed()));
 
         let runtime = start.elapsed();
@@ -307,6 +388,7 @@ impl Pilp {
             layout: phase3,
             snapshots,
             runtime,
+            solver,
             report,
         })
     }
@@ -328,6 +410,7 @@ impl Pilp {
     }
 
     fn solve_options(&self, phase: PilpPhase) -> SolveOptions {
+        let cut_budget = self.config.phase_budgets.cuts_for_phase(phase);
         SolveOptions {
             time_limit: self
                 .config
@@ -361,6 +444,11 @@ impl Pilp {
             // Gomory cuts never survive the root-bound improvement gate on
             // these models; separating them is pure overhead here.
             cut_rounds: 0,
+            // Tree-wide cuts are opt-in per phase through the cut budgets
+            // (off by default — see `PhaseBudgets`).
+            cut_every: cut_budget.map_or(0, |c| c.cut_every),
+            max_cut_rounds: cut_budget.map_or(0, |c| c.max_cut_rounds),
+            local_cuts: cut_budget.is_some_and(|c| c.local_cuts),
             // Dual steepest-edge, re-decided from flow-level measurement
             // (DESIGN.md has the numbers): the layout node LPs are warm
             // dual re-solves, and the DSE leaving rule plus the
@@ -382,7 +470,7 @@ impl Pilp {
     /// Strips that terminate on a pad are routed first so the pads anchor
     /// their devices near the boundary; the remaining strips then grow the
     /// placement inwards at (roughly) their target distances.
-    fn phase1(&self, netlist: &Netlist) -> Result<Layout, PilpError> {
+    fn phase1(&self, netlist: &Netlist, totals: &mut SolverTotals) -> Result<Layout, PilpError> {
         let mut base = Layout::new(netlist.area());
         let mut order: Vec<&rfic_netlist::Microstrip> = netlist.microstrips().iter().collect();
         order.sort_by_key(|m| {
@@ -413,7 +501,13 @@ impl Pilp {
                 .chain_points
                 .insert(strip.id, strip.suggested_chain_points.clamp(3, 6));
 
-            match self.solve_with_separation(netlist, config, &base, PilpPhase::GlobalRouting) {
+            match self.solve_with_separation(
+                netlist,
+                config,
+                &base,
+                PilpPhase::GlobalRouting,
+                totals,
+            ) {
                 Ok(layout) => base = layout,
                 Err(e) => {
                     // Fall back to a trivial two-point route between the
@@ -468,7 +562,12 @@ impl Pilp {
     /// Device visualisation: place real device footprints at the Phase-1
     /// junctions, legalise overlaps geometrically, then re-attach every
     /// route to the real pins with windowed per-strip ILPs.
-    fn phase2(&self, netlist: &Netlist, phase1: &Layout) -> Result<Layout, PilpError> {
+    fn phase2(
+        &self,
+        netlist: &Netlist,
+        phase1: &Layout,
+        totals: &mut SolverTotals,
+    ) -> Result<Layout, PilpError> {
         let mut layout = phase1.clone();
         self.initial_placement(netlist, &mut layout);
         legalize_placements(netlist, &mut layout, self.config.tau_d);
@@ -484,9 +583,13 @@ impl Pilp {
             config
                 .strip_windows
                 .insert(strip.id, self.strip_window(netlist, &layout, strip.id));
-            if let Ok(updated) =
-                self.solve_with_separation(netlist, config, &layout, PilpPhase::Visualization)
-            {
+            if let Ok(updated) = self.solve_with_separation(
+                netlist,
+                config,
+                &layout,
+                PilpPhase::Visualization,
+                totals,
+            ) {
                 layout = updated;
             }
             // Failures are tolerated here: Phase 3 will retry with more
@@ -563,7 +666,12 @@ impl Pilp {
     /// Iterative refinement with chain-point deletion/insertion and device
     /// rotation until every strip matches its exact length and the layout is
     /// DRC clean.
-    fn phase3(&self, netlist: &Netlist, mut layout: Layout) -> Result<Layout, PilpError> {
+    fn phase3(
+        &self,
+        netlist: &Netlist,
+        mut layout: Layout,
+        totals: &mut SolverTotals,
+    ) -> Result<Layout, PilpError> {
         let mut extra_points: BTreeMap<MicrostripId, usize> = BTreeMap::new();
         for iteration in 0..self.config.max_refine_iters {
             let drc = drc::check(netlist, &layout, &DrcOptions::default());
@@ -596,20 +704,32 @@ impl Pilp {
             });
 
             for strip_id in pending {
-                let mut solved =
-                    self.refine_strip(netlist, &mut layout, strip_id, &mut extra_points, iteration);
+                let mut solved = self.refine_strip(
+                    netlist,
+                    &mut layout,
+                    strip_id,
+                    &mut extra_points,
+                    iteration,
+                    totals,
+                );
                 if !solved && iteration > 0 {
                     // Re-routing alone cannot repair this strip (typically
                     // because its pins ended up farther apart than the exact
                     // length allows). Move one endpoint device and re-route
                     // all strips incident to it concurrently.
-                    solved = self.cluster_repair(netlist, &mut layout, strip_id);
+                    solved = self.cluster_repair(netlist, &mut layout, strip_id, totals);
                 }
                 if !solved
                     && self.config.try_rotations
                     && iteration + 1 == self.config.max_refine_iters
                 {
-                    self.try_rotation_repair(netlist, &mut layout, strip_id, &mut extra_points);
+                    self.try_rotation_repair(
+                        netlist,
+                        &mut layout,
+                        strip_id,
+                        &mut extra_points,
+                        totals,
+                    );
                 }
             }
         }
@@ -626,6 +746,7 @@ impl Pilp {
         strip_id: MicrostripId,
         extra_points: &mut BTreeMap<MicrostripId, usize>,
         iteration: usize,
+        totals: &mut SolverTotals,
     ) -> bool {
         let strip = netlist.microstrip(strip_id).expect("strip exists");
         // Chain-point deletion: start from the simplified current route.
@@ -647,7 +768,13 @@ impl Pilp {
         config
             .strip_windows
             .insert(strip_id, self.strip_window(netlist, layout, strip_id));
-        match self.solve_with_separation(netlist, config.clone(), layout, PilpPhase::Refinement) {
+        match self.solve_with_separation(
+            netlist,
+            config.clone(),
+            layout,
+            PilpPhase::Refinement,
+            totals,
+        ) {
             Ok(updated) => {
                 *layout = updated;
                 true
@@ -657,9 +784,13 @@ impl Pilp {
                 // least improves; the next iteration will retry hard with an
                 // extra chain point.
                 config.hard_length = false;
-                if let Ok(updated) =
-                    self.solve_with_separation(netlist, config, layout, PilpPhase::Refinement)
-                {
+                if let Ok(updated) = self.solve_with_separation(
+                    netlist,
+                    config,
+                    layout,
+                    PilpPhase::Refinement,
+                    totals,
+                ) {
                     let better = updated
                         .length_error(netlist, strip_id)
                         .map(f64::abs)
@@ -687,6 +818,7 @@ impl Pilp {
         netlist: &Netlist,
         layout: &mut Layout,
         strip_id: MicrostripId,
+        totals: &mut SolverTotals,
     ) -> bool {
         let strip = netlist.microstrip(strip_id).expect("strip exists").clone();
         for terminal in strip.terminals() {
@@ -727,7 +859,7 @@ impl Pilp {
                 );
             }
             if let Ok(updated) =
-                self.solve_with_separation(netlist, config, layout, PilpPhase::Refinement)
+                self.solve_with_separation(netlist, config, layout, PilpPhase::Refinement, totals)
             {
                 let error_sum = |l: &Layout| -> f64 {
                     incident
@@ -761,6 +893,7 @@ impl Pilp {
         layout: &mut Layout,
         strip_id: MicrostripId,
         extra_points: &mut BTreeMap<MicrostripId, usize>,
+        totals: &mut SolverTotals,
     ) {
         let strip = netlist.microstrip(strip_id).expect("strip exists").clone();
         for terminal in strip.terminals() {
@@ -783,7 +916,14 @@ impl Pilp {
                 // Re-route every strip attached to the rotated device.
                 let mut ok = true;
                 for incident in netlist.microstrips_at(device.id) {
-                    if !self.refine_strip(netlist, &mut candidate, incident.id, extra_points, 0) {
+                    if !self.refine_strip(
+                        netlist,
+                        &mut candidate,
+                        incident.id,
+                        extra_points,
+                        0,
+                        totals,
+                    ) {
                         ok = false;
                         break;
                     }
@@ -817,6 +957,7 @@ impl Pilp {
         config: IlpConfig,
         base: &Layout,
         phase: PilpPhase,
+        totals: &mut SolverTotals,
     ) -> Result<Layout, IlpError> {
         let blurred = phase == PilpPhase::GlobalRouting;
         let options = self.solve_options(phase);
@@ -825,6 +966,7 @@ impl Pilp {
         let mut best: Option<Layout> = None;
         for _round in 0..=self.config.max_separation_rounds {
             let outcome = ilp.solve_warm(&options, &mut warm)?;
+            totals.record(&outcome.solution);
             let new_pairs = violating_pairs(netlist, &outcome.layout, ilp.config(), blurred);
             best = Some(outcome.layout);
             if new_pairs.is_empty() {
@@ -1055,6 +1197,26 @@ mod tests {
     }
 
     #[test]
+    fn cut_budgets_map_onto_solver_options_per_phase() {
+        let mut config = PilpConfig::fast();
+        config.phase_budgets.refinement_cuts = Some(CutBudget::every(2));
+        let pilp = Pilp::new(config);
+        let refine = pilp.solve_options(PilpPhase::Refinement);
+        assert_eq!(refine.cut_every, 2);
+        assert_eq!(refine.max_cut_rounds, 2);
+        assert!(refine.local_cuts);
+        // Phases without a budget stay on root-only separation (itself
+        // pinned off for the layout models).
+        let routing = pilp.solve_options(PilpPhase::GlobalRouting);
+        assert_eq!(routing.cut_every, 0);
+        assert_eq!(routing.max_cut_rounds, 0);
+        assert!(!routing.local_cuts);
+        assert_eq!(routing.cut_rounds, 0);
+        // `every` clamps a zero interval to a usable one.
+        assert_eq!(CutBudget::every(0).cut_every, 1);
+    }
+
+    #[test]
     fn pilp_lays_out_the_tiny_circuit() {
         let circuit = benchmarks::tiny_circuit();
         let result = Pilp::new(PilpConfig::fast())
@@ -1064,6 +1226,11 @@ mod tests {
         assert_eq!(result.snapshots.len(), 3);
         assert_eq!(result.snapshots[0].phase, PilpPhase::GlobalRouting);
         assert_eq!(result.snapshots[2].phase, PilpPhase::Refinement);
+        // The run reports its aggregate solver traffic (the flow gate's
+        // node counter): every solve explores at least its root node.
+        assert!(result.solver.solves > 0);
+        assert!(result.solver.nodes >= result.solver.solves);
+        assert!(result.solver.simplex_iterations > 0);
         // Lengths converge toward the exact targets. With the fast solver
         // limits used in CI a small residual can remain on a strip or two;
         // EXPERIMENTS.md discusses convergence with larger time budgets.

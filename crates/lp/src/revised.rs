@@ -441,12 +441,27 @@ impl<'a> Solver<'a> {
         // installed would poison the leaving-row selection.
         let exact_match =
             old_n == self.n && old_m == self.m && warm.matrix_fingerprint == self.cache.fingerprint;
-        let inherited = if self.track_dse && exact_match {
+        // Row extension: same columns, rows appended (constraints are
+        // append-only, so an old basis with fewer rows describes a prefix
+        // of this model — the lazy-separation and branch-and-cut
+        // protocols). The old weights stay aligned with the remapped
+        // `basic` prefix and the appended rows enter with their logical
+        // variable basic at the exact unit weight `‖B⁻ᵀe‖² = 1` of a
+        // fresh logical row. The framework is an approximation either way
+        // (Forrest–Goldfarb monotone envelope), so extending beats the
+        // old behaviour of resetting the whole framework on every
+        // appended cut row.
+        let row_extension = old_n == self.n && old_m < self.m;
+        let inherited = if self.track_dse && (exact_match || row_extension) {
             warm.dse_weights
                 .as_ref()
-                .filter(|w| w.len() == self.m)
+                .filter(|w| w.len() == old_m)
                 .filter(|w| w.iter().all(|&b| b.is_finite() && b >= DSE_MIN_WEIGHT))
-                .cloned()
+                .map(|w| {
+                    let mut extended = w.clone();
+                    extended.resize(self.m, 1.0);
+                    extended
+                })
         } else {
             None
         };
@@ -1672,13 +1687,28 @@ pub(crate) fn tableau_rows(
     basis: &Basis,
     basic_vars: &[usize],
 ) -> Result<Vec<TableauRow>, LpError> {
-    if basis.num_structural != lp.num_vars() || basis.num_rows() != lp.num_constraints() {
+    if basis.num_structural > lp.num_vars() || basis.num_rows() > lp.num_constraints() {
         return Err(LpError::InvalidModel(
             "tableau basis does not match the model dimensions".into(),
         ));
     }
     let mut solver = Solver::new(lp, Some(basis))?;
-    if solver.basic != basis.basic {
+    // A basis from a *smaller* model (rows/variables appended since it was
+    // taken — the branch-and-cut incremental-row path) is reconciled by
+    // `Solver::new` exactly like a warm start: appended rows enter with
+    // their logical variable basic, which is itself a valid basis of the
+    // grown model and yields a meaningful tableau. What must be rejected
+    // is the singular-basis fallback, where the solver silently dropped
+    // the requested basis for the all-logical one.
+    let n = lp.num_vars();
+    let old_n = basis.num_structural;
+    let mut expected: Vec<usize> = basis
+        .basic
+        .iter()
+        .map(|&v| if v < old_n { v } else { n + (v - old_n) })
+        .collect();
+    expected.extend(n + basis.num_rows()..n + lp.num_constraints());
+    if solver.basic != expected {
         // The warm basis was singular and Solver fell back to the logical
         // basis; a tableau of a different basis would be meaningless.
         return Err(LpError::InvalidModel(
@@ -1696,7 +1726,17 @@ pub(crate) fn tableau_rows(
         solver.factor.btran_unit(pos, &mut rho);
         let mut entries = Vec::new();
         for j in 0..solver.n + solver.m {
-            if solver.statuses[j] == VarStatus::Basic || solver.lower[j] == solver.upper[j] {
+            if solver.statuses[j] == VarStatus::Basic {
+                continue;
+            }
+            // Fixed *logical* variables (equality-row slacks, pinned at 0
+            // by the model itself) are omitted: they can never deviate.
+            // Fixed *structural* variables are reported — a variable fixed
+            // by a branching tightening is only constant inside that
+            // subtree, and a cut generator must see it to shift it (and to
+            // judge the validity of the shift) rather than silently absorb
+            // it as a constant.
+            if j >= solver.n && solver.lower[j] == solver.upper[j] {
                 continue;
             }
             let coeff = solver.column_dot(j, &rho);

@@ -392,12 +392,50 @@ fn tableau_rows_satisfy_the_row_identity_at_any_feasible_point() {
 }
 
 #[test]
-fn tableau_rows_reject_mismatched_bases() {
-    let lp = knapsack_relaxation(6, 1);
+fn tableau_rows_reject_bases_from_larger_models() {
+    // A basis with more variables/rows than the model cannot be
+    // reconciled. (A *smaller* basis is reconciled like a warm start —
+    // the appended-rows contract of the branch-and-cut path, tested
+    // below.)
+    let lp = knapsack_relaxation(9, 2);
     let (_, basis) = lp.solve_warm(None).expect("solve");
-    let other = knapsack_relaxation(9, 2);
+    let smaller = knapsack_relaxation(6, 1);
     assert!(matches!(
-        other.tableau_rows(&basis, &[0]),
+        smaller.tableau_rows(&basis, &[0]),
         Err(LpError::InvalidModel(_))
     ));
+}
+
+#[test]
+fn tableau_rows_reconcile_a_basis_over_appended_rows() {
+    // Branch-and-cut protocol: solve, append a (valid) cut row, and take
+    // the tableau under the pre-append basis — the new row enters with
+    // its logical variable basic and the old rows' tableau is preserved.
+    let mut lp = knapsack_relaxation(6, 1);
+    let (solution, basis) = lp.solve_warm(None).expect("solve");
+    let basic_structural: Vec<usize> = (0..lp.num_vars())
+        .filter(|&v| {
+            // Fractional values mark basic variables on this relaxation.
+            let frac = (solution.values[v] - solution.values[v].round()).abs();
+            frac > 1e-6
+        })
+        .collect();
+    let before = lp
+        .tableau_rows(&basis, &basic_structural)
+        .expect("tableau before");
+    lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 2.0);
+    let after = lp
+        .tableau_rows(&basis, &basic_structural)
+        .expect("tableau after appended row");
+    assert_eq!(before.len(), after.len());
+    for (b, a) in before.iter().zip(&after) {
+        assert_eq!(b.basic_var, a.basic_var);
+        assert!(
+            (b.value - a.value).abs() < 1e-9,
+            "basic value of x{} changed: {} vs {}",
+            b.basic_var,
+            b.value,
+            a.value
+        );
+    }
 }

@@ -9,8 +9,9 @@
 //! Bland fallback) must terminate on classic degenerate/cycling
 //! instances, the long-step test must actually batch bound flips on a
 //! boxed degenerate instance, and the DSE weight-handoff contract
-//! (inherit on exact match, reset to unit on structural edits) is locked
-//! in by warm-chain and grown-model tests.
+//! (inherit on exact match, extend with unit entries over appended rows,
+//! reset to unit otherwise) is locked in by warm-chain and grown-model
+//! tests.
 
 use proptest::prelude::*;
 use rfic_lp::{ConstraintOp, LinearProgram, LpError, PricingRule, Sense};
@@ -252,17 +253,19 @@ fn dse_weight_handoff_survives_a_warm_resolve_chain() {
     }
 }
 
-/// Warm-start weight handoff, part 2: a structural edit (new constraint →
-/// new matrix fingerprint) must drop the inherited weights back to the
-/// unit framework — observable as the warm re-solve still agreeing with a
-/// cold solve of the grown model.
+/// Warm-start weight handoff, part 2: an *appended row* (the lazy
+/// separation / branch-and-cut protocol) extends the inherited weight
+/// framework with unit entries for the new logical instead of resetting
+/// it — observable as the warm re-solve of the grown model still agreeing
+/// with a cold solve.
 #[test]
-fn dse_weights_reset_on_structural_edits() {
+fn dse_weights_survive_appended_rows() {
     let mut lp = random_bounded_lp(12, 6, 3);
     lp.set_pricing(PricingRule::DualSteepestEdge);
     let (solution, basis) = lp.solve_warm(None).expect("base solve");
-    // Append a violated-ish cut through the current point: structural
-    // edit, fingerprint changes, weights must not be trusted.
+    // Append a violated-ish cut through the current point: the row
+    // extension keeps the old positions' weights and gives the new
+    // logical a unit weight.
     let coeffs: Vec<(usize, f64)> = (0..lp.num_vars()).map(|v| (v, 1.0)).collect();
     let total: f64 = solution.values.iter().sum();
     lp.add_constraint(coeffs, ConstraintOp::Le, total - 0.1);
@@ -275,6 +278,79 @@ fn dse_weights_reset_on_structural_edits() {
         ),
         (Err(a), Err(b)) => assert_eq!(a, b),
         other => panic!("warm/cold disagreement {other:?}"),
+    }
+}
+
+/// Warm-start weight handoff, part 2b: a *column* addition is the edit
+/// the row-extension rule must NOT cover — the inherited weights are
+/// dropped back to the unit framework (old_n changes), and the warm
+/// re-solve of the wider model must still agree with a cold solve.
+#[test]
+fn dse_weights_reset_on_added_columns() {
+    let mut lp = random_bounded_lp(12, 6, 3);
+    lp.set_pricing(PricingRule::DualSteepestEdge);
+    let (_, basis) = lp.solve_warm(None).expect("base solve");
+    // New structural column entering an existing-style row: the weight
+    // framework no longer describes the basis and must reset to unit.
+    let v = lp.add_var();
+    lp.set_bounds(v, 0.0, 2.0);
+    lp.set_objective_coeff(v, -1.0);
+    lp.add_constraint(vec![(0, 1.0), (v, 1.0)], ConstraintOp::Le, 1.5);
+    let warm = lp.solve_warm(Some(&basis)).map(|(s, _)| s.objective);
+    let cold = lp.solve().map(|s| s.objective);
+    match (warm, cold) {
+        (Ok(a), Ok(b)) => assert!(
+            (a - b).abs() <= TOL * (1.0 + b.abs()),
+            "warm {a} vs cold {b}"
+        ),
+        (Err(a), Err(b)) => assert_eq!(a, b),
+        other => panic!("warm/cold disagreement {other:?}"),
+    }
+}
+
+/// Warm-start weight handoff, part 3: the branch-and-cut pattern proper —
+/// alternating bound tightenings and appended cut rows, every re-solve
+/// warm from the previous basis. The extended weight framework must never
+/// steer the dual engine away from the optimum (weights are a pricing
+/// heuristic, so the only observable contract is warm/cold agreement at
+/// every step of the chain).
+#[test]
+fn dse_weight_extension_survives_a_branch_and_cut_chain() {
+    let mut lp = random_bounded_lp(20, 12, 3);
+    lp.set_pricing(PricingRule::DualSteepestEdge);
+    let (mut solution, mut basis) = lp.solve_warm(None).expect("base solve");
+    for step in 0..6 {
+        if step % 2 == 0 {
+            // Branching-style bound tightening.
+            let v = (step * 7) % lp.num_vars();
+            let (lo, hi) = lp.bounds(v);
+            lp.set_bounds(v, lo, solution.values[v].clamp(lo, hi));
+        } else {
+            // Cut-style appended row through the current point.
+            let coeffs: Vec<(usize, f64)> =
+                (0..lp.num_vars()).step_by(2).map(|v| (v, 1.0)).collect();
+            let total: f64 = coeffs.iter().map(|&(v, _)| solution.values[v]).sum();
+            lp.add_constraint(coeffs, ConstraintOp::Le, total + 1.0);
+        }
+        let warm = lp.solve_warm(Some(&basis));
+        let cold = lp.solve();
+        match (warm, cold) {
+            (Ok((w, b)), Ok(c)) => {
+                assert!(
+                    (w.objective - c.objective).abs() <= TOL * (1.0 + c.objective.abs()),
+                    "step {step}: warm {} vs cold {}",
+                    w.objective,
+                    c.objective
+                );
+                solution = w;
+                basis = b;
+            }
+            (Err(we), Err(ce)) => {
+                assert_eq!(we, ce, "step {step}");
+                break;
+            }
+            other => panic!("step {step}: warm/cold disagreement {other:?}"),
+        }
     }
 }
 

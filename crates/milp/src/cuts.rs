@@ -1,7 +1,10 @@
-//! Root cutting planes: Gomory mixed-integer (GMI) cuts from the
+//! Cutting planes: Gomory mixed-integer (GMI) cuts from the
 //! revised-simplex tableau, plus the basis-free cover
 //! ([`separate_covers`]) and clique ([`separate_cliques`]) separators
-//! that share its pool/ranking contract.
+//! that share its pool/ranking contract. All three run at the root and —
+//! given a [`NodeSeparation`] context that lets them tag the validity of
+//! what they derive (global vs [`Cut::local`]) — at non-root
+//! branch-and-bound nodes.
 //!
 //! At the root node of the branch-and-bound search, every basic integer
 //! variable with a fractional LP value yields one tableau row
@@ -45,8 +48,13 @@ const MAX_DYNAMIC_RANGE: f64 = 1e7;
 /// Minimum violation of the current LP vertex for a cut to be kept.
 const MIN_VIOLATION: f64 = 1e-6;
 
-/// One globally valid cutting plane `Σ coeffs·x ≥ rhs` over structural
-/// variables.
+/// One cutting plane `Σ coeffs·x ≥ rhs` over structural variables.
+///
+/// Cuts separated at the root are always globally valid. Cuts separated at
+/// a branch-and-bound *node* may lean on the node's bound tightenings (a
+/// GMI shift from a branched bound); those carry `local = true` and are
+/// sound only inside that node's bound box — the solver keeps them on the
+/// node, inherits them down the subtree and drops them on backtrack.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Cut {
     /// Sparse `(variable, coefficient)` list, sorted by variable.
@@ -56,6 +64,9 @@ pub(crate) struct Cut {
     /// Violation of the LP vertex the cut was separated from, normalised by
     /// the coefficient norm (the selection score).
     pub score: f64,
+    /// `true` when the derivation used a node-tightened bound, making the
+    /// cut valid only under those tightenings (see the struct docs).
+    pub local: bool,
 }
 
 impl Cut {
@@ -68,7 +79,11 @@ impl Cut {
 
 /// Deduplicating cut pool: cuts whose normalised, quantised coefficient
 /// vectors collide are generated only once per solve.
-#[derive(Debug, Default)]
+///
+/// `Clone` exists for the branch-and-cut node loop: node separation runs
+/// against a *snapshot* of the shared pool extended with the node's own
+/// rows, so locally valid cuts never pollute the shared dedup state.
+#[derive(Debug, Default, Clone)]
 pub(crate) struct CutPool {
     seen: BTreeSet<Vec<(usize, i64)>>,
     /// Cuts accepted into the model so far (for diagnostics).
@@ -98,13 +113,14 @@ impl CutPool {
     }
 
     /// `true` when an equivalent cut has already been registered.
-    fn contains(&self, cut: &Cut) -> bool {
+    pub(crate) fn contains(&self, cut: &Cut) -> bool {
         self.seen.contains(&Self::key(cut))
     }
 
-    /// Registers a cut so later rounds do not re-derive it.
-    fn insert(&mut self, cut: &Cut) {
-        self.seen.insert(Self::key(cut));
+    /// Registers a cut so later rounds do not re-derive it. Returns `true`
+    /// when the cut was new.
+    pub(crate) fn insert(&mut self, cut: &Cut) -> bool {
+        self.seen.insert(Self::key(cut))
     }
 }
 
@@ -126,9 +142,43 @@ fn rank_and_pool(mut cuts: Vec<Cut>, pool: &mut CutPool, max_cuts: usize) -> Vec
     cuts
 }
 
-/// `true` when `v` is a 0/1-bounded integer variable of `lp`.
-fn is_binary(lp: &LinearProgram, is_integer: &[bool], v: usize) -> bool {
-    let (l, u) = lp.bounds(v);
+/// Context for separation at a branch-and-bound *node* (pass `None` at the
+/// root). It carries everything a separator needs to reason about global
+/// vs local validity of what it derives.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeSeparation<'a> {
+    /// Root bounds of every structural variable. A GMI shift from a bound
+    /// that differs from these tags the cut [`Cut::local`].
+    pub global_bounds: &'a [(f64, f64)],
+    /// Constraint rows `>= global_rows` are subtree-owned cut rows; a GMI
+    /// cut that substitutes one of their slacks inherits their validity
+    /// and is tagged local (conservatively — the subtree rows may include
+    /// globally valid riders).
+    pub global_rows: usize,
+}
+
+/// Bounds used for *validity* reasoning: the root (global) bounds when a
+/// node context is given — node separation hands the solver's base bounds
+/// so a cut argument that only needs global information stays globally
+/// valid even when the node LP has tightened the variable — else the LP's
+/// own.
+fn validity_bounds(lp: &LinearProgram, node: Option<&NodeSeparation<'_>>, v: usize) -> (f64, f64) {
+    match node {
+        Some(ctx) if v < ctx.global_bounds.len() => ctx.global_bounds[v],
+        _ => lp.bounds(v),
+    }
+}
+
+/// `true` when `v` is a 0/1-bounded integer variable (judged on the global
+/// bounds during node separation — a binary fixed by branching is still a
+/// binary for the cover/clique validity arguments).
+fn is_binary(
+    lp: &LinearProgram,
+    node: Option<&NodeSeparation<'_>>,
+    is_integer: &[bool],
+    v: usize,
+) -> bool {
+    let (l, u) = validity_bounds(lp, node, v);
     is_integer[v] && l == 0.0 && u == 1.0
 }
 
@@ -139,6 +189,13 @@ fn is_binary(lp: &LinearProgram, is_integer: &[bool], v: usize) -> bool {
 /// unusable basis (e.g. numerically singular on refactorisation) yields no
 /// cuts rather than an error — cutting is an optimisation, never a
 /// correctness requirement.
+///
+/// A [`NodeSeparation`] context enables separation at a branch-and-bound
+/// *node*: the rounding argument shifts each nonbasic from the bound it
+/// currently sits at, and when that bound is a node tightening — or the
+/// row substitutes a subtree-owned cut slack — the resulting cut is
+/// tagged [`Cut::local`], valid only inside the node's bound box. `None`
+/// (root separation) keeps every cut global, as before.
 pub(crate) fn separate_gomory(
     lp: &LinearProgram,
     basis: &Basis,
@@ -146,6 +203,7 @@ pub(crate) fn separate_gomory(
     is_integer: &[bool],
     pool: &mut CutPool,
     max_cuts: usize,
+    node: Option<&NodeSeparation<'_>>,
 ) -> Vec<Cut> {
     if max_cuts == 0 {
         return Vec::new();
@@ -166,7 +224,7 @@ pub(crate) fn separate_gomory(
     };
     let cuts: Vec<Cut> = rows
         .iter()
-        .filter_map(|row| cut_from_row(lp, row, is_integer, values))
+        .filter_map(|row| cut_from_row(lp, row, is_integer, values, node))
         .filter(|cut| !pool.contains(cut))
         .collect();
     rank_and_pool(cuts, pool, max_cuts)
@@ -193,6 +251,7 @@ pub(crate) fn separate_covers(
     is_integer: &[bool],
     pool: &mut CutPool,
     max_cuts: usize,
+    node: Option<&NodeSeparation<'_>>,
 ) -> Vec<Cut> {
     if max_cuts == 0 {
         return Vec::new();
@@ -202,11 +261,14 @@ pub(crate) fn separate_covers(
         if con.op != ConstraintOp::Le || con.rhs <= 0.0 {
             continue;
         }
-        // Knapsack shape: all-positive coefficients on binary variables.
+        // Knapsack shape: all-positive coefficients on binary variables
+        // (binariness judged on the global bounds during node separation —
+        // the cover argument only needs the row and the global 0-1 box, so
+        // these cuts are globally valid wherever they are separated).
         if !con
             .coeffs
             .iter()
-            .all(|&(v, a)| a > 0.0 && is_binary(lp, is_integer, v))
+            .all(|&(v, a)| a > 0.0 && is_binary(lp, node, is_integer, v))
         {
             continue;
         }
@@ -270,6 +332,7 @@ pub(crate) fn separate_covers(
             coeffs: members.iter().map(|&v| (v, -1.0)).collect(),
             rhs: 1.0 - k as f64,
             score: 0.0,
+            local: false,
         };
         let violation = cut.violation(values);
         if violation < MIN_VIOLATION {
@@ -318,6 +381,7 @@ pub(crate) fn separate_cliques(
     is_integer: &[bool],
     pool: &mut CutPool,
     max_cuts: usize,
+    node: Option<&NodeSeparation<'_>>,
 ) -> Vec<Cut> {
     if max_cuts == 0 {
         return Vec::new();
@@ -333,7 +397,7 @@ pub(crate) fn separate_cliques(
             && con
                 .coeffs
                 .iter()
-                .all(|&(v, a)| (a - 1.0).abs() < 1e-9 && is_binary(lp, is_integer, v));
+                .all(|&(v, a)| (a - 1.0).abs() < 1e-9 && is_binary(lp, node, is_integer, v));
         if !gub_shape {
             continue;
         }
@@ -389,6 +453,7 @@ pub(crate) fn separate_cliques(
             coeffs: members.iter().map(|&v| (v, -1.0)).collect(),
             rhs: -1.0,
             score: 0.0,
+            local: false,
         };
         let violation = cut.violation(values);
         if violation < MIN_VIOLATION {
@@ -421,11 +486,18 @@ fn gamma(abar: f64, f0: f64, integer_shift: bool) -> f64 {
 
 /// Derives the GMI cut of one tableau row, substituted back to structural
 /// variables; `None` when the row is unusable or the cut fails a filter.
+///
+/// With a [`NodeSeparation`] context (node separation), two things taint a
+/// cut [`Cut::local`]: a shift from a bound that differs from the root
+/// bound, and the substitution of a slack belonging to a subtree-owned cut
+/// row (`r >= global_rows`) — the derived inequality then inherits that
+/// row's validity, which may itself be local.
 fn cut_from_row(
     lp: &LinearProgram,
     row: &TableauRow,
     is_integer: &[bool],
     values: &[f64],
+    node: Option<&NodeSeparation<'_>>,
 ) -> Option<Cut> {
     let n = lp.num_vars();
     let f0 = row.value - row.value.floor();
@@ -433,6 +505,7 @@ fn cut_from_row(
         return None;
     }
 
+    let mut local = false;
     let mut acc = vec![0.0f64; n];
     let mut rhs = f0;
     for entry in &row.entries {
@@ -451,6 +524,13 @@ fn cut_from_row(
             // *and* the bound it is shifted from are integral.
             let (l, u) = lp.bounds(j);
             let bound = if at_upper { u } else { l };
+            if let Some(ctx) = node {
+                let (gl, gu) = ctx.global_bounds[j];
+                let root_bound = if at_upper { gu } else { gl };
+                if (bound - root_bound).abs() > 1e-9 {
+                    local = true;
+                }
+            }
             let integer_shift = is_integer[j] && (bound - bound.round()).abs() < 1e-9;
             let g = gamma(abar, f0, integer_shift);
             if g == 0.0 {
@@ -470,6 +550,13 @@ fn cut_from_row(
             // treated as continuous.
             let r = j - n;
             let con = &lp.constraints()[r];
+            if let Some(ctx) = node {
+                if r >= ctx.global_rows {
+                    // Substituting a subtree-owned cut row: the result
+                    // inherits that row's (possibly local) validity.
+                    local = true;
+                }
+            }
             let g = gamma(abar, f0, false);
             if g == 0.0 {
                 continue;
@@ -503,12 +590,14 @@ fn cut_from_row(
 
     // Keep significant coefficients; dropping c_k·x_k from `Σ ≥ rhs` is
     // valid after relaxing rhs by max over the feasible x_k of c_k·x_k.
+    // The relaxation uses the *global* bounds when provided, so dropping
+    // never introduces locality of its own.
     let mut coeffs = Vec::new();
     for (v, &c) in acc.iter().enumerate() {
         if c.abs() > COEFF_DROP_TOL {
             coeffs.push((v, c));
         } else if c != 0.0 {
-            let (l, u) = lp.bounds(v);
+            let (l, u) = validity_bounds(lp, node, v);
             let worst = (c * l).max(c * u);
             if !worst.is_finite() {
                 return None; // cannot safely drop against an infinite bound
@@ -532,6 +621,7 @@ fn cut_from_row(
         coeffs,
         rhs,
         score: 0.0,
+        local,
     };
     let violation = cut.violation(values);
     if violation < MIN_VIOLATION {
@@ -559,7 +649,7 @@ mod tests {
         assert!((solution.values[0] - 3.5).abs() < 1e-9);
 
         let mut pool = CutPool::new();
-        let cuts = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4);
+        let cuts = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4, None);
         assert_eq!(cuts.len(), 1, "one fractional row, one cut");
         let cut = &cuts[0];
         // The cut must separate the vertex …
@@ -610,6 +700,7 @@ mod tests {
             &[true, true, true],
             &mut pool,
             8,
+            None,
         );
         assert!(!cuts.is_empty());
         for cut in &cuts {
@@ -640,9 +731,9 @@ mod tests {
         lp.add_constraint(vec![(0, 2.0)], ConstraintOp::Le, 7.0);
         let (solution, basis) = lp.solve_warm(None).expect("solve");
         let mut pool = CutPool::new();
-        let first = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4);
+        let first = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4, None);
         assert_eq!(first.len(), 1);
-        let second = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4);
+        let second = separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4, None);
         assert!(second.is_empty(), "duplicate cut must be suppressed");
     }
 
@@ -674,7 +765,14 @@ mod tests {
             .count();
         assert!(fractional >= 1, "vertex should be fractional");
         let mut pool = CutPool::new();
-        let cuts = separate_covers(&lp, &solution.values, &[true, true, true], &mut pool, 8);
+        let cuts = separate_covers(
+            &lp,
+            &solution.values,
+            &[true, true, true],
+            &mut pool,
+            8,
+            None,
+        );
         assert!(!cuts.is_empty(), "expected a violated cover cut");
         for cut in &cuts {
             assert!(cut.violation(&solution.values) > 0.0);
@@ -710,7 +808,9 @@ mod tests {
         lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 0.0); // wrong op
         let (solution, _) = lp.solve_warm(None).expect("solve");
         let mut pool = CutPool::new();
-        assert!(separate_covers(&lp, &solution.values, &[true, false], &mut pool, 8).is_empty());
+        assert!(
+            separate_covers(&lp, &solution.values, &[true, false], &mut pool, 8, None).is_empty()
+        );
     }
 
     /// Three pairwise-overlapping GUB rows admit the triangle clique
@@ -736,7 +836,14 @@ mod tests {
             solution.values
         );
         let mut pool = CutPool::new();
-        let cuts = separate_cliques(&lp, &solution.values, &[true, true, true], &mut pool, 8);
+        let cuts = separate_cliques(
+            &lp,
+            &solution.values,
+            &[true, true, true],
+            &mut pool,
+            8,
+            None,
+        );
         assert_eq!(cuts.len(), 1, "one triangle clique: {cuts:?}");
         let cut = &cuts[0];
         assert_eq!(cut.coeffs.len(), 3, "the full triangle, not an edge");
@@ -758,9 +865,15 @@ mod tests {
             }
         }
         // Second round: the pool suppresses re-derivation.
-        assert!(
-            separate_cliques(&lp, &solution.values, &[true, true, true], &mut pool, 8).is_empty()
-        );
+        assert!(separate_cliques(
+            &lp,
+            &solution.values,
+            &[true, true, true],
+            &mut pool,
+            8,
+            None
+        )
+        .is_empty());
     }
 
     /// One-hot `= 1` rows also feed the conflict graph (the layout ILP's
@@ -779,7 +892,7 @@ mod tests {
         lp.add_constraint(vec![(0, 1.0), (2, 1.0)], ConstraintOp::Le, 1.0);
         let point = [0.5, 0.5, 0.5];
         let mut pool = CutPool::new();
-        let cuts = separate_cliques(&lp, &point, &[true, true, true], &mut pool, 8);
+        let cuts = separate_cliques(&lp, &point, &[true, true, true], &mut pool, 8, None);
         assert_eq!(cuts.len(), 1);
         assert_eq!(cuts[0].coeffs.len(), 3);
         assert!(cuts[0].violation(&point) > 0.4);
@@ -799,7 +912,7 @@ mod tests {
         lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0); // wrong op
         let point = [0.9, 0.9, 0.9];
         let mut pool = CutPool::new();
-        assert!(separate_cliques(&lp, &point, &[true, true, false], &mut pool, 8).is_empty());
+        assert!(separate_cliques(&lp, &point, &[true, true, false], &mut pool, 8, None).is_empty());
     }
 
     /// A single GUB row yields no cut: the LP satisfies it, so no clique
@@ -813,7 +926,7 @@ mod tests {
         lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintOp::Le, 1.0);
         let point = [0.5, 0.3, 0.2]; // on the row, satisfied
         let mut pool = CutPool::new();
-        assert!(separate_cliques(&lp, &point, &[true, true, true], &mut pool, 8).is_empty());
+        assert!(separate_cliques(&lp, &point, &[true, true, true], &mut pool, 8, None).is_empty());
     }
 
     /// Integral vertices produce no cuts.
@@ -825,6 +938,106 @@ mod tests {
         lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 8.0);
         let (solution, basis) = lp.solve_warm(None).expect("solve");
         let mut pool = CutPool::new();
-        assert!(separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4).is_empty());
+        assert!(
+            separate_gomory(&lp, &basis, &solution.values, &[true], &mut pool, 4, None).is_empty()
+        );
+    }
+
+    /// A seeded 6-item knapsack relaxation (plain LCG — no external RNG).
+    fn seeded_knapsack_lp(seed: u64) -> (LinearProgram, [f64; 6], f64) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 97) as f64
+        };
+        let mut lp = LinearProgram::new(6, Sense::Maximize);
+        let mut weights = [0.0f64; 6];
+        let mut total = 0.0;
+        for (v, weight) in weights.iter_mut().enumerate() {
+            *weight = 3.0 + next() % 17.0;
+            total += *weight;
+            lp.set_objective_coeff(v, 5.0 + next() % 23.0);
+            lp.set_bounds(v, 0.0, 1.0);
+        }
+        let capacity = (0.55 * total).floor().max(4.0);
+        lp.add_constraint(
+            weights.iter().copied().enumerate().collect(),
+            ConstraintOp::Le,
+            capacity,
+        );
+        (lp, weights, capacity)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Node separation contract: every cut separates the node vertex,
+        /// every cut is valid for all integer points *inside the node's
+        /// bound box*, and cuts NOT tagged local are valid for every
+        /// globally feasible integer point — the tagging is exactly what
+        /// licenses lifting a node cut into the shared pool.
+        #[test]
+        fn node_cuts_are_violated_then_valid_under_the_node_box(
+            seed in 0u64..400,
+            branch_var in 0usize..6,
+            up in proptest::bool::ANY,
+        ) {
+            let (mut lp, weights, capacity) = seeded_knapsack_lp(seed);
+            let global_bounds: Vec<(f64, f64)> = (0..6).map(|v| lp.bounds(v)).collect();
+            // One branching step: fix the chosen binary.
+            let fixed = if up { 1.0 } else { 0.0 };
+            lp.set_bounds(branch_var, fixed, fixed);
+            // An infeasible node has nothing to separate.
+            let Ok((solution, basis)) = lp.solve_warm(None) else {
+                continue;
+            };
+            let ctx = NodeSeparation {
+                global_bounds: &global_bounds,
+                global_rows: lp.num_constraints(),
+            };
+            let mut pool = CutPool::new();
+            let cuts = separate_gomory(
+                &lp,
+                &basis,
+                &solution.values,
+                &[true; 6],
+                &mut pool,
+                8,
+                Some(&ctx),
+            );
+            for cut in &cuts {
+                proptest::prop_assert!(
+                    cut.violation(&solution.values) > 0.0,
+                    "cut must separate the node vertex: {cut:?}"
+                );
+                for bits in 0..64u32 {
+                    let point: Vec<f64> =
+                        (0..6).map(|v| f64::from((bits >> v) & 1)).collect();
+                    let feasible = weights
+                        .iter()
+                        .zip(&point)
+                        .map(|(w, x)| w * x)
+                        .sum::<f64>()
+                        <= capacity + 1e-9;
+                    if !feasible {
+                        continue;
+                    }
+                    let in_box = (point[branch_var] - fixed).abs() < 1e-9;
+                    if in_box {
+                        proptest::prop_assert!(
+                            cut.violation(&point) <= 1e-7,
+                            "in-box point {point:?} violates node cut {cut:?}"
+                        );
+                    } else if !cut.local {
+                        proptest::prop_assert!(
+                            cut.violation(&point) <= 1e-7,
+                            "global-tagged cut {cut:?} must hold outside the box at {point:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -12,6 +12,32 @@ use rfic_milp::{
     instances, LinExpr, MilpSolution, Model, Sense, SolveOptions, SolveStatus, VarKind,
 };
 
+/// Worker-thread counts the parallel determinism tests exercise.
+///
+/// Defaults to `{2, 4}` (next to the always-run serial reference); the
+/// `RFIC_TEST_THREADS` environment variable overrides the list with
+/// comma-separated counts so CI can pin the suite to what the runner can
+/// actually schedule (`RFIC_TEST_THREADS=1` exercises the pool code on a
+/// single worker, `=2` the real two-worker interleavings of a 2-vCPU
+/// runner).
+fn parallel_thread_counts() -> Vec<usize> {
+    match std::env::var("RFIC_TEST_THREADS") {
+        Ok(spec) => {
+            let counts: Vec<usize> = spec
+                .split(',')
+                .filter_map(|part| part.trim().parse().ok())
+                .filter(|&n| n >= 1)
+                .collect();
+            assert!(
+                !counts.is_empty(),
+                "RFIC_TEST_THREADS={spec:?} contains no usable thread counts"
+            );
+            counts
+        }
+        Err(_) => vec![2, 4],
+    }
+}
+
 /// The golden MILP suite: one representative model per structural class the
 /// layout engine generates.
 fn golden_suite() -> Vec<(&'static str, Model)> {
@@ -82,7 +108,7 @@ fn golden_suite_objective_is_thread_count_invariant() {
             .unwrap_or_else(|e| panic!("{name}: serial solve failed: {e}"));
         assert_eq!(reference.status, SolveStatus::Optimal, "{name}");
         assert_valid_incumbent(name, &model, &reference);
-        for threads in [2usize, 4] {
+        for threads in parallel_thread_counts() {
             let parallel = model
                 .solve(&SolveOptions::default().with_threads(threads))
                 .unwrap_or_else(|e| panic!("{name}: threads={threads} solve failed: {e}"));
@@ -125,6 +151,57 @@ fn golden_suite_cuts_on_off_equivalence() {
     }
 }
 
+/// Tree-wide branch-and-cut must also be equivalence-preserving: the same
+/// optimum as the cut-free baseline, for every separation interval, with
+/// and without locally valid cuts, serial and across the parallel worker
+/// pool. This is the regression fence of the per-node cut pools — an
+/// invalid lift into the shared pool, a local cut surviving a backtrack,
+/// or a scrambled row layout under an inherited basis all surface here as
+/// a changed objective.
+#[test]
+fn golden_suite_tree_cuts_equivalence() {
+    for (name, model) in golden_suite() {
+        let reference = model
+            .solve(&SolveOptions::default().without_cuts())
+            .unwrap_or_else(|e| panic!("{name}: reference solve failed: {e}"));
+        let mut configs = vec![
+            SolveOptions::default().with_tree_cuts(1),
+            SolveOptions::default().with_tree_cuts(2),
+            SolveOptions {
+                cut_every: 1,
+                local_cuts: false,
+                ..SolveOptions::default()
+            },
+        ];
+        for threads in parallel_thread_counts() {
+            configs.push(
+                SolveOptions::default()
+                    .with_tree_cuts(1)
+                    .with_threads(threads),
+            );
+            configs.push(
+                SolveOptions::default()
+                    .with_tree_cuts(2)
+                    .with_threads(threads),
+            );
+        }
+        for opts in configs {
+            let tree = model
+                .solve(&opts)
+                .unwrap_or_else(|e| panic!("{name}: tree-cut solve failed ({opts:?}): {e}"));
+            assert_eq!(tree.status, SolveStatus::Optimal, "{name} ({opts:?})");
+            assert!(
+                (tree.objective - reference.objective).abs()
+                    <= 1e-6 * (1.0 + reference.objective.abs()),
+                "{name}: tree cuts changed the optimum under {opts:?}: {} vs {}",
+                tree.objective,
+                reference.objective
+            );
+            assert_valid_incumbent(name, &model, &tree);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -139,13 +216,18 @@ proptest! {
         let model = instances::seeded_knapsack(items, seed);
         let reference = model.solve(&SolveOptions::default().without_cuts()).expect("plain");
         prop_assert_eq!(reference.status, SolveStatus::Optimal);
-        for opts in [
+        let mut configs = vec![
             SolveOptions::default(),
-            SolveOptions::default().with_threads(2),
-            SolveOptions::default().with_threads(4),
-            SolveOptions::default().without_cuts().with_threads(4),
             SolveOptions::default().cold(),
-        ] {
+            SolveOptions::default().with_tree_cuts(1),
+            SolveOptions::default().with_tree_cuts(2),
+        ];
+        for threads in parallel_thread_counts() {
+            configs.push(SolveOptions::default().with_threads(threads));
+            configs.push(SolveOptions::default().without_cuts().with_threads(threads));
+            configs.push(SolveOptions::default().with_tree_cuts(2).with_threads(threads));
+        }
+        for opts in configs {
             let other = model.solve(&opts).expect("solve");
             prop_assert_eq!(other.status, SolveStatus::Optimal);
             prop_assert!(
@@ -169,10 +251,15 @@ proptest! {
     ) {
         let model = instances::seeded_facility(facilities, seed);
         let reference = model.solve(&SolveOptions::default().without_cuts()).expect("plain");
-        for opts in [
+        let mut configs = vec![
             SolveOptions::default(),
-            SolveOptions::default().with_threads(4),
-        ] {
+            SolveOptions::default().with_tree_cuts(1),
+        ];
+        if let Some(&threads) = parallel_thread_counts().last() {
+            configs.push(SolveOptions::default().with_threads(threads));
+            configs.push(SolveOptions::default().with_tree_cuts(1).with_threads(threads));
+        }
+        for opts in configs {
             let other = model.solve(&opts).expect("solve");
             prop_assert!(
                 (other.objective - reference.objective).abs()
