@@ -79,8 +79,10 @@ fn main() -> ExitCode {
     let single_core = std::thread::available_parallelism()
         .map(|n| n.get() == 1)
         .unwrap_or(false);
+    let mut skipped = Vec::new();
     if single_core {
-        for name in strip_parallel_only(&mut baseline) {
+        skipped = strip_parallel_only(&mut baseline);
+        for name in &skipped {
             println!(
                 "bench-gate: NOTE: skipping {name} — available_parallelism() == 1, \
                  the parallel sweep is not measurable on this runner"
@@ -116,12 +118,20 @@ fn main() -> ExitCode {
         Ok(text) => text,
         Err(e) => return fail(&format!("cannot read current run {current_file}: {e}")),
     };
-    let current = match parse_bench_json(&current_text) {
+    let mut current = match parse_bench_json(&current_text) {
         Ok(c) => c,
         Err(e) => return fail(&format!("cannot parse current run {current_file}: {e}")),
     };
+    if single_core {
+        // Strip the current side too, so the skipped benches don't
+        // resurface as spurious "new" rows in the diff.
+        strip_parallel_only(&mut current);
+    }
 
-    let report = compare(&baseline, &current, threshold_pct, MIN_ABS_REGRESSION_NS);
+    let mut report = compare(&baseline, &current, threshold_pct, MIN_ABS_REGRESSION_NS);
+    // Record the skip in the report itself: the uploaded
+    // `bench_gate_diff.txt` must explain the absent rows, not just stdout.
+    report.skipped = skipped;
 
     // The full per-bench diff table — old/new minima and change for every
     // benchmark, worst regression first — both on stdout and as a file for

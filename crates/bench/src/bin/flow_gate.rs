@@ -63,6 +63,9 @@ fn measure_tiny_flow() -> Result<FlowRecord, String> {
         bnb_nodes: result.solver.nodes as u64,
         solves: result.solver.solves as u64,
         simplex_iterations: result.solver.simplex_iterations as u64,
+        presolve_rows_removed: result.solver.presolve_rows_removed as u64,
+        presolve_cols_removed: result.solver.presolve_cols_removed as u64,
+        presolve_nonzeros_removed: result.solver.presolve_nonzeros_removed as u64,
     })
 }
 
@@ -122,7 +125,8 @@ fn main() -> ExitCode {
     for record in &current {
         println!(
             "flow-gate: {}: wall {:.0} ms, {}/{} exact lengths, {} bends, max |ΔL| {:.3} µm, \
-             {} DRC violations, {} B&B nodes over {} solves ({} pivots)",
+             {} DRC violations, {} B&B nodes over {} solves ({} pivots); presolve removed \
+             {} rows, {} cols, {} nonzeros across the run",
             record.name,
             record.wall_ms,
             record.exact_lengths,
@@ -133,6 +137,9 @@ fn main() -> ExitCode {
             record.bnb_nodes,
             record.solves,
             record.simplex_iterations,
+            record.presolve_rows_removed,
+            record.presolve_cols_removed,
+            record.presolve_nonzeros_removed,
         );
     }
 

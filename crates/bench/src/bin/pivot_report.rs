@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use rfic_bench::workloads::random_lp;
-use rfic_lp::PricingRule;
+use rfic_lp::{PresolveConfig, PresolveStats, PricingRule};
 use rfic_milp::{instances, BranchRule, SolveOptions};
 
 /// The pricing rules reported side by side.
@@ -55,24 +55,60 @@ fn main() {
     let _ = writeln!(report, "# solver pivot report (exact work counters)");
     let _ = writeln!(
         report,
-        "# {:<46} {:>7}  {:>6}  {:>6}  {:>9}  {:>5}",
-        "benchmark", "pivots", "dual", "flips", "refactors", "nodes"
+        "# presolve columns: rows/cols/nonzeros removed, bound tightenings,"
+    );
+    let _ = writeln!(
+        report,
+        "# and the row-scaled matrix condition (max|a|/min|a|) before -> after equilibration"
+    );
+    let _ = writeln!(
+        report,
+        "# {:<46} {:>7}  {:>6}  {:>6}  {:>9}  {:>5}  {:>5} {:>5} {:>5} {:>6}  {:>17}",
+        "benchmark",
+        "pivots",
+        "dual",
+        "flips",
+        "refactors",
+        "nodes",
+        "prows",
+        "pcols",
+        "pnnz",
+        "ptight",
+        "condition"
     );
     let mut line = |name: String,
                     pivots: usize,
                     dual: usize,
                     flips: usize,
                     refactorizations: usize,
-                    nodes: Option<usize>| {
+                    nodes: Option<usize>,
+                    pre: Option<&PresolveStats>| {
         let nodes = nodes.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+        let (prows, pcols, pnnz, ptight, cond) = match pre {
+            Some(p) => (
+                p.rows_removed.to_string(),
+                p.cols_removed.to_string(),
+                p.nonzeros_removed.to_string(),
+                p.bound_tightenings.to_string(),
+                format!("{:.1}->{:.1}", p.condition_before, p.condition_after),
+            ),
+            None => ("-".into(), "-".into(), "-".into(), "-".into(), "-".into()),
+        };
         let _ = writeln!(
             report,
-            "  {name:<46} {pivots:>7}  {dual:>6}  {flips:>6}  {refactorizations:>9}  {nodes:>5}"
+            "  {name:<46} {pivots:>7}  {dual:>6}  {flips:>6}  {refactorizations:>9}  {nodes:>5}  \
+             {prows:>5} {pcols:>5} {pnnz:>5} {ptight:>6}  {cond:>17}"
         );
     };
 
-    // Cold LP solves under every pricing rule.
+    // Cold LP solves under every pricing rule. These workloads solve the
+    // raw model, so the presolve columns report what a default presolve
+    // pass *would* reduce on the same instance.
     for (vars, rows) in [(20usize, 15usize), (60, 40), (120, 80)] {
+        let pre_stats = random_lp(vars, rows, 42)
+            .presolve(&PresolveConfig::default(), None)
+            .map(|p| p.stats)
+            .ok();
         for (rule, name) in RULES {
             let mut lp = random_lp(vars, rows, 42);
             lp.set_pricing(rule);
@@ -84,6 +120,7 @@ fn main() {
                 s.bound_flips,
                 s.refactorizations,
                 None,
+                pre_stats.as_ref(),
             );
         }
     }
@@ -93,6 +130,10 @@ fn main() {
     // engine is where the rules diverge.
     {
         let lp = random_lp(120, 80, 42);
+        let pre_stats = lp
+            .presolve(&PresolveConfig::default(), None)
+            .map(|p| p.stats)
+            .ok();
         let (base, basis) = lp.solve_warm(None).expect("base solve");
         let (branch, _) = base
             .values
@@ -113,6 +154,7 @@ fn main() {
                 warm.bound_flips,
                 warm.refactorizations,
                 None,
+                pre_stats.as_ref(),
             );
         }
         let mut branched = lp.clone();
@@ -125,17 +167,16 @@ fn main() {
             cold.bound_flips,
             cold.refactorizations,
             None,
+            pre_stats.as_ref(),
         );
     }
 
     // Branch-and-bound knapsacks, warm and cold (counters aggregated over
-    // every node/heuristic LP of the search).
+    // every node/heuristic LP of the search; the presolve columns come
+    // from the root presolve of each solve). Same pinned instances as the
+    // timing benches.
     for items in [10usize, 20, 30] {
-        let model = if items == 20 {
-            instances::seeded_knapsack(20, instances::KNAPSACK20_BENCH_SEED)
-        } else {
-            instances::seeded_knapsack(items, 0xDAC2016)
-        };
+        let model = instances::bench_knapsack(items);
         for (opts, name) in [
             (SolveOptions::default(), "warm"),
             (SolveOptions::default().cold(), "cold"),
@@ -148,6 +189,7 @@ fn main() {
                 s.lp_bound_flips,
                 s.lp_refactorizations,
                 Some(s.nodes),
+                Some(&s.presolve),
             );
         }
     }
@@ -157,11 +199,7 @@ fn main() {
     // nonbasic is boxed, so the bound-flipping ratio test gets its best
     // case and the dual-pivot column is the headline number.
     for items in [20usize, 30] {
-        let model = if items == 20 {
-            instances::seeded_knapsack(20, instances::KNAPSACK20_BENCH_SEED)
-        } else {
-            instances::seeded_knapsack(items, 0xDAC2016)
-        };
+        let model = instances::bench_knapsack(items);
         for (rule, name) in [
             (PricingRule::Dantzig, "dantzig"),
             (PricingRule::DualSteepestEdge, "dse"),
@@ -176,6 +214,7 @@ fn main() {
                 s.lp_bound_flips,
                 s.lp_refactorizations,
                 Some(s.nodes),
+                Some(&s.presolve),
             );
         }
     }
@@ -192,7 +231,7 @@ fn main() {
         (PricingRule::Dantzig, "dantzig"),
         (PricingRule::DualSteepestEdge, "dse"),
     ] {
-        let s = instances::seeded_knapsack(30, 0xDAC2016)
+        let s = instances::bench_knapsack(30)
             .solve(&SolveOptions {
                 time_limit: Duration::from_secs(30),
                 pricing: rule,
@@ -206,6 +245,7 @@ fn main() {
             s.lp_bound_flips,
             s.lp_refactorizations,
             Some(s.nodes),
+            Some(&s.presolve),
         );
     }
 

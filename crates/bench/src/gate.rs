@@ -84,6 +84,12 @@ pub struct GateReport {
     pub missing: Vec<String>,
     /// Current benchmarks not yet in the baseline (informational).
     pub added: Vec<String>,
+    /// Baseline benchmarks excluded from comparison by the runner (the
+    /// `milp_parallel/*` sweep on a single-core host). Purely
+    /// informational, but recorded in the diff table so an uploaded
+    /// `bench_gate_diff.txt` shows *why* those rows are absent instead of
+    /// silently dropping them.
+    pub skipped: Vec<String>,
 }
 
 impl GateReport {
@@ -237,11 +243,12 @@ pub fn compare(
 pub fn format_report(report: &GateReport, threshold_pct: f64) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "bench-gate diff (threshold {threshold_pct} %): {} compared, {} regressed, {} missing, {} new\n",
+        "bench-gate diff (threshold {threshold_pct} %): {} compared, {} regressed, {} missing, {} new, {} skipped\n",
         report.passed.len() + report.regressions.len(),
         report.regressions.len(),
         report.missing.len(),
         report.added.len(),
+        report.skipped.len(),
     ));
     out.push_str(&format!(
         "{:<7} {:<55} {:>12}  {:>12}  {:>9}\n",
@@ -281,6 +288,13 @@ pub fn format_report(report: &GateReport, threshold_pct: f64) -> String {
         out.push_str(&format!(
             "{:<7} {:<55} (not in baseline; refresh it)\n",
             "new", name
+        ));
+    }
+    for name in &report.skipped {
+        out.push_str(&format!(
+            "{:<7} {:<55} (skipped: available_parallelism() == 1, the parallel \
+             sweep is not measurable on this runner)\n",
+            "skip", name
         ));
     }
     out
@@ -332,6 +346,14 @@ pub struct FlowRecord {
     pub solves: u64,
     /// Simplex pivots summed over every node LP.
     pub simplex_iterations: u64,
+    /// Constraint rows removed by root presolve, summed over every MILP
+    /// solve of the run (0 for baselines predating the presolve layer).
+    pub presolve_rows_removed: u64,
+    /// Columns removed by root presolve, summed over every MILP solve.
+    pub presolve_cols_removed: u64,
+    /// Nonzero coefficients removed by root presolve, summed over every
+    /// MILP solve.
+    pub presolve_nonzeros_removed: u64,
 }
 
 /// Serialises flow records in the committed `BENCH_flow.json` format.
@@ -341,7 +363,9 @@ pub fn flow_json(records: &[FlowRecord]) -> String {
         out.push_str(&format!(
             "    {{ \"name\": \"{}\", \"wall_ms\": {:.1}, \"strips\": {}, \"exact_lengths\": {}, \
              \"total_bends\": {}, \"max_length_error_um\": {:.6}, \"drc_violations\": {}, \
-             \"bnb_nodes\": {}, \"solves\": {}, \"simplex_iterations\": {} }}{}\n",
+             \"bnb_nodes\": {}, \"solves\": {}, \"simplex_iterations\": {}, \
+             \"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}, \
+             \"presolve_nonzeros_removed\": {} }}{}\n",
             r.name,
             r.wall_ms,
             r.strips,
@@ -352,6 +376,9 @@ pub fn flow_json(records: &[FlowRecord]) -> String {
             r.bnb_nodes,
             r.solves,
             r.simplex_iterations,
+            r.presolve_rows_removed,
+            r.presolve_cols_removed,
+            r.presolve_nonzeros_removed,
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -378,6 +405,14 @@ pub fn parse_flow_json(text: &str) -> Result<Vec<FlowRecord>, String> {
             bnb_nodes: extract_number_value(object, "bnb_nodes")? as u64,
             solves: extract_number_value(object, "solves")? as u64,
             simplex_iterations: extract_number_value(object, "simplex_iterations")? as u64,
+            // Presolve counters arrived after the first committed
+            // baselines; absent keys parse as zero so legacy files load.
+            presolve_rows_removed: extract_number_value(object, "presolve_rows_removed")
+                .unwrap_or(0.0) as u64,
+            presolve_cols_removed: extract_number_value(object, "presolve_cols_removed")
+                .unwrap_or(0.0) as u64,
+            presolve_nonzeros_removed: extract_number_value(object, "presolve_nonzeros_removed")
+                .unwrap_or(0.0) as u64,
         });
         rest = &rest[end..];
     }
@@ -574,6 +609,26 @@ mod tests {
         assert!(!is_parallel_only(&records[0].name));
     }
 
+    /// The single-core skip notice must survive into the diff table (the
+    /// artifact CI uploads), not just the gate's stdout.
+    #[test]
+    fn format_report_records_skipped_parallel_benches() {
+        let baseline = vec![record("lp_simplex/revised_20x15", 10_000.0)];
+        let current = vec![record("lp_simplex/revised_20x15", 10_000.0)];
+        let mut report = compare(&baseline, &current, 30.0, 2_000.0);
+        report.skipped = vec![
+            "milp_parallel/knapsack_30_t2".to_string(),
+            "milp_parallel/knapsack_30_t4".to_string(),
+        ];
+        let table = format_report(&report, 30.0);
+        assert!(table.contains("2 skipped"), "{table}");
+        assert!(
+            table.contains("skip    milp_parallel/knapsack_30_t2"),
+            "{table}"
+        );
+        assert!(table.contains("available_parallelism() == 1"), "{table}");
+    }
+
     #[test]
     fn gate_entry_formats_change_percentage() {
         let entry = GateEntry {
@@ -622,6 +677,9 @@ mod tests {
             bnb_nodes: 1000,
             solves: 40,
             simplex_iterations: 9000,
+            presolve_rows_removed: 120,
+            presolve_cols_removed: 60,
+            presolve_nonzeros_removed: 400,
         }
     }
 
@@ -629,9 +687,27 @@ mod tests {
     fn flow_json_round_trips() {
         let records = vec![flow("tiny", 7300.5, 3), flow("small", 60000.0, 5)];
         let text = flow_json(&records);
+        assert!(text.contains("\"presolve_rows_removed\": 120"), "{text}");
         let parsed = parse_flow_json(&text).expect("parse");
         assert_eq!(parsed, records);
         assert!(parse_flow_json("{}").is_err());
+    }
+
+    /// Baselines committed before the presolve layer have no presolve
+    /// keys; they must still parse (counters default to zero).
+    #[test]
+    fn flow_json_without_presolve_keys_still_parses() {
+        let legacy = r#"{
+  "flows": [
+    { "name": "tiny", "wall_ms": 7824.2, "strips": 3, "exact_lengths": 3, "total_bends": 4, "max_length_error_um": 0.000000, "drc_violations": 0, "bnb_nodes": 1000, "solves": 40, "simplex_iterations": 9000 }
+  ]
+}
+"#;
+        let parsed = parse_flow_json(legacy).expect("parse legacy");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].presolve_rows_removed, 0);
+        assert_eq!(parsed[0].presolve_cols_removed, 0);
+        assert_eq!(parsed[0].presolve_nonzeros_removed, 0);
     }
 
     #[test]

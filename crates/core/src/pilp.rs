@@ -147,6 +147,11 @@ pub struct PilpConfig {
     pub weights: IlpWeights,
     /// Length tolerance (µm) below which a strip counts as exactly matched.
     pub length_tolerance: f64,
+    /// Presolve the root relaxation of every MILP solve (reduction of
+    /// fixed/implied structure plus geometric-mean scaling of the
+    /// µm-vs-big-M coefficient spread). On by default; the golden and
+    /// determinism suites switch it off to cross-check equivalence.
+    pub presolve: bool,
 }
 
 impl Default for PilpConfig {
@@ -162,6 +167,7 @@ impl Default for PilpConfig {
             try_rotations: true,
             weights: IlpWeights::default(),
             length_tolerance: 1e-3,
+            presolve: true,
         }
     }
 }
@@ -292,6 +298,13 @@ pub struct SolverTotals {
     pub root_cuts: usize,
     /// Tree (non-root) cuts separated across the solves.
     pub tree_cuts: usize,
+    /// Constraint rows removed by root presolve across the solves.
+    pub presolve_rows_removed: usize,
+    /// Structural columns removed by root presolve across the solves.
+    pub presolve_cols_removed: usize,
+    /// Constraint-matrix nonzeros removed by root presolve across the
+    /// solves (net of substitution fill-in).
+    pub presolve_nonzeros_removed: usize,
 }
 
 impl SolverTotals {
@@ -301,6 +314,9 @@ impl SolverTotals {
         self.simplex_iterations += solution.simplex_iterations;
         self.root_cuts += solution.cuts;
         self.tree_cuts += solution.tree_cuts;
+        self.presolve_rows_removed += solution.presolve.rows_removed;
+        self.presolve_cols_removed += solution.presolve.cols_removed;
+        self.presolve_nonzeros_removed += solution.presolve.nonzeros_removed;
     }
 }
 
@@ -459,6 +475,29 @@ impl Pilp {
             // here — its refresh costs a full pricing scan on solves that
             // finish in a handful of pivots.
             pricing: rfic_milp::PricingRule::DualSteepestEdge,
+            // Presolve with doubleton/free-singleton substitution switched
+            // off: substitution preserves the optimum but steers the
+            // near-tie layout models (mip_gap 1e-4) onto optimal vertices
+            // with measurably more bends — the same class of flow-level
+            // tuning as the branching and pricing pins above. Row/column
+            // elimination, activity bound tightening and equilibration all
+            // stay on; the bound tightening in particular shrinks the
+            // big-M boxes and is the biggest single win on the tiny-flow
+            // wall clock. `scale_trigger: 0.0` scales the layout models
+            // unconditionally (their ~1.4e3 spread sits below the default
+            // 1e4 trigger): like the substitution pin this is flow-level
+            // vertex steering — the bend counts were tuned with
+            // equilibrated models, and skipping the scaling pass measurably
+            // worsens them.
+            presolve: if self.config.presolve {
+                rfic_milp::PresolveConfig {
+                    substitute: false,
+                    scale_trigger: 0.0,
+                    ..rfic_milp::PresolveConfig::default()
+                }
+            } else {
+                rfic_milp::PresolveConfig::off()
+            },
             ..SolveOptions::default()
         }
     }

@@ -51,10 +51,12 @@
 
 mod basis;
 mod dense;
+mod presolve;
 mod problem;
 mod revised;
 mod sparse;
 
+pub use presolve::{Postsolve, PresolveConfig, PresolveStats, Presolved};
 pub use problem::{
     Constraint, ConstraintOp, LinearProgram, LpError, LpSolution, PricingRule, Sense,
 };

@@ -409,6 +409,34 @@ impl LinearProgram {
         revised::solve(self, None).map(|(solution, _)| solution)
     }
 
+    /// Presolves the model: removes fixed/empty columns and
+    /// empty/singleton/redundant/forcing rows, substitutes doubleton
+    /// equalities and free column singletons, tightens bounds from row
+    /// activity, and equilibrates coefficients with power-of-two
+    /// geometric-mean scaling.
+    ///
+    /// Returns the reduced problem together with a [`crate::Postsolve`]
+    /// transform that restores full-space solutions and maps a [`Basis`]
+    /// between the two spaces. `integer` optionally marks integer columns
+    /// (same indexing as the variables): their bounds are rounded, they
+    /// are never substituted away and they keep unit scale factors, so a
+    /// MILP caller can branch and separate cuts in the reduced space.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] — presolve proved the model infeasible.
+    /// * [`LpError::Unbounded`] — an unconstrained column improves the
+    ///   objective without limit.
+    /// * [`LpError::InvalidModel`] — malformed input (NaN, bad index, ...).
+    pub fn presolve(
+        &self,
+        config: &crate::PresolveConfig,
+        integer: Option<&[bool]>,
+    ) -> Result<crate::Presolved, LpError> {
+        self.validate()?;
+        crate::presolve::run(self, config, integer)
+    }
+
     /// Solves the linear program, optionally warm-starting from the
     /// [`Basis`] of a previous solve, and returns the optimal basis for the
     /// next warm start.

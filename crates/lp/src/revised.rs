@@ -79,7 +79,7 @@ const BFRT_SLOPE_TOL: f64 = 1e-9;
 
 /// Status of one variable relative to the current basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarStatus {
+pub(crate) enum VarStatus {
     Basic,
     AtLower,
     AtUpper,
@@ -144,6 +144,37 @@ impl Basis {
     /// Number of constraint rows of the model this basis belongs to.
     pub fn num_rows(&self) -> usize {
         self.basic.len()
+    }
+
+    /// Per-variable statuses (structural variables `0..n`, then logicals
+    /// `n..n+m`). Used by the presolve layer to map bases between the
+    /// full and reduced variable spaces.
+    pub(crate) fn statuses(&self) -> &[VarStatus] {
+        &self.statuses
+    }
+
+    /// Basic variable indices in elimination order.
+    pub(crate) fn basic_vars(&self) -> &[usize] {
+        &self.basic
+    }
+
+    /// Assemble a basis from an explicit status/basic-set mapping, with no
+    /// cached factorisation (fingerprint 0, so the first adoption pays one
+    /// refactorisation) and no dual steepest-edge weights. The presolve
+    /// layer uses this for both directions of its basis mapping.
+    pub(crate) fn from_mapping(
+        statuses: Vec<VarStatus>,
+        basic: Vec<usize>,
+        num_structural: usize,
+    ) -> Basis {
+        Basis {
+            statuses,
+            basic,
+            num_structural,
+            factor: None,
+            matrix_fingerprint: 0,
+            dse_weights: None,
+        }
     }
 }
 

@@ -1,0 +1,294 @@
+//! Presolve/postsolve regression suite.
+//!
+//! The contract (see `DESIGN.md`): solving the presolved model and
+//! postsolving the result is indistinguishable — in objective and in
+//! full-model feasibility — from solving the original model, cold or warm,
+//! and a [`rfic_lp::Basis`] survives the round trip through the reduction
+//! stack. Cross-checked against the dense two-phase oracle like the
+//! golden suite.
+
+use rfic_lp::{ConstraintOp, LinearProgram, LpError, PresolveConfig, Sense};
+
+const TOL: f64 = 1e-6;
+
+/// Deterministic pseudo-random stream (no external dependency).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The golden suite's randomized model family: mixed senses, ops and bound
+/// classes, plus (for odd seeds) a fixed column and a singleton row so the
+/// reduction passes always have something to chew on.
+fn random_lp(seed: u64) -> LinearProgram {
+    let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+    let vars = 4 + (seed as usize % 6);
+    let rows = 2 + (seed as usize % 5);
+    let sense = if seed.is_multiple_of(2) {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut lp = LinearProgram::new(vars, sense);
+    for v in 0..vars {
+        lp.set_objective_coeff(v, -5.0 + 10.0 * rng.next_f64());
+        match (seed + v as u64) % 4 {
+            0 => lp.set_bounds(v, 0.0, 10.0 * rng.next_f64() + 0.5),
+            1 => lp.set_bounds(v, -5.0 * rng.next_f64(), 5.0 + 5.0 * rng.next_f64()),
+            2 => lp.set_bounds(v, 0.0, 8.0 + 4.0 * rng.next_f64()),
+            _ => lp.set_bounds(v, -3.0, 3.0),
+        }
+    }
+    if seed % 2 == 1 {
+        // A fixed column and a singleton row: presolvable structure.
+        lp.set_bounds(0, 1.5, 1.5);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Le, 2.5);
+    }
+    for r in 0..rows {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for v in 0..vars {
+            if rng.next_f64() < 0.7 {
+                coeffs.push((v, -2.0 + 4.0 * rng.next_f64()));
+            }
+        }
+        if coeffs.is_empty() {
+            continue;
+        }
+        let op = match r % 3 {
+            0 => ConstraintOp::Le,
+            1 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        lp.add_constraint(coeffs, op, -4.0 + 12.0 * rng.next_f64());
+    }
+    lp
+}
+
+/// Asserts a full-space point satisfies every constraint and bound of `lp`.
+fn assert_feasible(lp: &LinearProgram, values: &[f64], label: &str) {
+    for (j, &x) in values.iter().enumerate().take(lp.num_vars()) {
+        let (lo, hi) = lp.bounds(j);
+        assert!(
+            x >= lo - TOL && x <= hi + TOL,
+            "{label}: x{j} = {x} outside [{lo}, {hi}]"
+        );
+    }
+    for (i, c) in lp.constraints().iter().enumerate() {
+        let lhs: f64 = c.coeffs.iter().map(|&(j, a)| a * values[j]).sum();
+        let feas = TOL * (1.0 + c.rhs.abs());
+        let ok = match c.op {
+            ConstraintOp::Le => lhs <= c.rhs + feas,
+            ConstraintOp::Ge => lhs >= c.rhs - feas,
+            ConstraintOp::Eq => (lhs - c.rhs).abs() <= feas,
+        };
+        assert!(ok, "{label}: row {i} violated ({lhs} vs {})", c.rhs);
+    }
+}
+
+/// Presolved-vs-unpresolved equivalence against the dense oracle over the
+/// randomized sweep, cold. Infeasible/unbounded classifications must agree
+/// too, with one documented exception: presolve may report a *profitable
+/// unbounded empty column* on a model the oracle proves infeasible
+/// elsewhere (the standard presolve ambiguity).
+#[test]
+fn presolve_round_trip_matches_dense_oracle() {
+    let mut reduced_something = false;
+    for seed in 0..40u64 {
+        let lp = random_lp(seed);
+        let label = format!("seed_{seed}");
+        let dense = lp.solve_dense();
+        let pre = lp.presolve(&PresolveConfig::default(), None);
+        match (pre, dense) {
+            (Ok(pre), Ok(full)) => {
+                if pre.stats.rows_removed + pre.stats.cols_removed > 0 {
+                    reduced_something = true;
+                }
+                let red = pre.lp.solve().unwrap_or_else(|e| {
+                    panic!("{label}: reduced solve failed ({e}) after oracle succeeded")
+                });
+                let restored = pre.postsolve.restore_solution(&red);
+                assert!(
+                    (restored.objective - full.objective).abs()
+                        <= TOL * (1.0 + full.objective.abs()),
+                    "{label}: restored {} != oracle {}",
+                    restored.objective,
+                    full.objective
+                );
+                assert_feasible(&lp, &restored.values, &label);
+            }
+            (Ok(pre), Err(e)) => {
+                // Presolve kept the model; the reduced solve must reach the
+                // same classification as the oracle.
+                let red = pre.lp.solve();
+                match (red, e) {
+                    (Err(LpError::Infeasible), LpError::Infeasible) => {}
+                    (Err(LpError::Unbounded), LpError::Unbounded) => {}
+                    (r, e) => panic!("{label}: reduced {r:?} disagrees with oracle Err({e:?})"),
+                }
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Infeasible)) => {} // documented ambiguity
+            (p, d) => panic!("{label}: presolve {p:?} disagrees with oracle {d:?}"),
+        }
+    }
+    assert!(
+        reduced_something,
+        "the sweep never exercised an actual reduction"
+    );
+}
+
+/// Warm equivalence: a basis carried through the full↔reduced mapping
+/// reaches the cold objective after a branching-style bound change.
+/// This is the basis-mapping chain the MILP layer runs on:
+/// presolve → solve → branch (bound change) → presolve → warm re-solve.
+#[test]
+fn basis_mapping_chain_survives_branching() {
+    let config = PresolveConfig::default();
+    for seed in 0..12u64 {
+        let lp = random_lp(seed);
+        let label = format!("seed_{seed}");
+        let Ok(pre) = lp.presolve(&config, None) else {
+            continue; // infeasible/unbounded models have no chain to test
+        };
+        let Ok((sol, red_basis)) = pre.lp.solve_warm(None) else {
+            continue;
+        };
+        // Lift to the full space (what WarmStart stores).
+        let full_basis = pre.postsolve.basis_to_full(&red_basis);
+        assert_eq!(full_basis.num_structural(), lp.num_vars(), "{label}");
+        assert_eq!(full_basis.num_rows(), lp.num_constraints(), "{label}");
+
+        // "Branch": tighten the bound of the first surviving variable
+        // around its LP value, on the FULL model.
+        let restored = pre.postsolve.restore_values(&sol.values);
+        let Some(&fv) = pre.postsolve.kept_columns().first() else {
+            continue;
+        };
+        let mut branched = lp.clone();
+        let (lo, _) = branched.bounds(fv);
+        branched.set_bounds(fv, lo, restored[fv].floor().max(lo));
+
+        // Presolve the branched model and project the stored full basis
+        // into its reduced space.
+        let Ok(pre2) = branched.presolve(&config, None) else {
+            continue;
+        };
+        let warm_basis = pre2.postsolve.basis_to_reduced(&full_basis);
+        let warm = pre2.lp.solve_warm(warm_basis.as_ref());
+        let cold = pre2.lp.solve();
+        match (warm, cold) {
+            (Ok((w, _)), Ok(c)) => {
+                assert!(
+                    (w.objective - c.objective).abs() <= TOL * (1.0 + c.objective.abs()),
+                    "{label}: warm {} != cold {}",
+                    w.objective,
+                    c.objective
+                );
+            }
+            (Err(we), Err(ce)) => assert_eq!(we, ce, "{label}"),
+            (w, c) => panic!("{label}: warm {w:?} disagrees with cold {c:?}"),
+        }
+    }
+}
+
+// --- degenerate-model suite -------------------------------------------------
+
+#[test]
+fn all_fixed_model_solves_through_an_empty_reduction() {
+    // Every column fixed: the reduced problem is 0×0 and still must solve.
+    let mut lp = LinearProgram::new(4, Sense::Maximize);
+    for j in 0..4 {
+        lp.set_objective_coeff(j, (j as f64) - 1.5);
+        lp.set_bounds(j, 2.0, 2.0);
+    }
+    lp.add_constraint(vec![(0, 1.0), (3, 1.0)], ConstraintOp::Le, 10.0);
+    let pre = lp
+        .presolve(&PresolveConfig::default(), None)
+        .expect("presolve");
+    assert_eq!(pre.lp.num_vars(), 0);
+    assert_eq!(pre.lp.num_constraints(), 0);
+    let red = pre.lp.solve().expect("empty reduced model solves");
+    let restored = pre.postsolve.restore_solution(&red);
+    let oracle = lp.solve().expect("full solve");
+    assert!((restored.objective - oracle.objective).abs() <= TOL);
+    assert_eq!(restored.values, vec![2.0; 4]);
+}
+
+#[test]
+fn empty_rows_are_dropped_or_prove_infeasibility() {
+    // Satisfied empty rows vanish; a violated one proves infeasibility.
+    let mut lp = LinearProgram::new(1, Sense::Minimize);
+    lp.set_objective_coeff(0, 1.0);
+    lp.set_bounds(0, 0.0, 5.0);
+    lp.add_constraint(vec![], ConstraintOp::Le, 3.0);
+    lp.add_constraint(vec![(0, 0.0)], ConstraintOp::Ge, -1.0);
+    lp.add_constraint(vec![(0, 1.0), (0, -1.0)], ConstraintOp::Eq, 0.0);
+    let pre = lp
+        .presolve(&PresolveConfig::default(), None)
+        .expect("presolve");
+    assert_eq!(pre.lp.num_constraints(), 0);
+    assert_eq!(pre.stats.rows_removed, 3);
+
+    let mut bad = LinearProgram::new(1, Sense::Minimize);
+    bad.set_bounds(0, 0.0, 5.0);
+    bad.add_constraint(vec![(0, 0.0)], ConstraintOp::Ge, 2.0);
+    assert!(matches!(
+        bad.presolve(&PresolveConfig::default(), None),
+        Err(LpError::Infeasible)
+    ));
+}
+
+#[test]
+fn free_variables_round_trip() {
+    // Free and one-sided columns survive presolve and restore exactly.
+    let mut lp = LinearProgram::new(3, Sense::Minimize);
+    lp.set_objective_coeff(0, 1.0);
+    lp.set_objective_coeff(1, 2.0);
+    lp.set_objective_coeff(2, -1.0);
+    lp.set_bounds(0, f64::NEG_INFINITY, f64::INFINITY);
+    lp.set_bounds(1, 0.0, f64::INFINITY);
+    lp.set_bounds(2, f64::NEG_INFINITY, 4.0);
+    lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintOp::Ge, 2.0);
+    lp.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Ge, -3.0);
+    lp.add_constraint(vec![(0, -1.0), (2, 1.0)], ConstraintOp::Le, 6.0);
+    let full = lp.solve().expect("full solve");
+    let pre = lp
+        .presolve(&PresolveConfig::default(), None)
+        .expect("presolve");
+    let red = pre.lp.solve().expect("reduced solve");
+    let restored = pre.postsolve.restore_solution(&red);
+    assert!(
+        (restored.objective - full.objective).abs() <= TOL * (1.0 + full.objective.abs()),
+        "restored {} != full {}",
+        restored.objective,
+        full.objective
+    );
+    assert_feasible(&lp, &restored.values, "free_vars");
+}
+
+#[test]
+fn forcing_row_fixes_its_variables() {
+    // x0 + x1 >= 5 with x0 <= 2, x1 <= 3 forces both to their upper
+    // bounds; the whole model collapses.
+    let mut lp = LinearProgram::new(2, Sense::Minimize);
+    lp.set_objective_coeff(0, 1.0);
+    lp.set_objective_coeff(1, 1.0);
+    lp.set_bounds(0, 0.0, 2.0);
+    lp.set_bounds(1, 0.0, 3.0);
+    lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 5.0);
+    let pre = lp
+        .presolve(&PresolveConfig::default(), None)
+        .expect("presolve");
+    assert_eq!(pre.lp.num_vars(), 0);
+    let restored = pre.postsolve.restore_values(&[]);
+    assert_eq!(restored, vec![2.0, 3.0]);
+    assert!((pre.postsolve.objective_offset() - 5.0).abs() <= TOL);
+}

@@ -63,7 +63,7 @@ mod solve;
 
 pub use expr::LinExpr;
 pub use model::{Model, VarId, VarKind};
-pub use rfic_lp::{Basis, ConstraintOp, PricingRule, Sense};
+pub use rfic_lp::{Basis, ConstraintOp, PresolveConfig, PresolveStats, PricingRule, Sense};
 pub use solve::{BranchRule, MilpError, MilpSolution, SolveOptions, SolveStatus, WarmStart};
 
 /// Integrality tolerance: a value within this distance of an integer is

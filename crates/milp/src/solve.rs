@@ -56,7 +56,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use rfic_lp::{Basis, ConstraintOp, LinearProgram, LpError, LpSolution, PricingRule, Sense};
+use rfic_lp::{
+    Basis, ConstraintOp, LinearProgram, LpError, LpSolution, Postsolve, PresolveConfig,
+    PresolveStats, PricingRule, Sense,
+};
 
 use crate::cuts::{self, Cut, CutPool};
 use crate::model::Model;
@@ -101,6 +104,13 @@ pub struct SolveOptions {
     pub local_cuts: bool,
     /// Branching-variable selection rule.
     pub branching: BranchRule,
+    /// Presolve configuration applied to the root relaxation: the entire
+    /// tree is searched in the reduced (and scaled) variable space, with
+    /// node bound changes mapped through the reduction stack and every
+    /// incumbent postsolved back to the full model at offer time. On by
+    /// default; [`SolveOptions::without_presolve`] switches it off (the
+    /// golden/determinism suites cross-check both settings).
+    pub presolve: PresolveConfig,
     /// Pricing rule handed to every LP solve (node re-solves, root,
     /// heuristics). [`PricingRule::Devex`] is the general-purpose default;
     /// the layout engine pins [`PricingRule::DualSteepestEdge`], which
@@ -125,6 +135,7 @@ impl Default for SolveOptions {
             local_cuts: true,
             branching: BranchRule::default(),
             pricing: PricingRule::default(),
+            presolve: PresolveConfig::default(),
         }
     }
 }
@@ -187,6 +198,14 @@ impl SolveOptions {
     /// The same configuration with the given LP pricing rule.
     pub fn with_pricing(mut self, pricing: PricingRule) -> SolveOptions {
         self.pricing = pricing;
+        self
+    }
+
+    /// The same configuration with root presolve disabled (the search runs
+    /// on the raw relaxation — equivalence baseline for the golden and
+    /// determinism suites).
+    pub fn without_presolve(mut self) -> SolveOptions {
+        self.presolve = PresolveConfig::off();
         self
     }
 
@@ -264,6 +283,9 @@ pub struct MilpSolution {
     /// the shared pool plus locally valid ones pinned to their subtree);
     /// `0` unless [`SolveOptions::cut_every`] enables tree separation.
     pub tree_cuts: usize,
+    /// What root presolve removed from the relaxation the tree searched
+    /// (all-zero counters when presolve is disabled or found nothing).
+    pub presolve: PresolveStats,
 }
 
 impl MilpSolution {
@@ -617,8 +639,13 @@ struct Shared<'a> {
     /// Original bounds of every variable (node bound resets).
     base_bounds: &'a [(f64, f64)],
     integer_vars: &'a [usize],
-    /// `is_integer[v]` for every structural variable (separator input).
+    /// `is_integer[v]` for every structural variable of the *reduced*
+    /// relaxation (separator input).
     is_integer: &'a [bool],
+    /// Root presolve transform: restores reduced-space LP points to the
+    /// full model (incumbents are always offered in full-model values) and
+    /// carries the objective offset of the removed columns.
+    postsolve: &'a Postsolve,
     /// Globally valid tree cuts shared across the workers.
     cuts: SharedCutPool,
     sense_sign: f64,
@@ -647,6 +674,14 @@ struct Shared<'a> {
 impl Shared<'_> {
     fn incumbent_bound(&self) -> f64 {
         f64::from_bits(self.incumbent_bound.load(Ordering::Acquire))
+    }
+
+    /// Minimised full-model bound of a reduced-space LP objective: the
+    /// presolve offset (contribution of fixed/substituted columns) is added
+    /// back so node bounds compare against incumbents evaluated on the
+    /// full model.
+    fn minimised_bound(&self, lp_objective: f64) -> f64 {
+        self.sense_sign * (lp_objective + self.postsolve.objective_offset())
     }
 
     /// `true` when a subtree with LP bound `bound` cannot improve the
@@ -1043,7 +1078,7 @@ fn process_node(shared: &Shared<'_>, wlp: &mut WorkerLp, current: Node, local: &
             return;
         }
     };
-    let mut node_bound = shared.sense_sign * lp_solution.objective;
+    let mut node_bound = shared.minimised_bound(lp_solution.objective);
     // The pseudocost observation uses the pre-cut LP bound: cut tightening
     // is not branching degradation.
     let observed = current
@@ -1086,8 +1121,11 @@ fn process_node(shared: &Shared<'_>, wlp: &mut WorkerLp, current: Node, local: &
 
     match branch_choice {
         None => {
-            // Integer feasible: candidate incumbent.
-            let values = round_integers(&lp_solution.values, shared.integer_vars);
+            // Integer feasible: candidate incumbent. Rounding happens in
+            // the reduced space (where the integer columns live at unit
+            // scale), then the point is postsolved to full-model values.
+            let reduced = round_integers(&lp_solution.values, shared.integer_vars);
+            let values = shared.postsolve.restore_values(&reduced);
             let objective = evaluate_objective(shared.model, &values) * shared.sense_sign;
             shared.offer_incumbent(values, objective);
         }
@@ -1104,6 +1142,8 @@ fn process_node(shared: &Shared<'_>, wlp: &mut WorkerLp, current: Node, local: &
                 if let Some((vals, objective)) = rounding_heuristic(
                     shared.model,
                     shared.base_lp,
+                    shared.base_bounds,
+                    shared.postsolve,
                     &current.bound_changes,
                     base_compatible,
                     &lp_solution.values,
@@ -1261,7 +1301,7 @@ fn tree_cut_rounds(
         wlp.lp.set_time_limit(Some(shared.remaining_time()));
         match solve_node_lp(&wlp.lp, basis.as_ref(), options, &shared.lp_work) {
             Ok((new_solution, new_basis)) => {
-                let new_bound = shared.sense_sign * new_solution.objective;
+                let new_bound = shared.minimised_bound(new_solution.objective);
                 // Valid rows can only tighten the relaxation; the max
                 // guards the pruning bound against numerical dips.
                 let improved = new_bound > *bound + 1e-9 + 1e-7 * bound.abs();
@@ -1387,27 +1427,54 @@ pub(crate) fn branch_and_bound(
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
     };
-    let integer_vars: Vec<usize> = model
-        .vars
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.kind.is_integer())
-        .map(|(i, _)| i)
-        .collect();
-    let base_bounds: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lower, v.upper)).collect();
-
     if options.node_limit == 0 {
         return Err(MilpError::LimitReached);
     }
 
+    // --- root presolve ------------------------------------------------------
+    // The relaxation is presolved once; the ENTIRE tree then runs in the
+    // reduced (and scaled) variable space — node bound changes only ever
+    // shrink variable boxes, which keeps every root reduction valid in
+    // every subtree. Integer columns keep unit scale factors and are never
+    // substituted away, so branching and cut separation stay exact.
+    let full_is_integer: Vec<bool> = model.vars.iter().map(|v| v.kind.is_integer()).collect();
+    let presolved = match model
+        .relaxation()
+        .presolve(&options.presolve, Some(&full_is_integer))
+    {
+        Ok(p) => p,
+        Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
+        Err(LpError::Unbounded) => return Err(MilpError::Unbounded),
+        Err(e) => return Err(MilpError::Lp(e)),
+    };
+    let postsolve = presolved.postsolve;
+    let presolve_stats = presolved.stats;
+    // Reduced-space views of the integer structure and variable bounds
+    // (identical to the model's own when presolve is off).
+    let is_integer: Vec<bool> = postsolve
+        .kept_columns()
+        .iter()
+        .map(|&fj| full_is_integer[fj])
+        .collect();
+    let integer_vars: Vec<usize> = is_integer
+        .iter()
+        .enumerate()
+        .filter(|(_, &int)| int)
+        .map(|(j, _)| j)
+        .collect();
+
     // --- root node (serial) ------------------------------------------------
-    let mut base_lp = model.relaxation();
+    let mut base_lp = presolved.lp;
     base_lp.set_pricing(options.pricing);
     base_lp.set_time_limit(Some(options.time_limit));
+    let base_bounds: Vec<(f64, f64)> = (0..base_lp.num_vars()).map(|j| base_lp.bounds(j)).collect();
+    // The stored warm basis lives in the FULL variable space; project it
+    // through the reduction stack (`None` → cold start).
     let root_warm = warm
         .as_ref()
-        .and_then(|w| w.root_basis.clone())
-        .filter(|_| options.warm_start);
+        .and_then(|w| w.root_basis.as_ref())
+        .filter(|_| options.warm_start)
+        .and_then(|b| postsolve.basis_to_reduced(b));
     let lp_work = LpWorkCounters::default();
     let (root_solution, root_basis) = match base_lp.solve_warm(root_warm.as_ref()) {
         Ok(pair) => pair,
@@ -1420,13 +1487,13 @@ pub(crate) fn branch_and_bound(
     };
     lp_work.record(&root_solution);
     // The *pre-cut* root basis is what survives into the next solve of a
-    // grown model (cut rows are private to this solve).
+    // grown model (cut rows are private to this solve); it is stored in
+    // full-model coordinates so it outlives this solve's presolve.
     if let Some(w) = warm {
-        w.root_basis = Some(root_basis.clone());
+        w.root_basis = Some(postsolve.basis_to_full(&root_basis));
     }
 
     // --- root Gomory cut rounds -------------------------------------------
-    let is_integer: Vec<bool> = model.vars.iter().map(|v| v.kind.is_integer()).collect();
     let mut cut_pool = CutPool::new();
     let mut cuts_added = 0usize;
     let mut current_solution = root_solution;
@@ -1448,7 +1515,7 @@ pub(crate) fn branch_and_bound(
             break;
         }
         let saved = base_lp.clone();
-        let bound_before = sense_sign * current_solution.objective;
+        let bound_before = sense_sign * (current_solution.objective + postsolve.objective_offset());
         for cut in &cuts {
             base_lp.add_constraint(cut.coeffs.clone(), ConstraintOp::Ge, cut.rhs);
         }
@@ -1460,7 +1527,8 @@ pub(crate) fn branch_and_bound(
                 // on the big-M layout models Gomory cuts are typically too
                 // weak to pay for the extra rows in every node LP, and this
                 // gate is what keeps them free there.
-                let improvement = sense_sign * solution.objective - bound_before;
+                let improvement =
+                    sense_sign * (solution.objective + postsolve.objective_offset()) - bound_before;
                 if improvement < 1e-9 + 1e-7 * bound_before.abs() {
                     base_lp = saved;
                     break;
@@ -1478,7 +1546,7 @@ pub(crate) fn branch_and_bound(
         }
     }
 
-    let root_bound = sense_sign * current_solution.objective;
+    let root_bound = sense_sign * (current_solution.objective + postsolve.objective_offset());
 
     // --- shared search state ----------------------------------------------
     let thread_count = options.effective_threads().max(1);
@@ -1489,6 +1557,7 @@ pub(crate) fn branch_and_bound(
         base_bounds: &base_bounds,
         integer_vars: &integer_vars,
         is_integer: &is_integer,
+        postsolve: &postsolve,
         // The shared tree-cut pool inherits the root dedup state so node
         // separation never re-derives a cut already in the relaxation.
         cuts: SharedCutPool::new(cut_pool),
@@ -1513,13 +1582,14 @@ pub(crate) fn branch_and_bound(
         stop: AtomicBool::new(false),
         limit_hit: AtomicBool::new(false),
         error: Mutex::new(None),
-        pseudo: Mutex::new(vec![PseudoCost::default(); model.num_vars()]),
+        pseudo: Mutex::new(vec![PseudoCost::default(); base_lp.num_vars()]),
     };
 
     match shared.select_branch_var(&current_solution.values, None) {
         None => {
             // Root already integral: done.
-            let values = round_integers(&current_solution.values, &integer_vars);
+            let reduced = round_integers(&current_solution.values, &integer_vars);
+            let values = shared.postsolve.restore_values(&reduced);
             let objective = evaluate_objective(model, &values) * sense_sign;
             shared.offer_incumbent(values, objective);
         }
@@ -1528,6 +1598,8 @@ pub(crate) fn branch_and_bound(
                 if let Some((vals, objective)) = rounding_heuristic(
                     model,
                     &base_lp,
+                    &base_bounds,
+                    &postsolve,
                     &[],
                     Some(&current_basis),
                     &current_solution.values,
@@ -1648,6 +1720,7 @@ pub(crate) fn branch_and_bound(
                 lp_bound_flips,
                 cuts: cuts_added,
                 tree_cuts,
+                presolve: presolve_stats,
             })
         }
         None => {
@@ -1695,13 +1768,19 @@ fn evaluate_objective(model: &Model, values: &[f64]) -> f64 {
 }
 
 /// Fix all integer variables at their rounded LP values and re-solve the LP
-/// for the continuous variables; returns a feasible point if one exists and
-/// satisfies every model constraint. Warm-started from the node basis (only
-/// bounds changed, so the dual re-entry applies here too).
+/// for the continuous variables; returns a feasible point (in FULL-model
+/// values) if one exists and satisfies every model constraint.
+/// Warm-started from the node basis (only bounds changed, so the dual
+/// re-entry applies here too). Runs entirely in the reduced space —
+/// `base_lp`, `base_bounds`, `bound_changes`, `lp_values` and
+/// `integer_vars` all use reduced column indices — and postsolves the
+/// resulting point before the full-model feasibility check.
 #[allow(clippy::too_many_arguments)]
 fn rounding_heuristic(
     model: &Model,
     base_lp: &LinearProgram,
+    base_bounds: &[(f64, f64)],
+    postsolve: &Postsolve,
     bound_changes: &[(usize, f64, f64)],
     node_basis: Option<&Basis>,
     lp_values: &[f64],
@@ -1719,14 +1798,15 @@ fn rounding_heuristic(
     lp.set_time_limit(Some(remaining_time));
     for &v in integer_vars {
         let r = lp_values[v].round();
-        let (lo, hi) = model.var_bounds(crate::VarId(v));
+        let (lo, hi) = base_bounds[v];
         if r < lo - 1e-9 || r > hi + 1e-9 {
             return None;
         }
         lp.set_bounds(v, r, r);
     }
     let (sol, _) = solve_node_lp(&lp, node_basis, options, counters).ok()?;
-    let values = round_integers(&sol.values, integer_vars);
+    let reduced = round_integers(&sol.values, integer_vars);
+    let values = postsolve.restore_values(&reduced);
     if !model.violated_constraints(&values, 1e-6).is_empty() {
         return None;
     }

@@ -99,7 +99,8 @@ fn assert_valid_incumbent(name: &str, model: &Model, solution: &MilpSolution) {
 }
 
 /// Same objective (and a valid incumbent) for `threads ∈ {1, 2, 4}` on the
-/// whole golden suite.
+/// whole golden suite — with root presolve on (the default) and off, in
+/// every combination with the thread counts.
 #[test]
 fn golden_suite_objective_is_thread_count_invariant() {
     for (name, model) in golden_suite() {
@@ -108,24 +109,57 @@ fn golden_suite_objective_is_thread_count_invariant() {
             .unwrap_or_else(|e| panic!("{name}: serial solve failed: {e}"));
         assert_eq!(reference.status, SolveStatus::Optimal, "{name}");
         assert_valid_incumbent(name, &model, &reference);
+        let mut configs = vec![SolveOptions::default().without_presolve()];
         for threads in parallel_thread_counts() {
-            let parallel = model
-                .solve(&SolveOptions::default().with_threads(threads))
-                .unwrap_or_else(|e| panic!("{name}: threads={threads} solve failed: {e}"));
-            assert_eq!(
-                parallel.status,
-                SolveStatus::Optimal,
-                "{name} threads={threads}"
+            configs.push(SolveOptions::default().with_threads(threads));
+            configs.push(
+                SolveOptions::default()
+                    .without_presolve()
+                    .with_threads(threads),
             );
+        }
+        for opts in configs {
+            let parallel = model
+                .solve(&opts)
+                .unwrap_or_else(|e| panic!("{name}: solve failed ({opts:?}): {e}"));
+            assert_eq!(parallel.status, SolveStatus::Optimal, "{name} ({opts:?})");
             assert!(
                 (parallel.objective - reference.objective).abs()
                     <= 1e-6 * (1.0 + reference.objective.abs()),
-                "{name}: threads={threads} objective {} != serial {}",
+                "{name}: objective {} != serial {} under {opts:?}",
                 parallel.objective,
                 reference.objective
             );
             assert_valid_incumbent(name, &model, &parallel);
         }
+    }
+}
+
+/// Presolve must be *equivalence-preserving*: the reduced-space search
+/// postsolves to the same optimum as the raw-relaxation search, and the
+/// stats only report reductions when presolve is on.
+#[test]
+fn golden_suite_presolve_on_off_equivalence() {
+    for (name, model) in golden_suite() {
+        let with_presolve = model
+            .solve(&SolveOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: presolve-on solve failed: {e}"));
+        let without = model
+            .solve(&SolveOptions::default().without_presolve())
+            .unwrap_or_else(|e| panic!("{name}: presolve-off solve failed: {e}"));
+        assert!(
+            (with_presolve.objective - without.objective).abs()
+                <= 1e-6 * (1.0 + without.objective.abs()),
+            "{name}: presolve changed the optimum: {} vs {}",
+            with_presolve.objective,
+            without.objective
+        );
+        assert_valid_incumbent(name, &model, &with_presolve);
+        assert_eq!(
+            without.presolve.rows_removed + without.presolve.cols_removed,
+            0,
+            "{name}: presolve-off run reports reductions"
+        );
     }
 }
 
@@ -219,6 +253,7 @@ proptest! {
         let mut configs = vec![
             SolveOptions::default(),
             SolveOptions::default().cold(),
+            SolveOptions::default().without_presolve(),
             SolveOptions::default().with_tree_cuts(1),
             SolveOptions::default().with_tree_cuts(2),
         ];
@@ -253,6 +288,7 @@ proptest! {
         let reference = model.solve(&SolveOptions::default().without_cuts()).expect("plain");
         let mut configs = vec![
             SolveOptions::default(),
+            SolveOptions::default().without_presolve(),
             SolveOptions::default().with_tree_cuts(1),
         ];
         if let Some(&threads) = parallel_thread_counts().last() {
