@@ -4,10 +4,12 @@
 //! protects the *flow-level* result those kernels buy — the tiny-circuit
 //! P-ILP run that must reach exact length on every strip in seconds, not
 //! minutes. It runs the flow, records wall time, length matching, bends,
-//! DRC status and the aggregate branch-and-bound traffic, writes the
-//! measurement to `target/flow_current.json`, and fails when a strip loses
-//! its exact length or the wall time regresses past the threshold against
-//! the committed `BENCH_flow.json` baseline.
+//! DRC status and the aggregate branch-and-bound traffic, then measures
+//! job-API throughput (several concurrent tiny-circuit jobs over one
+//! shared solver pool, recorded as requests/sec), writes the measurements
+//! to `target/flow_current.json`, and fails when a strip loses its exact
+//! length or the wall time regresses past the threshold against the
+//! committed `BENCH_flow.json` baseline.
 //!
 //! Usage:
 //!
@@ -23,8 +25,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use rfic_bench::gate::{flow_gate, flow_json, parse_flow_json, write_target_artifact, FlowRecord};
-use rfic_core::{Pilp, PilpConfig};
+use rfic_core::{JobContext, Pilp, PilpConfig};
 use rfic_netlist::benchmarks;
+
+/// Number of concurrent layout jobs in the throughput measurement.
+const CONCURRENT_JOBS: usize = 4;
 
 /// Absolute wall-time regression floor (ms): differences smaller than this
 /// are scheduler noise on a shared runner, never a lost optimisation. The
@@ -66,6 +71,80 @@ fn measure_tiny_flow() -> Result<FlowRecord, String> {
         presolve_rows_removed: result.solver.presolve_rows_removed as u64,
         presolve_cols_removed: result.solver.presolve_cols_removed as u64,
         presolve_nonzeros_removed: result.solver.presolve_nonzeros_removed as u64,
+        requests_per_sec: 0.0,
+    })
+}
+
+/// Runs [`CONCURRENT_JOBS`] identical tiny-circuit jobs over one shared
+/// [`JobContext`] (one solver pool, one solve-site cache) and measures
+/// completed requests per second. Every job must reach exact length on
+/// every strip and stay DRC-clean — a single degraded result fails the
+/// measurement outright.
+fn measure_concurrent_throughput() -> Result<FlowRecord, String> {
+    let circuit = benchmarks::tiny_circuit();
+    let netlist = &circuit.netlist;
+    println!(
+        "flow-gate: running {CONCURRENT_JOBS} concurrent tiny-circuit jobs over one shared pool ..."
+    );
+    let ctx = JobContext::new(0);
+    let pilp = Pilp::new(PilpConfig::fast());
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CONCURRENT_JOBS)
+        .map(|_| pilp.submit_in(netlist, &ctx))
+        .collect();
+    let mut totals = (0u64, 0u64, 0u64); // nodes, solves, iterations
+    let mut worst_bends = 0u64;
+    let mut worst_error = 0.0f64;
+    let mut first_report = None;
+    for (i, handle) in handles.iter().enumerate() {
+        let result = handle
+            .wait()
+            .map_err(|e| format!("concurrent job {i} failed: {e}"))?;
+        let report = result.report();
+        let exact = report
+            .strips
+            .iter()
+            .filter(|s| s.length_error.abs() < 1e-3)
+            .count();
+        if exact < report.strips.len() {
+            return Err(format!(
+                "concurrent job {i}: only {exact}/{} strips reached exact length",
+                report.strips.len()
+            ));
+        }
+        if report.drc_violations > 0 {
+            return Err(format!(
+                "concurrent job {i}: {} DRC violations",
+                report.drc_violations
+            ));
+        }
+        totals.0 += result.solver.nodes as u64;
+        totals.1 += result.solver.solves as u64;
+        totals.2 += result.solver.simplex_iterations as u64;
+        worst_bends = worst_bends.max(report.total_bends as u64);
+        worst_error = worst_error.max(report.max_length_error);
+        if first_report.is_none() {
+            first_report = Some((report.strips.len() as u64, report.strips.len() as u64));
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    ctx.shutdown();
+    let (strips, exact_lengths) = first_report.expect("at least one job ran");
+    Ok(FlowRecord {
+        name: format!("{} x{CONCURRENT_JOBS} jobs", netlist.name()),
+        wall_ms,
+        strips,
+        exact_lengths,
+        total_bends: worst_bends,
+        max_length_error_um: worst_error,
+        drc_violations: 0,
+        bnb_nodes: totals.0,
+        solves: totals.1,
+        simplex_iterations: totals.2,
+        presolve_rows_removed: 0,
+        presolve_cols_removed: 0,
+        presolve_nonzeros_removed: 0,
+        requests_per_sec: CONCURRENT_JOBS as f64 / (wall_ms / 1e3),
     })
 }
 
@@ -117,12 +196,34 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&format!("cannot parse current run {path}: {e}")),
             }
         }
-        None => match measure_tiny_flow() {
-            Ok(record) => vec![record],
-            Err(e) => return fail(&e),
-        },
+        None => {
+            let single = match measure_tiny_flow() {
+                Ok(record) => record,
+                Err(e) => return fail(&e),
+            };
+            let concurrent = match measure_concurrent_throughput() {
+                Ok(record) => record,
+                Err(e) => return fail(&e),
+            };
+            vec![single, concurrent]
+        }
     };
     for record in &current {
+        if record.requests_per_sec > 0.0 {
+            println!(
+                "flow-gate: {}: wall {:.0} ms, {:.3} requests/sec, worst bends {}, worst \
+                 |ΔL| {:.3} µm, {} B&B nodes over {} solves ({} pivots) summed across jobs",
+                record.name,
+                record.wall_ms,
+                record.requests_per_sec,
+                record.total_bends,
+                record.max_length_error_um,
+                record.bnb_nodes,
+                record.solves,
+                record.simplex_iterations,
+            );
+            continue;
+        }
         println!(
             "flow-gate: {}: wall {:.0} ms, {}/{} exact lengths, {} bends, max |ΔL| {:.3} µm, \
              {} DRC violations, {} B&B nodes over {} solves ({} pivots); presolve removed \

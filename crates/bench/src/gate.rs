@@ -354,6 +354,10 @@ pub struct FlowRecord {
     /// Nonzero coefficients removed by root presolve, summed over every
     /// MILP solve.
     pub presolve_nonzeros_removed: u64,
+    /// Completed layout requests per second for concurrent-throughput
+    /// records (several jobs multiplexed over one shared solver pool);
+    /// `0` for single-flow records and baselines predating the job API.
+    pub requests_per_sec: f64,
 }
 
 /// Serialises flow records in the committed `BENCH_flow.json` format.
@@ -365,7 +369,7 @@ pub fn flow_json(records: &[FlowRecord]) -> String {
              \"total_bends\": {}, \"max_length_error_um\": {:.6}, \"drc_violations\": {}, \
              \"bnb_nodes\": {}, \"solves\": {}, \"simplex_iterations\": {}, \
              \"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}, \
-             \"presolve_nonzeros_removed\": {} }}{}\n",
+             \"presolve_nonzeros_removed\": {}, \"requests_per_sec\": {:.3} }}{}\n",
             r.name,
             r.wall_ms,
             r.strips,
@@ -379,6 +383,7 @@ pub fn flow_json(records: &[FlowRecord]) -> String {
             r.presolve_rows_removed,
             r.presolve_cols_removed,
             r.presolve_nonzeros_removed,
+            r.requests_per_sec,
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -413,6 +418,9 @@ pub fn parse_flow_json(text: &str) -> Result<Vec<FlowRecord>, String> {
                 .unwrap_or(0.0) as u64,
             presolve_nonzeros_removed: extract_number_value(object, "presolve_nonzeros_removed")
                 .unwrap_or(0.0) as u64,
+            // Throughput records arrived with the job API; absent keys
+            // parse as zero so older baselines load.
+            requests_per_sec: extract_number_value(object, "requests_per_sec").unwrap_or(0.0),
         });
         rest = &rest[end..];
     }
@@ -480,15 +488,24 @@ pub fn flow_gate(
                         threshold_pct
                     ));
                 } else {
+                    let throughput = if cur.requests_per_sec > 0.0 {
+                        format!(
+                            ", {:.3} req/s ({:.3} baseline)",
+                            cur.requests_per_sec, base.requests_per_sec
+                        )
+                    } else {
+                        String::new()
+                    };
                     report.notes.push(format!(
-                        "{}: wall {:.0} ms (baseline {:.0} ms), {} nodes ({} baseline), bends {} ({})",
+                        "{}: wall {:.0} ms (baseline {:.0} ms), {} nodes ({} baseline), bends {} ({}){}",
                         cur.name,
                         cur.wall_ms,
                         base.wall_ms,
                         cur.bnb_nodes,
                         base.bnb_nodes,
                         cur.total_bends,
-                        base.total_bends
+                        base.total_bends,
+                        throughput
                     ));
                 }
             }
@@ -680,6 +697,7 @@ mod tests {
             presolve_rows_removed: 120,
             presolve_cols_removed: 60,
             presolve_nonzeros_removed: 400,
+            requests_per_sec: 0.0,
         }
     }
 
@@ -708,6 +726,29 @@ mod tests {
         assert_eq!(parsed[0].presolve_rows_removed, 0);
         assert_eq!(parsed[0].presolve_cols_removed, 0);
         assert_eq!(parsed[0].presolve_nonzeros_removed, 0);
+        assert_eq!(parsed[0].requests_per_sec, 0.0);
+    }
+
+    /// Throughput records (the concurrent-jobs measurement) round-trip
+    /// their requests/sec and surface it in the gate notes.
+    #[test]
+    fn flow_gate_reports_throughput_records() {
+        let mut record = flow("tiny x4 jobs", 20_000.0, 3);
+        record.requests_per_sec = 0.2;
+        let text = flow_json(&[record.clone()]);
+        assert!(text.contains("\"requests_per_sec\": 0.200"), "{text}");
+        let parsed = parse_flow_json(&text).expect("parse");
+        assert_eq!(parsed, vec![record.clone()]);
+
+        let mut baseline = record.clone();
+        baseline.requests_per_sec = 0.25;
+        let report = flow_gate(&[baseline], &[record], 30.0, 2_000.0);
+        assert!(report.ok(), "{:?}", report.failures);
+        assert!(
+            report.notes.iter().any(|n| n.contains("0.200 req/s")),
+            "{:?}",
+            report.notes
+        );
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! The asynchronous layout-job API: submit netlists, share one solver
+//! pool, wait/poll/cancel.
+//!
+//! [`crate::Pilp::run`] historically owned the whole machine for the
+//! duration of one flow — every MILP solve spawned its own worker
+//! threads, and a caller wanting two layouts at once paid for two full
+//! thread sets with no way to stop a runaway run. This module inverts
+//! the control flow:
+//!
+//! * [`crate::Pilp::submit`] returns a [`JobHandle`] immediately; the
+//!   flow runs on a background thread and every MILP solve is scheduled
+//!   on the [`JobContext`]'s shared [`rfic_milp::SolverPool`], so N
+//!   concurrent jobs multiplex one fixed worker set instead of
+//!   oversubscribing the cores.
+//! * [`JobHandle::cancel`] trips a [`rfic_milp::CancelToken`] that the
+//!   simplex kernel polls every few dozen pivots (the same plumbing a
+//!   per-solve time limit uses): the in-flight solve returns promptly
+//!   and the flow surfaces [`crate::PilpError::Cancelled`] at the next
+//!   phase checkpoint — deliberately checked *outside* the per-strip
+//!   solve loops, which tolerate individual solve failures by design.
+//! * [`crate::PilpConfig::deadline`] bounds the whole run: per-solve
+//!   time limits are capped by the time remaining and an exhausted
+//!   deadline surfaces as [`crate::PilpError::DeadlineExceeded`].
+//! * Jobs sharing a context also share its [`crate::FlowCache`] of
+//!   memoized solve-site layouts, so a repeated identical request
+//!   replays each solve site as a pure lookup — the identical layout
+//!   with near-zero solver work.
+//!
+//! The process-wide default context behind [`crate::Pilp::run`] and
+//! [`crate::Pilp::submit`] is [`JobContext::global`]; servers that need
+//! their own pool lifecycle construct a [`JobContext`] and use
+//! [`crate::Pilp::submit_in`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use rfic_milp::{CancelToken, SolverPool};
+use rfic_netlist::Netlist;
+
+use crate::cache::FlowCache;
+use crate::pilp::{Pilp, PilpError, PilpPhase, PilpResult};
+
+/// Shared solving infrastructure for layout jobs: a persistent
+/// [`SolverPool`] plus the cross-request [`FlowCache`] of memoized
+/// solve-site layouts.
+///
+/// Every job submitted into the same context schedules its
+/// branch-and-bound trees on the same fixed worker set and shares the
+/// same solve-site cache.
+pub struct JobContext {
+    pool: SolverPool,
+    cache: Arc<FlowCache>,
+}
+
+impl JobContext {
+    /// Creates a context with `workers` pool threads (`0` = hardware
+    /// parallelism capped at 8) and a default-capacity cache.
+    pub fn new(workers: usize) -> JobContext {
+        JobContext {
+            pool: SolverPool::new(workers),
+            cache: Arc::new(FlowCache::default()),
+        }
+    }
+
+    /// The process-wide context used by [`Pilp::run`] and
+    /// [`Pilp::submit`]. Created lazily on first use; its pool workers
+    /// live for the rest of the process.
+    pub fn global() -> &'static JobContext {
+        static GLOBAL: OnceLock<JobContext> = OnceLock::new();
+        GLOBAL.get_or_init(|| JobContext::new(0))
+    }
+
+    /// The shared solver pool.
+    pub fn pool(&self) -> &SolverPool {
+        &self.pool
+    }
+
+    /// The shared solve-site cache.
+    pub fn cache(&self) -> &Arc<FlowCache> {
+        &self.cache
+    }
+
+    /// Shuts the pool down: in-flight solves return their incumbents and
+    /// jobs still running fail with [`PilpError::PoolShutdown`] at their
+    /// next checkpoint.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+}
+
+/// Internal per-run control block threaded through the flow phases:
+/// cancellation, deadline, the shared pool/cache and progress counters.
+pub(crate) struct FlowCtl {
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    pool: Option<SolverPool>,
+    cache: Option<Arc<FlowCache>>,
+    /// [`Netlist::fingerprint`] of the job's circuit (cache keying).
+    fingerprint: u64,
+    progress: Arc<ProgressState>,
+}
+
+impl FlowCtl {
+    /// The abort checkpoint the phase loops poll between solves:
+    /// cancellation, deadline and pool liveness, in that priority order.
+    pub(crate) fn check(&self) -> Result<(), PilpError> {
+        if self.cancel.is_cancelled() {
+            return Err(PilpError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(PilpError::DeadlineExceeded);
+            }
+        }
+        if let Some(pool) = &self.pool {
+            if pool.is_shut_down() {
+                return Err(PilpError::PoolShutdown);
+            }
+        }
+        Ok(())
+    }
+
+    /// Time left until the deadline (`None` = no deadline).
+    pub(crate) fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The job's cancel token (cloned into every `SolveOptions`).
+    pub(crate) fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The shared pool, if the job runs pooled.
+    pub(crate) fn pool(&self) -> Option<&SolverPool> {
+        self.pool.as_ref()
+    }
+
+    /// The shared solve-site cache, if attached.
+    pub(crate) fn cache(&self) -> Option<&FlowCache> {
+        self.cache.as_deref()
+    }
+
+    /// The netlist fingerprint for cache keying.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    pub(crate) fn note_phase(&self, phase: PilpPhase) {
+        let stage = match phase {
+            PilpPhase::GlobalRouting => 1,
+            PilpPhase::Visualization => 2,
+            PilpPhase::Refinement => 3,
+        };
+        self.progress.stage.store(stage, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_solve(&self) {
+        self.progress.solves.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Lock-free progress counters shared between the flow thread and the
+/// handle. `stage`: 0 = validating, 1–3 = the phases, 4 = finished.
+#[derive(Default)]
+struct ProgressState {
+    stage: AtomicUsize,
+    solves: AtomicUsize,
+}
+
+/// A point-in-time progress snapshot of a layout job
+/// ([`JobHandle::progress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// The phase currently executing (`None` while validating and after
+    /// the job finished).
+    pub phase: Option<PilpPhase>,
+    /// Individual MILP solves issued so far.
+    pub solves: usize,
+    /// Whether the job has produced its result (success or error).
+    pub done: bool,
+}
+
+/// Result slot + wakeup for one job.
+#[derive(Default)]
+struct JobState {
+    result: Mutex<Option<Result<PilpResult, PilpError>>>,
+    cv: Condvar,
+}
+
+/// Handle to a submitted layout job ([`Pilp::submit`]).
+///
+/// The handle is passive: dropping it neither cancels nor detaches the
+/// job (the flow keeps running on the shared pool); cancel explicitly if
+/// the result is no longer wanted.
+pub struct JobHandle {
+    state: Arc<JobState>,
+    cancel: CancelToken,
+    progress: Arc<ProgressState>,
+}
+
+impl JobHandle {
+    /// Blocks until the job finishes and returns (a clone of) its
+    /// result. Can be called more than once.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the flow returns — including
+    /// [`PilpError::Cancelled`] after [`JobHandle::cancel`],
+    /// [`PilpError::DeadlineExceeded`] past the configured deadline and
+    /// [`PilpError::PoolShutdown`] if the context was shut down
+    /// mid-flight.
+    pub fn wait(&self) -> Result<PilpResult, PilpError> {
+        let mut slot = self.state.result.lock().unwrap();
+        while slot.is_none() {
+            slot = self.state.cv.wait(slot).unwrap();
+        }
+        slot.as_ref().expect("result present").clone()
+    }
+
+    /// Non-blocking result check: `None` while the job is still running,
+    /// otherwise a clone of the result.
+    pub fn poll(&self) -> Option<Result<PilpResult, PilpError>> {
+        self.state.result.lock().unwrap().clone()
+    }
+
+    /// Requests cancellation. The running solve notices within a few
+    /// dozen simplex pivots and the job finishes with
+    /// [`PilpError::Cancelled`] at its next phase checkpoint; the pool
+    /// workers it occupied move on to other jobs.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// `true` once [`JobHandle::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// A snapshot of the job's progress.
+    pub fn progress(&self) -> JobProgress {
+        let stage = self.progress.stage.load(Ordering::Relaxed);
+        JobProgress {
+            phase: match stage {
+                1 => Some(PilpPhase::GlobalRouting),
+                2 => Some(PilpPhase::Visualization),
+                3 => Some(PilpPhase::Refinement),
+                _ => None,
+            },
+            solves: self.progress.solves.load(Ordering::Relaxed),
+            done: stage == 4,
+        }
+    }
+}
+
+/// Spawns the flow thread for one job and wires up its control block.
+///
+/// `use_cache` controls whether the job reads/feeds the context's
+/// [`FlowCache`]: the job API shares it (identical requests replay from
+/// memoized solve sites), while the legacy [`Pilp::run`] wrapper opts
+/// out so that repeated measurement runs in one process always perform —
+/// and report — the full solver work.
+pub(crate) fn spawn_job(
+    pilp: Pilp,
+    netlist: Netlist,
+    ctx: &JobContext,
+    use_cache: bool,
+) -> JobHandle {
+    let cancel = CancelToken::new();
+    let progress = Arc::new(ProgressState::default());
+    let state = Arc::new(JobState::default());
+    let ctl = FlowCtl {
+        cancel: cancel.clone(),
+        deadline: pilp.config().deadline.map(|d| Instant::now() + d),
+        pool: Some(ctx.pool.clone()),
+        cache: use_cache.then(|| Arc::clone(&ctx.cache)),
+        fingerprint: netlist.fingerprint(),
+        progress: Arc::clone(&progress),
+    };
+    let thread_state = Arc::clone(&state);
+    let thread_progress = Arc::clone(&progress);
+    std::thread::Builder::new()
+        .name("rfic-job".into())
+        .spawn(move || {
+            let result = pilp.run_with(&netlist, &ctl);
+            thread_progress.stage.store(4, Ordering::Relaxed);
+            let mut slot = thread_state.result.lock().unwrap();
+            *slot = Some(result);
+            thread_state.cv.notify_all();
+        })
+        .expect("spawn layout job thread");
+    JobHandle {
+        state,
+        cancel,
+        progress,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pilp::PilpConfig;
+    use rfic_netlist::benchmarks;
+
+    #[test]
+    fn submitted_job_reports_progress_and_result() {
+        let ctx = JobContext::new(2);
+        let circuit = benchmarks::tiny_circuit();
+        let job = Pilp::new(PilpConfig::fast()).submit_in(&circuit.netlist, &ctx);
+        let result = job.wait().expect("job completes");
+        assert!(result.layout.is_complete(&circuit.netlist));
+        let progress = job.progress();
+        assert!(progress.done);
+        assert_eq!(progress.phase, None);
+        assert!(progress.solves > 0);
+        // `poll` after completion returns the same result.
+        let polled = job.poll().expect("finished").expect("ok");
+        assert_eq!(polled.solver.solves, result.solver.solves);
+        ctx.shutdown();
+    }
+
+    #[test]
+    fn invalid_netlist_surfaces_through_the_job_api() {
+        // An empty netlist fails validation-by-construction later in the
+        // flow: use an area-less netlist via the builder's error path
+        // instead — here we just check the deadline error plumbing with a
+        // zero deadline, which trips before any solve.
+        let ctx = JobContext::new(1);
+        let circuit = benchmarks::tiny_circuit();
+        let config = PilpConfig {
+            deadline: Some(Duration::ZERO),
+            ..PilpConfig::fast()
+        };
+        let job = Pilp::new(config).submit_in(&circuit.netlist, &ctx);
+        assert!(matches!(job.wait(), Err(PilpError::DeadlineExceeded)));
+        ctx.shutdown();
+    }
+}

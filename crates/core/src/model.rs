@@ -370,6 +370,31 @@ impl<'a> LayoutIlp<'a> {
         })
     }
 
+    /// [`LayoutIlp::solve_warm`], but scheduling the branch-and-bound
+    /// search on a shared [`rfic_milp::SolverPool`] instead of spawning
+    /// per-solve worker threads — the path the job API uses so N
+    /// concurrent layout flows multiplex one fixed worker set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LayoutIlp::solve`], plus
+    /// [`rfic_milp::MilpError::PoolShutdown`] if the pool has been shut
+    /// down.
+    pub fn solve_warm_in_pool(
+        &self,
+        options: &SolveOptions,
+        warm: &mut WarmStart,
+        pool: &rfic_milp::SolverPool,
+    ) -> Result<IlpOutcome, IlpError> {
+        let solution = self.model.solve_warm_in_pool(options, warm, pool)?;
+        let layout = self.decode(&solution);
+        Ok(IlpOutcome {
+            objective: solution.objective,
+            layout,
+            solution,
+        })
+    }
+
     // --- variables ---------------------------------------------------------
 
     fn rotation_of(&self, device: DeviceId) -> Rotation {

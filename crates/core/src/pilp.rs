@@ -128,6 +128,12 @@ pub struct PilpConfig {
     /// Time limit per individual MILP solve (the fallback when
     /// [`PilpConfig::phase_budgets`] has no entry for a phase).
     pub solve_time_limit: Duration,
+    /// Overall wall-clock deadline for one flow run, measured from job
+    /// submission. Individual solve time limits are capped to the time
+    /// remaining, and a run that exceeds the deadline fails with
+    /// [`PilpError::DeadlineExceeded`]. `None` (the default) runs without
+    /// a deadline.
+    pub deadline: Option<Duration>,
     /// Optional per-phase overrides of the per-solve time limit.
     pub phase_budgets: PhaseBudgets,
     /// Branch-and-bound worker threads per MILP solve. `1` = serial;
@@ -161,6 +167,7 @@ impl Default for PilpConfig {
             max_refine_iters: 4,
             max_separation_rounds: 4,
             solve_time_limit: Duration::from_secs(10),
+            deadline: None,
             phase_budgets: PhaseBudgets::default(),
             solver_threads: 1,
             max_extra_chain_points: 3,
@@ -218,6 +225,133 @@ impl PilpConfig {
             ..PilpConfig::default()
         }
     }
+
+    /// A fluent builder over the default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use rfic_core::{PilpConfig, PilpPhase};
+    ///
+    /// let config = PilpConfig::builder()
+    ///     .fast()
+    ///     .threads(2)
+    ///     .phase_budget(PilpPhase::Refinement, Duration::from_secs(8))
+    ///     .deadline(Duration::from_secs(120))
+    ///     .build();
+    /// assert_eq!(config.solver_threads, 2);
+    /// ```
+    pub fn builder() -> PilpConfigBuilder {
+        PilpConfigBuilder::default()
+    }
+}
+
+/// Fluent builder for [`PilpConfig`].
+///
+/// The presets [`PilpConfigBuilder::fast`] and
+/// [`PilpConfigBuilder::thorough`] replace the whole configuration, so
+/// apply them **first** and layer individual overrides afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct PilpConfigBuilder {
+    config: PilpConfig,
+}
+
+impl PilpConfigBuilder {
+    /// Starts from [`PilpConfig::fast`] (replaces every knob set so far).
+    pub fn fast(mut self) -> Self {
+        self.config = PilpConfig::fast();
+        self
+    }
+
+    /// Starts from [`PilpConfig::thorough`] (replaces every knob set so
+    /// far).
+    pub fn thorough(mut self) -> Self {
+        self.config = PilpConfig::thorough();
+        self
+    }
+
+    /// Branch-and-bound worker threads per MILP solve (`0` = hardware
+    /// parallelism capped at 8; see [`PilpConfig::solver_threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.solver_threads = threads;
+        self
+    }
+
+    /// Overall wall-clock deadline for a flow run
+    /// ([`PilpConfig::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Fallback time limit per individual MILP solve.
+    pub fn solve_time_limit(mut self, limit: Duration) -> Self {
+        self.config.solve_time_limit = limit;
+        self
+    }
+
+    /// Per-solve time budget for one phase (overrides the fallback).
+    pub fn phase_budget(mut self, phase: PilpPhase, limit: Duration) -> Self {
+        match phase {
+            PilpPhase::GlobalRouting => self.config.phase_budgets.routing = Some(limit),
+            PilpPhase::Visualization => self.config.phase_budgets.visualization = Some(limit),
+            PilpPhase::Refinement => self.config.phase_budgets.refinement = Some(limit),
+        }
+        self
+    }
+
+    /// Tree-cut budget for one phase (see [`CutBudget`]).
+    pub fn phase_cuts(mut self, phase: PilpPhase, cuts: CutBudget) -> Self {
+        match phase {
+            PilpPhase::GlobalRouting => self.config.phase_budgets.routing_cuts = Some(cuts),
+            PilpPhase::Visualization => self.config.phase_budgets.visualization_cuts = Some(cuts),
+            PilpPhase::Refinement => self.config.phase_budgets.refinement_cuts = Some(cuts),
+        }
+        self
+    }
+
+    /// Toggles root presolve of every MILP solve
+    /// ([`PilpConfig::presolve`]).
+    pub fn presolve(mut self, on: bool) -> Self {
+        self.config.presolve = on;
+        self
+    }
+
+    /// Maximum Phase-3 refinement iterations.
+    pub fn max_refine_iters(mut self, iters: usize) -> Self {
+        self.config.max_refine_iters = iters;
+        self
+    }
+
+    /// Maximum lazy overlap-separation rounds per ILP solve.
+    pub fn max_separation_rounds(mut self, rounds: usize) -> Self {
+        self.config.max_separation_rounds = rounds;
+        self
+    }
+
+    /// Whether refinement may rotate endpoint devices.
+    pub fn try_rotations(mut self, on: bool) -> Self {
+        self.config.try_rotations = on;
+        self
+    }
+
+    /// Confinement window size `τ_d` in µm.
+    pub fn tau_d(mut self, tau_d: f64) -> Self {
+        self.config.tau_d = tau_d;
+        self
+    }
+
+    /// Objective weights handed to the ILP models.
+    pub fn weights(mut self, weights: IlpWeights) -> Self {
+        self.config.weights = weights;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> PilpConfig {
+        self.config
+    }
 }
 
 /// Error returned by the P-ILP flow.
@@ -232,6 +366,14 @@ pub enum PilpError {
         /// Underlying error message.
         message: String,
     },
+    /// The job was cancelled ([`crate::JobHandle::cancel`] or a dropped
+    /// cancel token) before the flow finished.
+    Cancelled,
+    /// The run exceeded its overall [`PilpConfig::deadline`].
+    DeadlineExceeded,
+    /// The shared [`rfic_milp::SolverPool`] behind the job was shut down
+    /// while the flow was still solving.
+    PoolShutdown,
 }
 
 impl fmt::Display for PilpError {
@@ -239,6 +381,9 @@ impl fmt::Display for PilpError {
         match self {
             PilpError::InvalidNetlist(msg) => write!(f, "invalid netlist: {msg}"),
             PilpError::Phase { phase, message } => write!(f, "{phase} failed: {message}"),
+            PilpError::Cancelled => f.write_str("layout job cancelled"),
+            PilpError::DeadlineExceeded => f.write_str("layout job deadline exceeded"),
+            PilpError::PoolShutdown => f.write_str("solver pool shut down during the layout job"),
         }
     }
 }
@@ -370,34 +515,99 @@ impl Pilp {
         &self.config
     }
 
-    /// Runs the full three-phase flow on a netlist.
+    /// Runs the full three-phase flow on a netlist, blocking until the
+    /// layout is done.
+    ///
+    /// This is the **legacy single-shot entry point**, kept as a thin
+    /// wrapper over [`Pilp::submit`] followed by
+    /// [`crate::JobHandle::wait`]; new code that needs cancellation,
+    /// deadlines, progress or concurrent jobs should use the job API
+    /// directly. The solves run on the process-wide shared
+    /// [`crate::JobContext`] either way.
     ///
     /// # Errors
     ///
     /// Returns [`PilpError::InvalidNetlist`] if the netlist fails validation
     /// and [`PilpError::Phase`] if a phase cannot produce a layout at all
     /// (individual strip failures are tolerated and surface as DRC
-    /// violations in the report instead).
+    /// violations in the report instead). With a
+    /// [`PilpConfig::deadline`] configured the run can also fail with
+    /// [`PilpError::DeadlineExceeded`].
+    ///
+    /// Unlike [`Pilp::submit`], `run` bypasses the cross-request
+    /// [`crate::FlowCache`]: a measurement run repeated in the same
+    /// process always performs (and reports) the full solver work.
     pub fn run(&self, netlist: &Netlist) -> Result<PilpResult, PilpError> {
+        crate::job::spawn_job(
+            self.clone(),
+            netlist.clone(),
+            crate::JobContext::global(),
+            false,
+        )
+        .wait()
+    }
+
+    /// Submits the netlist as an asynchronous layout job on the
+    /// process-wide [`crate::JobContext`] (a shared
+    /// [`rfic_milp::SolverPool`] plus the cross-request solve-site
+    /// cache). Returns immediately with a [`crate::JobHandle`] for
+    /// waiting, polling, progress and cancellation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfic_core::{Pilp, PilpConfig};
+    /// use rfic_netlist::benchmarks;
+    ///
+    /// let circuit = benchmarks::tiny_circuit();
+    /// let job = Pilp::new(PilpConfig::fast()).submit(&circuit.netlist);
+    /// let result = job.wait()?;
+    /// assert!(result.layout.is_complete(&circuit.netlist));
+    /// # Ok::<(), rfic_core::PilpError>(())
+    /// ```
+    pub fn submit(&self, netlist: &Netlist) -> crate::JobHandle {
+        self.submit_in(netlist, crate::JobContext::global())
+    }
+
+    /// [`Pilp::submit`] against an explicit [`crate::JobContext`] instead
+    /// of the process-wide one — the hook for servers that own their pool
+    /// lifecycle and for tests that need an isolated pool or cache.
+    pub fn submit_in(&self, netlist: &Netlist, ctx: &crate::JobContext) -> crate::JobHandle {
+        crate::job::spawn_job(self.clone(), netlist.clone(), ctx, true)
+    }
+
+    /// The synchronous flow body: validate, run the three phases under
+    /// `ctl` (cancellation, deadline, shared pool, warm cache, progress)
+    /// and assemble the result.
+    pub(crate) fn run_with(
+        &self,
+        netlist: &Netlist,
+        ctl: &crate::job::FlowCtl,
+    ) -> Result<PilpResult, PilpError> {
         netlist
             .validate()
             .map_err(|e| PilpError::InvalidNetlist(e.to_string()))?;
+        ctl.check()?;
         let start = Instant::now();
         let mut snapshots = Vec::new();
         let mut solver = SolverTotals::default();
 
         let t0 = Instant::now();
-        let phase1 = self.phase1(netlist, &mut solver)?;
+        ctl.note_phase(PilpPhase::GlobalRouting);
+        let phase1 = self.phase1(netlist, ctl, &mut solver)?;
         snapshots.push(self.snapshot(netlist, PilpPhase::GlobalRouting, &phase1, t0.elapsed()));
 
         let t1 = Instant::now();
-        let phase2 = self.phase2(netlist, &phase1, &mut solver)?;
+        ctl.note_phase(PilpPhase::Visualization);
+        let phase2 = self.phase2(netlist, &phase1, ctl, &mut solver)?;
         snapshots.push(self.snapshot(netlist, PilpPhase::Visualization, &phase2, t1.elapsed()));
 
         let t2 = Instant::now();
-        let phase3 = self.phase3(netlist, phase2, &mut solver)?;
+        ctl.note_phase(PilpPhase::Refinement);
+        let phase3 = self.phase3(netlist, phase2, ctl, &mut solver)?;
         snapshots.push(self.snapshot(netlist, PilpPhase::Refinement, &phase3, t2.elapsed()));
 
+        ctl.check()?;
         let runtime = start.elapsed();
         let report = LayoutReport::new(netlist, &phase3, runtime);
         Ok(PilpResult {
@@ -509,7 +719,12 @@ impl Pilp {
     /// Strips that terminate on a pad are routed first so the pads anchor
     /// their devices near the boundary; the remaining strips then grow the
     /// placement inwards at (roughly) their target distances.
-    fn phase1(&self, netlist: &Netlist, totals: &mut SolverTotals) -> Result<Layout, PilpError> {
+    fn phase1(
+        &self,
+        netlist: &Netlist,
+        ctl: &crate::job::FlowCtl,
+        totals: &mut SolverTotals,
+    ) -> Result<Layout, PilpError> {
         let mut base = Layout::new(netlist.area());
         let mut order: Vec<&rfic_netlist::Microstrip> = netlist.microstrips().iter().collect();
         order.sort_by_key(|m| {
@@ -522,6 +737,7 @@ impl Pilp {
             (!touches_pad, m.id)
         });
         for strip in order {
+            ctl.check()?;
             let placed: BTreeSet<DeviceId> = base.placements.keys().copied().collect();
             let free_devices: BTreeSet<DeviceId> = strip
                 .terminals()
@@ -545,6 +761,7 @@ impl Pilp {
                 config,
                 &base,
                 PilpPhase::GlobalRouting,
+                ctl,
                 totals,
             ) {
                 Ok(layout) => base = layout,
@@ -605,6 +822,7 @@ impl Pilp {
         &self,
         netlist: &Netlist,
         phase1: &Layout,
+        ctl: &crate::job::FlowCtl,
         totals: &mut SolverTotals,
     ) -> Result<Layout, PilpError> {
         let mut layout = phase1.clone();
@@ -613,6 +831,7 @@ impl Pilp {
 
         // Re-route every strip against the real pins.
         for strip in netlist.microstrips() {
+            ctl.check()?;
             let mut config = IlpConfig::single_strip(strip.id);
             config.hard_length = false;
             config.weights = self.config.weights;
@@ -627,6 +846,7 @@ impl Pilp {
                 config,
                 &layout,
                 PilpPhase::Visualization,
+                ctl,
                 totals,
             ) {
                 layout = updated;
@@ -709,10 +929,12 @@ impl Pilp {
         &self,
         netlist: &Netlist,
         mut layout: Layout,
+        ctl: &crate::job::FlowCtl,
         totals: &mut SolverTotals,
     ) -> Result<Layout, PilpError> {
         let mut extra_points: BTreeMap<MicrostripId, usize> = BTreeMap::new();
         for iteration in 0..self.config.max_refine_iters {
+            ctl.check()?;
             let drc = drc::check(netlist, &layout, &DrcOptions::default());
             let mut pending: Vec<MicrostripId> = netlist
                 .microstrips()
@@ -743,12 +965,14 @@ impl Pilp {
             });
 
             for strip_id in pending {
+                ctl.check()?;
                 let mut solved = self.refine_strip(
                     netlist,
                     &mut layout,
                     strip_id,
                     &mut extra_points,
                     iteration,
+                    ctl,
                     totals,
                 );
                 if !solved && iteration > 0 {
@@ -756,7 +980,7 @@ impl Pilp {
                     // because its pins ended up farther apart than the exact
                     // length allows). Move one endpoint device and re-route
                     // all strips incident to it concurrently.
-                    solved = self.cluster_repair(netlist, &mut layout, strip_id, totals);
+                    solved = self.cluster_repair(netlist, &mut layout, strip_id, ctl, totals);
                 }
                 if !solved
                     && self.config.try_rotations
@@ -767,6 +991,7 @@ impl Pilp {
                         &mut layout,
                         strip_id,
                         &mut extra_points,
+                        ctl,
                         totals,
                     );
                 }
@@ -778,6 +1003,7 @@ impl Pilp {
     /// Re-routes a single strip with chain-point deletion (route
     /// simplification) and insertion (extra chain points) until its exact
     /// length is met. Returns `true` on success.
+    #[allow(clippy::too_many_arguments)]
     fn refine_strip(
         &self,
         netlist: &Netlist,
@@ -785,6 +1011,7 @@ impl Pilp {
         strip_id: MicrostripId,
         extra_points: &mut BTreeMap<MicrostripId, usize>,
         iteration: usize,
+        ctl: &crate::job::FlowCtl,
         totals: &mut SolverTotals,
     ) -> bool {
         let strip = netlist.microstrip(strip_id).expect("strip exists");
@@ -812,6 +1039,7 @@ impl Pilp {
             config.clone(),
             layout,
             PilpPhase::Refinement,
+            ctl,
             totals,
         ) {
             Ok(updated) => {
@@ -828,6 +1056,7 @@ impl Pilp {
                     config,
                     layout,
                     PilpPhase::Refinement,
+                    ctl,
                     totals,
                 ) {
                     let better = updated
@@ -857,6 +1086,7 @@ impl Pilp {
         netlist: &Netlist,
         layout: &mut Layout,
         strip_id: MicrostripId,
+        ctl: &crate::job::FlowCtl,
         totals: &mut SolverTotals,
     ) -> bool {
         let strip = netlist.microstrip(strip_id).expect("strip exists").clone();
@@ -897,9 +1127,14 @@ impl Pilp {
                     Rect::centered(p.center, 2.0 * self.config.tau_d, 2.0 * self.config.tau_d),
                 );
             }
-            if let Ok(updated) =
-                self.solve_with_separation(netlist, config, layout, PilpPhase::Refinement, totals)
-            {
+            if let Ok(updated) = self.solve_with_separation(
+                netlist,
+                config,
+                layout,
+                PilpPhase::Refinement,
+                ctl,
+                totals,
+            ) {
                 let error_sum = |l: &Layout| -> f64 {
                     incident
                         .iter()
@@ -932,6 +1167,7 @@ impl Pilp {
         layout: &mut Layout,
         strip_id: MicrostripId,
         extra_points: &mut BTreeMap<MicrostripId, usize>,
+        ctl: &crate::job::FlowCtl,
         totals: &mut SolverTotals,
     ) {
         let strip = netlist.microstrip(strip_id).expect("strip exists").clone();
@@ -961,6 +1197,7 @@ impl Pilp {
                         incident.id,
                         extra_points,
                         0,
+                        ctl,
                         totals,
                     ) {
                         ok = false;
@@ -990,22 +1227,70 @@ impl Pilp {
     /// re-solves warm-started from the previous round's root basis
     /// ([`LayoutIlp::solve_warm`]) — appended rows enter through the dual
     /// simplex instead of triggering a cold rebuild-and-resolve.
+    ///
+    /// Under a [`crate::job::FlowCtl`] the solves additionally honour the
+    /// job's cancel token and deadline (per-round time limits are capped
+    /// by the time remaining), run on the shared solver pool when one is
+    /// attached, and memoize through the cross-request [`crate::FlowCache`]
+    /// when one is attached: a completed site whose every round solved to
+    /// proven optimality is stored under the solve-site key, and an
+    /// identical later request returns the memoized layout without
+    /// touching the solver at all. (Seeding the warm *basis* instead was
+    /// measured to diverge: the presolve projection drops the dual
+    /// steepest-edge weights, so a seeded replay re-prices its pivots,
+    /// lands on alternate optima and costs more than a cold run.)
     fn solve_with_separation(
         &self,
         netlist: &Netlist,
         config: IlpConfig,
         base: &Layout,
         phase: PilpPhase,
+        ctl: &crate::job::FlowCtl,
         totals: &mut SolverTotals,
     ) -> Result<Layout, IlpError> {
         let blurred = phase == PilpPhase::GlobalRouting;
-        let options = self.solve_options(phase);
+        let mut options = self.solve_options(phase);
+        options.cancel = Some(ctl.cancel_token().clone());
+        let base_limit = options.time_limit;
+        let site_key = ctl
+            .cache()
+            .map(|_| solve_site_key(ctl.fingerprint(), phase, &config, &self.config, base));
+        if let (Some(cache), Some(key)) = (ctl.cache(), site_key) {
+            if let Some(layout) = cache.lookup(key) {
+                return Ok(layout);
+            }
+        }
         let mut ilp = LayoutIlp::build(netlist, config, base)?;
         let mut warm = rfic_milp::WarmStart::new();
         let mut best: Option<Layout> = None;
+        // A site is memoizable only if it ran to its natural conclusion
+        // (no cancellation/deadline abort) and every round was proven
+        // optimal — a time-limit incumbent is timing-dependent and would
+        // replay a result a cold run might not reproduce.
+        let mut aborted = false;
+        let mut provable = true;
         for _round in 0..=self.config.max_separation_rounds {
-            let outcome = ilp.solve_warm(&options, &mut warm)?;
+            if ctl.cancel_token().is_cancelled() {
+                aborted = true;
+                break;
+            }
+            match ctl.remaining() {
+                Some(remaining) if remaining.is_zero() => {
+                    aborted = true;
+                    break;
+                }
+                Some(remaining) => options.time_limit = base_limit.min(remaining),
+                None => options.time_limit = base_limit,
+            }
+            let outcome = match ctl.pool() {
+                Some(pool) => ilp.solve_warm_in_pool(&options, &mut warm, pool)?,
+                None => ilp.solve_warm(&options, &mut warm)?,
+            };
             totals.record(&outcome.solution);
+            ctl.note_solve();
+            if outcome.solution.status != rfic_milp::SolveStatus::Optimal {
+                provable = false;
+            }
             let new_pairs = violating_pairs(netlist, &outcome.layout, ilp.config(), blurred);
             best = Some(outcome.layout);
             if new_pairs.is_empty() {
@@ -1015,8 +1300,44 @@ impl Pilp {
                 break; // nothing new to add; accept the solution
             }
         }
+        if !aborted && provable {
+            if let (Some(cache), Some(key), Some(layout)) = (ctl.cache(), site_key, &best) {
+                cache.store(key, layout.clone());
+            }
+        }
         best.ok_or(IlpError::Solver(rfic_milp::MilpError::LimitReached))
     }
+}
+
+/// Cache key of one solve site: the netlist fingerprint, the flow phase,
+/// the full per-solve [`IlpConfig`], the flow-level [`PilpConfig`]
+/// (budgets, presolve, threads — everything that steers how the site is
+/// solved) and the base layout the model is built against, folded through
+/// FNV-1a. The config and layout are hashed via their `Debug` renderings
+/// — Rust's `f64` debug format is the shortest round-tripping decimal, so
+/// distinct values render distinctly — which keeps the key in lockstep
+/// with the model builder without a parallel field walk.
+fn solve_site_key(
+    fingerprint: u64,
+    phase: PilpPhase,
+    config: &IlpConfig,
+    flow: &PilpConfig,
+    base: &Layout,
+) -> u64 {
+    let fnv = |mut h: u64, bytes: &[u8]| -> u64 {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    };
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv(h, &fingerprint.to_le_bytes());
+    h = fnv(h, &[phase as u8]);
+    h = fnv(h, format!("{config:?}").as_bytes());
+    h = fnv(h, format!("{flow:?}").as_bytes());
+    h = fnv(h, format!("{base:?}").as_bytes());
+    h
 }
 
 /// Geometric legalisation of device placements: iteratively push apart

@@ -1,0 +1,123 @@
+//! End-to-end contracts of the layout-job API: cancellation releases the
+//! shared pool, identical requests replay from the solve-site cache, and
+//! a job solves to the same layout whether it runs alone or next to
+//! another job.
+
+use std::time::{Duration, Instant};
+
+use rfic_core::{JobContext, Pilp, PilpConfig, PilpError};
+use rfic_netlist::benchmarks;
+
+/// Cancellation mid-phase surfaces as [`PilpError::Cancelled`] and the
+/// pool workers the job occupied become available again: a follow-up job
+/// on the same context completes normally.
+#[test]
+fn cancelled_job_fails_fast_and_releases_the_pool() {
+    let ctx = JobContext::new(2);
+    let circuit = benchmarks::tiny_circuit();
+    let job = Pilp::new(PilpConfig::fast()).submit_in(&circuit.netlist, &ctx);
+
+    // Let the flow get into its first solves, then pull the plug.
+    let start = Instant::now();
+    while job.progress().solves == 0 && start.elapsed() < Duration::from_secs(30) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    job.cancel();
+    assert!(job.is_cancelled());
+    let result = job.wait();
+    assert!(
+        matches!(result, Err(PilpError::Cancelled)),
+        "cancelled job must fail with Cancelled, got {result:?}"
+    );
+    assert!(job.progress().done);
+
+    // The pool is still healthy: a fresh job runs to completion.
+    let retry = Pilp::new(PilpConfig::fast()).submit_in(&circuit.netlist, &ctx);
+    let layout = retry.wait().expect("pool stays usable after a cancel");
+    assert!(layout.layout.is_complete(&circuit.netlist));
+    ctx.shutdown();
+}
+
+/// Two identical requests against one context: the second replays every
+/// solve site from the memoized cache — identical layout, counted cache
+/// hits, measurably fewer solves and simplex pivots.
+#[test]
+fn identical_jobs_reuse_the_solve_site_cache() {
+    let ctx = JobContext::new(2);
+    let circuit = benchmarks::tiny_circuit();
+    let pilp = Pilp::new(PilpConfig::fast());
+
+    let first = pilp
+        .submit_in(&circuit.netlist, &ctx)
+        .wait()
+        .expect("first job");
+    assert!(!ctx.cache().is_empty(), "completed solve sites are cached");
+    let hits_after_first = ctx.cache().hits();
+
+    let second = pilp
+        .submit_in(&circuit.netlist, &ctx)
+        .wait()
+        .expect("second job");
+    assert!(
+        ctx.cache().hits() > hits_after_first,
+        "identical request must hit the cache ({} hits after first run, {} after second)",
+        hits_after_first,
+        ctx.cache().hits()
+    );
+    assert_eq!(
+        first.layout, second.layout,
+        "cache reuse must reproduce the identical layout"
+    );
+    assert!(
+        second.solver.solves < first.solver.solves,
+        "memoized replay must re-solve fewer sites: {} vs {}",
+        second.solver.solves,
+        first.solver.solves
+    );
+    assert!(
+        second.solver.simplex_iterations < first.solver.simplex_iterations,
+        "memoized replay must pivot less: {} vs {}",
+        second.solver.simplex_iterations,
+        first.solver.simplex_iterations
+    );
+    ctx.shutdown();
+}
+
+/// A job's result is independent of what else shares the pool: the tiny
+/// circuit solves to the identical layout alone and next to a second,
+/// different circuit running concurrently.
+#[test]
+fn job_layout_is_invariant_under_concurrent_neighbours() {
+    let circuit = benchmarks::tiny_circuit();
+    // A structurally different neighbour (different fingerprint, so the
+    // shared cache cannot cross-seed between the two jobs).
+    let neighbour = circuit.netlist.with_area(
+        circuit.netlist.area().0 + 60.0,
+        circuit.netlist.area().1 + 40.0,
+    );
+    let pilp = Pilp::new(PilpConfig::fast());
+
+    let alone = {
+        let ctx = JobContext::new(3);
+        let result = pilp
+            .submit_in(&circuit.netlist, &ctx)
+            .wait()
+            .expect("solo job");
+        ctx.shutdown();
+        result
+    };
+
+    let ctx = JobContext::new(3);
+    let job = pilp.submit_in(&circuit.netlist, &ctx);
+    let other = pilp.submit_in(&neighbour, &ctx);
+    let alongside = job.wait().expect("job next to a neighbour");
+    let neighbour_result = other.wait().expect("neighbour job");
+    ctx.shutdown();
+
+    assert_eq!(
+        alone.layout, alongside.layout,
+        "pool sharing must not change a job's layout"
+    );
+    assert_eq!(alone.solver.solves, alongside.solver.solves);
+    assert!(neighbour_result.layout.is_complete(&neighbour));
+}

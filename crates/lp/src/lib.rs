@@ -58,7 +58,7 @@ mod sparse;
 
 pub use presolve::{Postsolve, PresolveConfig, PresolveStats, Presolved};
 pub use problem::{
-    Constraint, ConstraintOp, LinearProgram, LpError, LpSolution, PricingRule, Sense,
+    CancelToken, Constraint, ConstraintOp, LinearProgram, LpError, LpSolution, PricingRule, Sense,
 };
 pub use revised::{Basis, NonbasicStatus, TableauEntry, TableauRow};
 pub use sparse::{CscMatrix, CsrMatrix, ScatterVec};

@@ -103,6 +103,44 @@ pub(crate) struct MatrixCache {
     pub fingerprint: u64,
 }
 
+/// A shared cooperative cancellation flag, checked by the simplex pivot
+/// loops at the same cadence as the [`LinearProgram::set_time_limit`]
+/// deadline. Cloning shares the flag; once [`CancelToken::cancel`] is
+/// called, every in-flight and future solve carrying the token aborts
+/// with [`LpError::TimeLimit`] at its next limit check.
+///
+/// Equality is *identity* (two tokens compare equal when they share the
+/// flag), so carrying a token does not break structural comparison of the
+/// models holding it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation: every solve sharing this token stops at its
+    /// next limit check. Irrevocable.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
+
 /// A linear program over `num_vars` variables.
 ///
 /// Variables default to bounds `[0, +inf)`; use
@@ -118,6 +156,7 @@ pub struct LinearProgram {
     constraints: Vec<Constraint>,
     iteration_limit: usize,
     time_limit: Option<std::time::Duration>,
+    cancel: Option<CancelToken>,
     pricing: PricingRule,
     /// Memoised constraint-matrix view (see [`MatrixCache`]); cleared by
     /// [`LinearProgram::add_var`] and [`LinearProgram::add_constraint`].
@@ -135,6 +174,7 @@ impl PartialEq for LinearProgram {
             && self.constraints == other.constraints
             && self.iteration_limit == other.iteration_limit
             && self.time_limit == other.time_limit
+            && self.cancel == other.cancel
             && self.pricing == other.pricing
     }
 }
@@ -206,6 +246,7 @@ impl LinearProgram {
             constraints: Vec::new(),
             iteration_limit: 50_000,
             time_limit: None,
+            cancel: None,
             pricing: PricingRule::default(),
             matrix_cache: std::sync::OnceLock::new(),
         }
@@ -293,6 +334,15 @@ impl LinearProgram {
     /// from blowing the budget.
     pub fn set_time_limit(&mut self, limit: Option<std::time::Duration>) {
         self.time_limit = limit;
+    }
+
+    /// Attaches a cooperative [`CancelToken`], checked by the pivot loops
+    /// at the same cadence as the wall-clock deadline; a cancelled solve
+    /// returns [`LpError::TimeLimit`]. Clones of the program share the
+    /// token, which is how branch-and-bound node LPs inherit a job-level
+    /// cancellation.
+    pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
     }
 
     /// Adds a constraint from a sparse coefficient list. Repeated indices
@@ -506,6 +556,10 @@ impl LinearProgram {
 
     pub(crate) fn time_limit(&self) -> Option<std::time::Duration> {
         self.time_limit
+    }
+
+    pub(crate) fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 }
 

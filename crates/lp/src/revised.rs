@@ -265,6 +265,8 @@ struct Solver<'a> {
     limit: usize,
     /// Wall-clock deadline, checked periodically inside the pivot loops.
     deadline: Option<std::time::Instant>,
+    /// Cooperative cancellation flag, checked at the deadline cadence.
+    cancel: Option<crate::CancelToken>,
     /// Consecutive degenerate steps; beyond a threshold the pricing falls
     /// back to Bland's rule.
     stall: usize,
@@ -350,6 +352,7 @@ impl<'a> Solver<'a> {
             refactorizations: 0,
             limit: lp.iteration_limit(),
             deadline: lp.time_limit().map(|d| std::time::Instant::now() + d),
+            cancel: lp.cancel_token().cloned(),
             stall: 0,
             reduced: Vec::new(),
             devex_weights: Vec::new(),
@@ -626,6 +629,11 @@ impl<'a> Solver<'a> {
         if self.iterations.is_multiple_of(32) {
             if let Some(deadline) = self.deadline {
                 if std::time::Instant::now() > deadline {
+                    return Err(LpError::TimeLimit);
+                }
+            }
+            if let Some(cancel) = &self.cancel {
+                if cancel.is_cancelled() {
                     return Err(LpError::TimeLimit);
                 }
             }

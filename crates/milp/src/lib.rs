@@ -59,11 +59,15 @@ mod expr;
 pub mod instances;
 pub mod linearize;
 mod model;
+mod pool;
 mod solve;
 
 pub use expr::LinExpr;
 pub use model::{Model, VarId, VarKind};
-pub use rfic_lp::{Basis, ConstraintOp, PresolveConfig, PresolveStats, PricingRule, Sense};
+pub use pool::SolverPool;
+pub use rfic_lp::{
+    Basis, CancelToken, ConstraintOp, PresolveConfig, PresolveStats, PricingRule, Sense,
+};
 pub use solve::{BranchRule, MilpError, MilpSolution, SolveOptions, SolveStatus, WarmStart};
 
 /// Integrality tolerance: a value within this distance of an integer is

@@ -284,7 +284,25 @@ impl Model {
     /// See [`MilpError`]: infeasible or unbounded models are reported, as is
     /// hitting a limit before any integer-feasible solution was found.
     pub fn solve(&self, options: &SolveOptions) -> Result<MilpSolution, MilpError> {
-        solve::branch_and_bound(self, options, None)
+        solve::branch_and_bound(self, options, None, None)
+    }
+
+    /// Solves the model on a shared [`crate::SolverPool`] instead of
+    /// spawning per-solve worker threads: the root LP still runs on the
+    /// calling thread, the tree search is registered with the pool and at
+    /// most [`SolveOptions::threads`] of its workers attach. The call
+    /// blocks until the tree is drained. Returns
+    /// [`MilpError::PoolShutdown`] if the pool has been shut down.
+    ///
+    /// The search itself is identical to [`Model::solve`], so the
+    /// returned objective is too — only *which* threads run the workers
+    /// changes.
+    pub fn solve_in_pool(
+        &self,
+        options: &SolveOptions,
+        pool: &crate::SolverPool,
+    ) -> Result<MilpSolution, MilpError> {
+        solve::branch_and_bound(self, options, None, Some(pool))
     }
 
     /// Solves the model by branch and bound, reusing and updating the
@@ -304,7 +322,18 @@ impl Model {
         options: &SolveOptions,
         warm: &mut WarmStart,
     ) -> Result<MilpSolution, MilpError> {
-        solve::branch_and_bound(self, options, Some(warm))
+        solve::branch_and_bound(self, options, Some(warm), None)
+    }
+
+    /// [`Model::solve_warm`] on a shared [`crate::SolverPool`] — see
+    /// [`Model::solve_in_pool`] for the pool contract.
+    pub fn solve_warm_in_pool(
+        &self,
+        options: &SolveOptions,
+        warm: &mut WarmStart,
+        pool: &crate::SolverPool,
+    ) -> Result<MilpSolution, MilpError> {
+        solve::branch_and_bound(self, options, Some(warm), Some(pool))
     }
 }
 

@@ -57,8 +57,8 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use rfic_lp::{
-    Basis, ConstraintOp, LinearProgram, LpError, LpSolution, Postsolve, PresolveConfig,
-    PresolveStats, PricingRule, Sense,
+    Basis, CancelToken, ConstraintOp, LinearProgram, LpError, LpSolution, Postsolve,
+    PresolveConfig, PresolveStats, PricingRule, Sense,
 };
 
 use crate::cuts::{self, Cut, CutPool};
@@ -117,6 +117,14 @@ pub struct SolveOptions {
     /// accelerates exactly the warm dual node re-solves — see the enum
     /// docs.
     pub pricing: PricingRule,
+    /// Optional cooperative cancellation token shared with the caller:
+    /// checked between nodes and inside every node LP's pivot loop (at
+    /// the `set_time_limit` cadence). A cancelled solve stops like a time
+    /// limit — the best incumbent so far is returned, or
+    /// [`MilpError::LimitReached`] if none exists. `None` (the default)
+    /// disables the checks. Tokens compare by identity, so two otherwise
+    /// equal option sets sharing a token still compare equal.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolveOptions {
@@ -136,6 +144,7 @@ impl Default for SolveOptions {
             branching: BranchRule::default(),
             pricing: PricingRule::default(),
             presolve: PresolveConfig::default(),
+            cancel: None,
         }
     }
 }
@@ -206,6 +215,13 @@ impl SolveOptions {
     /// determinism suites).
     pub fn without_presolve(mut self) -> SolveOptions {
         self.presolve = PresolveConfig::off();
+        self
+    }
+
+    /// The same configuration carrying a cooperative cancellation token
+    /// (see [`SolveOptions::cancel`]).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> SolveOptions {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -310,6 +326,9 @@ pub enum MilpError {
     /// A limit (time or nodes) was reached before any feasible solution was
     /// found; optimality status is unknown.
     LimitReached,
+    /// The solve was handed to a [`crate::SolverPool`] that had already
+    /// been shut down.
+    PoolShutdown,
     /// The underlying LP solver failed.
     Lp(LpError),
 }
@@ -322,6 +341,7 @@ impl fmt::Display for MilpError {
             MilpError::LimitReached => {
                 f.write_str("solver limit reached before a feasible solution was found")
             }
+            MilpError::PoolShutdown => f.write_str("solver pool has been shut down"),
             MilpError::Lp(e) => write!(f, "LP solver error: {e}"),
         }
     }
@@ -361,6 +381,19 @@ impl WarmStart {
     /// `true` once a root basis has been captured.
     pub fn has_basis(&self) -> bool {
         self.root_basis.is_some()
+    }
+
+    /// A warm-start state seeded from a previously captured root basis
+    /// (the cross-request warm-base cache's rehydration path).
+    pub fn from_basis(basis: Basis) -> WarmStart {
+        WarmStart {
+            root_basis: Some(basis),
+        }
+    }
+
+    /// The captured full-model root basis, if any.
+    pub fn basis(&self) -> Option<&Basis> {
+        self.root_basis.as_ref()
     }
 }
 
@@ -630,22 +663,25 @@ struct Pool {
     dropped_bound: f64,
 }
 
-/// Everything the workers share.
-struct Shared<'a> {
-    model: &'a Model,
-    options: &'a SolveOptions,
+/// Everything the workers of one branch-and-bound tree share. Owns its
+/// search state outright (no borrows), so a tree can either be searched by
+/// scoped threads on the submitting call stack or be handed to the
+/// long-lived workers of a [`crate::SolverPool`] behind an `Arc`.
+pub(crate) struct Shared {
+    model: Model,
+    options: SolveOptions,
     /// Root relaxation plus accepted Gomory cut rows.
-    base_lp: &'a LinearProgram,
+    base_lp: LinearProgram,
     /// Original bounds of every variable (node bound resets).
-    base_bounds: &'a [(f64, f64)],
-    integer_vars: &'a [usize],
+    base_bounds: Vec<(f64, f64)>,
+    integer_vars: Vec<usize>,
     /// `is_integer[v]` for every structural variable of the *reduced*
     /// relaxation (separator input).
-    is_integer: &'a [bool],
+    is_integer: Vec<bool>,
     /// Root presolve transform: restores reduced-space LP points to the
     /// full model (incumbents are always offered in full-model values) and
     /// carries the objective offset of the removed columns.
-    postsolve: &'a Postsolve,
+    postsolve: Postsolve,
     /// Globally valid tree cuts shared across the workers.
     cuts: SharedCutPool,
     sense_sign: f64,
@@ -671,7 +707,30 @@ struct Shared<'a> {
     pseudo: Mutex<Vec<PseudoCost>>,
 }
 
-impl Shared<'_> {
+impl Shared {
+    /// Worker slots this tree is searched with (the configured thread
+    /// count — a pool attaches at most this many workers).
+    pub(crate) fn slots(&self) -> usize {
+        self.worker_bounds.len()
+    }
+
+    /// Requests an orderly stop of the search (pool shutdown): workers
+    /// drain their local stacks back to the pool and return, and the
+    /// result is assembled as if a limit had been hit.
+    pub(crate) fn request_stop(&self) {
+        self.limit_hit.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// `true` once the caller's cancellation token has fired.
+    fn cancelled(&self) -> bool {
+        self.options
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.is_cancelled())
+    }
+
     fn incumbent_bound(&self) -> f64 {
         f64::from_bits(self.incumbent_bound.load(Ordering::Acquire))
     }
@@ -781,7 +840,7 @@ impl Shared<'_> {
         if self.options.branching == BranchRule::MostFractional {
             // Lock-free fast path: no pseudocost table involved.
             let mut best: Option<(usize, f64, f64)> = None; // (var, frac, f·(1−f))
-            for &v in self.integer_vars {
+            for &v in &self.integer_vars {
                 let val = values[v];
                 let frac = val - val.floor();
                 if frac <= INT_TOLERANCE || frac >= 1.0 - INT_TOLERANCE {
@@ -828,7 +887,7 @@ impl Shared<'_> {
             0.0
         };
         let mut best: Option<(usize, f64, f64, f64)> = None; // (var, frac, score, tie)
-        for &v in self.integer_vars {
+        for &v in &self.integer_vars {
             let val = values[v];
             let frac = val - val.floor();
             if frac <= INT_TOLERANCE || frac >= 1.0 - INT_TOLERANCE {
@@ -863,8 +922,8 @@ impl Shared<'_> {
 
 /// Resets the integer-variable bounds of a worker LP to the root bounds and
 /// applies a node's tightenings (later entries override earlier ones).
-fn load_node_bounds(lp: &mut LinearProgram, shared: &Shared<'_>, node: &Node) {
-    for &v in shared.integer_vars {
+fn load_node_bounds(lp: &mut LinearProgram, shared: &Shared, node: &Node) {
+    for &v in &shared.integer_vars {
         let (l, u) = shared.base_bounds[v];
         lp.set_bounds(v, l, u);
     }
@@ -909,8 +968,8 @@ fn solve_node_lp(
 /// to the pool whenever another worker is starving. With one thread this is
 /// exactly the classical depth-first dive; with several, the pool keeps
 /// every worker on the globally most promising open subtrees.
-fn worker(shared: &Shared<'_>, worker_id: usize) {
-    let mut lp = WorkerLp::new(shared.base_lp);
+pub(crate) fn worker(shared: &Shared, worker_id: usize) {
+    let mut lp = WorkerLp::new(&shared.base_lp);
     let mut local: Vec<Node> = Vec::new();
     loop {
         let node = match local.pop() {
@@ -947,7 +1006,7 @@ fn worker(shared: &Shared<'_>, worker_id: usize) {
 
 /// Advertises the lowest bound over the worker's local stack (for the
 /// global gap computation); `INFINITY` when the stack is empty.
-fn publish_worker_bound(shared: &Shared<'_>, worker_id: usize, local: &[Node]) {
+fn publish_worker_bound(shared: &Shared, worker_id: usize, local: &[Node]) {
     let bound = local
         .iter()
         .map(|n| n.parent_bound)
@@ -957,7 +1016,7 @@ fn publish_worker_bound(shared: &Shared<'_>, worker_id: usize, local: &[Node]) {
 
 /// Moves the best-bound local node into the shared pool — unless it is
 /// already dominated (donating doomed work only buys wake-up latency).
-fn donate_best(shared: &Shared<'_>, local: &mut Vec<Node>) {
+fn donate_best(shared: &Shared, local: &mut Vec<Node>) {
     let Some(best) = local
         .iter()
         .enumerate()
@@ -980,7 +1039,7 @@ fn donate_best(shared: &Shared<'_>, local: &mut Vec<Node>) {
 /// Blocks until global work is available, the search is exhausted, or a
 /// stop is requested. Increments `in_flight` on success; the caller stays
 /// "active" until its local stack drains ([`finish_active`]).
-fn next_global(shared: &Shared<'_>, worker_id: usize) -> Option<OpenNode> {
+fn next_global(shared: &Shared, worker_id: usize) -> Option<OpenNode> {
     let mut pool = shared.pool.lock().unwrap();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -1004,7 +1063,7 @@ fn next_global(shared: &Shared<'_>, worker_id: usize) -> Option<OpenNode> {
 
 /// Marks the worker idle once its local stack has drained and wakes
 /// everyone when the whole search has drained with it.
-fn finish_active(shared: &Shared<'_>, worker_id: usize) {
+fn finish_active(shared: &Shared, worker_id: usize) {
     shared.worker_bounds[worker_id].store(f64::INFINITY.to_bits(), Ordering::Release);
     let (empty, in_flight) = {
         let mut pool = shared.pool.lock().unwrap();
@@ -1019,15 +1078,16 @@ fn finish_active(shared: &Shared<'_>, worker_id: usize) {
 /// Solves one node, optionally runs tree-cut rounds, branches, and pushes
 /// the children onto the local stack (preferred child last, so it is dived
 /// into first).
-fn process_node(shared: &Shared<'_>, wlp: &mut WorkerLp, current: Node, local: &mut Vec<Node>) {
-    let options = shared.options;
+fn process_node(shared: &Shared, wlp: &mut WorkerLp, current: Node, local: &mut Vec<Node>) {
+    let options = &shared.options;
     // Prune against the shared incumbent using the parent bound.
     if shared.dominated(current.parent_bound) {
         return;
     }
-    // Global limits.
+    // Global limits (a fired cancellation token stops like a time limit).
     if shared.start.elapsed() >= options.time_limit
         || shared.nodes.load(Ordering::Relaxed) >= options.node_limit
+        || shared.cancelled()
     {
         shared.limit_hit.store(true, Ordering::SeqCst);
         shared.stop.store(true, Ordering::SeqCst);
@@ -1042,7 +1102,7 @@ fn process_node(shared: &Shared<'_>, wlp: &mut WorkerLp, current: Node, local: &
     // one bound changed, so the parent basis stays dual feasible). The node
     // LP inherits the remaining wall-clock budget so a single degenerate LP
     // cannot blow through the global time limit.
-    let shared_rows = wlp.prepare(shared.base_lp, &shared.cuts, &current);
+    let shared_rows = wlp.prepare(&shared.base_lp, &shared.cuts, &current);
     load_node_bounds(&mut wlp.lp, shared, &current);
     wlp.lp.set_time_limit(Some(shared.remaining_time()));
     let lp_result = solve_node_lp(
@@ -1124,9 +1184,9 @@ fn process_node(shared: &Shared<'_>, wlp: &mut WorkerLp, current: Node, local: &
             // Integer feasible: candidate incumbent. Rounding happens in
             // the reduced space (where the integer columns live at unit
             // scale), then the point is postsolved to full-model values.
-            let reduced = round_integers(&lp_solution.values, shared.integer_vars);
+            let reduced = round_integers(&lp_solution.values, &shared.integer_vars);
             let values = shared.postsolve.restore_values(&reduced);
-            let objective = evaluate_objective(shared.model, &values) * shared.sense_sign;
+            let objective = evaluate_objective(&shared.model, &values) * shared.sense_sign;
             shared.offer_incumbent(values, objective);
         }
         Some((var, _frac)) => {
@@ -1140,14 +1200,14 @@ fn process_node(shared: &Shared<'_>, wlp: &mut WorkerLp, current: Node, local: &
                     .as_ref()
                     .filter(|b| b.num_rows() == shared.base_lp.num_constraints());
                 if let Some((vals, objective)) = rounding_heuristic(
-                    shared.model,
-                    shared.base_lp,
-                    shared.base_bounds,
-                    shared.postsolve,
+                    &shared.model,
+                    &shared.base_lp,
+                    &shared.base_bounds,
+                    &shared.postsolve,
                     &current.bound_changes,
                     base_compatible,
                     &lp_solution.values,
-                    shared.integer_vars,
+                    &shared.integer_vars,
                     shared.sense_sign,
                     options,
                     shared.remaining_time(),
@@ -1232,14 +1292,14 @@ enum CutStatus {
 /// moving — rows cannot be retracted, so a round is only started while
 /// the previous one paid for itself.
 fn tree_cut_rounds(
-    shared: &Shared<'_>,
+    shared: &Shared,
     wlp: &mut WorkerLp,
     node_cuts: &mut Vec<std::sync::Arc<NodeCut>>,
     solution: &mut LpSolution,
     basis: &mut Option<Basis>,
     bound: &mut f64,
 ) -> CutStatus {
-    let options = shared.options;
+    let options = &shared.options;
     // Node-scoped dedup context: the shared pool's keys plus this
     // subtree's own rows. Locally valid cuts only ever enter this
     // snapshot, never the shared pool.
@@ -1251,7 +1311,7 @@ fn tree_cut_rounds(
     // prefix are subtree-owned (constant across the rounds — freshly
     // appended rows only ever extend the subtree-owned range).
     let ctx = cuts::NodeSeparation {
-        global_bounds: shared.base_bounds,
+        global_bounds: &shared.base_bounds,
         global_rows: shared.base_lp.num_constraints() + wlp.shared_rows,
     };
     for _round in 0..options.max_cut_rounds {
@@ -1261,14 +1321,14 @@ fn tree_cut_rounds(
         let Some(node_basis) = basis.as_ref() else {
             break;
         };
-        if !has_fractional(&solution.values, shared.integer_vars) {
+        if !has_fractional(&solution.values, &shared.integer_vars) {
             break;
         }
         let mut cuts = separate_all_families(
             &wlp.lp,
             node_basis,
             &solution.values,
-            shared.is_integer,
+            &shared.is_integer,
             &mut pool,
             options.max_cuts_per_round,
             Some(&ctx),
@@ -1337,7 +1397,7 @@ fn tree_cut_rounds(
 /// disjunctions immediately), the LP-rounding side for general integers.
 #[allow(clippy::too_many_arguments)]
 fn make_children(
-    shared: &Shared<'_>,
+    shared: &Shared,
     node: &Node,
     var: usize,
     lp_solution: &LpSolution,
@@ -1417,10 +1477,18 @@ fn make_children(
 }
 
 /// Solves `model` by parallel best-first branch and bound with root cuts.
+///
+/// The root work (presolve, root LP, cut rounds) always runs on the
+/// calling thread. The tree search then either runs on scoped threads
+/// owned by this call (`worker_pool: None` — the classical path) or is
+/// registered with a long-lived [`crate::SolverPool`] whose workers
+/// attach to the tree; both execute the identical `worker` loop, so the
+/// returned objective is the same either way.
 pub(crate) fn branch_and_bound(
     model: &Model,
     options: &SolveOptions,
     warm: Option<&mut WarmStart>,
+    worker_pool: Option<&crate::pool::SolverPool>,
 ) -> Result<MilpSolution, MilpError> {
     let start = Instant::now();
     let sense_sign = match model.sense() {
@@ -1467,6 +1535,10 @@ pub(crate) fn branch_and_bound(
     let mut base_lp = presolved.lp;
     base_lp.set_pricing(options.pricing);
     base_lp.set_time_limit(Some(options.time_limit));
+    // Every worker LP is a clone of the base relaxation, so attaching the
+    // job's cancellation token here propagates it into every node,
+    // heuristic and cut re-solve of the tree.
+    base_lp.set_cancel_token(options.cancel.clone());
     let base_bounds: Vec<(f64, f64)> = (0..base_lp.num_vars()).map(|j| base_lp.bounds(j)).collect();
     // The stored warm basis lives in the FULL variable space; project it
     // through the reduction stack (`None` → cold start).
@@ -1550,14 +1622,15 @@ pub(crate) fn branch_and_bound(
 
     // --- shared search state ----------------------------------------------
     let thread_count = options.effective_threads().max(1);
-    let shared = Shared {
-        model,
-        options,
-        base_lp: &base_lp,
-        base_bounds: &base_bounds,
-        integer_vars: &integer_vars,
-        is_integer: &is_integer,
-        postsolve: &postsolve,
+    let num_reduced_vars = base_lp.num_vars();
+    let shared = std::sync::Arc::new(Shared {
+        model: model.clone(),
+        options: options.clone(),
+        base_lp,
+        base_bounds,
+        integer_vars,
+        is_integer,
+        postsolve,
         // The shared tree-cut pool inherits the root dedup state so node
         // separation never re-derives a cut already in the relaxation.
         cuts: SharedCutPool::new(cut_pool),
@@ -1582,13 +1655,13 @@ pub(crate) fn branch_and_bound(
         stop: AtomicBool::new(false),
         limit_hit: AtomicBool::new(false),
         error: Mutex::new(None),
-        pseudo: Mutex::new(vec![PseudoCost::default(); base_lp.num_vars()]),
-    };
+        pseudo: Mutex::new(vec![PseudoCost::default(); num_reduced_vars]),
+    });
 
     match shared.select_branch_var(&current_solution.values, None) {
         None => {
             // Root already integral: done.
-            let reduced = round_integers(&current_solution.values, &integer_vars);
+            let reduced = round_integers(&current_solution.values, &shared.integer_vars);
             let values = shared.postsolve.restore_values(&reduced);
             let objective = evaluate_objective(model, &values) * sense_sign;
             shared.offer_incumbent(values, objective);
@@ -1597,13 +1670,13 @@ pub(crate) fn branch_and_bound(
             if options.rounding_heuristic {
                 if let Some((vals, objective)) = rounding_heuristic(
                     model,
-                    &base_lp,
-                    &base_bounds,
-                    &postsolve,
+                    &shared.base_lp,
+                    &shared.base_bounds,
+                    &shared.postsolve,
                     &[],
                     Some(&current_basis),
                     &current_solution.values,
-                    &integer_vars,
+                    &shared.integer_vars,
                     sense_sign,
                     options,
                     shared.remaining_time(),
@@ -1646,15 +1719,22 @@ pub(crate) fn branch_and_bound(
                 inc.is_finite() && relative_gap(inc, root_bound) <= options.mip_gap
             };
             if !already_done {
-                if thread_count == 1 {
-                    worker(&shared, 0);
-                } else {
-                    std::thread::scope(|scope| {
-                        for id in 0..thread_count {
-                            let shared = &shared;
-                            scope.spawn(move || worker(shared, id));
-                        }
-                    });
+                match worker_pool {
+                    // Long-lived pool: register the tree and block until
+                    // its workers have drained it. The pool runs the very
+                    // same `worker` loop over at most `thread_count`
+                    // slots, so the search is execution-equivalent to the
+                    // scoped-thread path below.
+                    Some(p) => p.run_tree(std::sync::Arc::clone(&shared))?,
+                    None if thread_count == 1 => worker(&shared, 0),
+                    None => {
+                        std::thread::scope(|scope| {
+                            for id in 0..thread_count {
+                                let shared = &*shared;
+                                scope.spawn(move || worker(shared, id));
+                            }
+                        });
+                    }
                 }
             }
         }
@@ -1671,8 +1751,11 @@ pub(crate) fn branch_and_bound(
     if let Some(err) = shared.error.lock().unwrap().take() {
         return Err(err);
     }
-    let pool = shared.pool.into_inner().unwrap();
-    let incumbent = shared.incumbent.into_inner().unwrap();
+    // Read through the locks rather than unwrapping the `Arc`: a pool
+    // worker may still hold its clone for a few instructions after the
+    // tree completion was signalled.
+    let pool = shared.pool.lock().unwrap();
+    let incumbent = shared.incumbent.lock().unwrap().take();
 
     // Per-solve diagnostic line for profiling the layout flow's solver
     // traffic (see DESIGN.md); off unless RFIC_MILP_DEBUG is set.

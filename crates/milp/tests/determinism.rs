@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 use rfic_milp::{
-    instances, LinExpr, MilpSolution, Model, Sense, SolveOptions, SolveStatus, VarKind,
+    instances, LinExpr, MilpSolution, Model, Sense, SolveOptions, SolveStatus, SolverPool, VarKind,
 };
 
 /// Worker-thread counts the parallel determinism tests exercise.
@@ -234,6 +234,59 @@ fn golden_suite_tree_cuts_equivalence() {
             assert_valid_incumbent(name, &model, &tree);
         }
     }
+}
+
+/// Pool sharing must be invisible: a tree scheduled on a shared
+/// [`SolverPool`] returns the same objective as a dedicated scoped-thread
+/// solve, for every thread count and *while another tree contends for the
+/// same workers*. This is the many-tree generalisation of the
+/// thread-count-invariance contract — a pool worker runs the identical
+/// node loop, so k attached workers must be indistinguishable from a
+/// k-thread solve no matter what else the pool is serving.
+#[test]
+fn golden_suite_objective_is_invariant_under_pool_sharing() {
+    let counts = parallel_thread_counts();
+    let max_threads = counts.iter().copied().max().unwrap_or(2);
+    let pool = SolverPool::new(max_threads.max(2));
+    for (name, model) in golden_suite() {
+        let reference = model
+            .solve(&SolveOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: serial solve failed: {e}"));
+        for &threads in &counts {
+            let opts = SolveOptions::default().with_threads(threads);
+            let decoy_model = instances::seeded_knapsack(16, 0xF00 + threads as u64);
+            std::thread::scope(|scope| {
+                let decoy = scope.spawn(|| {
+                    decoy_model
+                        .solve_in_pool(&SolveOptions::default().with_threads(2), &pool)
+                        .expect("decoy tree solves")
+                        .objective
+                });
+                let pooled = model
+                    .solve_in_pool(&opts, &pool)
+                    .unwrap_or_else(|e| panic!("{name}: pooled solve failed ({opts:?}): {e}"));
+                assert_eq!(pooled.status, SolveStatus::Optimal, "{name} ({opts:?})");
+                assert!(
+                    (pooled.objective - reference.objective).abs()
+                        <= 1e-6 * (1.0 + reference.objective.abs()),
+                    "{name}: pooled objective {} != serial {} under {opts:?}",
+                    pooled.objective,
+                    reference.objective
+                );
+                assert_valid_incumbent(name, &model, &pooled);
+                let decoy_obj = decoy.join().expect("decoy thread");
+                let decoy_solo = decoy_model
+                    .solve(&SolveOptions::default().with_threads(2))
+                    .expect("decoy solo solve");
+                assert!(
+                    (decoy_obj - decoy_solo.objective).abs()
+                        <= 1e-6 * (1.0 + decoy_solo.objective.abs()),
+                    "decoy tree objective drifted under pool sharing"
+                );
+            });
+        }
+    }
+    pool.shutdown();
 }
 
 proptest! {

@@ -218,6 +218,74 @@ impl Netlist {
         }
     }
 
+    /// A 64-bit FNV-1a content fingerprint of everything that influences
+    /// a layout solve: technology rules, area, device geometry/pins and
+    /// microstrip connectivity/targets.
+    ///
+    /// Two netlists with equal fingerprints produce identical ILP models,
+    /// which is what the cross-request warm-start cache of the layout
+    /// engine keys on. Display names are folded in too, so the cache
+    /// never conflates circuits that merely share geometry.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(&self.name);
+        h.write_str(&self.tech.name);
+        for v in [
+            self.tech.ground_distance,
+            self.tech.strip_width,
+            self.tech.bend_delta,
+            self.tech.min_segment_length,
+            self.tech.pad_size,
+            self.tech.dielectric_constant,
+            self.tech.loss_tangent,
+            self.area_width,
+            self.area_height,
+        ] {
+            h.write_f64(v);
+        }
+        h.write_usize(self.devices.len());
+        for d in &self.devices {
+            h.write_usize(d.id.0);
+            h.write_str(&d.name);
+            h.write_usize(d.kind as usize);
+            h.write_f64(d.width);
+            h.write_f64(d.height);
+            h.write_u8(d.rotatable as u8);
+            h.write_usize(d.pins.len());
+            for p in &d.pins {
+                h.write_str(&p.name);
+                h.write_f64(p.offset.x);
+                h.write_f64(p.offset.y);
+                match p.group {
+                    Some(g) => {
+                        h.write_u8(1);
+                        h.write_usize(g as usize);
+                    }
+                    None => h.write_u8(0),
+                }
+            }
+        }
+        h.write_usize(self.microstrips.len());
+        for m in &self.microstrips {
+            h.write_usize(m.id.0);
+            h.write_str(&m.name);
+            h.write_usize(m.start.device.0);
+            h.write_usize(m.start.pin);
+            h.write_usize(m.end.device.0);
+            h.write_usize(m.end.pin);
+            h.write_f64(m.target_length);
+            match m.width_override {
+                Some(w) => {
+                    h.write_u8(1);
+                    h.write_f64(w);
+                }
+                None => h.write_u8(0),
+            }
+            h.write_usize(m.suggested_chain_points);
+        }
+        h.finish()
+    }
+
     /// Validates structural consistency of the netlist.
     ///
     /// # Errors
@@ -282,6 +350,45 @@ impl Netlist {
             }
         }
         Ok(())
+    }
+}
+
+/// Minimal 64-bit FNV-1a hasher for [`Netlist::fingerprint`] (the vendored
+/// `std` hash map hasher is randomly seeded, so it cannot produce stable
+/// cross-process cache keys).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_bytes(&(v as u64).to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

@@ -1,0 +1,327 @@
+//! `serve` — a line-delimited JSON layout service over stdin/stdout.
+//!
+//! Each input line is one request object; each output line is one
+//! response object. All submitted jobs share a single
+//! [`rfic_layout::core::JobContext`] — one solver pool, one solve-site
+//! cache — so N concurrent requests multiplex a fixed worker set instead
+//! of oversubscribing the machine.
+//!
+//! ## Requests
+//!
+//! | op         | fields                                                        |
+//! |------------|---------------------------------------------------------------|
+//! | `submit`   | `circuit` (`tiny`/`small`/`lna94`/`buffer60`/`lna60`), optional `config` (`fast`*/`thorough`), `deadline_ms`, `threads`, `area` (`[w,h]` µm) |
+//! | `status`   | `job`                                                         |
+//! | `result`   | `job` (blocks until done), optional `report`/`svg` booleans   |
+//! | `cancel`   | `job`                                                         |
+//! | `shutdown` | —                                                             |
+//!
+//! ## Example
+//!
+//! ```text
+//! $ printf '%s\n' \
+//!     '{"op":"submit","circuit":"tiny"}' \
+//!     '{"op":"result","job":1}' \
+//!     '{"op":"shutdown"}' | serve
+//! {"job":1,"ok":true,"op":"submit"}
+//! {"drc_violations":0,"exact_lengths":3,...,"ok":true,"op":"result","state":"done"}
+//! {"ok":true,"op":"shutdown"}
+//! ```
+//!
+//! Failures are `{"ok":false,"error":{"code":...,"message":...}}`; job
+//! failures map [`PilpError`] variants to stable protocol codes
+//! (`cancelled`, `deadline_exceeded`, `pool_shutdown`, `invalid_netlist`,
+//! `phase_failed`).
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use rfic_layout::core::{render, JobContext, JobHandle, Pilp, PilpConfig, PilpError, PilpResult};
+use rfic_layout::netlist::{benchmarks, Netlist};
+use rfic_layout::protocol::{parse, Json, ObjectBuilder};
+
+/// One submitted job: the handle plus the netlist it was built from
+/// (needed to render SVG and count strips for the result payload).
+struct ServedJob {
+    handle: JobHandle,
+    netlist: Netlist,
+}
+
+/// Stable protocol error code for a flow error.
+fn error_code(error: &PilpError) -> &'static str {
+    match error {
+        PilpError::Cancelled => "cancelled",
+        PilpError::DeadlineExceeded => "deadline_exceeded",
+        PilpError::PoolShutdown => "pool_shutdown",
+        PilpError::InvalidNetlist(_) => "invalid_netlist",
+        _ => "phase_failed",
+    }
+}
+
+fn error_response(op: &str, code: &str, message: &str) -> Json {
+    ObjectBuilder::new()
+        .set("ok", Json::Bool(false))
+        .set("op", Json::String(op.to_string()))
+        .set(
+            "error",
+            ObjectBuilder::new()
+                .set("code", Json::String(code.to_string()))
+                .set("message", Json::String(message.to_string()))
+                .build(),
+        )
+        .build()
+}
+
+fn circuit_by_name(name: &str) -> Option<Netlist> {
+    let netlist = match name {
+        "tiny" => benchmarks::tiny_circuit().netlist,
+        "small" => benchmarks::small_circuit().netlist,
+        "lna94" => benchmarks::lna_94ghz().netlist,
+        "buffer60" => benchmarks::buffer_60ghz().netlist,
+        "lna60" => benchmarks::lna_60ghz().netlist,
+        _ => return None,
+    };
+    Some(netlist)
+}
+
+fn build_config(request: &Json) -> Result<PilpConfig, String> {
+    let mut builder = match request.get("config").and_then(Json::as_str) {
+        None | Some("fast") => PilpConfig::builder().fast(),
+        Some("thorough") => PilpConfig::builder().thorough(),
+        Some(other) => return Err(format!("unknown config {other:?} (fast/thorough)")),
+    };
+    if let Some(ms) = request.get("deadline_ms").and_then(Json::as_f64) {
+        if ms <= 0.0 || ms.is_nan() {
+            return Err("deadline_ms must be positive".into());
+        }
+        builder = builder.deadline(std::time::Duration::from_millis(ms as u64));
+    }
+    if let Some(threads) = request.get("threads").and_then(Json::as_f64) {
+        builder = builder.threads(threads as usize);
+    }
+    Ok(builder.build())
+}
+
+fn handle_submit(request: &Json, ctx: &JobContext, next_id: &mut u64) -> (Json, Option<ServedJob>) {
+    let Some(name) = request.get("circuit").and_then(Json::as_str) else {
+        return (
+            error_response("submit", "bad_request", "missing \"circuit\""),
+            None,
+        );
+    };
+    let Some(mut netlist) = circuit_by_name(name) else {
+        return (
+            error_response(
+                "submit",
+                "bad_request",
+                &format!("unknown circuit {name:?} (tiny/small/lna94/buffer60/lna60)"),
+            ),
+            None,
+        );
+    };
+    if let Some(area) = request.get("area").and_then(Json::as_array) {
+        match (
+            area.first().and_then(Json::as_f64),
+            area.get(1).and_then(Json::as_f64),
+        ) {
+            (Some(w), Some(h)) if w > 0.0 && h > 0.0 => netlist = netlist.with_area(w, h),
+            _ => {
+                return (
+                    error_response("submit", "bad_request", "area must be [width, height] µm"),
+                    None,
+                )
+            }
+        }
+    }
+    let config = match build_config(request) {
+        Ok(config) => config,
+        Err(message) => return (error_response("submit", "bad_request", &message), None),
+    };
+    let handle = Pilp::new(config).submit_in(&netlist, ctx);
+    let id = *next_id;
+    *next_id += 1;
+    let response = ObjectBuilder::new()
+        .set("ok", Json::Bool(true))
+        .set("op", Json::String("submit".into()))
+        .set("job", Json::Number(id as f64))
+        .build();
+    (response, Some(ServedJob { handle, netlist }))
+}
+
+fn job_id(request: &Json) -> Option<u64> {
+    request.get("job").and_then(Json::as_f64).map(|n| n as u64)
+}
+
+fn handle_status(job: &ServedJob, id: u64) -> Json {
+    let progress = job.handle.progress();
+    let (state, code) = match job.handle.poll() {
+        None => ("running", None),
+        Some(Ok(_)) => ("done", None),
+        Some(Err(PilpError::Cancelled)) => ("cancelled", Some("cancelled")),
+        Some(Err(e)) => ("failed", Some(error_code(&e))),
+    };
+    let mut builder = ObjectBuilder::new()
+        .set("ok", Json::Bool(true))
+        .set("op", Json::String("status".into()))
+        .set("job", Json::Number(id as f64))
+        .set("state", Json::String(state.into()))
+        .set("solves", Json::Number(progress.solves as f64));
+    if let Some(phase) = progress.phase {
+        builder = builder.set("phase", Json::String(phase.to_string()));
+    }
+    if let Some(code) = code {
+        builder = builder.set("error_code", Json::String(code.into()));
+    }
+    builder.build()
+}
+
+fn result_payload(job: &ServedJob, id: u64, request: &Json, result: &PilpResult) -> Json {
+    let report = result.report();
+    let exact = report
+        .strips
+        .iter()
+        .filter(|s| s.length_error.abs() < 1e-3)
+        .count();
+    let mut builder = ObjectBuilder::new()
+        .set("ok", Json::Bool(true))
+        .set("op", Json::String("result".into()))
+        .set("job", Json::Number(id as f64))
+        .set("state", Json::String("done".into()))
+        .set("strips", Json::Number(report.strips.len() as f64))
+        .set("exact_lengths", Json::Number(exact as f64))
+        .set("total_bends", Json::Number(report.total_bends as f64))
+        .set("max_length_error_um", Json::Number(report.max_length_error))
+        .set("drc_violations", Json::Number(report.drc_violations as f64))
+        .set("solves", Json::Number(result.solver.solves as f64))
+        .set(
+            "simplex_iterations",
+            Json::Number(result.solver.simplex_iterations as f64),
+        )
+        .set(
+            "runtime_ms",
+            Json::Number(result.runtime.as_secs_f64() * 1e3),
+        );
+    if request.get("report").and_then(Json::as_bool) == Some(true) {
+        builder = builder.set("report", Json::String(report.to_string()));
+    }
+    if request.get("svg").and_then(Json::as_bool) == Some(true) {
+        builder = builder.set(
+            "svg",
+            Json::String(render::svg(&job.netlist, &result.layout)),
+        );
+    }
+    builder.build()
+}
+
+fn handle_result(job: &ServedJob, id: u64, request: &Json) -> Json {
+    match job.handle.wait() {
+        Ok(result) => result_payload(job, id, request, &result),
+        Err(e) => error_response("result", error_code(&e), &e.to_string()),
+    }
+}
+
+fn main() {
+    let mut workers = 0usize; // 0 = hardware parallelism (capped by the pool)
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = n,
+                None => {
+                    eprintln!("serve: --workers needs a number");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("serve [--workers N]  (line-delimited JSON on stdin/stdout)");
+                return;
+            }
+            other => {
+                eprintln!("serve: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ctx = JobContext::new(workers);
+    let mut jobs: HashMap<u64, ServedJob> = HashMap::new();
+    let mut next_id = 1u64;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match parse(&line) {
+            Ok(request) => request,
+            Err(message) => {
+                let response = error_response("?", "bad_request", &format!("bad JSON: {message}"));
+                let _ = writeln!(out, "{response}");
+                let _ = out.flush();
+                continue;
+            }
+        };
+        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+        let mut shutdown = false;
+        let response = match op {
+            "submit" => {
+                let (response, job) = handle_submit(&request, &ctx, &mut next_id);
+                if let Some(job) = job {
+                    jobs.insert(next_id - 1, job);
+                }
+                response
+            }
+            "status" | "result" | "cancel" => match job_id(&request) {
+                None => error_response(op, "bad_request", "missing \"job\""),
+                Some(id) => match jobs.get(&id) {
+                    None => error_response(op, "unknown_job", &format!("no job {id}")),
+                    Some(job) => match op {
+                        "status" => handle_status(job, id),
+                        "result" => handle_result(job, id, &request),
+                        _ => {
+                            job.handle.cancel();
+                            ObjectBuilder::new()
+                                .set("ok", Json::Bool(true))
+                                .set("op", Json::String("cancel".into()))
+                                .set("job", Json::Number(id as f64))
+                                .build()
+                        }
+                    },
+                },
+            },
+            "shutdown" => {
+                shutdown = true;
+                ObjectBuilder::new()
+                    .set("ok", Json::Bool(true))
+                    .set("op", Json::String("shutdown".into()))
+                    .build()
+            }
+            other => error_response(
+                other,
+                "bad_request",
+                "op must be submit/status/result/cancel/shutdown",
+            ),
+        };
+        let _ = writeln!(out, "{response}");
+        let _ = out.flush();
+        if shutdown {
+            break;
+        }
+    }
+
+    // Clean shutdown: cancel whatever is still running so the pool drains
+    // promptly, then stop the workers.
+    for job in jobs.values() {
+        job.handle.cancel();
+    }
+    for job in jobs.values() {
+        let _ = job.handle.wait();
+    }
+    ctx.shutdown();
+}

@@ -19,8 +19,12 @@
 //! * [`em`] — thin-film microstrip transmission-line evaluation used to
 //!   reproduce the S-parameter comparison of Figure 11.
 //! * [`baseline`] — manual-style and sequential place-then-route baselines.
+//! * [`protocol`] — the hand-rolled JSON layer behind the `serve` binary's
+//!   line-delimited request/response protocol.
 //!
 //! # Quickstart
+//!
+//! The blocking one-shot entry point:
 //!
 //! ```
 //! use rfic_layout::netlist::benchmarks;
@@ -32,8 +36,33 @@
 //! println!("total bends: {}", layout.report().total_bends);
 //! # Ok::<(), rfic_layout::core::PilpError>(())
 //! ```
+//!
+//! The same flow as an asynchronous job — submit returns immediately,
+//! the solves run on a shared [`core::JobContext`] pool, and the handle
+//! supports progress, cancellation and deadlines:
+//!
+//! ```no_run
+//! use rfic_layout::netlist::benchmarks;
+//! use rfic_layout::core::{JobContext, Pilp, PilpConfig};
+//! use std::time::Duration;
+//!
+//! let circuit = benchmarks::tiny_circuit();
+//! let config = PilpConfig::builder()
+//!     .fast()
+//!     .deadline(Duration::from_secs(120))
+//!     .build();
+//! let ctx = JobContext::new(0); // 0 = hardware parallelism
+//! let job = Pilp::new(config).submit_in(&circuit.netlist, &ctx);
+//! println!("{} solves so far", job.progress().solves);
+//! let layout = job.wait()?;
+//! println!("total bends: {}", layout.report().total_bends);
+//! ctx.shutdown();
+//! # Ok::<(), rfic_layout::core::PilpError>(())
+//! ```
 
 #![forbid(unsafe_code)]
+
+pub mod protocol;
 
 pub use rfic_baseline as baseline;
 pub use rfic_core as core;
@@ -42,3 +71,10 @@ pub use rfic_geom as geom;
 pub use rfic_lp as lp;
 pub use rfic_milp as milp;
 pub use rfic_netlist as netlist;
+
+// The layout-job API at the crate root, so servers built on the facade
+// can name the service types without digging through sub-crates.
+pub use rfic_core::{
+    FlowCache, JobContext, JobHandle, JobProgress, Pilp, PilpConfig, PilpConfigBuilder, PilpError,
+    PilpResult,
+};
