@@ -71,6 +71,8 @@ fn measure_tiny_flow() -> Result<FlowRecord, String> {
         presolve_rows_removed: result.solver.presolve_rows_removed as u64,
         presolve_cols_removed: result.solver.presolve_cols_removed as u64,
         presolve_nonzeros_removed: result.solver.presolve_nonzeros_removed as u64,
+        fallback_attempts: result.solver.fallback_attempts as u64,
+        fallback_recoveries: result.solver.fallback_recoveries as u64,
         requests_per_sec: 0.0,
     })
 }
@@ -93,6 +95,7 @@ fn measure_concurrent_throughput() -> Result<FlowRecord, String> {
         .map(|_| pilp.submit_in(netlist, &ctx))
         .collect();
     let mut totals = (0u64, 0u64, 0u64); // nodes, solves, iterations
+    let mut fallbacks = (0u64, 0u64); // attempts, recoveries
     let mut worst_bends = 0u64;
     let mut worst_error = 0.0f64;
     let mut first_report = None;
@@ -121,6 +124,8 @@ fn measure_concurrent_throughput() -> Result<FlowRecord, String> {
         totals.0 += result.solver.nodes as u64;
         totals.1 += result.solver.solves as u64;
         totals.2 += result.solver.simplex_iterations as u64;
+        fallbacks.0 += result.solver.fallback_attempts as u64;
+        fallbacks.1 += result.solver.fallback_recoveries as u64;
         worst_bends = worst_bends.max(report.total_bends as u64);
         worst_error = worst_error.max(report.max_length_error);
         if first_report.is_none() {
@@ -144,6 +149,8 @@ fn measure_concurrent_throughput() -> Result<FlowRecord, String> {
         presolve_rows_removed: 0,
         presolve_cols_removed: 0,
         presolve_nonzeros_removed: 0,
+        fallback_attempts: fallbacks.0,
+        fallback_recoveries: fallbacks.1,
         requests_per_sec: CONCURRENT_JOBS as f64 / (wall_ms / 1e3),
     })
 }
@@ -227,7 +234,8 @@ fn main() -> ExitCode {
         println!(
             "flow-gate: {}: wall {:.0} ms, {}/{} exact lengths, {} bends, max |ΔL| {:.3} µm, \
              {} DRC violations, {} B&B nodes over {} solves ({} pivots); presolve removed \
-             {} rows, {} cols, {} nonzeros across the run",
+             {} rows, {} cols, {} nonzeros across the run; {} fallback re-solves \
+             ({} recovered)",
             record.name,
             record.wall_ms,
             record.exact_lengths,
@@ -241,6 +249,8 @@ fn main() -> ExitCode {
             record.presolve_rows_removed,
             record.presolve_cols_removed,
             record.presolve_nonzeros_removed,
+            record.fallback_attempts,
+            record.fallback_recoveries,
         );
     }
 

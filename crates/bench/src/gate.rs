@@ -354,6 +354,11 @@ pub struct FlowRecord {
     /// Nonzero coefficients removed by root presolve, summed over every
     /// MILP solve.
     pub presolve_nonzeros_removed: u64,
+    /// Fallback-ladder re-solves attempted after a numerical failure
+    /// (0 on a healthy run — the ladder is compiled in but idle).
+    pub fallback_attempts: u64,
+    /// Fallback-ladder re-solves that recovered an optimal result.
+    pub fallback_recoveries: u64,
     /// Completed layout requests per second for concurrent-throughput
     /// records (several jobs multiplexed over one shared solver pool);
     /// `0` for single-flow records and baselines predating the job API.
@@ -369,7 +374,8 @@ pub fn flow_json(records: &[FlowRecord]) -> String {
              \"total_bends\": {}, \"max_length_error_um\": {:.6}, \"drc_violations\": {}, \
              \"bnb_nodes\": {}, \"solves\": {}, \"simplex_iterations\": {}, \
              \"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}, \
-             \"presolve_nonzeros_removed\": {}, \"requests_per_sec\": {:.3} }}{}\n",
+             \"presolve_nonzeros_removed\": {}, \"fallback_attempts\": {}, \
+             \"fallback_recoveries\": {}, \"requests_per_sec\": {:.3} }}{}\n",
             r.name,
             r.wall_ms,
             r.strips,
@@ -383,6 +389,8 @@ pub fn flow_json(records: &[FlowRecord]) -> String {
             r.presolve_rows_removed,
             r.presolve_cols_removed,
             r.presolve_nonzeros_removed,
+            r.fallback_attempts,
+            r.fallback_recoveries,
             r.requests_per_sec,
             if i + 1 < records.len() { "," } else { "" },
         ));
@@ -418,6 +426,12 @@ pub fn parse_flow_json(text: &str) -> Result<Vec<FlowRecord>, String> {
                 .unwrap_or(0.0) as u64,
             presolve_nonzeros_removed: extract_number_value(object, "presolve_nonzeros_removed")
                 .unwrap_or(0.0) as u64,
+            // Fallback-ladder counters arrived with the fault-tolerance
+            // layer; absent keys parse as zero so legacy files load.
+            fallback_attempts: extract_number_value(object, "fallback_attempts").unwrap_or(0.0)
+                as u64,
+            fallback_recoveries: extract_number_value(object, "fallback_recoveries").unwrap_or(0.0)
+                as u64,
             // Throughput records arrived with the job API; absent keys
             // parse as zero so older baselines load.
             requests_per_sec: extract_number_value(object, "requests_per_sec").unwrap_or(0.0),
@@ -697,6 +711,8 @@ mod tests {
             presolve_rows_removed: 120,
             presolve_cols_removed: 60,
             presolve_nonzeros_removed: 400,
+            fallback_attempts: 0,
+            fallback_recoveries: 0,
             requests_per_sec: 0.0,
         }
     }
@@ -726,6 +742,8 @@ mod tests {
         assert_eq!(parsed[0].presolve_rows_removed, 0);
         assert_eq!(parsed[0].presolve_cols_removed, 0);
         assert_eq!(parsed[0].presolve_nonzeros_removed, 0);
+        assert_eq!(parsed[0].fallback_attempts, 0);
+        assert_eq!(parsed[0].fallback_recoveries, 0);
         assert_eq!(parsed[0].requests_per_sec, 0.0);
     }
 

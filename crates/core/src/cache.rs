@@ -31,6 +31,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use rfic_lp::sync::LockExt;
+
 use crate::layout::Layout;
 
 /// Default number of cached solve sites per [`FlowCache`]. A
@@ -83,7 +85,7 @@ impl FlowCache {
 
     /// Number of solve sites currently cached.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().entries.len()
+        self.state.lock_recover().entries.len()
     }
 
     /// `true` if nothing is cached.
@@ -104,7 +106,7 @@ impl FlowCache {
     /// Looks up the memoized layout for a solve-site key, counting the
     /// hit/miss.
     pub fn lookup(&self, key: u64) -> Option<Layout> {
-        let state = self.state.lock().unwrap();
+        let state = self.state.lock_recover();
         match state.entries.get(&key) {
             Some(layout) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -120,7 +122,7 @@ impl FlowCache {
     /// Stores (or refreshes) the layout for a solve-site key, evicting
     /// the oldest entry when full.
     pub fn store(&self, key: u64, layout: Layout) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock_recover();
         if state.entries.insert(key, layout).is_none() {
             state.order.push_back(key);
             while state.entries.len() > self.capacity {

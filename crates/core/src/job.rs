@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use rfic_lp::sync::{self, LockExt};
 use rfic_milp::{CancelToken, SolverPool};
 use rfic_netlist::Netlist;
 
@@ -99,14 +100,24 @@ pub(crate) struct FlowCtl {
     /// [`Netlist::fingerprint`] of the job's circuit (cache keying).
     fingerprint: u64,
     progress: Arc<ProgressState>,
+    /// Flow-fatal error recorded inside a tolerant per-strip solve loop
+    /// (a contained worker panic, a dead pool); surfaced by the next
+    /// [`FlowCtl::check`] so the phase loops abort instead of papering
+    /// over the fault with their per-strip fallbacks.
+    fatal: Mutex<Option<PilpError>>,
 }
 
 impl FlowCtl {
     /// The abort checkpoint the phase loops poll between solves:
-    /// cancellation, deadline and pool liveness, in that priority order.
+    /// cancellation, recorded fatal faults, deadline and pool liveness,
+    /// in that priority order.
     pub(crate) fn check(&self) -> Result<(), PilpError> {
+        let _ = rfic_lp::fault::fire("core.job.checkpoint");
         if self.cancel.is_cancelled() {
             return Err(PilpError::Cancelled);
+        }
+        if let Some(fatal) = sync::lock(&self.fatal).clone() {
+            return Err(fatal);
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -119,6 +130,15 @@ impl FlowCtl {
             }
         }
         Ok(())
+    }
+
+    /// Records a flow-fatal error (first one wins); the next
+    /// [`FlowCtl::check`] checkpoint returns it.
+    pub(crate) fn record_fatal(&self, error: PilpError) {
+        let mut slot = sync::lock(&self.fatal);
+        if slot.is_none() {
+            *slot = Some(error);
+        }
     }
 
     /// Time left until the deadline (`None` = no deadline).
@@ -212,9 +232,9 @@ impl JobHandle {
     /// [`PilpError::PoolShutdown`] if the context was shut down
     /// mid-flight.
     pub fn wait(&self) -> Result<PilpResult, PilpError> {
-        let mut slot = self.state.result.lock().unwrap();
+        let mut slot = self.state.result.lock_recover();
         while slot.is_none() {
-            slot = self.state.cv.wait(slot).unwrap();
+            slot = sync::wait(&self.state.cv, slot);
         }
         slot.as_ref().expect("result present").clone()
     }
@@ -222,7 +242,7 @@ impl JobHandle {
     /// Non-blocking result check: `None` while the job is still running,
     /// otherwise a clone of the result.
     pub fn poll(&self) -> Option<Result<PilpResult, PilpError>> {
-        self.state.result.lock().unwrap().clone()
+        self.state.result.lock_recover().clone()
     }
 
     /// Requests cancellation. The running solve notices within a few
@@ -277,19 +297,41 @@ pub(crate) fn spawn_job(
         cache: use_cache.then(|| Arc::clone(&ctx.cache)),
         fingerprint: netlist.fingerprint(),
         progress: Arc::clone(&progress),
+        fatal: Mutex::new(None),
     };
     let thread_state = Arc::clone(&state);
     let thread_progress = Arc::clone(&progress);
-    std::thread::Builder::new()
+    let spawned = std::thread::Builder::new()
         .name("rfic-job".into())
         .spawn(move || {
-            let result = pilp.run_with(&netlist, &ctl);
+            // Panic boundary: whatever happens inside the flow, the result
+            // slot is filled and waiters are woken — a panicking job must
+            // fail itself, not strand every `JobHandle::wait` on it.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = rfic_lp::fault::fire("core.job.flow");
+                pilp.run_with(&netlist, &ctl)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(PilpError::Internal {
+                    site: "core.job.flow".to_string(),
+                    payload: rfic_milp::panic_payload_string(payload.as_ref()),
+                })
+            });
             thread_progress.stage.store(4, Ordering::Relaxed);
-            let mut slot = thread_state.result.lock().unwrap();
+            let mut slot = thread_state.result.lock_recover();
             *slot = Some(result);
             thread_state.cv.notify_all();
-        })
-        .expect("spawn layout job thread");
+        });
+    if let Err(e) = spawned {
+        // Thread spawn failed (resource exhaustion): the job fails
+        // immediately instead of panicking the submitter.
+        progress.stage.store(4, Ordering::Relaxed);
+        *state.result.lock_recover() = Some(Err(PilpError::Internal {
+            site: "core.job.spawn".to_string(),
+            payload: e.to_string(),
+        }));
+        state.cv.notify_all();
+    }
     JobHandle {
         state,
         cancel,

@@ -374,6 +374,18 @@ pub enum PilpError {
     /// The shared [`rfic_milp::SolverPool`] behind the job was shut down
     /// while the flow was still solving.
     PoolShutdown,
+    /// A panic was caught inside the job (a solver worker or the flow
+    /// thread itself). The panic was contained — sibling jobs on the same
+    /// pool are unaffected — and the faulty job fails with this error
+    /// instead of taking the process down.
+    Internal {
+        /// The containment boundary that caught the panic (e.g.
+        /// `milp.worker`, `core.job.flow`).
+        site: String,
+        /// The panic payload text (for failpoint-injected panics,
+        /// `failpoint:<site>`).
+        payload: String,
+    },
 }
 
 impl fmt::Display for PilpError {
@@ -384,6 +396,9 @@ impl fmt::Display for PilpError {
             PilpError::Cancelled => f.write_str("layout job cancelled"),
             PilpError::DeadlineExceeded => f.write_str("layout job deadline exceeded"),
             PilpError::PoolShutdown => f.write_str("solver pool shut down during the layout job"),
+            PilpError::Internal { site, payload } => {
+                write!(f, "internal fault contained at {site}: {payload}")
+            }
         }
     }
 }
@@ -450,6 +465,12 @@ pub struct SolverTotals {
     /// Constraint-matrix nonzeros removed by root presolve across the
     /// solves (net of substitution fill-in).
     pub presolve_nonzeros_removed: usize,
+    /// Fallback-ladder re-solves attempted after numerically-failed
+    /// solves (each rung tried counts once; `0` on a healthy run).
+    pub fallback_attempts: usize,
+    /// Numerically-failed solves the fallback ladder recovered to a
+    /// usable solution.
+    pub fallback_recoveries: usize,
 }
 
 impl SolverTotals {
@@ -1282,9 +1303,19 @@ impl Pilp {
                 Some(remaining) => options.time_limit = base_limit.min(remaining),
                 None => options.time_limit = base_limit,
             }
-            let outcome = match ctl.pool() {
-                Some(pool) => ilp.solve_warm_in_pool(&options, &mut warm, pool)?,
-                None => ilp.solve_warm(&options, &mut warm)?,
+            let outcome = match solve_with_fallback(&ilp, &options, &mut warm, ctl, totals) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    // Per-strip solve failures are tolerated by the phase
+                    // loops by design — but a contained panic or a dead
+                    // pool is a *flow* fault, not a numerical dead end.
+                    // Record it on the control block so the next phase
+                    // checkpoint aborts the whole job with the real error.
+                    if let Some(fatal) = fatal_flow_error(&e) {
+                        ctl.record_fatal(fatal);
+                    }
+                    return Err(e);
+                }
             };
             totals.record(&outcome.solution);
             ctl.note_solve();
@@ -1306,6 +1337,97 @@ impl Pilp {
             }
         }
         best.ok_or(IlpError::Solver(rfic_milp::MilpError::LimitReached))
+    }
+}
+
+/// Runs one separation-round solve, retrying a *numerically*-failed solve
+/// down the deterministic fallback ladder.
+///
+/// The ladder only engages on [`ladder_eligible`] errors — in practice a
+/// singular basis / numerical failure surfacing as
+/// `MilpError::Lp(LpError::InvalidModel)`. Infeasibility, limits,
+/// cancellation, pool shutdown and contained panics are never retried:
+/// they are either the model's true answer or a fault the retry could
+/// not fix.
+///
+/// Determinism: the rung order is fixed, every rung starts from a fresh
+/// cold [`rfic_milp::WarmStart`], and the ladder runs only after a
+/// failure — an uninjected healthy run never enters it, so its solve
+/// sequence (and layout) is bit-identical with the ladder compiled in.
+/// On recovery the rung's captured root basis replaces `warm`, so later
+/// separation rounds warm-start from the solve that actually succeeded.
+fn solve_with_fallback(
+    ilp: &LayoutIlp,
+    options: &SolveOptions,
+    warm: &mut rfic_milp::WarmStart,
+    ctl: &crate::job::FlowCtl,
+    totals: &mut SolverTotals,
+) -> Result<crate::model::IlpOutcome, IlpError> {
+    let solve = |opts: &SolveOptions, warm: &mut rfic_milp::WarmStart| match ctl.pool() {
+        Some(pool) => ilp.solve_warm_in_pool(opts, warm, pool),
+        None => ilp.solve_warm(opts, warm),
+    };
+    let mut last = match solve(options, warm) {
+        Ok(outcome) => return Ok(outcome),
+        Err(e) if ladder_eligible(&e) => e,
+        Err(e) => return Err(e),
+    };
+    for rung in fallback_ladder(options) {
+        totals.fallback_attempts += 1;
+        let mut cold = rfic_milp::WarmStart::new();
+        match solve(&rung, &mut cold) {
+            Ok(outcome) => {
+                totals.fallback_recoveries += 1;
+                *warm = cold;
+                return Ok(outcome);
+            }
+            Err(e) if ladder_eligible(&e) => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
+/// `true` for errors the fallback ladder may retry: numerical failures of
+/// the LP kernel (a singular refactorisation or instability gate surfaces
+/// as `InvalidModel`). Limits, infeasibility, shutdown and contained
+/// panics are final.
+fn ladder_eligible(err: &IlpError) -> bool {
+    matches!(
+        err,
+        IlpError::Solver(rfic_milp::MilpError::Lp(rfic_lp::LpError::InvalidModel(_)))
+    )
+}
+
+/// The deterministic escalation ladder for numerically-failed solves,
+/// derived from the failing solve's own options: cold start, then
+/// Dantzig pricing (the simplest, most robust rule), then unconditional
+/// equilibration, then no presolve at all (the raw relaxation). Each
+/// rung keeps the earlier rungs' simplifications.
+fn fallback_ladder(base: &SolveOptions) -> Vec<SolveOptions> {
+    let cold = base.clone().cold();
+    let dantzig = cold.clone().with_pricing(rfic_milp::PricingRule::Dantzig);
+    let mut scaled = dantzig.clone();
+    scaled.presolve = rfic_milp::PresolveConfig {
+        enabled: true,
+        scale: true,
+        scale_trigger: 0.0,
+        ..base.presolve
+    };
+    let bare = dantzig.clone().without_presolve();
+    vec![cold, dantzig, scaled, bare]
+}
+
+/// Maps solve errors that must abort the whole flow (rather than be
+/// tolerated as a per-strip failure) to their [`PilpError`] form.
+fn fatal_flow_error(err: &IlpError) -> Option<PilpError> {
+    match err {
+        IlpError::Solver(rfic_milp::MilpError::Internal { site }) => Some(PilpError::Internal {
+            site: "milp.worker".to_string(),
+            payload: site.clone(),
+        }),
+        IlpError::Solver(rfic_milp::MilpError::PoolShutdown) => Some(PilpError::PoolShutdown),
+        _ => None,
     }
 }
 

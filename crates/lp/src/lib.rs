@@ -51,10 +51,12 @@
 
 mod basis;
 mod dense;
+pub mod fault;
 mod presolve;
 mod problem;
 mod revised;
 mod sparse;
+pub mod sync;
 
 pub use presolve::{Postsolve, PresolveConfig, PresolveStats, Presolved};
 pub use problem::{

@@ -1808,6 +1808,11 @@ pub(crate) fn solve(
     lp: &LinearProgram,
     warm: Option<&Basis>,
 ) -> Result<(LpSolution, Basis), LpError> {
+    if crate::fault::fire("lp.revised.solve") {
+        return Err(LpError::InvalidModel(
+            "forced singular basis (failpoint)".into(),
+        ));
+    }
     let debug = std::env::var_os("RFIC_LP_DEBUG").is_some();
     let t0 = std::time::Instant::now();
     let mut solver = Solver::new(lp, warm)?;

@@ -1,0 +1,55 @@
+//! Poison-tolerant synchronisation helpers shared by the solver stack.
+//!
+//! `Mutex::lock` returns `Err` once any thread panicked while holding
+//! the lock — and with the panic-isolation layer a worker panic is a
+//! *survivable* event, not process death. Every protected structure in
+//! the pool/job/cache paths is written so its invariants hold at each
+//! unlock point (claims are single-field increments, result slots are
+//! write-once), so the right response to poison is to keep going with
+//! the inner guard rather than propagate a second panic. These helpers
+//! centralise that policy; bare `.lock().unwrap()` is reserved for
+//! test-only code.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a panicking thread poisoned
+/// it.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv`, recovering the guard if the mutex was poisoned while
+/// this thread was parked.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Method-call form of [`lock`], so `mutex.lock().unwrap()` call sites
+/// convert one-for-one to `mutex.lock_recover()`.
+pub trait LockExt<T> {
+    /// Locks, recovering the guard if the mutex was poisoned.
+    fn lock_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_recover(&self) -> MutexGuard<'_, T> {
+        lock(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_a_poisoned_mutex() {
+        let mutex = Mutex::new(7u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock(&mutex), 7);
+    }
+}

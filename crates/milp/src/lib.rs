@@ -68,7 +68,9 @@ pub use pool::SolverPool;
 pub use rfic_lp::{
     Basis, CancelToken, ConstraintOp, PresolveConfig, PresolveStats, PricingRule, Sense,
 };
-pub use solve::{BranchRule, MilpError, MilpSolution, SolveOptions, SolveStatus, WarmStart};
+pub use solve::{
+    panic_payload_string, BranchRule, MilpError, MilpSolution, SolveOptions, SolveStatus, WarmStart,
+};
 
 /// Integrality tolerance: a value within this distance of an integer is
 /// considered integral.

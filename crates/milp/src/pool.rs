@@ -34,7 +34,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crate::solve::{worker, MilpError, Shared};
+use rfic_lp::sync::{self, LockExt};
+
+use crate::solve::{panic_payload_string, record_worker_failure, worker, MilpError, Shared};
 
 /// Signalled when the last worker detaches from a tree.
 #[derive(Default)]
@@ -45,14 +47,14 @@ struct DoneFlag {
 
 impl DoneFlag {
     fn signal(&self) {
-        *self.done.lock().unwrap() = true;
+        *self.done.lock_recover() = true;
         self.cv.notify_all();
     }
 
     fn wait(&self) {
-        let mut done = self.done.lock().unwrap();
+        let mut done = self.done.lock_recover();
         while !*done {
-            done = self.cv.wait(done).unwrap();
+            done = sync::wait(&self.cv, done);
         }
     }
 }
@@ -155,7 +157,7 @@ impl SolverPool {
 
     /// Trees served to completion since the pool started.
     pub fn completed_trees(&self) -> u64 {
-        self.inner.state.lock().unwrap().completed
+        self.inner.state.lock_recover().completed
     }
 
     /// `true` once [`SolverPool::shutdown`] has run.
@@ -170,7 +172,7 @@ impl SolverPool {
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = self.inner.state.lock_recover();
             // Trees nobody attached to yet will never run: complete them
             // as stopped so their submitters wake with a limit result.
             let mut i = 0;
@@ -187,7 +189,7 @@ impl SolverPool {
             }
             self.inner.work_cv.notify_all();
         }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock_recover());
         for handle in handles {
             let _ = handle.join();
         }
@@ -200,7 +202,7 @@ impl SolverPool {
     pub(crate) fn run_tree(&self, tree: Arc<Shared>) -> Result<(), MilpError> {
         let done = Arc::new(DoneFlag::default());
         {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = self.inner.state.lock_recover();
             if self.inner.shutdown.load(Ordering::SeqCst) {
                 return Err(MilpError::PoolShutdown);
             }
@@ -238,7 +240,7 @@ impl Drop for SolverPool {
 fn worker_main(inner: Arc<PoolInner>) {
     loop {
         let claimed = {
-            let mut state = inner.state.lock().unwrap();
+            let mut state = inner.state.lock_recover();
             loop {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -253,13 +255,28 @@ fn worker_main(inner: Arc<PoolInner>) {
                     entry.attached += 1;
                     break (entry.id, Arc::clone(&entry.tree), slot);
                 }
-                state = inner.work_cv.wait(state).unwrap();
+                state = sync::wait(&inner.work_cv, state);
             }
         };
         let (id, tree, slot) = claimed;
-        worker(&tree, slot);
+        // Panic boundary: a panicking solve fails only its own tree (the
+        // error is recorded and the tree stopped), while this worker
+        // thread survives and moves on to the next queued tree — sibling
+        // jobs keep their deterministic slot-index layout because the
+        // claimed slot was consumed exactly as in a normal return.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker(&tree, slot);
+        }));
+        if let Err(payload) = outcome {
+            record_worker_failure(
+                &tree,
+                MilpError::Internal {
+                    site: panic_payload_string(payload.as_ref()),
+                },
+            );
+        }
         drop(tree);
-        let mut state = inner.state.lock().unwrap();
+        let mut state = inner.state.lock_recover();
         if let Some(pos) = state.queue.iter().position(|entry| entry.id == id) {
             let entry = &mut state.queue[pos];
             entry.finished = true;

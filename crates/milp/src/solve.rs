@@ -56,6 +56,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use rfic_lp::sync::LockExt;
+
 use rfic_lp::{
     Basis, CancelToken, ConstraintOp, LinearProgram, LpError, LpSolution, Postsolve,
     PresolveConfig, PresolveStats, PricingRule, Sense,
@@ -331,6 +333,14 @@ pub enum MilpError {
     PoolShutdown,
     /// The underlying LP solver failed.
     Lp(LpError),
+    /// A worker thread panicked while searching this tree. The panic was
+    /// contained by the search's `catch_unwind` boundary — sibling trees
+    /// and the process are unaffected — and `site` carries the panic
+    /// payload (for failpoint-injected panics, `failpoint:<site>`).
+    Internal {
+        /// The panic payload / failpoint site that brought the tree down.
+        site: String,
+    },
 }
 
 impl fmt::Display for MilpError {
@@ -343,6 +353,9 @@ impl fmt::Display for MilpError {
             }
             MilpError::PoolShutdown => f.write_str("solver pool has been shut down"),
             MilpError::Lp(e) => write!(f, "LP solver error: {e}"),
+            MilpError::Internal { site } => {
+                write!(f, "solver worker panicked (contained): {site}")
+            }
         }
     }
 }
@@ -479,12 +492,12 @@ impl SharedCutPool {
 
     /// Snapshot of the dedup pool for a node-scoped separation context.
     fn pool_snapshot(&self) -> CutPool {
-        self.pool.lock().unwrap().clone()
+        self.pool.lock_recover().clone()
     }
 
     /// Copies rows `[from, to)` of the shared prefix.
     fn slice(&self, from: usize, to: usize) -> Vec<std::sync::Arc<Cut>> {
-        self.rows.lock().unwrap()[from..to].to_vec()
+        self.rows.lock_recover()[from..to].to_vec()
     }
 
     /// Lifts a globally valid node cut into the shared pool (deduplicated;
@@ -497,11 +510,11 @@ impl SharedCutPool {
     /// is the only path taking both locks (rows, then pool), so the
     /// ordering cannot deadlock against `pool_snapshot`/`slice`.
     fn publish(&self, cut: &Cut) {
-        let mut rows = self.rows.lock().unwrap();
+        let mut rows = self.rows.lock_recover();
         if rows.len() >= MAX_SHARED_TREE_CUTS {
             return;
         }
-        if !self.pool.lock().unwrap().insert(cut) {
+        if !self.pool.lock_recover().insert(cut) {
             return;
         }
         rows.push(std::sync::Arc::new(cut.clone()));
@@ -771,14 +784,14 @@ impl Shared {
             seq: self.next_seq(),
             node,
         };
-        self.pool.lock().unwrap().heap.push(open);
+        self.pool.lock_recover().heap.push(open);
         self.cv.notify_one();
     }
 
     /// Offers `values` as an incumbent; on improvement updates the shared
     /// bound and checks the global gap stop.
     fn offer_incumbent(&self, values: Vec<f64>, minimised_objective: f64) {
-        let mut guard = self.incumbent.lock().unwrap();
+        let mut guard = self.incumbent.lock_recover();
         let improved = guard
             .as_ref()
             .map(|(_, best)| minimised_objective < *best - 1e-12)
@@ -805,7 +818,7 @@ impl Shared {
     /// Best (lowest) bound over queued nodes, in-flight plunges and dropped
     /// subtrees.
     fn open_bound(&self) -> f64 {
-        let pool = self.pool.lock().unwrap();
+        let pool = self.pool.lock_recover();
         let mut open = pool
             .heap
             .iter()
@@ -853,7 +866,7 @@ impl Shared {
             }
             return best.map(|(v, frac, _)| (v, frac));
         }
-        let mut pc = self.pseudo.lock().unwrap();
+        let mut pc = self.pseudo.lock_recover();
         if let Some((branch, degradation)) = observed {
             let span = if branch.up {
                 (1.0 - branch.frac).max(1e-6)
@@ -969,6 +982,17 @@ fn solve_node_lp(
 /// exactly the classical depth-first dive; with several, the pool keeps
 /// every worker on the globally most promising open subtrees.
 pub(crate) fn worker(shared: &Shared, worker_id: usize) {
+    if rfic_lp::fault::fire("milp.pool.worker") {
+        // `Singular` armed at a worker site: surface it as the same
+        // numerical failure a singular refactorisation would produce.
+        record_worker_failure(
+            shared,
+            MilpError::Lp(LpError::InvalidModel(
+                "forced singular basis (failpoint)".into(),
+            )),
+        );
+        return;
+    }
     let mut lp = WorkerLp::new(&shared.base_lp);
     let mut local: Vec<Node> = Vec::new();
     loop {
@@ -1001,6 +1025,53 @@ pub(crate) fn worker(shared: &Shared, worker_id: usize) {
         if local.is_empty() {
             finish_active(shared, worker_id);
         }
+    }
+}
+
+/// Runs one worker loop inside a panic boundary.
+///
+/// A panicking worker must fail only its own tree: the panic is caught
+/// here, recorded as [`MilpError::Internal`] on the tree's shared error
+/// slot, and the search is stopped through the same flag a time limit
+/// uses — sibling workers drain their local stacks and return normally.
+/// The panicked worker never reaches [`finish_active`], so its
+/// `in_flight` claim leaks; that is harmless because the stop flag
+/// short-circuits [`next_global`]'s quiescence accounting.
+pub(crate) fn worker_caught(shared: &Shared, worker_id: usize) {
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker(shared, worker_id)));
+    if let Err(payload) = result {
+        record_worker_failure(
+            shared,
+            MilpError::Internal {
+                site: panic_payload_string(payload.as_ref()),
+            },
+        );
+    }
+}
+
+/// Records a worker-fatal error on the tree (first error wins) and stops
+/// the search.
+pub(crate) fn record_worker_failure(shared: &Shared, error: MilpError) {
+    {
+        let mut slot = shared.error.lock_recover();
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+    }
+    shared.request_stop();
+}
+
+/// Best-effort text form of a panic payload (`&str` and `String`
+/// payloads cover `panic!`, asserts and failpoints). Shared with the
+/// flow layer's own panic boundary.
+pub fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -1040,7 +1111,7 @@ fn donate_best(shared: &Shared, local: &mut Vec<Node>) {
 /// stop is requested. Increments `in_flight` on success; the caller stays
 /// "active" until its local stack drains ([`finish_active`]).
 fn next_global(shared: &Shared, worker_id: usize) -> Option<OpenNode> {
-    let mut pool = shared.pool.lock().unwrap();
+    let mut pool = shared.pool.lock_recover();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             shared.cv.notify_all();
@@ -1056,7 +1127,7 @@ fn next_global(shared: &Shared, worker_id: usize) -> Option<OpenNode> {
             return None;
         }
         shared.waiting.fetch_add(1, Ordering::SeqCst);
-        pool = shared.cv.wait(pool).unwrap();
+        pool = rfic_lp::sync::wait(&shared.cv, pool);
         shared.waiting.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -1066,7 +1137,7 @@ fn next_global(shared: &Shared, worker_id: usize) -> Option<OpenNode> {
 fn finish_active(shared: &Shared, worker_id: usize) {
     shared.worker_bounds[worker_id].store(f64::INFINITY.to_bits(), Ordering::Release);
     let (empty, in_flight) = {
-        let mut pool = shared.pool.lock().unwrap();
+        let mut pool = shared.pool.lock_recover();
         pool.in_flight -= 1;
         (pool.heap.is_empty(), pool.in_flight)
     };
@@ -1096,6 +1167,7 @@ fn process_node(shared: &Shared, wlp: &mut WorkerLp, current: Node, local: &mut 
         return;
     }
     shared.nodes.fetch_add(1, Ordering::Relaxed);
+    let _ = rfic_lp::fault::fire("milp.solve.node");
 
     // Reconcile the worker LP's cut rows with this node's subtree, then
     // solve the node LP (dual-simplex re-entry from the parent basis: only
@@ -1126,13 +1198,13 @@ fn process_node(shared: &Shared, wlp: &mut WorkerLp, current: Node, local: &mut 
             // budget: drop the node but remember that the search is no
             // longer exhaustive, like any other limit.
             shared.limit_hit.store(true, Ordering::SeqCst);
-            let mut pool = shared.pool.lock().unwrap();
+            let mut pool = shared.pool.lock_recover();
             pool.dropped = true;
             pool.dropped_bound = pool.dropped_bound.min(current.parent_bound);
             return;
         }
         Err(e) => {
-            *shared.error.lock().unwrap() = Some(MilpError::Lp(e));
+            *shared.error.lock_recover() = Some(MilpError::Lp(e));
             shared.stop.store(true, Ordering::SeqCst);
             shared.cv.notify_all();
             return;
@@ -1548,6 +1620,11 @@ pub(crate) fn branch_and_bound(
         .filter(|_| options.warm_start)
         .and_then(|b| postsolve.basis_to_reduced(b));
     let lp_work = LpWorkCounters::default();
+    if rfic_lp::fault::fire("milp.solve.root") {
+        return Err(MilpError::Lp(LpError::InvalidModel(
+            "forced singular basis (failpoint)".into(),
+        )));
+    }
     let (root_solution, root_basis) = match base_lp.solve_warm(root_warm.as_ref()) {
         Ok(pair) => pair,
         Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
@@ -1726,12 +1803,12 @@ pub(crate) fn branch_and_bound(
                     // slots, so the search is execution-equivalent to the
                     // scoped-thread path below.
                     Some(p) => p.run_tree(std::sync::Arc::clone(&shared))?,
-                    None if thread_count == 1 => worker(&shared, 0),
+                    None if thread_count == 1 => worker_caught(&shared, 0),
                     None => {
                         std::thread::scope(|scope| {
                             for id in 0..thread_count {
                                 let shared = &*shared;
-                                scope.spawn(move || worker(shared, id));
+                                scope.spawn(move || worker_caught(shared, id));
                             }
                         });
                     }
@@ -1748,14 +1825,14 @@ pub(crate) fn branch_and_bound(
     let lp_dual_iterations = shared.lp_work.dual_pivots.load(Ordering::Relaxed);
     let lp_bound_flips = shared.lp_work.bound_flips.load(Ordering::Relaxed);
     let limit_hit = shared.limit_hit.load(Ordering::SeqCst);
-    if let Some(err) = shared.error.lock().unwrap().take() {
+    if let Some(err) = shared.error.lock_recover().take() {
         return Err(err);
     }
     // Read through the locks rather than unwrapping the `Arc`: a pool
     // worker may still hold its clone for a few instructions after the
     // tree completion was signalled.
-    let pool = shared.pool.lock().unwrap();
-    let incumbent = shared.incumbent.lock().unwrap().take();
+    let pool = shared.pool.lock_recover();
+    let incumbent = shared.incumbent.lock_recover().take();
 
     // Per-solve diagnostic line for profiling the layout flow's solver
     // traffic (see DESIGN.md); off unless RFIC_MILP_DEBUG is set.

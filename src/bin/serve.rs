@@ -14,7 +14,28 @@
 //! | `status`   | `job`                                                         |
 //! | `result`   | `job` (blocks until done), optional `report`/`svg` booleans   |
 //! | `cancel`   | `job`                                                         |
-//! | `shutdown` | —                                                             |
+//! | `shutdown` | optional `drain` boolean                                      |
+//!
+//! Requests are validated strictly: unknown ops, unknown fields,
+//! out-of-range values (`deadline_ms` ∉ (0, 86 400 000], `threads` ∉
+//! 0..=8, non-positive or oversized `area`) and lines longer than 64 KiB
+//! are rejected with stable error codes instead of being silently
+//! coerced.
+//!
+//! ## Lifecycle
+//!
+//! * `--workers N` — solver-pool worker count (0 = hardware
+//!   parallelism).
+//! * `--max-jobs N` — at most N unfinished jobs at once; further
+//!   `submit`s fail with code `backpressure` until one finishes.
+//! * `--result-ttl-secs S` — finished jobs are evicted S seconds after
+//!   completion (their results become `unknown_job`), bounding memory
+//!   across a long-lived session.
+//! * `{"op":"shutdown"}` cancels every in-flight job, drains the pool
+//!   and exits. `{"op":"shutdown","drain":true}` instead keeps serving
+//!   `status`/`result`/`cancel` while the in-flight jobs run to
+//!   completion, rejects new `submit`s with code `shutting_down`, and
+//!   exits once the last job finishes.
 //!
 //! ## Example
 //!
@@ -28,23 +49,53 @@
 //! {"ok":true,"op":"shutdown"}
 //! ```
 //!
-//! Failures are `{"ok":false,"error":{"code":...,"message":...}}`; job
-//! failures map [`PilpError`] variants to stable protocol codes
-//! (`cancelled`, `deadline_exceeded`, `pool_shutdown`, `invalid_netlist`,
-//! `phase_failed`).
+//! Failures are `{"ok":false,"error":{"code":...,"message":...}}`.
+//! Request-level codes: `bad_request`, `line_too_long`, `unknown_job`,
+//! `backpressure`, `shutting_down`. Job failures map [`PilpError`]
+//! variants to `cancelled`, `deadline_exceeded`, `pool_shutdown`,
+//! `invalid_netlist`, `phase_failed` and `internal` (a contained panic —
+//! the faulty job alone fails; the service and its sibling jobs keep
+//! running).
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 use rfic_layout::core::{render, JobContext, JobHandle, Pilp, PilpConfig, PilpError, PilpResult};
 use rfic_layout::netlist::{benchmarks, Netlist};
 use rfic_layout::protocol::{parse, Json, ObjectBuilder};
 
+/// Longest accepted request line. Anything larger is answered with
+/// `line_too_long` and never reaches the JSON parser.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Upper bound on `deadline_ms`: one day. Catches sign/unit mistakes
+/// before they turn into a job that never times out.
+const MAX_DEADLINE_MS: f64 = 86_400_000.0;
+
+/// Upper bound on explicit `threads` requests (the pool caps further).
+const MAX_THREADS: f64 = 8.0;
+
+/// Upper bound on either `area` dimension, in µm (1 m of RFIC die is a
+/// unit mistake, not a design).
+const MAX_AREA_UM: f64 = 1e6;
+
+/// Default `--max-jobs`: unfinished jobs admitted before `submit`
+/// answers `backpressure`.
+const DEFAULT_MAX_JOBS: usize = 32;
+
+/// Default `--result-ttl-secs`: how long a finished job's result stays
+/// queryable.
+const DEFAULT_RESULT_TTL_SECS: u64 = 600;
+
 /// One submitted job: the handle plus the netlist it was built from
-/// (needed to render SVG and count strips for the result payload).
+/// (needed to render SVG and count strips for the result payload), plus
+/// the completion timestamp driving TTL eviction.
 struct ServedJob {
     handle: JobHandle,
     netlist: Netlist,
+    /// Set by the reaper when the job is first observed finished.
+    finished_at: Option<Instant>,
 }
 
 /// Stable protocol error code for a flow error.
@@ -54,7 +105,8 @@ fn error_code(error: &PilpError) -> &'static str {
         PilpError::DeadlineExceeded => "deadline_exceeded",
         PilpError::PoolShutdown => "pool_shutdown",
         PilpError::InvalidNetlist(_) => "invalid_netlist",
-        _ => "phase_failed",
+        PilpError::Internal { .. } => "internal",
+        PilpError::Phase { .. } => "phase_failed",
     }
 }
 
@@ -72,6 +124,29 @@ fn error_response(op: &str, code: &str, message: &str) -> Json {
         .build()
 }
 
+/// Rejects requests carrying fields outside the op's whitelist, so a
+/// typo (`"deadline"` for `"deadline_ms"`) fails loudly instead of
+/// being silently ignored.
+fn check_fields(op: &str, request: &Json, allowed: &[&str]) -> Option<Json> {
+    let Json::Object(entries) = request else {
+        return Some(error_response(
+            op,
+            "bad_request",
+            "request must be an object",
+        ));
+    };
+    for key in entries.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Some(error_response(
+                op,
+                "bad_request",
+                &format!("unknown field {key:?} for op {op:?}"),
+            ));
+        }
+    }
+    None
+}
+
 fn circuit_by_name(name: &str) -> Option<Netlist> {
     let netlist = match name {
         "tiny" => benchmarks::tiny_circuit().netlist,
@@ -85,18 +160,34 @@ fn circuit_by_name(name: &str) -> Option<Netlist> {
 }
 
 fn build_config(request: &Json) -> Result<PilpConfig, String> {
-    let mut builder = match request.get("config").and_then(Json::as_str) {
-        None | Some("fast") => PilpConfig::builder().fast(),
-        Some("thorough") => PilpConfig::builder().thorough(),
-        Some(other) => return Err(format!("unknown config {other:?} (fast/thorough)")),
+    let mut builder = match request.get("config") {
+        None => PilpConfig::builder().fast(),
+        Some(value) => match value.as_str() {
+            Some("fast") => PilpConfig::builder().fast(),
+            Some("thorough") => PilpConfig::builder().thorough(),
+            Some(other) => return Err(format!("unknown config {other:?} (fast/thorough)")),
+            None => return Err("config must be a string".into()),
+        },
     };
-    if let Some(ms) = request.get("deadline_ms").and_then(Json::as_f64) {
-        if ms <= 0.0 || ms.is_nan() {
-            return Err("deadline_ms must be positive".into());
+    if let Some(value) = request.get("deadline_ms") {
+        let Some(ms) = value.as_f64() else {
+            return Err("deadline_ms must be a number".into());
+        };
+        if !ms.is_finite() || ms <= 0.0 || ms > MAX_DEADLINE_MS {
+            return Err(format!(
+                "deadline_ms must be in (0, {MAX_DEADLINE_MS}] milliseconds"
+            ));
         }
-        builder = builder.deadline(std::time::Duration::from_millis(ms as u64));
+        builder = builder.deadline(Duration::from_millis(ms as u64));
     }
-    if let Some(threads) = request.get("threads").and_then(Json::as_f64) {
+    if let Some(value) = request.get("threads") {
+        let Some(threads) = value.as_f64() else {
+            return Err("threads must be a number".into());
+        };
+        if !threads.is_finite() || threads.fract() != 0.0 || !(0.0..=MAX_THREADS).contains(&threads)
+        {
+            return Err(format!("threads must be an integer in 0..={MAX_THREADS}"));
+        }
         builder = builder.threads(threads as usize);
     }
     Ok(builder.build())
@@ -119,15 +210,35 @@ fn handle_submit(request: &Json, ctx: &JobContext, next_id: &mut u64) -> (Json, 
             None,
         );
     };
-    if let Some(area) = request.get("area").and_then(Json::as_array) {
-        match (
-            area.first().and_then(Json::as_f64),
-            area.get(1).and_then(Json::as_f64),
-        ) {
-            (Some(w), Some(h)) if w > 0.0 && h > 0.0 => netlist = netlist.with_area(w, h),
+    if let Some(value) = request.get("area") {
+        let dims = value.as_array().and_then(|area| {
+            match (
+                area.len(),
+                area.first().and_then(Json::as_f64),
+                area.get(1).and_then(Json::as_f64),
+            ) {
+                (2, Some(w), Some(h)) => Some((w, h)),
+                _ => None,
+            }
+        });
+        match dims {
+            Some((w, h))
+                if w.is_finite()
+                    && h.is_finite()
+                    && w > 0.0
+                    && h > 0.0
+                    && w <= MAX_AREA_UM
+                    && h <= MAX_AREA_UM =>
+            {
+                netlist = netlist.with_area(w, h)
+            }
             _ => {
                 return (
-                    error_response("submit", "bad_request", "area must be [width, height] µm"),
+                    error_response(
+                        "submit",
+                        "bad_request",
+                        &format!("area must be [width, height], each in (0, {MAX_AREA_UM}] µm"),
+                    ),
                     None,
                 )
             }
@@ -145,11 +256,32 @@ fn handle_submit(request: &Json, ctx: &JobContext, next_id: &mut u64) -> (Json, 
         .set("op", Json::String("submit".into()))
         .set("job", Json::Number(id as f64))
         .build();
-    (response, Some(ServedJob { handle, netlist }))
+    (
+        response,
+        Some(ServedJob {
+            handle,
+            netlist,
+            finished_at: None,
+        }),
+    )
 }
 
-fn job_id(request: &Json) -> Option<u64> {
-    request.get("job").and_then(Json::as_f64).map(|n| n as u64)
+/// Extracts a job id, rejecting non-integer and out-of-range values
+/// (`-1` must be `unknown_job`-adjacent, never wrap to a live id).
+fn job_id(request: &Json) -> Result<u64, String> {
+    let Some(value) = request.get("job") else {
+        return Err("missing \"job\"".into());
+    };
+    match value.as_f64() {
+        Some(n)
+            if n.is_finite()
+                && n.fract() == 0.0
+                && (0.0..9.007_199_254_740_992e15).contains(&n) =>
+        {
+            Ok(n as u64)
+        }
+        _ => Err("job must be a non-negative integer".into()),
+    }
 }
 
 fn handle_status(job: &ServedJob, id: u64) -> Json {
@@ -198,6 +330,10 @@ fn result_payload(job: &ServedJob, id: u64, request: &Json, result: &PilpResult)
             Json::Number(result.solver.simplex_iterations as f64),
         )
         .set(
+            "fallback_recoveries",
+            Json::Number(result.solver.fallback_recoveries as f64),
+        )
+        .set(
             "runtime_ms",
             Json::Number(result.runtime.as_secs_f64() * 1e3),
         );
@@ -220,21 +356,59 @@ fn handle_result(job: &ServedJob, id: u64, request: &Json) -> Json {
     }
 }
 
-fn main() {
-    let mut workers = 0usize; // 0 = hardware parallelism (capped by the pool)
+/// Timestamps newly finished jobs and evicts those finished longer than
+/// `ttl` ago. Evicted ids answer `unknown_job` afterwards.
+fn reap_finished(jobs: &mut HashMap<u64, ServedJob>, ttl: Duration) {
+    let now = Instant::now();
+    for job in jobs.values_mut() {
+        if job.finished_at.is_none() && job.handle.progress().done {
+            job.finished_at = Some(now);
+        }
+    }
+    jobs.retain(|_, job| match job.finished_at {
+        Some(at) => now.duration_since(at) < ttl,
+        None => true,
+    });
+}
+
+/// Unfinished jobs currently admitted (the backpressure measure).
+fn active_jobs(jobs: &HashMap<u64, ServedJob>) -> usize {
+    jobs.values().filter(|j| j.finished_at.is_none()).count()
+}
+
+struct ServeOptions {
+    workers: usize,
+    max_jobs: usize,
+    result_ttl: Duration,
+}
+
+fn parse_args() -> ServeOptions {
+    let mut options = ServeOptions {
+        workers: 0, // 0 = hardware parallelism (capped by the pool)
+        max_jobs: DEFAULT_MAX_JOBS,
+        result_ttl: Duration::from_secs(DEFAULT_RESULT_TTL_SECS),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut numeric = |flag: &str| match args.next().and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("serve: {flag} needs a non-negative number");
+                std::process::exit(2);
+            }
+        };
         match arg.as_str() {
-            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => workers = n,
-                None => {
-                    eprintln!("serve: --workers needs a number");
-                    std::process::exit(2);
-                }
-            },
+            "--workers" => options.workers = numeric("--workers") as usize,
+            "--max-jobs" => options.max_jobs = (numeric("--max-jobs") as usize).max(1),
+            "--result-ttl-secs" => {
+                options.result_ttl = Duration::from_secs(numeric("--result-ttl-secs"))
+            }
             "--help" | "-h" => {
-                println!("serve [--workers N]  (line-delimited JSON on stdin/stdout)");
-                return;
+                println!(
+                    "serve [--workers N] [--max-jobs N] [--result-ttl-secs S]  \
+                     (line-delimited JSON on stdin/stdout)"
+                );
+                std::process::exit(0);
             }
             other => {
                 eprintln!("serve: unknown argument {other}");
@@ -242,10 +416,15 @@ fn main() {
             }
         }
     }
+    options
+}
 
-    let ctx = JobContext::new(workers);
+fn main() {
+    let options = parse_args();
+    let ctx = JobContext::new(options.workers);
     let mut jobs: HashMap<u64, ServedJob> = HashMap::new();
     let mut next_id = 1u64;
+    let mut draining = false;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -256,6 +435,17 @@ fn main() {
             Err(_) => break,
         };
         if line.trim().is_empty() {
+            continue;
+        }
+        reap_finished(&mut jobs, options.result_ttl);
+        if line.len() > MAX_LINE_BYTES {
+            let response = error_response(
+                "?",
+                "line_too_long",
+                &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            );
+            let _ = writeln!(out, "{response}");
+            let _ = out.flush();
             continue;
         }
         let request = match parse(&line) {
@@ -271,37 +461,75 @@ fn main() {
         let mut shutdown = false;
         let response = match op {
             "submit" => {
-                let (response, job) = handle_submit(&request, &ctx, &mut next_id);
-                if let Some(job) = job {
-                    jobs.insert(next_id - 1, job);
+                if let Some(rejected) = check_fields(
+                    op,
+                    &request,
+                    &["op", "circuit", "config", "deadline_ms", "threads", "area"],
+                ) {
+                    rejected
+                } else if draining {
+                    error_response(op, "shutting_down", "service is draining; no new jobs")
+                } else if active_jobs(&jobs) >= options.max_jobs {
+                    error_response(
+                        op,
+                        "backpressure",
+                        &format!("{} jobs already in flight (--max-jobs)", options.max_jobs),
+                    )
+                } else {
+                    let (response, job) = handle_submit(&request, &ctx, &mut next_id);
+                    if let Some(job) = job {
+                        jobs.insert(next_id - 1, job);
+                    }
+                    response
                 }
-                response
             }
-            "status" | "result" | "cancel" => match job_id(&request) {
-                None => error_response(op, "bad_request", "missing \"job\""),
-                Some(id) => match jobs.get(&id) {
-                    None => error_response(op, "unknown_job", &format!("no job {id}")),
-                    Some(job) => match op {
-                        "status" => handle_status(job, id),
-                        "result" => handle_result(job, id, &request),
-                        _ => {
-                            job.handle.cancel();
-                            ObjectBuilder::new()
-                                .set("ok", Json::Bool(true))
-                                .set("op", Json::String("cancel".into()))
-                                .set("job", Json::Number(id as f64))
-                                .build()
-                        }
-                    },
-                },
+            "status" | "result" | "cancel" => {
+                let allowed: &[&str] = if op == "result" {
+                    &["op", "job", "report", "svg"]
+                } else {
+                    &["op", "job"]
+                };
+                if let Some(rejected) = check_fields(op, &request, allowed) {
+                    rejected
+                } else {
+                    match job_id(&request) {
+                        Err(message) => error_response(op, "bad_request", &message),
+                        Ok(id) => match jobs.get(&id) {
+                            None => error_response(op, "unknown_job", &format!("no job {id}")),
+                            Some(job) => match op {
+                                "status" => handle_status(job, id),
+                                "result" => handle_result(job, id, &request),
+                                _ => {
+                                    job.handle.cancel();
+                                    ObjectBuilder::new()
+                                        .set("ok", Json::Bool(true))
+                                        .set("op", Json::String("cancel".into()))
+                                        .set("job", Json::Number(id as f64))
+                                        .build()
+                                }
+                            },
+                        },
+                    }
+                }
+            }
+            "shutdown" => match check_fields(op, &request, &["op", "drain"]) {
+                Some(rejected) => rejected,
+                None => {
+                    let drain = request.get("drain").and_then(Json::as_bool) == Some(true);
+                    if drain {
+                        draining = true;
+                    } else {
+                        shutdown = true;
+                    }
+                    let mut builder = ObjectBuilder::new()
+                        .set("ok", Json::Bool(true))
+                        .set("op", Json::String("shutdown".into()));
+                    if drain {
+                        builder = builder.set("draining", Json::Bool(true));
+                    }
+                    builder.build()
+                }
             },
-            "shutdown" => {
-                shutdown = true;
-                ObjectBuilder::new()
-                    .set("ok", Json::Bool(true))
-                    .set("op", Json::String("shutdown".into()))
-                    .build()
-            }
             other => error_response(
                 other,
                 "bad_request",
@@ -313,12 +541,18 @@ fn main() {
         if shutdown {
             break;
         }
+        if draining && jobs.values().all(|j| j.handle.progress().done) {
+            break;
+        }
     }
 
-    // Clean shutdown: cancel whatever is still running so the pool drains
-    // promptly, then stop the workers.
-    for job in jobs.values() {
-        job.handle.cancel();
+    // Clean shutdown. An immediate shutdown cancels whatever is still
+    // running so the pool drains promptly; a drain shutdown lets the
+    // in-flight jobs run to completion first.
+    if !draining {
+        for job in jobs.values() {
+            job.handle.cancel();
+        }
     }
     for job in jobs.values() {
         let _ = job.handle.wait();

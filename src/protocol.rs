@@ -68,12 +68,19 @@ impl Json {
     }
 }
 
+/// Maximum container nesting depth accepted by [`parse`]. The parser is
+/// recursive-descent over attacker-controlled input, so unbounded
+/// nesting would be a stack-overflow vector; protocol requests are at
+/// most a few levels deep.
+pub const MAX_DEPTH: usize = 64;
+
 /// Parses one JSON document, requiring it to span the whole input
-/// (trailing whitespace allowed).
+/// (trailing whitespace allowed). Rejects documents nested deeper than
+/// [`MAX_DEPTH`].
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -87,12 +94,15 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => parse_string(bytes, pos).map(Json::String),
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
@@ -170,7 +180,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     *pos += 1; // consume '['
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -179,7 +189,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -192,7 +202,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     *pos += 1; // consume '{'
     let mut map = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -211,7 +221,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             return Err(format!("expected : at byte {pos}", pos = *pos));
         }
         *pos += 1;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         map.insert(key, value);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -336,6 +346,17 @@ mod tests {
         assert!(parse(r#"{"a":}"#).is_err());
         assert!(parse(r#"{"a":1} trailing"#).is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_pathological_nesting_without_overflowing() {
+        // 100k opening brackets must produce an error, not a stack
+        // overflow — the depth cap trips long before the recursion bites.
+        let deep = "[".repeat(100_000);
+        assert!(parse(&deep).unwrap_err().contains("nesting"));
+        // Shallow nesting well under the cap still parses.
+        let ok = format!("{}1{}", "[".repeat(16), "]".repeat(16));
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Process-level contracts of the `serve` binary: strict request
+//! validation with stable error codes, `--max-jobs` backpressure, and
+//! the drain-mode shutdown that finishes in-flight jobs while rejecting
+//! new submissions.
+
+use std::io::{BufRead, BufReader, Lines, Write};
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+struct Serve {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    lines: Lines<BufReader<ChildStdout>>,
+}
+
+impl Serve {
+    fn spawn(args: &[&str]) -> Serve {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn serve");
+        let stdin = child.stdin.take().expect("serve stdin");
+        let stdout = child.stdout.take().expect("serve stdout");
+        Serve {
+            child,
+            stdin,
+            lines: BufReader::new(stdout).lines(),
+        }
+    }
+
+    /// Sends one request line and returns the one response line.
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        self.lines
+            .next()
+            .expect("serve closed stdout early")
+            .expect("read response")
+    }
+
+    /// Waits for the process to exit on its own (stdin stays open).
+    fn wait(mut self) {
+        let status = self.child.wait().expect("wait for serve");
+        assert!(status.success(), "serve exited with {status}");
+    }
+
+    /// Closes stdin and waits for a clean exit.
+    fn close(mut self) {
+        drop(self.stdin);
+        let status = self.child.wait().expect("wait for serve");
+        assert!(status.success(), "serve exited with {status}");
+    }
+}
+
+fn error_code(response: &str) -> String {
+    assert!(
+        response.contains("\"ok\":false") || response.contains("\"ok\": false"),
+        "expected an error response: {response}"
+    );
+    let start = response
+        .find("\"code\":")
+        .map(|i| i + "\"code\":".len())
+        .unwrap_or_else(|| panic!("no error code in {response}"));
+    let rest = response[start..].trim_start();
+    let rest = rest.strip_prefix('"').expect("quoted code");
+    rest[..rest.find('"').expect("closing quote")].to_string()
+}
+
+/// Malformed and out-of-range requests each map to their stable error
+/// code and never take the service down.
+#[test]
+fn invalid_requests_get_stable_error_codes() {
+    let mut serve = Serve::spawn(&[]);
+    let cases: &[(&str, &str)] = &[
+        // Parser-level rejections.
+        ("{not json", "bad_request"),
+        ("[1, 2, 3]", "bad_request"),
+        ("\"just a string\"", "bad_request"),
+        // Unknown op and unknown fields.
+        ("{\"op\":\"destroy\"}", "bad_request"),
+        (
+            "{\"op\":\"submit\",\"circuit\":\"tiny\",\"deadline\":5}",
+            "bad_request",
+        ),
+        ("{\"op\":\"status\",\"job\":1,\"svg\":true}", "bad_request"),
+        // Out-of-range values.
+        (
+            "{\"op\":\"submit\",\"circuit\":\"tiny\",\"deadline_ms\":0}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"submit\",\"circuit\":\"tiny\",\"deadline_ms\":1e12}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"submit\",\"circuit\":\"tiny\",\"threads\":-1}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"submit\",\"circuit\":\"tiny\",\"threads\":2.5}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"submit\",\"circuit\":\"tiny\",\"area\":[-3,40]}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"submit\",\"circuit\":\"tiny\",\"area\":[1e9,40]}",
+            "bad_request",
+        ),
+        ("{\"op\":\"submit\",\"circuit\":\"nosuch\"}", "bad_request"),
+        ("{\"op\":\"status\",\"job\":-1}", "bad_request"),
+        ("{\"op\":\"status\",\"job\":1.5}", "bad_request"),
+        // Well-formed but unknown job.
+        ("{\"op\":\"status\",\"job\":99}", "unknown_job"),
+    ];
+    for (request, expected) in cases {
+        let response = serve.request(request);
+        assert_eq!(
+            error_code(&response),
+            *expected,
+            "request {request} answered {response}"
+        );
+    }
+
+    // Nesting bomb: hits the parser's depth cap, not the stack.
+    let bomb = "[".repeat(100);
+    let response = serve.request(&bomb);
+    assert_eq!(error_code(&response), "bad_request");
+    assert!(response.contains("nesting"), "{response}");
+
+    // Oversized line (above the 64 KiB cap).
+    let long = format!("{{\"op\":\"{}\"}}", "x".repeat(70_000));
+    let response = serve.request(&long);
+    assert_eq!(error_code(&response), "line_too_long");
+
+    // The service is still healthy after all of that.
+    let response = serve.request("{\"op\":\"shutdown\"}");
+    assert!(response.contains("\"ok\":true"), "{response}");
+    serve.close();
+}
+
+/// With `--max-jobs 1` a second concurrent submission answers
+/// `backpressure`; once the first job finishes, capacity frees up.
+#[test]
+fn max_jobs_backpressure_and_release() {
+    let mut serve = Serve::spawn(&["--max-jobs", "1", "--workers", "2"]);
+    let first = serve.request("{\"op\":\"submit\",\"circuit\":\"tiny\"}");
+    assert!(first.contains("\"ok\":true"), "{first}");
+
+    let rejected = serve.request("{\"op\":\"submit\",\"circuit\":\"tiny\"}");
+    assert_eq!(error_code(&rejected), "backpressure");
+
+    // Cancel the running job and collect it; its slot frees up.
+    let cancelled = serve.request("{\"op\":\"cancel\",\"job\":1}");
+    assert!(cancelled.contains("\"ok\":true"), "{cancelled}");
+    let result = serve.request("{\"op\":\"result\",\"job\":1}");
+    assert_eq!(error_code(&result), "cancelled");
+
+    let second = serve.request("{\"op\":\"submit\",\"circuit\":\"tiny\"}");
+    assert!(
+        second.contains("\"ok\":true") && second.contains("\"job\":2"),
+        "{second}"
+    );
+    let cancelled = serve.request("{\"op\":\"cancel\",\"job\":2}");
+    assert!(cancelled.contains("\"ok\":true"), "{cancelled}");
+    let response = serve.request("{\"op\":\"shutdown\"}");
+    assert!(response.contains("\"ok\":true"), "{response}");
+    serve.close();
+}
+
+/// `{"op":"shutdown","drain":true}` rejects new submissions with
+/// `shutting_down`, still serves the in-flight job's result, and exits
+/// on its own once the last job finishes — without stdin closing.
+#[test]
+fn drain_shutdown_finishes_in_flight_jobs() {
+    let mut serve = Serve::spawn(&["--workers", "2"]);
+    let submitted = serve.request("{\"op\":\"submit\",\"circuit\":\"tiny\"}");
+    assert!(submitted.contains("\"ok\":true"), "{submitted}");
+
+    let draining = serve.request("{\"op\":\"shutdown\",\"drain\":true}");
+    assert!(
+        draining.contains("\"ok\":true") && draining.contains("\"draining\":true"),
+        "{draining}"
+    );
+
+    let rejected = serve.request("{\"op\":\"submit\",\"circuit\":\"tiny\"}");
+    assert_eq!(error_code(&rejected), "shutting_down");
+
+    // The in-flight job still completes and serves its full result.
+    let result = serve.request("{\"op\":\"result\",\"job\":1}");
+    assert!(
+        result.contains("\"ok\":true") && result.contains("\"exact_lengths\":3"),
+        "{result}"
+    );
+
+    // All jobs done: the service exits although stdin is still open.
+    serve.wait();
+}
