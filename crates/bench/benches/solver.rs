@@ -21,6 +21,143 @@ fn knapsack_model(items: usize) -> Model {
     instances::bench_knapsack(items)
 }
 
+/// A seeded sparse diagonally-dominant basis of dimension `m` (about five
+/// off-diagonal entries per column — the density of the layout bases)
+/// with a handful of Forrest–Tomlin updates absorbed, so the solve
+/// kernels run with a realistic eta file and rotated pivot order.
+fn bench_factorization(m: usize, seed: u64) -> rfic_lp::bench_support::Factorization {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 2000) as f64 - 1000.0) / 250.0
+    };
+    // Bases of the layout LPs are slack-heavy: every separation row and
+    // most bound rows keep their slack basic, so roughly half the basis
+    // columns are singletons and the factors stay far sparser than a
+    // random matrix of the same size. The synthetic basis mirrors that —
+    // unit columns interleaved with diagonally dominant structural ones,
+    // each anchored on its own row of a fixed permutation.
+    let perm: Vec<usize> = {
+        let mut rows: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            let j = ((next().abs() * 1e6) as usize) % (i + 1);
+            rows.swap(i, j);
+        }
+        rows
+    };
+    let mut column = |k: usize| {
+        let anchor = perm[k];
+        if k.is_multiple_of(2) {
+            return vec![(anchor, 1.0)];
+        }
+        let mut col: Vec<(usize, f64)> = vec![(anchor, 8.0 + next().abs())];
+        for _ in 0..5 {
+            let r = (next().abs() * 250.0) as usize % m;
+            if r != anchor {
+                col.push((r, next()));
+            }
+        }
+        col.sort_unstable_by_key(|&(r, _)| r);
+        col.dedup_by_key(|&mut (r, _)| r);
+        col
+    };
+    let columns: Vec<Vec<(usize, f64)>> = (0..m).map(&mut column).collect();
+    let mut f = rfic_lp::bench_support::Factorization::factorize(m, &columns)
+        .expect("diagonally dominant basis");
+    // Absorb a few pivots so the kernels replay a non-empty eta file.
+    for step in 0..8 {
+        let pos = (step * 7 + 3) % m;
+        let mut w = vec![0.0; m];
+        for (r, v) in column(pos) {
+            w[r] = v;
+        }
+        f.ftran(&mut w);
+        assert!(f.update(pos, &w), "update refused on a dominant basis");
+    }
+    f
+}
+
+/// Triangular-solve calls per timed sample: a single FTRAN/BTRAN runs in
+/// ~1µs, the same order as the timer quantisation, so each sample times a
+/// fixed batch and the reported figure is the per-batch aggregate.
+const SOLVES_PER_SAMPLE: usize = 64;
+
+fn bench_lp_ftran(c: &mut Criterion) {
+    // The FTRAN kernel in isolation: the L replay, eta file and U
+    // back-substitution that every simplex pivot pays at least once. The
+    // sparse case (an entering column with a handful of non-zeros) is the
+    // common one — it is what the zero-skip in the back-substitution is
+    // for; the dense case bounds the worst-case right-hand side.
+    let mut group = c.benchmark_group("lp_ftran");
+    group.sample_size(300);
+    for m in [60usize, 160] {
+        let mut f = bench_factorization(m, 0x5EED_F17A);
+        let mut sparse = vec![0.0; m];
+        for k in 0..4 {
+            sparse[(k * 17 + 5) % m] = 1.0 + k as f64;
+        }
+        let dense: Vec<f64> = (0..m).map(|i| (i as f64) * 0.25 - 3.0).collect();
+        let mut buf = vec![0.0; m];
+        group.bench_function(format!("sparse_{m}"), |b| {
+            b.iter(|| {
+                for _ in 0..SOLVES_PER_SAMPLE {
+                    buf.copy_from_slice(&sparse);
+                    f.ftran_aux(&mut buf);
+                }
+            });
+        });
+        group.bench_function(format!("dense_{m}"), |b| {
+            b.iter(|| {
+                for _ in 0..SOLVES_PER_SAMPLE {
+                    buf.copy_from_slice(&dense);
+                    f.ftran_aux(&mut buf);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_btran(c: &mut Criterion) {
+    // The BTRAN kernels: the general cost-vector solve (dual values at
+    // reinversion) and the unit solve of pricing updates — by far the
+    // most frequent, one per dual pivot. Both spend their time in the Uᵀ
+    // forward solve and the transposed elimination tail the
+    // accumulator-skip optimisations target.
+    let mut group = c.benchmark_group("lp_btran");
+    group.sample_size(300);
+    for m in [60usize, 160] {
+        let mut f = bench_factorization(m, 0x5EED_B77A);
+        let mut cost = vec![0.0; m];
+        for k in 0..6 {
+            cost[(k * 23 + 2) % m] = (k as f64) - 2.5;
+        }
+        let mut buf = vec![0.0; m];
+        let mut out = vec![0.0; m];
+        group.bench_function(format!("cost_{m}"), |b| {
+            b.iter(|| {
+                for _ in 0..SOLVES_PER_SAMPLE {
+                    buf.copy_from_slice(&cost);
+                    f.btran(&mut buf);
+                }
+            });
+        });
+        // Rotate the unit position so the measurement averages shallow and
+        // deep pivot rows instead of over-fitting one dependency chain.
+        let positions = [m / 6, m / 3, m / 2, (2 * m) / 3];
+        group.bench_function(format!("unit_{m}"), |b| {
+            b.iter(|| {
+                for k in 0..SOLVES_PER_SAMPLE {
+                    f.btran_unit(positions[k % positions.len()], &mut out);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_simplex");
     for (vars, rows) in [(20, 15), (60, 40), (120, 80)] {
@@ -411,6 +548,8 @@ fn bench_strip_ilp(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_lp,
+    bench_lp_ftran,
+    bench_lp_btran,
     bench_lp_pricing,
     bench_lp_dual_resolve,
     bench_lp_presolve,

@@ -31,6 +31,9 @@ use rfic_netlist::benchmarks;
 /// Number of concurrent layout jobs in the throughput measurement.
 const CONCURRENT_JOBS: usize = 4;
 
+/// Number of variants in the parameter-sweep measurement.
+const SWEEP_VARIANTS: usize = 8;
+
 /// Absolute wall-time regression floor (ms): differences smaller than this
 /// are scheduler noise on a shared runner, never a lost optimisation. The
 /// tiny flow runs ~7 s, so 2 s ≈ the noise band observed across CI hosts.
@@ -74,6 +77,9 @@ fn measure_tiny_flow() -> Result<FlowRecord, String> {
         fallback_attempts: result.solver.fallback_attempts as u64,
         fallback_recoveries: result.solver.fallback_recoveries as u64,
         requests_per_sec: 0.0,
+        sweep_variants: 0,
+        cold_wall_ms: 0.0,
+        cold_simplex_iterations: 0,
     })
 }
 
@@ -95,6 +101,7 @@ fn measure_concurrent_throughput() -> Result<FlowRecord, String> {
         .map(|_| pilp.submit_in(netlist, &ctx))
         .collect();
     let mut totals = (0u64, 0u64, 0u64); // nodes, solves, iterations
+    let mut presolve = (0u64, 0u64, 0u64); // rows, cols, nonzeros removed
     let mut fallbacks = (0u64, 0u64); // attempts, recoveries
     let mut worst_bends = 0u64;
     let mut worst_error = 0.0f64;
@@ -124,6 +131,9 @@ fn measure_concurrent_throughput() -> Result<FlowRecord, String> {
         totals.0 += result.solver.nodes as u64;
         totals.1 += result.solver.solves as u64;
         totals.2 += result.solver.simplex_iterations as u64;
+        presolve.0 += result.solver.presolve_rows_removed as u64;
+        presolve.1 += result.solver.presolve_cols_removed as u64;
+        presolve.2 += result.solver.presolve_nonzeros_removed as u64;
         fallbacks.0 += result.solver.fallback_attempts as u64;
         fallbacks.1 += result.solver.fallback_recoveries as u64;
         worst_bends = worst_bends.max(report.total_bends as u64);
@@ -146,12 +156,150 @@ fn measure_concurrent_throughput() -> Result<FlowRecord, String> {
         bnb_nodes: totals.0,
         solves: totals.1,
         simplex_iterations: totals.2,
-        presolve_rows_removed: 0,
-        presolve_cols_removed: 0,
-        presolve_nonzeros_removed: 0,
+        presolve_rows_removed: presolve.0,
+        presolve_cols_removed: presolve.1,
+        presolve_nonzeros_removed: presolve.2,
         fallback_attempts: fallbacks.0,
         fallback_recoveries: fallbacks.1,
         requests_per_sec: CONCURRENT_JOBS as f64 / (wall_ms / 1e3),
+        sweep_variants: 0,
+        cold_wall_ms: 0.0,
+        cold_simplex_iterations: 0,
+    })
+}
+
+/// Target-length scales of the sweep measurement's variants — the fine
+/// 0.5% perturbations a matching-network length sweep actually explores.
+/// Scaling targets *up* keeps every variant routable in the fixed area,
+/// and target lengths enter the layout models as constraint values only
+/// — exactly the equal-structure shape the sweep fast path exists for.
+/// Every scale on the list completes the *cold* flow DRC-clean with all
+/// lengths exact (1.015 is skipped: its refinement leaves one spacing
+/// violation regardless of caching), so the gate measures the fast path
+/// against a clean baseline instead of flow robustness.
+const SWEEP_SCALES: [f64; SWEEP_VARIANTS] = [1.0, 1.005, 1.01, 1.02, 1.025, 1.03, 1.035, 1.04];
+
+/// The parameter variants of the sweep measurement: [`SWEEP_SCALES`]
+/// applied to the committed tiny circuit.
+fn sweep_netlists() -> Vec<rfic_netlist::Netlist> {
+    let circuit = benchmarks::tiny_circuit();
+    SWEEP_SCALES
+        .iter()
+        .map(|&scale| circuit.netlist.with_target_scale(scale))
+        .collect()
+}
+
+/// Checks one sweep-measurement result for full quality (every strip
+/// exact, DRC-clean) and returns `(strips, exact, bends, max_error,
+/// pivots)`.
+fn check_sweep_result(
+    label: &str,
+    index: usize,
+    result: &rfic_core::PilpResult,
+) -> Result<(u64, u64, u64, f64, u64), String> {
+    let report = result.report();
+    let exact = report
+        .strips
+        .iter()
+        .filter(|s| s.length_error.abs() < 1e-3)
+        .count() as u64;
+    if exact < report.strips.len() as u64 {
+        return Err(format!(
+            "{label} variant {index}: only {exact}/{} strips reached exact length",
+            report.strips.len()
+        ));
+    }
+    if report.drc_violations > 0 {
+        return Err(format!(
+            "{label} variant {index}: {} DRC violations",
+            report.drc_violations
+        ));
+    }
+    Ok((
+        report.strips.len() as u64,
+        exact,
+        report.total_bends as u64,
+        report.max_length_error,
+        result.solver.simplex_iterations as u64,
+    ))
+}
+
+/// Measures the parameter-sweep fast path: [`SWEEP_VARIANTS`] tiny-circuit
+/// variants once as independent cold runs (the reference: every variant
+/// rebuilds and solves its models from scratch) and once as one batched
+/// [`Pilp::submit_sweep_in`] sweep over a fresh [`JobContext`] (variants
+/// share the structure-keyed model cache, so equal-structure models are
+/// value-patched and re-solved from the retained basis). Every variant of
+/// both runs must reach exact length on every strip and stay DRC-clean.
+fn measure_sweep() -> Result<FlowRecord, String> {
+    let variants = sweep_netlists();
+    let pilp = Pilp::new(PilpConfig::fast());
+
+    println!(
+        "flow-gate: running {SWEEP_VARIANTS} tiny-circuit variants as independent cold runs ..."
+    );
+    let cold_start = Instant::now();
+    let mut cold_pivots = 0u64;
+    for (i, netlist) in variants.iter().enumerate() {
+        let result = pilp
+            .run(netlist)
+            .map_err(|e| format!("cold variant {i} failed: {e}"))?;
+        let (.., pivots) = check_sweep_result("cold", i, &result)?;
+        cold_pivots += pivots;
+    }
+    let cold_wall_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+
+    println!("flow-gate: running the same {SWEEP_VARIANTS} variants as one batched sweep ...");
+    let ctx = JobContext::new(0);
+    let sweep_start = Instant::now();
+    let results = pilp.submit_sweep_in(&variants, &ctx).wait();
+    let wall_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+    ctx.shutdown();
+
+    let mut strips = 0u64;
+    let mut exact_lengths = 0u64;
+    let mut total_bends = 0u64;
+    let mut max_error = 0.0f64;
+    let mut totals = rfic_core::SolverTotals::default();
+    for (i, outcome) in results.iter().enumerate() {
+        let result = outcome
+            .as_ref()
+            .map_err(|e| format!("sweep variant {i} failed: {e}"))?;
+        let (s, e, bends, error, _) = check_sweep_result("sweep", i, result)?;
+        strips += s;
+        exact_lengths += e;
+        total_bends += bends;
+        max_error = max_error.max(error);
+        totals.nodes += result.solver.nodes;
+        totals.solves += result.solver.solves;
+        totals.simplex_iterations += result.solver.simplex_iterations;
+        totals.presolve_rows_removed += result.solver.presolve_rows_removed;
+        totals.presolve_cols_removed += result.solver.presolve_cols_removed;
+        totals.presolve_nonzeros_removed += result.solver.presolve_nonzeros_removed;
+        totals.fallback_attempts += result.solver.fallback_attempts;
+        totals.fallback_recoveries += result.solver.fallback_recoveries;
+    }
+
+    Ok(FlowRecord {
+        name: format!("tiny sweep x{SWEEP_VARIANTS}"),
+        wall_ms,
+        strips,
+        exact_lengths,
+        total_bends,
+        max_length_error_um: max_error,
+        drc_violations: 0,
+        bnb_nodes: totals.nodes as u64,
+        solves: totals.solves as u64,
+        simplex_iterations: totals.simplex_iterations as u64,
+        presolve_rows_removed: totals.presolve_rows_removed as u64,
+        presolve_cols_removed: totals.presolve_cols_removed as u64,
+        presolve_nonzeros_removed: totals.presolve_nonzeros_removed as u64,
+        fallback_attempts: totals.fallback_attempts as u64,
+        fallback_recoveries: totals.fallback_recoveries as u64,
+        requests_per_sec: 0.0,
+        sweep_variants: SWEEP_VARIANTS as u64,
+        cold_wall_ms,
+        cold_simplex_iterations: cold_pivots,
     })
 }
 
@@ -212,10 +360,32 @@ fn main() -> ExitCode {
                 Ok(record) => record,
                 Err(e) => return fail(&e),
             };
-            vec![single, concurrent]
+            let sweep = match measure_sweep() {
+                Ok(record) => record,
+                Err(e) => return fail(&e),
+            };
+            vec![single, concurrent, sweep]
         }
     };
     for record in &current {
+        if record.sweep_variants > 0 {
+            println!(
+                "flow-gate: {}: sweep wall {:.0} ms / {} pivots vs cold {:.0} ms / {} pivots \
+                 ({:.2}x wall speedup), {}/{} exact lengths, {} bends total, worst |ΔL| \
+                 {:.3} µm",
+                record.name,
+                record.wall_ms,
+                record.simplex_iterations,
+                record.cold_wall_ms,
+                record.cold_simplex_iterations,
+                record.cold_wall_ms / record.wall_ms.max(1e-9),
+                record.exact_lengths,
+                record.strips,
+                record.total_bends,
+                record.max_length_error_um,
+            );
+            continue;
+        }
         if record.requests_per_sec > 0.0 {
             println!(
                 "flow-gate: {}: wall {:.0} ms, {:.3} requests/sec, worst bends {}, worst \

@@ -39,28 +39,31 @@ use rfic_lp::sync::{self, LockExt};
 use rfic_milp::{CancelToken, SolverPool};
 use rfic_netlist::Netlist;
 
-use crate::cache::FlowCache;
+use crate::cache::{FlowCache, ModelCache};
 use crate::pilp::{Pilp, PilpError, PilpPhase, PilpResult};
 
 /// Shared solving infrastructure for layout jobs: a persistent
 /// [`SolverPool`] plus the cross-request [`FlowCache`] of memoized
-/// solve-site layouts.
+/// solve-site layouts and the structure-keyed [`ModelCache`] of retained
+/// model builds for the parameter-sweep fast path.
 ///
 /// Every job submitted into the same context schedules its
 /// branch-and-bound trees on the same fixed worker set and shares the
-/// same solve-site cache.
+/// same caches.
 pub struct JobContext {
     pool: SolverPool,
     cache: Arc<FlowCache>,
+    models: Arc<ModelCache>,
 }
 
 impl JobContext {
     /// Creates a context with `workers` pool threads (`0` = hardware
-    /// parallelism capped at 8) and a default-capacity cache.
+    /// parallelism capped at 8) and default-capacity caches.
     pub fn new(workers: usize) -> JobContext {
         JobContext {
             pool: SolverPool::new(workers),
             cache: Arc::new(FlowCache::default()),
+            models: Arc::new(ModelCache::default()),
         }
     }
 
@@ -82,6 +85,12 @@ impl JobContext {
         &self.cache
     }
 
+    /// The shared structure-keyed model cache (parameter-sweep fast
+    /// path).
+    pub fn model_cache(&self) -> &Arc<ModelCache> {
+        &self.models
+    }
+
     /// Shuts the pool down: in-flight solves return their incumbents and
     /// jobs still running fail with [`PilpError::PoolShutdown`] at their
     /// next checkpoint.
@@ -97,6 +106,7 @@ pub(crate) struct FlowCtl {
     deadline: Option<Instant>,
     pool: Option<SolverPool>,
     cache: Option<Arc<FlowCache>>,
+    models: Option<crate::cache::ModelView>,
     /// [`Netlist::fingerprint`] of the job's circuit (cache keying).
     fingerprint: u64,
     progress: Arc<ProgressState>,
@@ -160,6 +170,12 @@ impl FlowCtl {
     /// The shared solve-site cache, if attached.
     pub(crate) fn cache(&self) -> Option<&FlowCache> {
         self.cache.as_deref()
+    }
+
+    /// This flow's deterministic view of the shared structure-keyed
+    /// model cache, if attached.
+    pub(crate) fn model_cache(&self) -> Option<&crate::cache::ModelView> {
+        self.models.as_ref()
     }
 
     /// The netlist fingerprint for cache keying.
@@ -295,6 +311,7 @@ pub(crate) fn spawn_job(
         deadline: pilp.config().deadline.map(|d| Instant::now() + d),
         pool: Some(ctx.pool.clone()),
         cache: use_cache.then(|| Arc::clone(&ctx.cache)),
+        models: use_cache.then(|| crate::cache::ModelView::new(Arc::clone(&ctx.models))),
         fingerprint: netlist.fingerprint(),
         progress: Arc::clone(&progress),
         fatal: Mutex::new(None),
@@ -336,6 +353,141 @@ pub(crate) fn spawn_job(
         state,
         cancel,
         progress,
+    }
+}
+
+/// Result slot + wakeup + progress for one parameter sweep.
+#[derive(Default)]
+struct SweepState {
+    result: Mutex<Option<Vec<Result<PilpResult, PilpError>>>>,
+    completed: AtomicUsize,
+    cv: Condvar,
+}
+
+/// Handle to a submitted parameter sweep ([`Pilp::submit_sweep`]).
+///
+/// A sweep runs its variants **sequentially, in submission order, on one
+/// background thread**, sharing the context's solver pool and caches.
+/// Sequential execution is what makes the sweep fast *and* reproducible:
+/// each variant's solves re-enter the structure-keyed [`ModelCache`]
+/// entries its predecessor left warm, and the cache traversal is
+/// identical to submitting the same variants one at a time — so the
+/// layouts are bit-identical to sequential individual submissions.
+///
+/// Like [`JobHandle`], the handle is passive: dropping it neither
+/// cancels nor detaches the sweep.
+pub struct SweepHandle {
+    state: Arc<SweepState>,
+    cancel: CancelToken,
+    variants: usize,
+}
+
+impl SweepHandle {
+    /// Blocks until every variant finishes and returns (a clone of) the
+    /// per-variant results, in submission order. Can be called more than
+    /// once.
+    pub fn wait(&self) -> Vec<Result<PilpResult, PilpError>> {
+        let mut slot = self.state.result.lock_recover();
+        while slot.is_none() {
+            slot = sync::wait(&self.state.cv, slot);
+        }
+        slot.as_ref().expect("result present").clone()
+    }
+
+    /// Non-blocking result check: `None` while variants are still
+    /// running, otherwise a clone of the per-variant results.
+    pub fn poll(&self) -> Option<Vec<Result<PilpResult, PilpError>>> {
+        self.state.result.lock_recover().clone()
+    }
+
+    /// Number of variants that have finished (success or error).
+    pub fn completed(&self) -> usize {
+        self.state
+            .completed
+            .load(Ordering::Relaxed)
+            .min(self.variants)
+    }
+
+    /// Total number of variants submitted.
+    pub fn variants(&self) -> usize {
+        self.variants
+    }
+
+    /// Requests cancellation of the whole sweep: the in-flight variant
+    /// aborts at its next checkpoint and every remaining variant fails
+    /// with [`PilpError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// `true` once [`SweepHandle::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+}
+
+/// Spawns the sweep thread: variants run sequentially in submission
+/// order, each as a full flow under its own control block, all sharing
+/// the context's pool, solve-site cache and model cache (that sharing is
+/// the sweep fast path — see [`crate::cache::ModelCache`]).
+pub(crate) fn spawn_sweep(pilp: Pilp, variants: Vec<Netlist>, ctx: &JobContext) -> SweepHandle {
+    let cancel = CancelToken::new();
+    let state = Arc::new(SweepState::default());
+    let pool = ctx.pool.clone();
+    let cache = Arc::clone(&ctx.cache);
+    let models = Arc::clone(&ctx.models);
+    let count = variants.len();
+    let thread_state = Arc::clone(&state);
+    let thread_cancel = cancel.clone();
+    let spawned = std::thread::Builder::new()
+        .name("rfic-sweep".into())
+        .spawn(move || {
+            let mut results = Vec::with_capacity(variants.len());
+            for netlist in &variants {
+                // Per-variant panic boundary, like `spawn_job`'s: a
+                // panicking variant fails itself without stranding the
+                // rest of the sweep or its waiters.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let ctl = FlowCtl {
+                        cancel: thread_cancel.clone(),
+                        deadline: pilp.config().deadline.map(|d| Instant::now() + d),
+                        pool: Some(pool.clone()),
+                        cache: Some(Arc::clone(&cache)),
+                        models: Some(crate::cache::ModelView::new(Arc::clone(&models))),
+                        fingerprint: netlist.fingerprint(),
+                        progress: Arc::new(ProgressState::default()),
+                        fatal: Mutex::new(None),
+                    };
+                    pilp.run_with(netlist, &ctl)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(PilpError::Internal {
+                        site: "core.job.sweep".to_string(),
+                        payload: rfic_milp::panic_payload_string(payload.as_ref()),
+                    })
+                });
+                results.push(result);
+                thread_state.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut slot = thread_state.result.lock_recover();
+            *slot = Some(results);
+            thread_state.cv.notify_all();
+        });
+    if let Err(e) = spawned {
+        let failure = || {
+            Err(PilpError::Internal {
+                site: "core.job.sweep.spawn".to_string(),
+                payload: e.to_string(),
+            })
+        };
+        state.completed.store(count, Ordering::Relaxed);
+        *state.result.lock_recover() = Some((0..count).map(|_| failure()).collect());
+        state.cv.notify_all();
+    }
+    SweepHandle {
+        state,
+        cancel,
+        variants: count,
     }
 }
 

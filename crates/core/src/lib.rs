@@ -60,9 +60,9 @@ pub mod pilp;
 pub mod render;
 pub mod report;
 
-pub use cache::FlowCache;
+pub use cache::{FlowCache, ModelCache, ModelEntry, ModelView};
 pub use drc::{check as drc_check, DrcOptions, DrcReport, DrcViolation};
-pub use job::{JobContext, JobHandle, JobProgress};
+pub use job::{JobContext, JobHandle, JobProgress, SweepHandle};
 pub use layout::{Layout, Placement};
 pub use model::{IlpConfig, IlpError, IlpOutcome, IlpWeights, LayoutIlp, ObjectId, PairSpec};
 pub use pilp::{

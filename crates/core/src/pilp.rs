@@ -597,6 +597,50 @@ impl Pilp {
         crate::job::spawn_job(self.clone(), netlist.clone(), ctx, true)
     }
 
+    /// Submits a **parameter sweep** — a batch of netlist variants that
+    /// typically share their circuit structure and differ only in
+    /// parameter values (target lengths, layout area, spacing) — on the
+    /// process-wide [`crate::JobContext`]. Returns immediately with a
+    /// [`crate::SweepHandle`].
+    ///
+    /// The variants run sequentially in submission order on one
+    /// background thread, so every variant's solves re-enter the
+    /// structure-keyed [`crate::ModelCache`] entries the previous variant
+    /// left warm: equal-structure models are value-patched and re-solved
+    /// dually from the retained basis instead of being rebuilt and solved
+    /// cold. The layouts are bit-identical to submitting the same
+    /// variants one at a time.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use rfic_core::{Pilp, PilpConfig};
+    /// use rfic_netlist::benchmarks;
+    ///
+    /// let circuit = benchmarks::tiny_circuit();
+    /// let variants: Vec<_> = [0.96, 1.0, 1.04]
+    ///     .iter()
+    ///     .map(|s| circuit.netlist.with_target_scale(*s))
+    ///     .collect();
+    /// let sweep = Pilp::new(PilpConfig::fast()).submit_sweep(&variants);
+    /// for result in sweep.wait() {
+    ///     println!("{}", result?.report());
+    /// }
+    /// # Ok::<(), rfic_core::PilpError>(())
+    /// ```
+    pub fn submit_sweep(&self, variants: &[Netlist]) -> crate::SweepHandle {
+        self.submit_sweep_in(variants, crate::JobContext::global())
+    }
+
+    /// [`Pilp::submit_sweep`] against an explicit [`crate::JobContext`].
+    pub fn submit_sweep_in(
+        &self,
+        variants: &[Netlist],
+        ctx: &crate::JobContext,
+    ) -> crate::SweepHandle {
+        crate::job::spawn_sweep(self.clone(), variants.to_vec(), ctx)
+    }
+
     /// The synchronous flow body: validate, run the three phases under
     /// `ctl` (cancellation, deadline, shared pool, warm cache, progress)
     /// and assemble the result.
@@ -1269,7 +1313,27 @@ impl Pilp {
         ctl: &crate::job::FlowCtl,
         totals: &mut SolverTotals,
     ) -> Result<Layout, IlpError> {
+        self.solve_with_separation_impl(netlist, config, base, phase, ctl, totals, true)
+    }
+
+    /// The body of [`Pilp::solve_with_separation`], parameterised on
+    /// whether the structure-keyed patched fast path may serve the root
+    /// solve. The quality gate at the bottom re-enters with
+    /// `allow_patched = false` when a patched root produced a layout a
+    /// fresh solve would not have been allowed to return.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_with_separation_impl(
+        &self,
+        netlist: &Netlist,
+        config: IlpConfig,
+        base: &Layout,
+        phase: PilpPhase,
+        ctl: &crate::job::FlowCtl,
+        totals: &mut SolverTotals,
+        allow_patched: bool,
+    ) -> Result<Layout, IlpError> {
         let blurred = phase == PilpPhase::GlobalRouting;
+        let retry_config = allow_patched.then(|| config.clone());
         let mut options = self.solve_options(phase);
         options.cancel = Some(ctl.cancel_token().clone());
         let base_limit = options.time_limit;
@@ -1282,6 +1346,23 @@ impl Pilp {
             }
         }
         let mut ilp = LayoutIlp::build(netlist, config, base)?;
+        // Structure-keyed model reuse (the parameter-sweep fast path): the
+        // root solve of this site is re-entered from a retained build of
+        // the *same constraint structure* when one exists, value-patched
+        // to this site's bounds/costs/RHS. Only the round-0 model is
+        // retained — separation rounds grow the model, changing its
+        // structure. The fast path is confined to sites the quality gate
+        // below can verify — non-blurred, hard-length solves. A patched
+        // re-solve may land on an *alternate* optimal vertex, and at
+        // blurred or soft-length sites no local check can tell a healthy
+        // alternate optimum from one that derails the downstream phases,
+        // so those sites always take the (deterministic) fresh path.
+        let patchable = !blurred && ilp.config().hard_length;
+        let structure_key = if patchable {
+            ctl.model_cache().map(|_| ilp.structure_fingerprint())
+        } else {
+            None
+        };
         let mut warm = rfic_milp::WarmStart::new();
         let mut best: Option<Layout> = None;
         // A site is memoizable only if it ran to its natural conclusion
@@ -1290,7 +1371,10 @@ impl Pilp {
         // replay a result a cold run might not reproduce.
         let mut aborted = false;
         let mut provable = true;
-        for _round in 0..=self.config.max_separation_rounds {
+        // Whether the root solve was served by the patched fast path —
+        // the quality gate below only fires for those sites.
+        let mut patched_used = false;
+        for round in 0..=self.config.max_separation_rounds {
             if ctl.cancel_token().is_cancelled() {
                 aborted = true;
                 break;
@@ -1303,18 +1387,54 @@ impl Pilp {
                 Some(remaining) => options.time_limit = base_limit.min(remaining),
                 None => options.time_limit = base_limit,
             }
-            let outcome = match solve_with_fallback(&ilp, &options, &mut warm, ctl, totals) {
-                Ok(outcome) => outcome,
-                Err(e) => {
-                    // Per-strip solve failures are tolerated by the phase
-                    // loops by design — but a contained panic or a dead
-                    // pool is a *flow* fault, not a numerical dead end.
-                    // Record it on the control block so the next phase
-                    // checkpoint aborts the whole job with the real error.
-                    if let Some(fatal) = fatal_flow_error(&e) {
-                        ctl.record_fatal(fatal);
+            let mut patched = None;
+            if round == 0 && allow_patched {
+                if let (Some(models), Some(key)) = (ctl.model_cache(), structure_key) {
+                    patched = solve_patched_root(&ilp, &options, models, key, ctl, &mut warm);
+                }
+            }
+            if patched.is_some() {
+                patched_used = true;
+            }
+            let outcome = match patched {
+                Some(outcome) => outcome,
+                None => {
+                    let outcome = match solve_with_fallback(&ilp, &options, &mut warm, ctl, totals)
+                    {
+                        Ok(outcome) => outcome,
+                        Err(e) => {
+                            // Per-strip solve failures are tolerated by
+                            // the phase loops by design — but a contained
+                            // panic or a dead pool is a *flow* fault, not
+                            // a numerical dead end. Record it on the
+                            // control block so the next phase checkpoint
+                            // aborts the whole job with the real error.
+                            if let Some(fatal) = fatal_flow_error(&e) {
+                                ctl.record_fatal(fatal);
+                            }
+                            return Err(e);
+                        }
+                    };
+                    if round == 0 && allow_patched {
+                        if let (Some(models), Some(key)) = (ctl.model_cache(), structure_key) {
+                            // Retain this site's build for equal-structure
+                            // variants: the relaxation (built once here) plus
+                            // the root basis the solve returned. The basis is
+                            // the presolve projection — statuses only — so
+                            // the first patched re-solve pays one
+                            // refactorisation before going fully live.
+                            if outcome.solution.status == rfic_milp::SolveStatus::Optimal {
+                                models.store(
+                                    key,
+                                    crate::cache::ModelEntry {
+                                        lp: ilp.relaxation(),
+                                        basis: warm.basis().cloned(),
+                                    },
+                                );
+                            }
+                        }
                     }
-                    return Err(e);
+                    outcome
                 }
             };
             totals.record(&outcome.solution);
@@ -1331,12 +1451,112 @@ impl Pilp {
                 break; // nothing new to add; accept the solution
             }
         }
+        // Quality gate of the patched fast path: a retained-model re-solve
+        // may deterministically land on an *alternate* optimal vertex the
+        // fresh path would not have produced — ILP-optimal, yet leaving a
+        // length error or a DRC violation the downstream refinement then
+        // has to burn iterations on. Such a site is redone once on the
+        // standard fresh-build path (and the retained entry dropped), so
+        // the fast path can never degrade layout quality — only cost at
+        // most one extra site solve when it guessed wrong.
+        // `patched_used` implies a patchable (non-blurred, hard-length)
+        // site — the only kind the fast path serves.
+        if patched_used && !aborted {
+            if let Some(layout) = &best {
+                if !self.patched_site_acceptable(netlist, layout, &ilp.config().free_strips) {
+                    if let (Some(models), Some(key)) = (ctl.model_cache(), structure_key) {
+                        models.invalidate(key);
+                    }
+                    if let Some(config) = retry_config {
+                        return self.solve_with_separation_impl(
+                            netlist, config, base, phase, ctl, totals, false,
+                        );
+                    }
+                }
+            }
+        }
         if !aborted && provable {
             if let (Some(cache), Some(key), Some(layout)) = (ctl.cache(), site_key, &best) {
                 cache.store(key, layout.clone());
             }
         }
         best.ok_or(IlpError::Solver(rfic_milp::MilpError::LimitReached))
+    }
+
+    /// Whether a layout returned by a patched-root site meets the same
+    /// acceptance a fresh solve feeds the refinement loop: every strip
+    /// the site solved sits within the length tolerance and is free of
+    /// DRC violations. Only non-blurred hard-length sites ever take the
+    /// patched path, so the check is always meaningful — blurred or
+    /// soft-length lengths are inexact by design and would reject
+    /// perfectly healthy intermediate layouts.
+    fn patched_site_acceptable(
+        &self,
+        netlist: &Netlist,
+        layout: &Layout,
+        free_strips: &std::collections::BTreeSet<rfic_netlist::MicrostripId>,
+    ) -> bool {
+        let drc = drc::check(netlist, layout, &DrcOptions::default());
+        free_strips.iter().all(|&id| {
+            let exact = layout
+                .length_error(netlist, id)
+                .map(|e| e.abs() <= self.config.length_tolerance)
+                .unwrap_or(false);
+            exact && drc.for_strip(id).is_empty()
+        })
+    }
+}
+
+/// Attempts the structure-keyed patched root re-solve: look up a retained
+/// build of this model's structure, value-patch it to this site's
+/// bounds/costs/RHS and re-solve dually from the retained basis with
+/// presolve bypassed (the patched values make re-running bound tightening
+/// unsound against the retained basis, and the bypass is what keeps the
+/// factorisation and DSE weights adoptable).
+///
+/// Returns `None` — leaving `warm` untouched — whenever the fast path
+/// cannot serve the solve: no retained build, a dimension mismatch under
+/// a fingerprint collision, or a patched re-solve that errors or stops
+/// short of proven optimality. Every `None` invalidates the entry and
+/// deterministically falls back to the standard fresh-build path, so an
+/// unhealthy cache can cost at most one extra solve per site.
+///
+/// On success the patched build and its now-live root basis
+/// (factorisation + dual steepest-edge weights) are stored back, and
+/// `warm` carries the live basis into the separation rounds.
+fn solve_patched_root(
+    ilp: &LayoutIlp,
+    options: &SolveOptions,
+    models: &crate::cache::ModelView,
+    key: u64,
+    ctl: &crate::job::FlowCtl,
+    warm: &mut rfic_milp::WarmStart,
+) -> Option<crate::model::IlpOutcome> {
+    let mut entry = models.lookup(key)?;
+    if !ilp.patch_relaxation(&mut entry.lp) {
+        models.invalidate(key);
+        return None;
+    }
+    let mut patched_warm = match entry.basis.take() {
+        Some(basis) => rfic_milp::WarmStart::from_basis(basis),
+        None => rfic_milp::WarmStart::new(),
+    };
+    match ilp.solve_patched_in_pool(options, &mut patched_warm, ctl.pool(), &entry.lp) {
+        Ok(outcome) if outcome.solution.status == rfic_milp::SolveStatus::Optimal => {
+            models.store(
+                key,
+                crate::cache::ModelEntry {
+                    lp: entry.lp,
+                    basis: patched_warm.basis().cloned(),
+                },
+            );
+            *warm = patched_warm;
+            Some(outcome)
+        }
+        _ => {
+            models.invalidate(key);
+            None
+        }
     }
 }
 

@@ -83,6 +83,52 @@ fn identical_jobs_reuse_the_solve_site_cache() {
     ctx.shutdown();
 }
 
+/// The sweep fast path must not change results: an 8-variant sweep
+/// yields layouts bit-identical to the same variants submitted one at a
+/// time on a fresh context — and actually exercises the structure-keyed
+/// model cache along the way.
+#[test]
+fn sweep_matches_sequential_individual_submissions() {
+    let circuit = benchmarks::tiny_circuit();
+    let variants: Vec<_> = (0..8)
+        .map(|i| circuit.netlist.with_target_scale(1.0 + 0.01 * i as f64))
+        .collect();
+    let pilp = Pilp::new(PilpConfig::fast());
+
+    let sequential: Vec<_> = {
+        let ctx = JobContext::new(2);
+        let results: Vec<_> = variants
+            .iter()
+            .map(|netlist| {
+                pilp.submit_in(netlist, &ctx)
+                    .wait()
+                    .expect("sequential variant")
+            })
+            .collect();
+        ctx.shutdown();
+        results
+    };
+
+    let ctx = JobContext::new(2);
+    let sweep = pilp.submit_sweep_in(&variants, &ctx);
+    let results = sweep.wait();
+    assert_eq!(sweep.completed(), 8);
+    assert!(
+        ctx.model_cache().hits() > 0,
+        "equal-structure variants must re-enter retained model builds"
+    );
+    ctx.shutdown();
+
+    assert_eq!(results.len(), sequential.len());
+    for (i, (swept, solo)) in results.iter().zip(&sequential).enumerate() {
+        let swept = swept.as_ref().expect("sweep variant succeeds");
+        assert_eq!(
+            swept.layout, solo.layout,
+            "sweep variant {i} must be bit-identical to its individual submission"
+        );
+    }
+}
+
 /// A job's result is independent of what else shares the pool: the tiny
 /// circuit solves to the identical layout alone and next to a second,
 /// different circuit running concurrently.

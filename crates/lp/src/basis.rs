@@ -48,7 +48,7 @@ struct RowEta {
 
 /// LU factorisation of a basis with pending Forrest–Tomlin updates.
 #[derive(Debug, Clone)]
-pub(crate) struct Factorization {
+pub struct Factorization {
     m: usize,
     /// Multipliers of the elimination steps, flattened: step `k`'s
     /// `(row, l)` entries live at `lower_data[lower_ptr[k]..lower_ptr[k+1]]`
@@ -85,8 +85,6 @@ pub(crate) struct Factorization {
     /// Reusable dense scratch (FTRAN result / BTRAN position pass) — the
     /// solves run once per pivot, so per-call allocation was measurable.
     xwork: Vec<f64>,
-    /// Reusable dense scratch (BTRAN row-space pass).
-    ywork: Vec<f64>,
     /// The intermediate `v = L⁻¹·b` of the most recent [`Factorization::ftran`]
     /// (after the row etas, before the `U` back-substitution) — exactly the
     /// Forrest–Tomlin spike of that column, captured so
@@ -98,7 +96,7 @@ pub(crate) struct Factorization {
 
 /// Error returned when the candidate basis is numerically singular.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct SingularBasis;
+pub struct SingularBasis;
 
 impl Factorization {
     /// Factorises the basis given as `m` sparse columns (`(row, value)`
@@ -129,7 +127,6 @@ impl Factorization {
             base_fill: 0,
             fill: 0,
             xwork: vec![0.0; m],
-            ywork: vec![0.0; m],
             last_spike: vec![0.0; m],
             scatter: ScatterVec::new(m),
         };
@@ -331,6 +328,14 @@ impl Factorization {
     /// Shared BTRAN tail: the transposed eta file, the scatter to row
     /// space and the transposed elimination steps. `w` is the `Uᵀ` solve
     /// result (position space); the answer lands in `out` (row space).
+    ///
+    /// Works directly in the caller's `out` buffer: `pivot_rows` is a
+    /// permutation, so the scatter overwrites every entry and no
+    /// intermediate row-space scratch (or final copy) is needed. The
+    /// elimination loop skips steps without multipliers outright —
+    /// on the sparse layout bases most steps are empty — and steps whose
+    /// accumulated correction is exactly zero; both subtractions were
+    /// `y -= 0.0` no-ops, so the solve is bit-identical to the plain loop.
     fn btran_tail(&mut self, w: &mut [f64], out: &mut [f64]) {
         // Forrest–Tomlin transformations transposed, newest first.
         for eta in self.etas.iter().rev() {
@@ -343,19 +348,23 @@ impl Factorization {
         }
         // Scatter to row space and apply the transposed elimination steps in
         // reverse order.
-        let mut y = std::mem::take(&mut self.ywork);
         for k in 0..self.m {
-            y[self.pivot_rows[k]] = w[k];
+            out[self.pivot_rows[k]] = w[k];
         }
         for j in (0..self.m).rev() {
-            let mut acc = 0.0;
-            for &(row, l) in &self.lower_data[self.lower_ptr[j]..self.lower_ptr[j + 1]] {
-                acc += l * y[row];
+            let lo = self.lower_ptr[j];
+            let hi = self.lower_ptr[j + 1];
+            if lo == hi {
+                continue;
             }
-            y[self.pivot_rows[j]] -= acc;
+            let mut acc = 0.0;
+            for &(row, l) in &self.lower_data[lo..hi] {
+                acc += l * out[row];
+            }
+            if acc != 0.0 {
+                out[self.pivot_rows[j]] -= acc;
+            }
         }
-        out.copy_from_slice(&y);
-        self.ywork = y;
     }
 
     /// Absorbs a basis change at elimination position `pos` with a

@@ -59,6 +59,14 @@ mod sparse;
 pub mod sync;
 
 pub use presolve::{Postsolve, PresolveConfig, PresolveStats, Presolved};
+
+/// Hidden exports for the `rfic-bench` microbenches (`lp_ftran` /
+/// `lp_btran` drive the factorisation kernels directly). Not a public
+/// API — no stability promises.
+#[doc(hidden)]
+pub mod bench_support {
+    pub use crate::basis::{Factorization, SingularBasis};
+}
 pub use problem::{
     CancelToken, Constraint, ConstraintOp, LinearProgram, LpError, LpSolution, PricingRule, Sense,
 };

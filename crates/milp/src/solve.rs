@@ -1562,6 +1562,31 @@ pub(crate) fn branch_and_bound(
     warm: Option<&mut WarmStart>,
     worker_pool: Option<&crate::pool::SolverPool>,
 ) -> Result<MilpSolution, MilpError> {
+    branch_and_bound_impl(model, options, warm, worker_pool, None)
+}
+
+/// [`branch_and_bound`] against a caller-supplied prebuilt relaxation:
+/// presolve is bypassed (identity postsolve over `lp` itself), so the
+/// root re-enters from — and stores back — a **live** full-space basis
+/// whose factorisation and DSE weights survive. See
+/// [`Model::solve_patched_in_pool`] for the contract.
+pub(crate) fn branch_and_bound_prebuilt(
+    model: &Model,
+    options: &SolveOptions,
+    warm: Option<&mut WarmStart>,
+    worker_pool: Option<&crate::pool::SolverPool>,
+    lp: &LinearProgram,
+) -> Result<MilpSolution, MilpError> {
+    branch_and_bound_impl(model, options, warm, worker_pool, Some(lp))
+}
+
+fn branch_and_bound_impl(
+    model: &Model,
+    options: &SolveOptions,
+    warm: Option<&mut WarmStart>,
+    worker_pool: Option<&crate::pool::SolverPool>,
+    prebuilt: Option<&LinearProgram>,
+) -> Result<MilpSolution, MilpError> {
     let start = Instant::now();
     let sense_sign = match model.sense() {
         Sense::Minimize => 1.0,
@@ -1578,10 +1603,18 @@ pub(crate) fn branch_and_bound(
     // every subtree. Integer columns keep unit scale factors and are never
     // substituted away, so branching and cut separation stay exact.
     let full_is_integer: Vec<bool> = model.vars.iter().map(|v| v.kind.is_integer()).collect();
-    let presolved = match model
-        .relaxation()
-        .presolve(&options.presolve, Some(&full_is_integer))
-    {
+    // A prebuilt (patched) relaxation skips the reduction stack entirely:
+    // the `off()` pass is the identity transform, returning a clone of
+    // `lp` that still shares its matrix cache, so the retained basis of
+    // the previous solve of this structure re-enters with factorisation
+    // and DSE weights intact.
+    let presolve_result = match prebuilt {
+        Some(lp) => lp.presolve(&PresolveConfig::off(), Some(&full_is_integer)),
+        None => model
+            .relaxation()
+            .presolve(&options.presolve, Some(&full_is_integer)),
+    };
+    let presolved = match presolve_result {
         Ok(p) => p,
         Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
         Err(LpError::Unbounded) => return Err(MilpError::Unbounded),

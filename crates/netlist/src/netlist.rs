@@ -199,6 +199,29 @@ impl Netlist {
         n
     }
 
+    /// Returns a copy of this netlist with every microstrip target length
+    /// multiplied by `scale` — the parameter-sweep knob for routing
+    /// budgets. Target lengths enter the layout models as constraint
+    /// values only, so a sweep over target scales reuses one model
+    /// structure per solve site.
+    pub fn with_target_scale(&self, scale: f64) -> Netlist {
+        let mut n = self.clone();
+        for m in &mut n.microstrips {
+            m.target_length *= scale;
+        }
+        n
+    }
+
+    /// Returns a copy of this netlist with a different ground-plane
+    /// distance, which sets the spacing rule
+    /// ([`Technology::spacing`] = twice the ground distance) — the
+    /// parameter-sweep knob for spacing.
+    pub fn with_ground_distance(&self, ground_distance: f64) -> Netlist {
+        let mut n = self.clone();
+        n.tech.ground_distance = ground_distance;
+        n
+    }
+
     /// Summary statistics (the left columns of Table 1).
     pub fn stats(&self) -> NetlistStats {
         let num_pads = self.pads().count();

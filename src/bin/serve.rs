@@ -11,6 +11,7 @@
 //! | op         | fields                                                        |
 //! |------------|---------------------------------------------------------------|
 //! | `submit`   | `circuit` (`tiny`/`small`/`lna94`/`buffer60`/`lna60`), optional `config` (`fast`*/`thorough`), `deadline_ms`, `threads`, `area` (`[w,h]` µm) |
+//! | `sweep`    | `circuit`, `variants` (array of `{target_scale?, area?, spacing?}` objects), optional `config`, `deadline_ms`, `threads`; blocks until every variant is laid out |
 //! | `status`   | `job`                                                         |
 //! | `result`   | `job` (blocks until done), optional `report`/`svg` booleans   |
 //! | `cancel`   | `job`                                                         |
@@ -79,6 +80,17 @@ const MAX_THREADS: f64 = 8.0;
 /// Upper bound on either `area` dimension, in µm (1 m of RFIC die is a
 /// unit mistake, not a design).
 const MAX_AREA_UM: f64 = 1e6;
+
+/// Upper bound on variants per `sweep` request: enough for a dense
+/// parameter scan, small enough that one request cannot monopolise the
+/// service for minutes.
+const MAX_SWEEP_VARIANTS: usize = 16;
+
+/// Bounds on a variant's `target_scale` multiplier.
+const MAX_TARGET_SCALE: f64 = 10.0;
+
+/// Upper bound on a variant's `spacing` rule, in µm.
+const MAX_SPACING_UM: f64 = 1e3;
 
 /// Default `--max-jobs`: unfinished jobs admitted before `submit`
 /// answers `backpressure`.
@@ -356,6 +368,169 @@ fn handle_result(job: &ServedJob, id: u64, request: &Json) -> Json {
     }
 }
 
+/// Builds the variant netlists of a `sweep` request. Each variant is an
+/// object applying any of `target_scale` (multiplies every microstrip
+/// target length), `area` (`[w, h]` µm) and `spacing` (the minimum
+/// spacing rule, µm) on top of the named base circuit.
+fn build_variants(base: &Netlist, value: Option<&Json>) -> Result<Vec<Netlist>, String> {
+    let Some(items) = value.and_then(Json::as_array) else {
+        return Err("missing \"variants\" (array of objects)".into());
+    };
+    if items.is_empty() || items.len() > MAX_SWEEP_VARIANTS {
+        return Err(format!(
+            "variants must hold 1..={MAX_SWEEP_VARIANTS} objects"
+        ));
+    }
+    let mut variants = Vec::with_capacity(items.len());
+    for (index, item) in items.iter().enumerate() {
+        let Json::Object(fields) = item else {
+            return Err(format!("variant {index} must be an object"));
+        };
+        for key in fields.keys() {
+            if !["target_scale", "area", "spacing"].contains(&key.as_str()) {
+                return Err(format!("variant {index}: unknown field {key:?}"));
+            }
+        }
+        let mut netlist = base.clone();
+        if let Some(value) = item.get("target_scale") {
+            match value.as_f64() {
+                Some(scale) if scale.is_finite() && scale > 0.0 && scale <= MAX_TARGET_SCALE => {
+                    netlist = netlist.with_target_scale(scale);
+                }
+                _ => {
+                    return Err(format!(
+                        "variant {index}: target_scale must be in (0, {MAX_TARGET_SCALE}]"
+                    ))
+                }
+            }
+        }
+        if let Some(value) = item.get("area") {
+            let dims = value.as_array().and_then(|area| {
+                match (
+                    area.len(),
+                    area.first().and_then(Json::as_f64),
+                    area.get(1).and_then(Json::as_f64),
+                ) {
+                    (2, Some(w), Some(h)) => Some((w, h)),
+                    _ => None,
+                }
+            });
+            let valid = dims.filter(|&(w, h)| {
+                w.is_finite()
+                    && h.is_finite()
+                    && w > 0.0
+                    && h > 0.0
+                    && w <= MAX_AREA_UM
+                    && h <= MAX_AREA_UM
+            });
+            let Some((w, h)) = valid else {
+                return Err(format!(
+                    "variant {index}: area must be [width, height], each in (0, {MAX_AREA_UM}] µm"
+                ));
+            };
+            netlist = netlist.with_area(w, h);
+        }
+        if let Some(value) = item.get("spacing") {
+            match value.as_f64() {
+                Some(spacing)
+                    if spacing.is_finite() && spacing > 0.0 && spacing <= MAX_SPACING_UM =>
+                {
+                    // The spacing rule is twice the ground-plane distance.
+                    netlist = netlist.with_ground_distance(spacing / 2.0);
+                }
+                _ => {
+                    return Err(format!(
+                        "variant {index}: spacing must be in (0, {MAX_SPACING_UM}] µm"
+                    ))
+                }
+            }
+        }
+        variants.push(netlist);
+    }
+    Ok(variants)
+}
+
+/// Per-variant entry of a `sweep` response (the layout-quality and
+/// solver-work subset of a `result` payload).
+fn sweep_variant_payload(index: usize, outcome: &Result<PilpResult, PilpError>) -> Json {
+    match outcome {
+        Ok(result) => {
+            let report = result.report();
+            let exact = report
+                .strips
+                .iter()
+                .filter(|s| s.length_error.abs() < 1e-3)
+                .count();
+            ObjectBuilder::new()
+                .set("ok", Json::Bool(true))
+                .set("variant", Json::Number(index as f64))
+                .set("strips", Json::Number(report.strips.len() as f64))
+                .set("exact_lengths", Json::Number(exact as f64))
+                .set("total_bends", Json::Number(report.total_bends as f64))
+                .set("max_length_error_um", Json::Number(report.max_length_error))
+                .set("drc_violations", Json::Number(report.drc_violations as f64))
+                .set("solves", Json::Number(result.solver.solves as f64))
+                .set(
+                    "simplex_iterations",
+                    Json::Number(result.solver.simplex_iterations as f64),
+                )
+                .set(
+                    "runtime_ms",
+                    Json::Number(result.runtime.as_secs_f64() * 1e3),
+                )
+                .build()
+        }
+        Err(e) => ObjectBuilder::new()
+            .set("ok", Json::Bool(false))
+            .set("variant", Json::Number(index as f64))
+            .set(
+                "error",
+                ObjectBuilder::new()
+                    .set("code", Json::String(error_code(e).to_string()))
+                    .set("message", Json::String(e.to_string()))
+                    .build(),
+            )
+            .build(),
+    }
+}
+
+/// Runs a `sweep` request to completion: the variants are laid out
+/// sequentially in request order on the shared context (that ordering is
+/// the structure-reuse fast path — see [`rfic_layout::core::ModelCache`])
+/// and the response carries one entry per variant, in order.
+fn handle_sweep(request: &Json, ctx: &JobContext) -> Json {
+    let Some(name) = request.get("circuit").and_then(Json::as_str) else {
+        return error_response("sweep", "bad_request", "missing \"circuit\"");
+    };
+    let Some(base) = circuit_by_name(name) else {
+        return error_response(
+            "sweep",
+            "bad_request",
+            &format!("unknown circuit {name:?} (tiny/small/lna94/buffer60/lna60)"),
+        );
+    };
+    let variants = match build_variants(&base, request.get("variants")) {
+        Ok(variants) => variants,
+        Err(message) => return error_response("sweep", "bad_request", &message),
+    };
+    let config = match build_config(request) {
+        Ok(config) => config,
+        Err(message) => return error_response("sweep", "bad_request", &message),
+    };
+    let results = Pilp::new(config).submit_sweep_in(&variants, ctx).wait();
+    let entries = results
+        .iter()
+        .enumerate()
+        .map(|(index, outcome)| sweep_variant_payload(index, outcome))
+        .collect();
+    ObjectBuilder::new()
+        .set("ok", Json::Bool(true))
+        .set("op", Json::String("sweep".into()))
+        .set("variants", Json::Number(results.len() as f64))
+        .set("results", Json::Array(entries))
+        .build()
+}
+
 /// Timestamps newly finished jobs and evicts those finished longer than
 /// `ttl` ago. Evicted ids answer `unknown_job` afterwards.
 fn reap_finished(jobs: &mut HashMap<u64, ServedJob>, ttl: Duration) {
@@ -483,6 +658,26 @@ fn main() {
                     response
                 }
             }
+            "sweep" => {
+                if let Some(rejected) = check_fields(
+                    op,
+                    &request,
+                    &[
+                        "op",
+                        "circuit",
+                        "variants",
+                        "config",
+                        "deadline_ms",
+                        "threads",
+                    ],
+                ) {
+                    rejected
+                } else if draining {
+                    error_response(op, "shutting_down", "service is draining; no new jobs")
+                } else {
+                    handle_sweep(&request, &ctx)
+                }
+            }
             "status" | "result" | "cancel" => {
                 let allowed: &[&str] = if op == "result" {
                     &["op", "job", "report", "svg"]
@@ -533,7 +728,7 @@ fn main() {
             other => error_response(
                 other,
                 "bad_request",
-                "op must be submit/status/result/cancel/shutdown",
+                "op must be submit/sweep/status/result/cancel/shutdown",
             ),
         };
         let _ = writeln!(out, "{response}");
