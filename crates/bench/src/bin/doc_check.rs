@@ -1,0 +1,366 @@
+//! `doc_check` — the CI doc-drift gate for the wire documentation.
+//!
+//! Extracts the fenced JSON examples from `docs/PROTOCOL.md` and
+//! `docs/NETLIST_SCHEMA.md`, replays them against a live `serve`
+//! process, and exits non-zero if any response shape or error code
+//! diverges from what the docs promise. One `serve` process per
+//! document; requests replay in document order, so the docs double as
+//! an executable transcript.
+//!
+//! Fence conventions (the info string after ` ```json `):
+//!
+//! * ` ```json request ` — one request object; the next tagged fence
+//!   must be its ` ```json response `.
+//! * ` ```json response ` — the expected response. The string `"..."`
+//!   is a wildcard matching any value; objects match on exact key sets
+//!   otherwise.
+//! * ` ```json netlist ` — a netlist document; replayed as
+//!   `{"op":"validate","netlist":...}` and required to pass.
+//! * ` ```json netlist code=X ` — a deliberately-invalid netlist;
+//!   required to fail with `invalid_netlist` and wire detail `X`.
+//! * Plain ` ```json ` — illustrative only, not replayed.
+//!
+//! The gate also asserts that every wire-format error code in
+//! [`rfic_netlist::wire::ERROR_CODES`] is documented in
+//! `NETLIST_SCHEMA.md`.
+//!
+//! Usage: `doc_check [--serve <path>] [--docs <dir>]` (defaults: the
+//! `serve` binary next to this executable; the repo's `docs/` tree).
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use rfic_netlist::json::{parse, Json, ObjectBuilder};
+use rfic_netlist::wire::ERROR_CODES;
+
+/// One extracted fence: the info tag and the JSON body.
+struct Fence {
+    tag: String,
+    body: String,
+    line: usize,
+}
+
+fn extract_fences(markdown: &str) -> Vec<Fence> {
+    let mut fences = Vec::new();
+    let mut lines = markdown.lines().enumerate();
+    while let Some((index, line)) = lines.next() {
+        let Some(info) = line.trim_start().strip_prefix("```json") else {
+            // Skip non-json fences wholesale so their bodies cannot be
+            // mistaken for openers.
+            if line.trim_start().starts_with("```") && line.trim().len() > 3 {
+                for (_, inner) in lines.by_ref() {
+                    if inner.trim() == "```" {
+                        break;
+                    }
+                }
+            }
+            continue;
+        };
+        let tag = info.trim().to_string();
+        let mut body = String::new();
+        for (_, inner) in lines.by_ref() {
+            if inner.trim() == "```" {
+                break;
+            }
+            body.push_str(inner);
+            body.push('\n');
+        }
+        fences.push(Fence {
+            tag,
+            body,
+            line: index + 1,
+        });
+    }
+    fences
+}
+
+/// Structural match of `actual` against `expected`. The expected string
+/// `"..."` matches any value; expected objects match on exact key sets
+/// unless they contain a `"..."` member (then extra actual keys are
+/// allowed).
+fn matches(expected: &Json, actual: &Json) -> bool {
+    match (expected, actual) {
+        (Json::String(s), _) if s == "..." => true,
+        (Json::Object(want), Json::Object(have)) => {
+            let open = want.contains_key("...");
+            if !open && want.len() != have.len() {
+                return false;
+            }
+            want.iter().all(|(key, value)| {
+                key == "..." || have.get(key).is_some_and(|actual| matches(value, actual))
+            })
+        }
+        (Json::Array(want), Json::Array(have)) => {
+            want.len() == have.len() && want.iter().zip(have).all(|(w, h)| matches(w, h))
+        }
+        _ => expected == actual,
+    }
+}
+
+/// A replayable step: the request line to send and how to judge the
+/// response.
+enum Expect {
+    /// Match against a documented response object.
+    Response(Json),
+    /// `{"ok":true}` somewhere in the response (valid netlist).
+    ValidNetlist,
+    /// `invalid_netlist` with this wire detail code.
+    InvalidNetlist(String),
+}
+
+struct Step {
+    request: Json,
+    expect: Expect,
+    line: usize,
+}
+
+fn plan_document(path: &Path) -> Vec<Step> {
+    let markdown = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fatal(&format!("cannot read {}: {e}", path.display())));
+    let fences = extract_fences(&markdown);
+    let mut steps = Vec::new();
+    let mut iter = fences.into_iter().peekable();
+    while let Some(fence) = iter.next() {
+        let parse_body = |fence: &Fence| {
+            parse(&fence.body).unwrap_or_else(|e| {
+                fatal(&format!(
+                    "{}:{}: fence does not parse as JSON: {e}",
+                    path.display(),
+                    fence.line
+                ))
+            })
+        };
+        match fence.tag.as_str() {
+            "" => {} // illustrative
+            "request" => {
+                let request = parse_body(&fence);
+                let Some(next) = iter.next() else {
+                    fatal(&format!(
+                        "{}:{}: request fence has no response fence",
+                        path.display(),
+                        fence.line
+                    ));
+                };
+                if next.tag != "response" {
+                    fatal(&format!(
+                        "{}:{}: request fence must be followed by a response fence, \
+                         found ```json {}```",
+                        path.display(),
+                        fence.line,
+                        next.tag
+                    ));
+                }
+                steps.push(Step {
+                    request,
+                    expect: Expect::Response(parse_body(&next)),
+                    line: fence.line,
+                });
+            }
+            "response" => fatal(&format!(
+                "{}:{}: response fence without a preceding request",
+                path.display(),
+                fence.line
+            )),
+            tag if tag == "netlist" || tag.starts_with("netlist ") => {
+                let document = parse_body(&fence);
+                let request = ObjectBuilder::new()
+                    .set("op", Json::String("validate".into()))
+                    .set("netlist", document)
+                    .build();
+                let expect = match tag.strip_prefix("netlist").unwrap().trim() {
+                    "" => Expect::ValidNetlist,
+                    annotation => match annotation.strip_prefix("code=") {
+                        Some(code) => Expect::InvalidNetlist(code.to_string()),
+                        None => fatal(&format!(
+                            "{}:{}: bad netlist fence annotation {annotation:?}",
+                            path.display(),
+                            fence.line
+                        )),
+                    },
+                };
+                steps.push(Step {
+                    request,
+                    expect,
+                    line: fence.line,
+                });
+            }
+            other => fatal(&format!(
+                "{}:{}: unknown fence tag {other:?}",
+                path.display(),
+                fence.line
+            )),
+        }
+    }
+    steps
+}
+
+struct Serve {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Serve {
+    fn spawn(binary: &Path) -> Serve {
+        let mut child = Command::new(binary)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| fatal(&format!("cannot spawn {}: {e}", binary.display())));
+        let stdin = child.stdin.take().expect("serve stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("serve stdout"));
+        Serve {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn request(&mut self, request: &Json) -> Json {
+        writeln!(self.stdin, "{request}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut line = String::new();
+        let n = self.stdout.read_line(&mut line).expect("read response");
+        if n == 0 {
+            fatal("serve closed stdout before answering");
+        }
+        parse(line.trim())
+            .unwrap_or_else(|e| fatal(&format!("serve answered unparseable JSON: {e}: {line}")))
+    }
+
+    fn finish(mut self) {
+        drop(self.stdin);
+        let _ = self.child.wait();
+    }
+}
+
+fn error_member<'a>(response: &'a Json, key: &str) -> Option<&'a str> {
+    response.get("error")?.get(key)?.as_str()
+}
+
+fn replay(path: &Path, serve_binary: &Path) -> usize {
+    let steps = plan_document(path);
+    if steps.is_empty() {
+        fatal(&format!("{}: no replayable fences found", path.display()));
+    }
+    let mut serve = Serve::spawn(serve_binary);
+    let mut failures = 0;
+    for step in &steps {
+        let actual = serve.request(&step.request);
+        let ok = match &step.expect {
+            Expect::Response(expected) => {
+                let ok = matches(expected, &actual);
+                if !ok {
+                    eprintln!(
+                        "doc_check: {}:{}: response diverged\n  request:  {}\n  expected: {}\n  actual:   {}",
+                        path.display(),
+                        step.line,
+                        step.request,
+                        expected,
+                        actual
+                    );
+                }
+                ok
+            }
+            Expect::ValidNetlist => {
+                let ok = actual.get("ok").and_then(Json::as_bool) == Some(true);
+                if !ok {
+                    eprintln!(
+                        "doc_check: {}:{}: valid netlist example was rejected\n  actual: {}",
+                        path.display(),
+                        step.line,
+                        actual
+                    );
+                }
+                ok
+            }
+            Expect::InvalidNetlist(code) => {
+                let ok = error_member(&actual, "code") == Some("invalid_netlist")
+                    && error_member(&actual, "detail") == Some(code);
+                if !ok {
+                    eprintln!(
+                        "doc_check: {}:{}: invalid example must fail with detail {code:?}\n  actual: {}",
+                        path.display(),
+                        step.line,
+                        actual
+                    );
+                }
+                ok
+            }
+        };
+        if !ok {
+            failures += 1;
+        }
+    }
+    serve.finish();
+    println!(
+        "doc_check: {}: {} steps replayed, {} failures",
+        path.display(),
+        steps.len(),
+        failures
+    );
+    failures
+}
+
+/// Every wire error code must be documented in the schema reference.
+fn check_code_coverage(schema_doc: &Path) -> usize {
+    let text = std::fs::read_to_string(schema_doc)
+        .unwrap_or_else(|e| fatal(&format!("cannot read {}: {e}", schema_doc.display())));
+    let mut missing = 0;
+    for code in ERROR_CODES {
+        if !text.contains(&format!("`{code}`")) {
+            eprintln!(
+                "doc_check: {}: wire error code `{code}` is not documented",
+                schema_doc.display()
+            );
+            missing += 1;
+        }
+    }
+    missing
+}
+
+fn fatal(message: &str) -> ! {
+    eprintln!("doc_check: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut serve_binary: Option<PathBuf> = None;
+    let mut docs_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serve" => serve_binary = args.next().map(PathBuf::from),
+            "--docs" => docs_dir = args.next().map(PathBuf::from),
+            other => fatal(&format!("unknown argument {other}")),
+        }
+    }
+    let serve_binary = serve_binary.unwrap_or_else(|| {
+        let exe = std::env::current_exe().expect("current exe");
+        let dir = exe.parent().expect("exe dir");
+        let candidate = dir.join(format!("serve{}", std::env::consts::EXE_SUFFIX));
+        if !candidate.exists() {
+            fatal(&format!(
+                "no serve binary at {} (build it, or pass --serve <path>)",
+                candidate.display()
+            ));
+        }
+        candidate
+    });
+    let docs_dir =
+        docs_dir.unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs"));
+
+    let protocol = docs_dir.join("PROTOCOL.md");
+    let schema = docs_dir.join("NETLIST_SCHEMA.md");
+    let mut failures = 0;
+    failures += replay(&protocol, &serve_binary);
+    failures += replay(&schema, &serve_binary);
+    failures += check_code_coverage(&schema);
+    if failures > 0 {
+        fatal(&format!(
+            "{failures} divergence(s) between docs and service"
+        ));
+    }
+    println!("doc_check: docs and service agree");
+}

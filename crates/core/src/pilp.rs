@@ -594,7 +594,15 @@ impl Pilp {
     /// of the process-wide one — the hook for servers that own their pool
     /// lifecycle and for tests that need an isolated pool or cache.
     pub fn submit_in(&self, netlist: &Netlist, ctx: &crate::JobContext) -> crate::JobHandle {
-        crate::job::spawn_job(self.clone(), netlist.clone(), ctx, true)
+        self.submit_owned_in(netlist.clone(), ctx)
+    }
+
+    /// [`Pilp::submit_in`] taking the netlist by value, avoiding a clone
+    /// when the caller already owns it — the natural entry point for
+    /// services that parse netlists off the wire
+    /// ([`rfic_netlist::wire`]) and have no further use for them.
+    pub fn submit_owned_in(&self, netlist: Netlist, ctx: &crate::JobContext) -> crate::JobHandle {
+        crate::job::spawn_job(self.clone(), netlist, ctx, true)
     }
 
     /// Submits a **parameter sweep** — a batch of netlist variants that

@@ -8,10 +8,13 @@
 //! input items i–vii).
 //!
 //! It also ships the three synthetic benchmark circuits used to reproduce
-//! Table 1 and Figure 11 ([`benchmarks`]) and a deterministic random circuit
+//! Table 1 and Figure 11 ([`benchmarks`]), a deterministic random circuit
 //! generator ([`generator`]) that manufactures circuits with a known-feasible
 //! hidden layout, so that every generated instance is guaranteed to admit a
-//! planar, exact-length routing inside its area budget.
+//! planar, exact-length routing inside its area budget, and the JSON
+//! **wire format** ([`wire`], over the hand-rolled [`json`] layer) through
+//! which user-supplied netlists enter the layout service — see
+//! `docs/NETLIST_SCHEMA.md` for the field-by-field reference.
 //!
 //! # Examples
 //!
@@ -36,11 +39,14 @@
 pub mod benchmarks;
 mod device;
 pub mod generator;
+pub mod json;
 mod microstrip;
 mod netlist;
 mod tech;
+pub mod wire;
 
 pub use device::{Device, DeviceId, DeviceKind, Pin};
 pub use microstrip::{Microstrip, MicrostripId, Terminal};
 pub use netlist::{Netlist, NetlistBuilder, NetlistError, NetlistStats};
 pub use tech::Technology;
+pub use wire::WireError;

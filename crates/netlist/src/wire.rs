@@ -1,0 +1,1061 @@
+//! The JSON **wire format** for user-supplied netlists.
+//!
+//! This module is the boundary through which circuits that were *not*
+//! compiled into the binary reach the layout engine: a netlist document
+//! (devices, microstrip nets, length-match groups, technology
+//! parameters — all lengths in µm) is parsed from [`crate::json::Json`]
+//! into a fully validated [`Netlist`], and any [`Netlist`] can be
+//! exported back to an equivalent document with [`to_json`]. The two
+//! directions round-trip exactly: `parse_netlist(&to_json(&n)) == n`,
+//! including the content [`Netlist::fingerprint`], so an exported,
+//! edited and resubmitted benchmark hits the same fingerprint-keyed
+//! caches as its named twin when the edit is a no-op.
+//!
+//! # Validation
+//!
+//! [`parse_netlist`] rejects malformed documents with a [`WireError`]
+//! carrying a **stable machine-readable code** and the **field path**
+//! of the offending value (e.g. `nets[2].from`). The full catalogue is
+//! [`ERROR_CODES`]; the `serve` binary surfaces these as the `detail`
+//! of its `invalid_netlist` protocol error. Validation is complete
+//! before any solver work is scheduled — a rejected document never
+//! reaches a solver thread.
+//!
+//! See `docs/NETLIST_SCHEMA.md` for the field-by-field schema reference
+//! with valid and deliberately-invalid examples keyed to these codes.
+//!
+//! # Example
+//!
+//! ```
+//! let doc = r#"{
+//!   "name": "demo",
+//!   "area": [400.0, 300.0],
+//!   "devices": [
+//!     {"name": "M1", "model": "transistor", "size": [40, 30],
+//!      "pins": [{"name": "g", "offset": [-20, 0]}, {"name": "d", "offset": [20, 0]}]},
+//!     {"name": "RF_IN", "model": "pad", "size": 60}
+//!   ],
+//!   "nets": [
+//!     {"name": "TL0", "from": "RF_IN", "to": "M1.g", "length": 150.0}
+//!   ]
+//! }"#;
+//! let netlist = rfic_netlist::wire::from_str(doc)?;
+//! assert_eq!(netlist.microstrips().len(), 1);
+//! let round = rfic_netlist::wire::to_json(&netlist);
+//! assert_eq!(rfic_netlist::wire::parse_netlist(&round)?, netlist);
+//! # Ok::<(), rfic_netlist::WireError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rfic_geom::Point;
+
+use crate::json::{parse, Json, ObjectBuilder};
+use crate::{
+    Device, DeviceId, DeviceKind, Microstrip, MicrostripId, Netlist, NetlistBuilder, NetlistError,
+    Pin, Technology, Terminal,
+};
+
+/// Maximum devices (including pads) a wire-format netlist may declare.
+pub const MAX_DEVICES: usize = 512;
+
+/// Maximum microstrip nets a wire-format netlist may declare.
+pub const MAX_NETS: usize = 1024;
+
+/// Maximum pins on one device.
+pub const MAX_PINS_PER_DEVICE: usize = 64;
+
+/// Maximum length-match groups a wire-format netlist may declare.
+pub const MAX_LENGTH_MATCH_GROUPS: usize = 128;
+
+/// Maximum characters in any name field (netlist, device, pin, net,
+/// group).
+pub const MAX_NAME_CHARS: usize = 128;
+
+/// Maximum chain points a net may request (the solver allocates model
+/// variables per chain point, so this bounds per-net model size).
+pub const MAX_CHAIN_POINTS: usize = 64;
+
+/// Every stable validation code a [`WireError`] can carry, in rough
+/// outside-in order (document structure → technology → devices → nets →
+/// length-match groups). The `serve` protocol exposes the code verbatim
+/// as the `detail` member of its `invalid_netlist` error.
+pub const ERROR_CODES: &[&str] = &[
+    "bad_type",
+    "missing_field",
+    "unknown_field",
+    "bad_name",
+    "netlist_too_large",
+    "unknown_tech",
+    "invalid_tech",
+    "invalid_strip_width",
+    "invalid_area",
+    "empty_netlist",
+    "unknown_model",
+    "invalid_dimension",
+    "device_too_large",
+    "duplicate_device",
+    "invalid_pin",
+    "bad_terminal",
+    "unknown_device",
+    "unknown_pin",
+    "invalid_length",
+    "invalid_chain_points",
+    "self_loop",
+    "pin_conflict",
+    "duplicate_net",
+    "unknown_net",
+    "length_match_too_small",
+    "inconsistent_length_match",
+];
+
+/// A netlist-document validation failure: a stable `code` from
+/// [`ERROR_CODES`], the JSON `path` of the offending value (e.g.
+/// `devices[3].size` — empty for document-level failures) and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable machine-readable code (one of [`ERROR_CODES`]).
+    pub code: &'static str,
+    /// Field path of the offending value, e.g. `nets[2].from`.
+    pub path: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(code: &'static str, path: impl Into<String>, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{} [{}]", self.message, self.code)
+        } else {
+            write!(f, "{}: {} [{}]", self.path, self.message, self.code)
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type WireResult<T> = Result<T, WireError>;
+
+// ---------------------------------------------------------------------------
+// Schema-walk helpers: every accessor carries the field path so errors
+// point at the exact offending value.
+// ---------------------------------------------------------------------------
+
+fn as_object<'a>(
+    value: &'a Json,
+    path: &str,
+) -> WireResult<&'a std::collections::BTreeMap<String, Json>> {
+    match value {
+        Json::Object(map) => Ok(map),
+        _ => Err(WireError::new(
+            "bad_type",
+            path,
+            "expected a JSON object".to_string(),
+        )),
+    }
+}
+
+fn check_members(
+    map: &std::collections::BTreeMap<String, Json>,
+    path: &str,
+    allowed: &[&str],
+) -> WireResult<()> {
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(WireError::new(
+                "unknown_field",
+                join(path, key),
+                format!("unknown field (allowed: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn require<'a>(
+    map: &'a std::collections::BTreeMap<String, Json>,
+    path: &str,
+    key: &str,
+) -> WireResult<&'a Json> {
+    map.get(key).ok_or_else(|| {
+        WireError::new(
+            "missing_field",
+            join(path, key),
+            "required field is missing",
+        )
+    })
+}
+
+fn as_string<'a>(value: &'a Json, path: &str) -> WireResult<&'a str> {
+    value
+        .as_str()
+        .ok_or_else(|| WireError::new("bad_type", path, "expected a string"))
+}
+
+fn as_number(value: &Json, path: &str) -> WireResult<f64> {
+    value
+        .as_f64()
+        .ok_or_else(|| WireError::new("bad_type", path, "expected a number"))
+}
+
+fn as_bool(value: &Json, path: &str) -> WireResult<bool> {
+    value
+        .as_bool()
+        .ok_or_else(|| WireError::new("bad_type", path, "expected a boolean"))
+}
+
+fn as_array<'a>(value: &'a Json, path: &str) -> WireResult<&'a [Json]> {
+    value
+        .as_array()
+        .ok_or_else(|| WireError::new("bad_type", path, "expected an array"))
+}
+
+/// A `[x, y]` two-number array.
+fn as_pair(value: &Json, path: &str) -> WireResult<(f64, f64)> {
+    let items = as_array(value, path)?;
+    if items.len() != 2 {
+        return Err(WireError::new(
+            "bad_type",
+            path,
+            "expected a two-element [x, y] array",
+        ));
+    }
+    Ok((
+        as_number(&items[0], &format!("{path}[0]"))?,
+        as_number(&items[1], &format!("{path}[1]"))?,
+    ))
+}
+
+/// A non-empty name of bounded length.
+fn name_string(value: &Json, path: &str) -> WireResult<String> {
+    let s = as_string(value, path)?;
+    if s.is_empty() || s.chars().count() > MAX_NAME_CHARS {
+        return Err(WireError::new(
+            "bad_name",
+            path,
+            format!("names must be 1..={MAX_NAME_CHARS} characters"),
+        ));
+    }
+    Ok(s.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Technology
+// ---------------------------------------------------------------------------
+
+/// Technology parameter fields accepted in the `tech` object, all in µm
+/// unless noted. `name` selects the base rule set (only `cmos90` today);
+/// the numeric members override individual parameters on top of it.
+const TECH_FIELDS: &[&str] = &[
+    "name",
+    "ground_distance",
+    "strip_width",
+    "bend_delta",
+    "min_segment_length",
+    "pad_size",
+    "dielectric_constant",
+    "loss_tangent",
+];
+
+fn base_tech(name: &str, path: &str) -> WireResult<Technology> {
+    match name {
+        "cmos90" => Ok(Technology::cmos90()),
+        other => Err(WireError::new(
+            "unknown_tech",
+            path,
+            format!("unknown technology {other:?} (known: cmos90)"),
+        )),
+    }
+}
+
+fn parse_tech(value: Option<&Json>) -> WireResult<Technology> {
+    let Some(value) = value else {
+        return Ok(Technology::cmos90());
+    };
+    if let Some(name) = value.as_str() {
+        return base_tech(name, "tech");
+    }
+    let map = as_object(value, "tech")?;
+    check_members(map, "tech", TECH_FIELDS)?;
+    let mut tech = match map.get("name") {
+        Some(name) => base_tech(as_string(name, "tech.name")?, "tech.name")?,
+        None => Technology::cmos90(),
+    };
+    let numeric = |key: &str, slot: &mut f64| -> WireResult<()> {
+        if let Some(value) = map.get(key) {
+            *slot = as_number(value, &join("tech", key))?;
+        }
+        Ok(())
+    };
+    numeric("ground_distance", &mut tech.ground_distance)?;
+    numeric("strip_width", &mut tech.strip_width)?;
+    numeric("bend_delta", &mut tech.bend_delta)?;
+    numeric("min_segment_length", &mut tech.min_segment_length)?;
+    numeric("pad_size", &mut tech.pad_size)?;
+    numeric("dielectric_constant", &mut tech.dielectric_constant)?;
+    numeric("loss_tangent", &mut tech.loss_tangent)?;
+    // Strip width gets its own code (it is the parameter users most
+    // often override per-net too); the remaining rules share
+    // `invalid_tech`.
+    if !(tech.strip_width > 0.0 && tech.strip_width.is_finite()) {
+        return Err(WireError::new(
+            "invalid_strip_width",
+            "tech.strip_width",
+            format!(
+                "strip width must be positive and finite, got {}",
+                tech.strip_width
+            ),
+        ));
+    }
+    let positives = [
+        ("tech.ground_distance", tech.ground_distance),
+        ("tech.min_segment_length", tech.min_segment_length),
+        ("tech.pad_size", tech.pad_size),
+        ("tech.dielectric_constant", tech.dielectric_constant),
+    ];
+    for (path, v) in positives {
+        if !(v > 0.0 && v.is_finite()) {
+            return Err(WireError::new(
+                "invalid_tech",
+                path,
+                format!("must be positive and finite, got {v}"),
+            ));
+        }
+    }
+    if !tech.bend_delta.is_finite() {
+        return Err(WireError::new(
+            "invalid_tech",
+            "tech.bend_delta",
+            "must be finite",
+        ));
+    }
+    if !(tech.loss_tangent >= 0.0 && tech.loss_tangent.is_finite()) {
+        return Err(WireError::new(
+            "invalid_tech",
+            "tech.loss_tangent",
+            format!("must be non-negative and finite, got {}", tech.loss_tangent),
+        ));
+    }
+    Ok(tech)
+}
+
+// ---------------------------------------------------------------------------
+// Devices
+// ---------------------------------------------------------------------------
+
+const DEVICE_FIELDS: &[&str] = &["name", "model", "size", "pins", "rotatable"];
+const PIN_FIELDS: &[&str] = &["name", "offset", "group"];
+
+fn parse_model(value: &Json, path: &str) -> WireResult<DeviceKind> {
+    let kind = match as_string(value, path)? {
+        "transistor" => DeviceKind::Transistor,
+        "capacitor" => DeviceKind::Capacitor,
+        "inductor" => DeviceKind::Inductor,
+        "resistor" => DeviceKind::Resistor,
+        "pad" => DeviceKind::Pad,
+        "other" => DeviceKind::Other,
+        other => {
+            return Err(WireError::new(
+                "unknown_model",
+                path,
+                format!(
+                    "unknown device model {other:?} \
+                     (transistor/capacitor/inductor/resistor/pad/other)"
+                ),
+            ))
+        }
+    };
+    Ok(kind)
+}
+
+/// `size` is either a scalar (square footprint, the usual pad form) or a
+/// `[width, height]` pair.
+fn parse_size(value: &Json, path: &str) -> WireResult<(f64, f64)> {
+    let (w, h) = match value {
+        Json::Number(side) => (*side, *side),
+        _ => as_pair(value, path)?,
+    };
+    if !(w > 0.0 && h > 0.0 && w.is_finite() && h.is_finite()) {
+        return Err(WireError::new(
+            "invalid_dimension",
+            path,
+            format!("dimensions must be positive and finite, got {w} x {h}"),
+        ));
+    }
+    Ok((w, h))
+}
+
+fn parse_pin(value: &Json, path: &str) -> WireResult<Pin> {
+    let map = as_object(value, path)?;
+    check_members(map, path, PIN_FIELDS)?;
+    let name = name_string(require(map, path, "name")?, &join(path, "name"))?;
+    let offset_path = join(path, "offset");
+    let (x, y) = as_pair(require(map, path, "offset")?, &offset_path)?;
+    if !(x.is_finite() && y.is_finite()) {
+        return Err(WireError::new(
+            "invalid_pin",
+            offset_path,
+            "pin offsets must be finite",
+        ));
+    }
+    let group = match map.get("group") {
+        None => None,
+        Some(value) => {
+            let path = join(path, "group");
+            let g = as_number(value, &path)?;
+            if !(g.is_finite() && g.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&g)) {
+                return Err(WireError::new(
+                    "invalid_pin",
+                    path,
+                    "pin groups must be non-negative integers",
+                ));
+            }
+            Some(g as u32)
+        }
+    };
+    Ok(Pin {
+        name,
+        offset: Point::new(x, y),
+        group,
+    })
+}
+
+fn parse_device(value: &Json, index: usize, area: (f64, f64)) -> WireResult<Device> {
+    let path = format!("devices[{index}]");
+    let map = as_object(value, &path)?;
+    check_members(map, &path, DEVICE_FIELDS)?;
+    let name = name_string(require(map, &path, "name")?, &join(&path, "name"))?;
+    let kind = parse_model(require(map, &path, "model")?, &join(&path, "model"))?;
+    let size_path = join(&path, "size");
+    let (width, height) = parse_size(require(map, &path, "size")?, &size_path)?;
+    if (width > area.0 && width > area.1) || (height > area.1 && height > area.0) {
+        return Err(WireError::new(
+            "device_too_large",
+            size_path,
+            format!(
+                "device {name:?} ({width} x {height} µm) cannot fit the \
+                 {} x {} µm layout area in any orientation",
+                area.0, area.1
+            ),
+        ));
+    }
+    let pins = match map.get("pins") {
+        None if kind.is_pad() => vec![Pin::new("pad", Point::ORIGIN)],
+        None => Vec::new(),
+        Some(value) => {
+            let pins_path = join(&path, "pins");
+            let items = as_array(value, &pins_path)?;
+            if items.len() > MAX_PINS_PER_DEVICE {
+                return Err(WireError::new(
+                    "netlist_too_large",
+                    pins_path,
+                    format!("at most {MAX_PINS_PER_DEVICE} pins per device"),
+                ));
+            }
+            let mut pins = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                pins.push(parse_pin(item, &format!("{pins_path}[{i}]"))?);
+            }
+            for (i, pin) in pins.iter().enumerate() {
+                if pins[..i].iter().any(|p| p.name == pin.name) {
+                    return Err(WireError::new(
+                        "invalid_pin",
+                        format!("{pins_path}[{i}].name"),
+                        format!("duplicate pin name {:?} on device {name:?}", pin.name),
+                    ));
+                }
+            }
+            pins
+        }
+    };
+    let rotatable = match map.get("rotatable") {
+        Some(value) => as_bool(value, &join(&path, "rotatable"))?,
+        None => !kind.is_pad(),
+    };
+    let mut device = Device::new(DeviceId(index), name, kind, width, height, pins);
+    device.rotatable = rotatable;
+    Ok(device)
+}
+
+// ---------------------------------------------------------------------------
+// Nets (microstrips)
+// ---------------------------------------------------------------------------
+
+const NET_FIELDS: &[&str] = &["name", "from", "to", "length", "width", "chain_points"];
+
+/// Resolves a terminal spec against the declared devices.
+///
+/// A terminal is written `"DEVICE.PIN"` where `PIN` is a pin name or a
+/// pin index, or as a bare `"DEVICE"` when the device has exactly one
+/// pin (the usual pad form). A bare name that matches a device takes
+/// precedence over the dotted split, so device names may contain dots.
+fn resolve_terminal(
+    spec: &Json,
+    path: &str,
+    devices: &[Device],
+    by_name: &HashMap<&str, usize>,
+) -> WireResult<Terminal> {
+    let spec = as_string(spec, path)?;
+    if let Some(&index) = by_name.get(spec) {
+        let device = &devices[index];
+        return match device.pins.len() {
+            1 => Ok(Terminal::new(DeviceId(index), 0)),
+            n => Err(WireError::new(
+                "bad_terminal",
+                path,
+                format!(
+                    "device {spec:?} has {n} pins; qualify the terminal as \
+                     \"{spec}.<pin>\""
+                ),
+            )),
+        };
+    }
+    let Some(dot) = spec.rfind('.') else {
+        return Err(WireError::new(
+            "unknown_device",
+            path,
+            format!("no device named {spec:?}"),
+        ));
+    };
+    let (device_name, pin_name) = (&spec[..dot], &spec[dot + 1..]);
+    let Some(&index) = by_name.get(device_name) else {
+        return Err(WireError::new(
+            "unknown_device",
+            path,
+            format!("no device named {device_name:?}"),
+        ));
+    };
+    let device = &devices[index];
+    if let Some(pin) = device.pins.iter().position(|p| p.name == pin_name) {
+        return Ok(Terminal::new(DeviceId(index), pin));
+    }
+    if let Ok(pin) = pin_name.parse::<usize>() {
+        if pin < device.pins.len() {
+            return Ok(Terminal::new(DeviceId(index), pin));
+        }
+    }
+    Err(WireError::new(
+        "unknown_pin",
+        path,
+        format!("device {device_name:?} has no pin {pin_name:?}"),
+    ))
+}
+
+fn parse_net(
+    value: &Json,
+    index: usize,
+    devices: &[Device],
+    by_name: &HashMap<&str, usize>,
+) -> WireResult<Microstrip> {
+    let path = format!("nets[{index}]");
+    let map = as_object(value, &path)?;
+    check_members(map, &path, NET_FIELDS)?;
+    let name = name_string(require(map, &path, "name")?, &join(&path, "name"))?;
+    let from_path = join(&path, "from");
+    let start = resolve_terminal(require(map, &path, "from")?, &from_path, devices, by_name)?;
+    let to_path = join(&path, "to");
+    let end = resolve_terminal(require(map, &path, "to")?, &to_path, devices, by_name)?;
+    if start == end {
+        return Err(WireError::new(
+            "self_loop",
+            to_path,
+            format!("net {name:?} connects a pin to itself"),
+        ));
+    }
+    let length_path = join(&path, "length");
+    let length = as_number(require(map, &path, "length")?, &length_path)?;
+    if !(length > 0.0 && length.is_finite()) {
+        return Err(WireError::new(
+            "invalid_length",
+            length_path,
+            format!("target length must be positive and finite, got {length}"),
+        ));
+    }
+    let mut strip = Microstrip::new(MicrostripId(index), name, start, end, length);
+    if let Some(value) = map.get("width") {
+        let path = join(&path, "width");
+        let width = as_number(value, &path)?;
+        if !(width > 0.0 && width.is_finite()) {
+            return Err(WireError::new(
+                "invalid_strip_width",
+                path,
+                format!("strip width must be positive and finite, got {width}"),
+            ));
+        }
+        strip = strip.with_width(width);
+    }
+    if let Some(value) = map.get("chain_points") {
+        let path = join(&path, "chain_points");
+        let n = as_number(value, &path)?;
+        if !(n.is_finite() && n.fract() == 0.0 && (2.0..=MAX_CHAIN_POINTS as f64).contains(&n)) {
+            return Err(WireError::new(
+                "invalid_chain_points",
+                path,
+                format!("chain_points must be an integer in 2..={MAX_CHAIN_POINTS}"),
+            ));
+        }
+        strip = strip.with_chain_points(n as usize);
+    }
+    Ok(strip)
+}
+
+// ---------------------------------------------------------------------------
+// Length-match groups
+// ---------------------------------------------------------------------------
+
+const GROUP_FIELDS: &[&str] = &["name", "nets"];
+
+/// Relative tolerance within which the target lengths of one
+/// length-match group must agree. The flow realises every net's target
+/// **exactly**, so a consistent group is matched by construction; the
+/// group declaration exists to catch circuits whose members drifted
+/// apart upstream.
+const LENGTH_MATCH_RTOL: f64 = 1e-9;
+
+fn check_length_match(
+    value: &Json,
+    index: usize,
+    strips: &[Microstrip],
+    net_by_name: &HashMap<&str, usize>,
+) -> WireResult<()> {
+    let path = format!("length_match[{index}]");
+    let map = as_object(value, &path)?;
+    check_members(map, &path, GROUP_FIELDS)?;
+    let group_name = match map.get("name") {
+        Some(value) => name_string(value, &join(&path, "name"))?,
+        None => format!("group {index}"),
+    };
+    let nets_path = join(&path, "nets");
+    let members = as_array(require(map, &path, "nets")?, &nets_path)?;
+    if members.len() < 2 {
+        return Err(WireError::new(
+            "length_match_too_small",
+            nets_path,
+            format!(
+                "length-match group {group_name:?} lists {} net(s); \
+                 matching needs at least 2",
+                members.len()
+            ),
+        ));
+    }
+    let mut seen: Vec<usize> = Vec::with_capacity(members.len());
+    let mut reference: Option<(usize, f64)> = None;
+    for (i, member) in members.iter().enumerate() {
+        let member_path = format!("{nets_path}[{i}]");
+        let net_name = as_string(member, &member_path)?;
+        let Some(&strip) = net_by_name.get(net_name) else {
+            return Err(WireError::new(
+                "unknown_net",
+                member_path,
+                format!("length-match group {group_name:?} references unknown net {net_name:?}"),
+            ));
+        };
+        if seen.contains(&strip) {
+            return Err(WireError::new(
+                "inconsistent_length_match",
+                member_path,
+                format!("net {net_name:?} is listed twice in group {group_name:?}"),
+            ));
+        }
+        seen.push(strip);
+        let length = strips[strip].target_length;
+        match reference {
+            None => reference = Some((i, length)),
+            Some((first, expected)) => {
+                let scale = expected.abs().max(length.abs()).max(1.0);
+                if (length - expected).abs() > LENGTH_MATCH_RTOL * scale {
+                    return Err(WireError::new(
+                        "inconsistent_length_match",
+                        member_path,
+                        format!(
+                            "length-match group {group_name:?} is inconsistent: \
+                             {:?} targets {expected} µm (member {first}) but \
+                             {net_name:?} targets {length} µm",
+                            members[first].as_str().unwrap_or("?"),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Document parse
+// ---------------------------------------------------------------------------
+
+const ROOT_FIELDS: &[&str] = &["name", "tech", "area", "devices", "nets", "length_match"];
+
+/// Maps a residual [`NetlistError`] from [`NetlistBuilder::build`] onto a
+/// wire code. The schema walk catches every case with a precise path
+/// first; this backstop guarantees that *no* [`Netlist`] constructed via
+/// the wire ever skips a check the in-memory builder enforces, even if
+/// the two validators drift.
+fn map_netlist_error(error: NetlistError) -> WireError {
+    let (code, path) = match &error {
+        NetlistError::InvalidArea { .. } => ("invalid_area", "area".to_string()),
+        NetlistError::UnknownDevice(d) => ("unknown_device", format!("devices[{}]", d.0)),
+        NetlistError::UnknownPin { device, .. } => {
+            ("unknown_pin", format!("devices[{}]", device.0))
+        }
+        NetlistError::SelfLoop(m) => ("self_loop", format!("nets[{}]", m.0)),
+        NetlistError::InvalidLength { microstrip, .. } => {
+            ("invalid_length", format!("nets[{}].length", microstrip.0))
+        }
+        NetlistError::InvalidDeviceSize(d) => {
+            ("invalid_dimension", format!("devices[{}].size", d.0))
+        }
+        NetlistError::PinConflict { microstrips, .. } => {
+            ("pin_conflict", format!("nets[{}]", microstrips.1 .0))
+        }
+        NetlistError::DeviceTooLarge(d) => ("device_too_large", format!("devices[{}].size", d.0)),
+        NetlistError::DuplicateName(_) => ("duplicate_device", "devices".to_string()),
+    };
+    WireError::new(code, path, error.to_string())
+}
+
+/// Parses and validates a netlist document.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] with a stable code from [`ERROR_CODES`] and
+/// the field path of the first violation found.
+pub fn parse_netlist(value: &Json) -> WireResult<Netlist> {
+    let map = as_object(value, "")?;
+    check_members(map, "", ROOT_FIELDS)?;
+    let name = name_string(require(map, "", "name")?, "name")?;
+    let tech = parse_tech(map.get("tech"))?;
+    let (area_w, area_h) = as_pair(require(map, "", "area")?, "area")?;
+    if !(area_w > 0.0 && area_h > 0.0 && area_w.is_finite() && area_h.is_finite()) {
+        return Err(WireError::new(
+            "invalid_area",
+            "area",
+            format!("layout area must be positive and finite, got {area_w} x {area_h}"),
+        ));
+    }
+
+    let device_items = as_array(require(map, "", "devices")?, "devices")?;
+    if device_items.is_empty() {
+        return Err(WireError::new(
+            "empty_netlist",
+            "devices",
+            "a netlist must declare at least one device or pad",
+        ));
+    }
+    if device_items.len() > MAX_DEVICES {
+        return Err(WireError::new(
+            "netlist_too_large",
+            "devices",
+            format!("at most {MAX_DEVICES} devices per netlist"),
+        ));
+    }
+    let mut devices = Vec::with_capacity(device_items.len());
+    for (i, item) in device_items.iter().enumerate() {
+        let device = parse_device(item, i, (area_w, area_h))?;
+        if let Some(previous) = devices.iter().position(|d: &Device| d.name == device.name) {
+            return Err(WireError::new(
+                "duplicate_device",
+                format!("devices[{i}].name"),
+                format!(
+                    "device name {:?} already used by devices[{previous}]",
+                    device.name
+                ),
+            ));
+        }
+        devices.push(device);
+    }
+    let by_name: HashMap<&str, usize> = devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.name.as_str(), i))
+        .collect();
+
+    let mut strips: Vec<Microstrip> = Vec::new();
+    if let Some(value) = map.get("nets") {
+        let net_items = as_array(value, "nets")?;
+        if net_items.len() > MAX_NETS {
+            return Err(WireError::new(
+                "netlist_too_large",
+                "nets",
+                format!("at most {MAX_NETS} nets per netlist"),
+            ));
+        }
+        let mut pin_users: HashMap<Terminal, usize> = HashMap::new();
+        for (i, item) in net_items.iter().enumerate() {
+            let strip = parse_net(item, i, &devices, &by_name)?;
+            if let Some(previous) = strips.iter().position(|s| s.name == strip.name) {
+                return Err(WireError::new(
+                    "duplicate_net",
+                    format!("nets[{i}].name"),
+                    format!("net name {:?} already used by nets[{previous}]", strip.name),
+                ));
+            }
+            for terminal in strip.terminals() {
+                if let Some(&previous) = pin_users.get(&terminal) {
+                    return Err(WireError::new(
+                        "pin_conflict",
+                        format!("nets[{i}]"),
+                        format!(
+                            "pin {terminal} is already driven by nets[{previous}] \
+                             ({:?})",
+                            strips[previous].name
+                        ),
+                    ));
+                }
+                pin_users.insert(terminal, i);
+            }
+            strips.push(strip);
+        }
+    }
+
+    if let Some(value) = map.get("length_match") {
+        let groups = as_array(value, "length_match")?;
+        if groups.len() > MAX_LENGTH_MATCH_GROUPS {
+            return Err(WireError::new(
+                "netlist_too_large",
+                "length_match",
+                format!("at most {MAX_LENGTH_MATCH_GROUPS} length-match groups"),
+            ));
+        }
+        let net_by_name: HashMap<&str, usize> = strips
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.as_str(), i))
+            .collect();
+        for (i, group) in groups.iter().enumerate() {
+            check_length_match(group, i, &strips, &net_by_name)?;
+        }
+    }
+
+    let mut builder = NetlistBuilder::new(name, tech, area_w, area_h);
+    for device in devices {
+        builder.add_device_raw(device);
+    }
+    for strip in strips {
+        builder.add_microstrip_raw(strip);
+    }
+    builder.build().map_err(map_netlist_error)
+}
+
+/// Parses a netlist document from JSON text ([`crate::json::parse`] +
+/// [`parse_netlist`]).
+///
+/// # Errors
+///
+/// JSON syntax errors surface as a `bad_type` [`WireError`] with an
+/// empty path; schema violations as their specific code.
+pub fn from_str(text: &str) -> WireResult<Netlist> {
+    let value = parse(text)
+        .map_err(|message| WireError::new("bad_type", "", format!("bad JSON: {message}")))?;
+    parse_netlist(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+fn number(v: f64) -> Json {
+    Json::Number(v)
+}
+
+fn pair(x: f64, y: f64) -> Json {
+    Json::Array(vec![number(x), number(y)])
+}
+
+fn tech_to_json(tech: &Technology) -> Json {
+    ObjectBuilder::new()
+        .set("name", Json::String(tech.name.clone()))
+        .set("ground_distance", number(tech.ground_distance))
+        .set("strip_width", number(tech.strip_width))
+        .set("bend_delta", number(tech.bend_delta))
+        .set("min_segment_length", number(tech.min_segment_length))
+        .set("pad_size", number(tech.pad_size))
+        .set("dielectric_constant", number(tech.dielectric_constant))
+        .set("loss_tangent", number(tech.loss_tangent))
+        .build()
+}
+
+/// `true` when `device` is exactly what [`Device::pad`] constructs, so
+/// the export can use the compact scalar-size pad form.
+fn is_canonical_pad(device: &Device) -> bool {
+    device.kind.is_pad()
+        && device.width == device.height
+        && !device.rotatable
+        && device.pins.len() == 1
+        && device.pins[0].name == "pad"
+        && device.pins[0].offset == Point::ORIGIN
+        && device.pins[0].group.is_none()
+}
+
+fn device_to_json(device: &Device) -> Json {
+    if is_canonical_pad(device) {
+        return ObjectBuilder::new()
+            .set("name", Json::String(device.name.clone()))
+            .set("model", Json::String("pad".into()))
+            .set("size", number(device.width))
+            .build();
+    }
+    let pins = device
+        .pins
+        .iter()
+        .map(|pin| {
+            let mut b = ObjectBuilder::new()
+                .set("name", Json::String(pin.name.clone()))
+                .set("offset", pair(pin.offset.x, pin.offset.y));
+            if let Some(group) = pin.group {
+                b = b.set("group", number(group as f64));
+            }
+            b.build()
+        })
+        .collect();
+    let mut builder = ObjectBuilder::new()
+        .set("name", Json::String(device.name.clone()))
+        .set("model", Json::String(device.kind.to_string()))
+        .set("size", pair(device.width, device.height))
+        .set("pins", Json::Array(pins));
+    if device.rotatable == device.kind.is_pad() {
+        // Non-default only: rotatable pads and pinned-down devices.
+        builder = builder.set("rotatable", Json::Bool(device.rotatable));
+    }
+    builder.build()
+}
+
+/// The terminal spec [`resolve_terminal`] maps back onto this exact pin:
+/// bare device name for single-pin devices, `"DEVICE.<pin name>"` when
+/// the pin name resolves unambiguously, `"DEVICE.<pin index>"`
+/// otherwise.
+fn terminal_spec(netlist: &Netlist, terminal: Terminal) -> String {
+    let device = netlist
+        .device(terminal.device)
+        .expect("terminal of a validated netlist");
+    if device.pins.len() == 1 {
+        return device.name.clone();
+    }
+    let pin = &device.pins[terminal.pin];
+    let by_name = device.pins.iter().position(|p| p.name == pin.name);
+    if by_name == Some(terminal.pin) && pin.name.parse::<usize>().is_err() {
+        format!("{}.{}", device.name, pin.name)
+    } else {
+        format!("{}.{}", device.name, terminal.pin)
+    }
+}
+
+fn net_to_json(netlist: &Netlist, strip: &Microstrip) -> Json {
+    let mut builder = ObjectBuilder::new()
+        .set("name", Json::String(strip.name.clone()))
+        .set("from", Json::String(terminal_spec(netlist, strip.start)))
+        .set("to", Json::String(terminal_spec(netlist, strip.end)))
+        .set("length", number(strip.target_length));
+    if let Some(width) = strip.width_override {
+        builder = builder.set("width", number(width));
+    }
+    if strip.suggested_chain_points != Microstrip::DEFAULT_CHAIN_POINTS {
+        builder = builder.set("chain_points", number(strip.suggested_chain_points as f64));
+    }
+    builder.build()
+}
+
+/// Exports a netlist as a wire-format document.
+///
+/// The export is canonical and minimal: defaulted members
+/// (`rotatable`, `width`, `chain_points`, implicit pad pins) are
+/// omitted, and `parse_netlist(&to_json(&n))` reconstructs a netlist
+/// equal to `n` — including its [`Netlist::fingerprint`] — for any
+/// netlist whose device names are unique (guaranteed by validation).
+pub fn to_json(netlist: &Netlist) -> Json {
+    let devices = netlist.devices().iter().map(device_to_json).collect();
+    let nets = netlist
+        .microstrips()
+        .iter()
+        .map(|strip| net_to_json(netlist, strip))
+        .collect();
+    let (w, h) = netlist.area();
+    ObjectBuilder::new()
+        .set("name", Json::String(netlist.name().to_string()))
+        .set("tech", tech_to_json(netlist.tech()))
+        .set("area", pair(w, h))
+        .set("devices", Json::Array(devices))
+        .set("nets", Json::Array(nets))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn benchmarks_round_trip_bit_exactly() {
+        for netlist in [
+            benchmarks::tiny_circuit().netlist,
+            benchmarks::small_circuit().netlist,
+            benchmarks::lna_94ghz().netlist,
+            benchmarks::buffer_60ghz().netlist,
+            benchmarks::lna_60ghz().netlist,
+        ] {
+            let doc = to_json(&netlist);
+            let reparsed = parse_netlist(&doc).expect("exported benchmark parses");
+            assert_eq!(reparsed, netlist, "{} round-trips", netlist.name());
+            assert_eq!(
+                reparsed.fingerprint(),
+                netlist.fingerprint(),
+                "{} fingerprint survives the wire",
+                netlist.name()
+            );
+            // And the *textual* form round-trips too (numbers re-parse
+            // to the same bits).
+            let text = doc.to_string();
+            let again = from_str(&text).expect("textual form parses");
+            assert_eq!(again.fingerprint(), netlist.fingerprint());
+        }
+    }
+
+    #[test]
+    fn terminal_specs_resolve_back_to_the_same_pin() {
+        let netlist = benchmarks::tiny_circuit().netlist;
+        let by_name: HashMap<&str, usize> = netlist
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.as_str(), i))
+            .collect();
+        for strip in netlist.microstrips() {
+            for terminal in strip.terminals() {
+                let spec = Json::String(terminal_spec(&netlist, terminal));
+                let resolved = resolve_terminal(&spec, "t", netlist.devices(), &by_name)
+                    .expect("exported terminal resolves");
+                assert_eq!(resolved, terminal);
+            }
+        }
+    }
+
+    #[test]
+    fn error_code_catalogue_is_deduplicated() {
+        let mut seen = Vec::new();
+        for code in ERROR_CODES {
+            assert!(!seen.contains(code), "duplicate code {code}");
+            seen.push(code);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Table-driven validation suite for the netlist wire format: one
+//! deliberately malformed document per stable error code in
+//! [`rfic_netlist::wire::ERROR_CODES`], plus boundary cases, plus the
+//! export/import round trip the inline-submit path of `serve` relies on.
+
+use rfic_netlist::benchmarks;
+use rfic_netlist::wire::{from_str, parse_netlist, to_json, ERROR_CODES};
+
+/// A minimal valid document the malformed cases below are variations of.
+const VALID: &str = r#"{
+  "name": "valid",
+  "area": [400, 300],
+  "devices": [
+    {"name": "M1", "model": "transistor", "size": [40, 30],
+     "pins": [{"name": "g", "offset": [-20, 0]},
+              {"name": "d", "offset": [20, 0]}]},
+    {"name": "P_IN", "model": "pad", "size": 60},
+    {"name": "P_OUT", "model": "pad", "size": 60}
+  ],
+  "nets": [
+    {"name": "TL_IN", "from": "P_IN", "to": "M1.g", "length": 150},
+    {"name": "TL_OUT", "from": "M1.d", "to": "P_OUT", "length": 150}
+  ],
+  "length_match": [
+    {"name": "io", "nets": ["TL_IN", "TL_OUT"]}
+  ]
+}"#;
+
+/// (expected code, expected path fragment, document) — one entry per
+/// code in `ERROR_CODES`, plus extra boundary cases for codes with more
+/// than one trigger.
+const MALFORMED: &[(&str, &str, &str)] = &[
+    // Document structure.
+    ("bad_type", "", r#"[1, 2, 3]"#),
+    ("bad_type", "", r#"{"name": "x", "area": "#), // truncated JSON
+    (
+        "missing_field",
+        "area",
+        r#"{"name": "x", "devices": [{"name": "P", "model": "pad", "size": 60}]}"#,
+    ),
+    (
+        "unknown_field",
+        "circuits",
+        r#"{"name": "x", "area": [100, 100], "circuits": [],
+            "devices": [{"name": "P", "model": "pad", "size": 60}]}"#,
+    ),
+    (
+        "bad_name",
+        "name",
+        r#"{"name": "", "area": [100, 100],
+            "devices": [{"name": "P", "model": "pad", "size": 60}]}"#,
+    ),
+    // Technology.
+    (
+        "unknown_tech",
+        "tech",
+        r#"{"name": "x", "area": [100, 100], "tech": "gaas",
+            "devices": [{"name": "P", "model": "pad", "size": 60}]}"#,
+    ),
+    (
+        "invalid_tech",
+        "tech.ground_distance",
+        r#"{"name": "x", "area": [100, 100], "tech": {"ground_distance": -1},
+            "devices": [{"name": "P", "model": "pad", "size": 60}]}"#,
+    ),
+    (
+        "invalid_strip_width",
+        "tech.strip_width",
+        r#"{"name": "x", "area": [100, 100], "tech": {"strip_width": 0},
+            "devices": [{"name": "P", "model": "pad", "size": 60}]}"#,
+    ),
+    // Area.
+    (
+        "invalid_area",
+        "area",
+        r#"{"name": "x", "area": [0, 100],
+            "devices": [{"name": "P", "model": "pad", "size": 60}]}"#,
+    ),
+    // Devices: a zero-device netlist is the boundary case for
+    // `empty_netlist`.
+    (
+        "empty_netlist",
+        "devices",
+        r#"{"name": "x", "area": [100, 100], "devices": []}"#,
+    ),
+    (
+        "unknown_model",
+        "devices[0].model",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "D", "model": "varactor", "size": 10}]}"#,
+    ),
+    (
+        "invalid_dimension",
+        "devices[0].size",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "D", "model": "other", "size": [-5, 10]}]}"#,
+    ),
+    (
+        "device_too_large",
+        "devices[0].size",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "D", "model": "other", "size": [500, 500]}]}"#,
+    ),
+    (
+        "duplicate_device",
+        "devices[1].name",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "P", "model": "pad", "size": 60},
+                        {"name": "P", "model": "pad", "size": 60}]}"#,
+    ),
+    (
+        "invalid_pin",
+        "devices[0].pins[1].name",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "D", "model": "other", "size": 20,
+                         "pins": [{"name": "a", "offset": [0, 0]},
+                                  {"name": "a", "offset": [5, 0]}]}]}"#,
+    ),
+    // Nets.
+    (
+        "bad_terminal",
+        "nets[0].from",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "D", "model": "other", "size": 20,
+                         "pins": [{"name": "a", "offset": [-10, 0]},
+                                  {"name": "b", "offset": [10, 0]}]},
+                        {"name": "P", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "D", "to": "P", "length": 50}]}"#,
+    ),
+    (
+        "unknown_device",
+        "nets[0].from",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "P", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "NOPE", "to": "P", "length": 50}]}"#,
+    ),
+    (
+        "unknown_pin",
+        "nets[0].to",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "D", "model": "other", "size": 20,
+                         "pins": [{"name": "a", "offset": [0, 0]}]},
+                        {"name": "P", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "P", "to": "D.z", "length": 50}]}"#,
+    ),
+    (
+        "invalid_length",
+        "nets[0].length",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "P", "model": "pad", "size": 60},
+                        {"name": "Q", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "P", "to": "Q", "length": 0}]}"#,
+    ),
+    (
+        "invalid_strip_width",
+        "nets[0].width",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "P", "model": "pad", "size": 60},
+                        {"name": "Q", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "P", "to": "Q", "length": 50, "width": -2}]}"#,
+    ),
+    (
+        "invalid_chain_points",
+        "nets[0].chain_points",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "P", "model": "pad", "size": 60},
+                        {"name": "Q", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "P", "to": "Q", "length": 50, "chain_points": 1}]}"#,
+    ),
+    (
+        "self_loop",
+        "nets[0].to",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "P", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "P", "to": "P", "length": 50}]}"#,
+    ),
+    (
+        "pin_conflict",
+        "nets[1]",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "P", "model": "pad", "size": 60},
+                        {"name": "Q", "model": "pad", "size": 60},
+                        {"name": "R", "model": "pad", "size": 60}],
+            "nets": [{"name": "T1", "from": "P", "to": "Q", "length": 50},
+                     {"name": "T2", "from": "P", "to": "R", "length": 50}]}"#,
+    ),
+    (
+        "duplicate_net",
+        "nets[1].name",
+        r#"{"name": "x", "area": [200, 200],
+            "devices": [{"name": "P", "model": "pad", "size": 60},
+                        {"name": "Q", "model": "pad", "size": 60},
+                        {"name": "R", "model": "pad", "size": 60},
+                        {"name": "S", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "P", "to": "Q", "length": 50},
+                     {"name": "T", "from": "R", "to": "S", "length": 50}]}"#,
+    ),
+    // Length-match groups.
+    (
+        "unknown_net",
+        "length_match[0].nets[1]",
+        r#"{"name": "x", "area": [200, 200],
+            "devices": [{"name": "P", "model": "pad", "size": 60},
+                        {"name": "Q", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "P", "to": "Q", "length": 50}],
+            "length_match": [{"nets": ["T", "MISSING"]}]}"#,
+    ),
+    // Boundary case: a 1-strip length-match group.
+    (
+        "length_match_too_small",
+        "length_match[0].nets",
+        r#"{"name": "x", "area": [200, 200],
+            "devices": [{"name": "P", "model": "pad", "size": 60},
+                        {"name": "Q", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "P", "to": "Q", "length": 50}],
+            "length_match": [{"nets": ["T"]}]}"#,
+    ),
+    (
+        "inconsistent_length_match",
+        "length_match[0].nets[1]",
+        r#"{"name": "x", "area": [300, 300],
+            "devices": [{"name": "P", "model": "pad", "size": 60},
+                        {"name": "Q", "model": "pad", "size": 60},
+                        {"name": "R", "model": "pad", "size": 60},
+                        {"name": "S", "model": "pad", "size": 60}],
+            "nets": [{"name": "T1", "from": "P", "to": "Q", "length": 50},
+                     {"name": "T2", "from": "R", "to": "S", "length": 60}],
+            "length_match": [{"nets": ["T1", "T2"]}]}"#,
+    ),
+    (
+        "netlist_too_large",
+        "devices[0].pins",
+        r#"{"name": "x", "area": [100, 100],
+            "devices": [{"name": "D", "model": "other", "size": 20,
+                         "pins": [
+        {"name":"p00","offset":[0,0]},{"name":"p01","offset":[0,0]},{"name":"p02","offset":[0,0]},{"name":"p03","offset":[0,0]},{"name":"p04","offset":[0,0]},{"name":"p05","offset":[0,0]},{"name":"p06","offset":[0,0]},{"name":"p07","offset":[0,0]},{"name":"p08","offset":[0,0]},{"name":"p09","offset":[0,0]},
+        {"name":"p10","offset":[0,0]},{"name":"p11","offset":[0,0]},{"name":"p12","offset":[0,0]},{"name":"p13","offset":[0,0]},{"name":"p14","offset":[0,0]},{"name":"p15","offset":[0,0]},{"name":"p16","offset":[0,0]},{"name":"p17","offset":[0,0]},{"name":"p18","offset":[0,0]},{"name":"p19","offset":[0,0]},
+        {"name":"p20","offset":[0,0]},{"name":"p21","offset":[0,0]},{"name":"p22","offset":[0,0]},{"name":"p23","offset":[0,0]},{"name":"p24","offset":[0,0]},{"name":"p25","offset":[0,0]},{"name":"p26","offset":[0,0]},{"name":"p27","offset":[0,0]},{"name":"p28","offset":[0,0]},{"name":"p29","offset":[0,0]},
+        {"name":"p30","offset":[0,0]},{"name":"p31","offset":[0,0]},{"name":"p32","offset":[0,0]},{"name":"p33","offset":[0,0]},{"name":"p34","offset":[0,0]},{"name":"p35","offset":[0,0]},{"name":"p36","offset":[0,0]},{"name":"p37","offset":[0,0]},{"name":"p38","offset":[0,0]},{"name":"p39","offset":[0,0]},
+        {"name":"p40","offset":[0,0]},{"name":"p41","offset":[0,0]},{"name":"p42","offset":[0,0]},{"name":"p43","offset":[0,0]},{"name":"p44","offset":[0,0]},{"name":"p45","offset":[0,0]},{"name":"p46","offset":[0,0]},{"name":"p47","offset":[0,0]},{"name":"p48","offset":[0,0]},{"name":"p49","offset":[0,0]},
+        {"name":"p50","offset":[0,0]},{"name":"p51","offset":[0,0]},{"name":"p52","offset":[0,0]},{"name":"p53","offset":[0,0]},{"name":"p54","offset":[0,0]},{"name":"p55","offset":[0,0]},{"name":"p56","offset":[0,0]},{"name":"p57","offset":[0,0]},{"name":"p58","offset":[0,0]},{"name":"p59","offset":[0,0]},
+        {"name":"p60","offset":[0,0]},{"name":"p61","offset":[0,0]},{"name":"p62","offset":[0,0]},{"name":"p63","offset":[0,0]},{"name":"p64","offset":[0,0]}
+                         ]}]}"#,
+    ),
+];
+
+#[test]
+fn valid_document_parses() {
+    let netlist = from_str(VALID).expect("valid document parses");
+    assert_eq!(netlist.name(), "valid");
+    assert_eq!(netlist.devices().len(), 3);
+    assert_eq!(netlist.microstrips().len(), 2);
+}
+
+#[test]
+fn malformed_documents_get_stable_codes_and_paths() {
+    for (expected_code, expected_path, doc) in MALFORMED {
+        let error = from_str(doc).expect_err(&format!("document for {expected_code} must fail"));
+        assert_eq!(
+            &error.code, expected_code,
+            "wrong code for {expected_code}: got {error}"
+        );
+        assert!(
+            error.path.contains(expected_path),
+            "path {:?} does not contain {expected_path:?} (code {expected_code})",
+            error.path
+        );
+        assert!(
+            ERROR_CODES.contains(&error.code),
+            "code {} missing from ERROR_CODES",
+            error.code
+        );
+    }
+    assert!(
+        MALFORMED.len() >= 15,
+        "suite must stay table-driven and broad"
+    );
+}
+
+#[test]
+fn every_error_code_is_exercised() {
+    for code in ERROR_CODES {
+        assert!(
+            MALFORMED.iter().any(|(c, _, _)| c == code),
+            "no malformed document exercises {code}"
+        );
+    }
+}
+
+#[test]
+fn exported_benchmarks_reimport_with_identical_fingerprints() {
+    for netlist in [
+        benchmarks::tiny_circuit().netlist,
+        benchmarks::small_circuit().netlist,
+        benchmarks::lna_94ghz().netlist,
+        benchmarks::buffer_60ghz().netlist,
+        benchmarks::lna_60ghz().netlist,
+    ] {
+        let text = to_json(&netlist).to_string();
+        let reparsed = from_str(&text).expect("exported benchmark re-imports");
+        assert_eq!(reparsed, netlist);
+        assert_eq!(reparsed.fingerprint(), netlist.fingerprint());
+    }
+}
+
+#[test]
+fn tech_overrides_apply_on_top_of_cmos90() {
+    let netlist = from_str(
+        r#"{"name": "x", "area": [100, 100],
+            "tech": {"name": "cmos90", "strip_width": 8.5},
+            "devices": [{"name": "P", "model": "pad", "size": 60}]}"#,
+    )
+    .unwrap();
+    assert_eq!(netlist.tech().strip_width, 8.5);
+    assert_eq!(
+        netlist.tech().ground_distance,
+        rfic_netlist::Technology::cmos90().ground_distance
+    );
+}
+
+#[test]
+fn pin_index_terminals_resolve() {
+    let netlist = from_str(
+        r#"{"name": "x", "area": [200, 200],
+            "devices": [{"name": "D", "model": "other", "size": 20,
+                         "pins": [{"name": "a", "offset": [-10, 0]},
+                                  {"name": "b", "offset": [10, 0]}]},
+                        {"name": "P", "model": "pad", "size": 60}],
+            "nets": [{"name": "T", "from": "P", "to": "D.1", "length": 50}]}"#,
+    )
+    .unwrap();
+    assert_eq!(netlist.microstrips()[0].end.pin, 1);
+}
+
+#[test]
+fn consistent_length_match_groups_are_accepted() {
+    // Same document as VALID but exercised via parse_netlist to confirm
+    // the Json-level entry point agrees with from_str.
+    let value = rfic_netlist::json::parse(VALID).unwrap();
+    parse_netlist(&value).expect("consistent group passes");
+}

@@ -10,18 +10,27 @@
 //!
 //! | op         | fields                                                        |
 //! |------------|---------------------------------------------------------------|
-//! | `submit`   | `circuit` (`tiny`/`small`/`lna94`/`buffer60`/`lna60`), optional `config` (`fast`*/`thorough`), `deadline_ms`, `threads`, `area` (`[w,h]` µm) |
-//! | `sweep`    | `circuit`, `variants` (array of `{target_scale?, area?, spacing?}` objects), optional `config`, `deadline_ms`, `threads`; blocks until every variant is laid out |
+//! | `submit`   | `circuit` (a named benchmark) **or** `netlist` (an inline document, `docs/NETLIST_SCHEMA.md`), optional `config` (`fast`*/`thorough`), `deadline_ms`, `threads`, `area` (`[w,h]` µm) |
+//! | `sweep`    | `circuit` or `netlist`, `variants` (array of `{target_scale?, area?, spacing?}` objects), optional `config`, `deadline_ms`, `threads`; blocks until every variant is laid out |
+//! | `validate` | `netlist` — schema-check only, no job is scheduled            |
+//! | `export`   | `circuit` — the named benchmark as a wire-format document     |
 //! | `status`   | `job`                                                         |
 //! | `result`   | `job` (blocks until done), optional `report`/`svg` booleans   |
 //! | `cancel`   | `job`                                                         |
 //! | `shutdown` | optional `drain` boolean                                      |
 //!
+//! The full wire reference lives in `docs/PROTOCOL.md`; this header is
+//! the summary.
+//!
 //! Requests are validated strictly: unknown ops, unknown fields,
 //! out-of-range values (`deadline_ms` ∉ (0, 86 400 000], `threads` ∉
-//! 0..=8, non-positive or oversized `area`) and lines longer than 64 KiB
-//! are rejected with stable error codes instead of being silently
-//! coerced.
+//! 0..=8, non-positive or oversized `area`) and over-long lines are
+//! rejected with stable error codes instead of being silently coerced.
+//! The line cap is 64 KiB, raised to 1 MiB for lines that carry an
+//! inline `"netlist"` document. Inline netlists are schema-validated
+//! ([`rfic_layout::netlist::wire`]) **before** any solver work is
+//! scheduled; rejections carry the `invalid_netlist` code plus the
+//! wire-level `detail` code and field `path`.
 //!
 //! ## Lifecycle
 //!
@@ -63,12 +72,20 @@ use std::io::{BufRead, Write};
 use std::time::{Duration, Instant};
 
 use rfic_layout::core::{render, JobContext, JobHandle, Pilp, PilpConfig, PilpError, PilpResult};
-use rfic_layout::netlist::{benchmarks, Netlist};
+use rfic_layout::netlist::{benchmarks, wire, Netlist};
 use rfic_layout::protocol::{parse, Json, ObjectBuilder};
 
 /// Longest accepted request line. Anything larger is answered with
 /// `line_too_long` and never reaches the JSON parser.
 const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Raised line cap for requests carrying an inline `"netlist"`
+/// document: a maximal schema-legal netlist (512 devices with pins, 1024
+/// nets) runs to a few hundred KiB of JSON, far over the 64 KiB
+/// discipline that bounds every other op. Lines containing the
+/// substring `"netlist"` get this cap instead; everything else keeps
+/// the tight one.
+const MAX_NETLIST_LINE_BYTES: usize = 1024 * 1024;
 
 /// Upper bound on `deadline_ms`: one day. Catches sign/unit mistakes
 /// before they turn into a job that never times out.
@@ -159,16 +176,96 @@ fn check_fields(op: &str, request: &Json, allowed: &[&str]) -> Option<Json> {
     None
 }
 
+/// A named built-in circuit: protocol name plus its constructor.
+type NamedCircuit = (&'static str, fn() -> Netlist);
+
+/// The one shared table of named built-in circuits. Everything that
+/// names circuits — lookup, the unknown-circuit error message, the
+/// `export` op, `docs/PROTOCOL.md` (kept honest by the doc-drift gate)
+/// — derives from this list, so adding a benchmark cannot drift any of
+/// them apart.
+const NAMED_CIRCUITS: &[NamedCircuit] = &[
+    ("tiny", || benchmarks::tiny_circuit().netlist),
+    ("small", || benchmarks::small_circuit().netlist),
+    ("lna94", || benchmarks::lna_94ghz().netlist),
+    ("buffer60", || benchmarks::buffer_60ghz().netlist),
+    ("lna60", || benchmarks::lna_60ghz().netlist),
+];
+
 fn circuit_by_name(name: &str) -> Option<Netlist> {
-    let netlist = match name {
-        "tiny" => benchmarks::tiny_circuit().netlist,
-        "small" => benchmarks::small_circuit().netlist,
-        "lna94" => benchmarks::lna_94ghz().netlist,
-        "buffer60" => benchmarks::buffer_60ghz().netlist,
-        "lna60" => benchmarks::lna_60ghz().netlist,
-        _ => return None,
-    };
-    Some(netlist)
+    NAMED_CIRCUITS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, build)| build())
+}
+
+/// `tiny/small/lna94/buffer60/lna60`, derived from [`NAMED_CIRCUITS`]
+/// for error messages and docs.
+fn known_circuit_names() -> String {
+    NAMED_CIRCUITS
+        .iter()
+        .map(|(n, _)| *n)
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The `invalid_netlist` rejection for a wire-format schema failure:
+/// the protocol-level code plus the wire-level `detail` code and the
+/// field `path` of the offending value.
+fn invalid_netlist_response(op: &str, error: &wire::WireError) -> Json {
+    ObjectBuilder::new()
+        .set("ok", Json::Bool(false))
+        .set("op", Json::String(op.to_string()))
+        .set(
+            "error",
+            ObjectBuilder::new()
+                .set("code", Json::String("invalid_netlist".into()))
+                .set("detail", Json::String(error.code.to_string()))
+                .set("path", Json::String(error.path.clone()))
+                .set("message", Json::String(error.message.clone()))
+                .build(),
+        )
+        .build()
+}
+
+/// Resolves the circuit of a `submit`/`sweep` request: exactly one of
+/// `circuit` (a [`NAMED_CIRCUITS`] name) or `netlist` (an inline
+/// wire-format document, validated here — before any job is admitted to
+/// the pool).
+fn requested_netlist(op: &str, request: &Json) -> Result<Netlist, Json> {
+    let circuit = request.get("circuit");
+    let inline = request.get("netlist");
+    match (circuit, inline) {
+        (Some(_), Some(_)) => Err(error_response(
+            op,
+            "bad_request",
+            "give either \"circuit\" or \"netlist\", not both",
+        )),
+        (None, None) => Err(error_response(
+            op,
+            "bad_request",
+            "missing \"circuit\" or \"netlist\"",
+        )),
+        (Some(value), None) => {
+            let Some(name) = value.as_str() else {
+                return Err(error_response(
+                    op,
+                    "bad_request",
+                    "circuit must be a string",
+                ));
+            };
+            circuit_by_name(name).ok_or_else(|| {
+                error_response(
+                    op,
+                    "bad_request",
+                    &format!("unknown circuit {name:?} ({})", known_circuit_names()),
+                )
+            })
+        }
+        (None, Some(document)) => {
+            wire::parse_netlist(document).map_err(|e| invalid_netlist_response(op, &e))
+        }
+    }
 }
 
 fn build_config(request: &Json) -> Result<PilpConfig, String> {
@@ -206,21 +303,9 @@ fn build_config(request: &Json) -> Result<PilpConfig, String> {
 }
 
 fn handle_submit(request: &Json, ctx: &JobContext, next_id: &mut u64) -> (Json, Option<ServedJob>) {
-    let Some(name) = request.get("circuit").and_then(Json::as_str) else {
-        return (
-            error_response("submit", "bad_request", "missing \"circuit\""),
-            None,
-        );
-    };
-    let Some(mut netlist) = circuit_by_name(name) else {
-        return (
-            error_response(
-                "submit",
-                "bad_request",
-                &format!("unknown circuit {name:?} (tiny/small/lna94/buffer60/lna60)"),
-            ),
-            None,
-        );
+    let mut netlist = match requested_netlist("submit", request) {
+        Ok(netlist) => netlist,
+        Err(rejection) => return (rejection, None),
     };
     if let Some(value) = request.get("area") {
         let dims = value.as_array().and_then(|area| {
@@ -260,7 +345,7 @@ fn handle_submit(request: &Json, ctx: &JobContext, next_id: &mut u64) -> (Json, 
         Ok(config) => config,
         Err(message) => return (error_response("submit", "bad_request", &message), None),
     };
-    let handle = Pilp::new(config).submit_in(&netlist, ctx);
+    let handle = Pilp::new(config).submit_owned_in(netlist.clone(), ctx);
     let id = *next_id;
     *next_id += 1;
     let response = ObjectBuilder::new()
@@ -499,15 +584,9 @@ fn sweep_variant_payload(index: usize, outcome: &Result<PilpResult, PilpError>) 
 /// the structure-reuse fast path — see [`rfic_layout::core::ModelCache`])
 /// and the response carries one entry per variant, in order.
 fn handle_sweep(request: &Json, ctx: &JobContext) -> Json {
-    let Some(name) = request.get("circuit").and_then(Json::as_str) else {
-        return error_response("sweep", "bad_request", "missing \"circuit\"");
-    };
-    let Some(base) = circuit_by_name(name) else {
-        return error_response(
-            "sweep",
-            "bad_request",
-            &format!("unknown circuit {name:?} (tiny/small/lna94/buffer60/lna60)"),
-        );
+    let base = match requested_netlist("sweep", request) {
+        Ok(netlist) => netlist,
+        Err(rejection) => return rejection,
     };
     let variants = match build_variants(&base, request.get("variants")) {
         Ok(variants) => variants,
@@ -528,6 +607,60 @@ fn handle_sweep(request: &Json, ctx: &JobContext) -> Json {
         .set("op", Json::String("sweep".into()))
         .set("variants", Json::Number(results.len() as f64))
         .set("results", Json::Array(entries))
+        .build()
+}
+
+/// Schema-checks an inline netlist without scheduling any solver work:
+/// the cheap preflight for clients assembling documents by hand. The
+/// reported `fingerprint` is the content hash that keys the
+/// cross-request caches — two submits with equal fingerprints replay
+/// the same cached flow.
+fn handle_validate(request: &Json) -> Json {
+    let Some(document) = request.get("netlist") else {
+        return error_response("validate", "bad_request", "missing \"netlist\"");
+    };
+    match wire::parse_netlist(document) {
+        Err(error) => invalid_netlist_response("validate", &error),
+        Ok(netlist) => {
+            let pads = netlist.devices().iter().filter(|d| d.is_pad()).count();
+            ObjectBuilder::new()
+                .set("ok", Json::Bool(true))
+                .set("op", Json::String("validate".into()))
+                .set("name", Json::String(netlist.name().to_string()))
+                .set(
+                    "devices",
+                    Json::Number((netlist.devices().len() - pads) as f64),
+                )
+                .set("pads", Json::Number(pads as f64))
+                .set("nets", Json::Number(netlist.microstrips().len() as f64))
+                .set(
+                    "fingerprint",
+                    Json::String(format!("{:016x}", netlist.fingerprint())),
+                )
+                .build()
+        }
+    }
+}
+
+/// Dumps a named benchmark as a wire-format document — the starting
+/// point for "export, edit, resubmit" and the generator of the inline
+/// examples in `docs/NETLIST_SCHEMA.md`.
+fn handle_export(request: &Json) -> Json {
+    let Some(name) = request.get("circuit").and_then(Json::as_str) else {
+        return error_response("export", "bad_request", "missing \"circuit\"");
+    };
+    let Some(netlist) = circuit_by_name(name) else {
+        return error_response(
+            "export",
+            "bad_request",
+            &format!("unknown circuit {name:?} ({})", known_circuit_names()),
+        );
+    };
+    ObjectBuilder::new()
+        .set("ok", Json::Bool(true))
+        .set("op", Json::String("export".into()))
+        .set("circuit", Json::String(name.to_string()))
+        .set("netlist", wire::to_json(&netlist))
         .build()
 }
 
@@ -613,11 +746,18 @@ fn main() {
             continue;
         }
         reap_finished(&mut jobs, options.result_ttl);
-        if line.len() > MAX_LINE_BYTES {
+        // The raised cap keys off the raw line so an oversized request
+        // is rejected before the JSON parser ever touches it.
+        let line_cap = if line.contains("\"netlist\"") {
+            MAX_NETLIST_LINE_BYTES
+        } else {
+            MAX_LINE_BYTES
+        };
+        if line.len() > line_cap {
             let response = error_response(
                 "?",
                 "line_too_long",
-                &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                &format!("request line exceeds {line_cap} bytes"),
             );
             let _ = writeln!(out, "{response}");
             let _ = out.flush();
@@ -639,7 +779,15 @@ fn main() {
                 if let Some(rejected) = check_fields(
                     op,
                     &request,
-                    &["op", "circuit", "config", "deadline_ms", "threads", "area"],
+                    &[
+                        "op",
+                        "circuit",
+                        "netlist",
+                        "config",
+                        "deadline_ms",
+                        "threads",
+                        "area",
+                    ],
                 ) {
                     rejected
                 } else if draining {
@@ -665,6 +813,7 @@ fn main() {
                     &[
                         "op",
                         "circuit",
+                        "netlist",
                         "variants",
                         "config",
                         "deadline_ms",
@@ -678,6 +827,16 @@ fn main() {
                     handle_sweep(&request, &ctx)
                 }
             }
+            // Pure schema/document ops: no job is scheduled, so they
+            // stay available while the service drains.
+            "validate" => match check_fields(op, &request, &["op", "netlist"]) {
+                Some(rejected) => rejected,
+                None => handle_validate(&request),
+            },
+            "export" => match check_fields(op, &request, &["op", "circuit"]) {
+                Some(rejected) => rejected,
+                None => handle_export(&request),
+            },
             "status" | "result" | "cancel" => {
                 let allowed: &[&str] = if op == "result" {
                     &["op", "job", "report", "svg"]
@@ -728,7 +887,7 @@ fn main() {
             other => error_response(
                 other,
                 "bad_request",
-                "op must be submit/sweep/status/result/cancel/shutdown",
+                "op must be submit/sweep/validate/export/status/result/cancel/shutdown",
             ),
         };
         let _ = writeln!(out, "{response}");

@@ -170,6 +170,161 @@ fn max_jobs_backpressure_and_release() {
     serve.close();
 }
 
+/// Extracts the string value of a top-level-ish `"key":"value"` member
+/// from a one-line JSON response. Good enough for the handful of fields
+/// these tests inspect.
+fn string_field(response: &str, key: &str) -> String {
+    let marker = format!("\"{key}\":\"");
+    let start = response
+        .find(&marker)
+        .unwrap_or_else(|| panic!("no {key:?} in {response}"))
+        + marker.len();
+    let mut end = start;
+    let bytes = response.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => break,
+            _ => end += 1,
+        }
+    }
+    response[start..end].to_string()
+}
+
+/// An inline copy of `tiny` (obtained via the `export` op) must produce
+/// a layout **bit-identical** to the named `"circuit":"tiny"` submit:
+/// identical netlist → identical fingerprint → the flow cache replays
+/// the same layout, and the rendered SVG strings match byte for byte.
+#[test]
+fn inline_netlist_matches_named_submit_bit_for_bit() {
+    let mut serve = Serve::spawn(&["--workers", "2"]);
+
+    let exported = serve.request("{\"op\":\"export\",\"circuit\":\"tiny\"}");
+    assert!(exported.contains("\"ok\":true"), "{exported}");
+    let marker = "\"netlist\":";
+    let start = exported.find(marker).expect("netlist in export") + marker.len();
+    // The document is the only object value; it ends before the
+    // trailing ,"ok":true,"op":"export"} tail of the response.
+    let end = exported.rfind(",\"ok\":").expect("export tail");
+    let document = &exported[start..end];
+
+    let named = serve.request("{\"op\":\"submit\",\"circuit\":\"tiny\"}");
+    assert!(named.contains("\"job\":1"), "{named}");
+    let named_result = serve.request("{\"op\":\"result\",\"job\":1,\"svg\":true}");
+    assert!(
+        named_result.contains("\"ok\":true") && named_result.contains("\"exact_lengths\":3"),
+        "{named_result}"
+    );
+
+    let inline = serve.request(&format!("{{\"op\":\"submit\",\"netlist\":{document}}}"));
+    assert!(inline.contains("\"job\":2"), "{inline}");
+    let inline_result = serve.request("{\"op\":\"result\",\"job\":2,\"svg\":true}");
+    assert!(inline_result.contains("\"ok\":true"), "{inline_result}");
+
+    assert_eq!(
+        string_field(&named_result, "svg"),
+        string_field(&inline_result, "svg"),
+        "inline submit must replay the identical layout"
+    );
+    assert!(
+        inline_result.contains("\"drc_violations\":0")
+            && inline_result.contains("\"exact_lengths\":3"),
+        "{inline_result}"
+    );
+
+    let response = serve.request("{\"op\":\"shutdown\"}");
+    assert!(response.contains("\"ok\":true"), "{response}");
+    serve.close();
+}
+
+/// The `validate` op schema-checks without scheduling work, surfacing
+/// wire-level codes as `invalid_netlist` details with field paths; the
+/// raised line cap admits large inline netlists while non-netlist lines
+/// keep the 64 KiB discipline.
+#[test]
+fn validate_op_reports_wire_details_and_netlist_lines_get_the_raised_cap() {
+    let mut serve = Serve::spawn(&[]);
+
+    // A good document answers with its stats and cache fingerprint.
+    let good = serve.request(
+        "{\"op\":\"validate\",\"netlist\":{\"name\":\"x\",\"area\":[200,200],\
+         \"devices\":[{\"name\":\"P\",\"model\":\"pad\",\"size\":60},\
+                      {\"name\":\"Q\",\"model\":\"pad\",\"size\":60}],\
+         \"nets\":[{\"name\":\"T\",\"from\":\"P\",\"to\":\"Q\",\"length\":120}]}}",
+    );
+    assert!(
+        good.contains("\"ok\":true") && good.contains("\"pads\":2") && good.contains("\"nets\":1"),
+        "{good}"
+    );
+    assert_eq!(string_field(&good, "fingerprint").len(), 16, "{good}");
+
+    // Wire-level rejections carry the detail code and the field path.
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "{\"op\":\"validate\",\"netlist\":{\"name\":\"x\",\"area\":[200,200],\
+             \"devices\":[{\"name\":\"D\",\"model\":\"varactor\",\"size\":10}]}}",
+            "unknown_model",
+            "devices[0].model",
+        ),
+        (
+            "{\"op\":\"validate\",\"netlist\":{\"name\":\"x\",\"area\":[200,200],\
+             \"devices\":[{\"name\":\"P\",\"model\":\"pad\",\"size\":60}],\
+             \"nets\":[{\"name\":\"T\",\"from\":\"P\",\"to\":\"GONE\",\"length\":9}]}}",
+            "unknown_device",
+            "nets[0].to",
+        ),
+        (
+            "{\"op\":\"validate\",\"netlist\":{\"name\":\"x\",\"area\":[200,200],\
+             \"devices\":[{\"name\":\"P\",\"model\":\"pad\",\"size\":60},\
+                          {\"name\":\"Q\",\"model\":\"pad\",\"size\":60}],\
+             \"nets\":[{\"name\":\"T\",\"from\":\"P\",\"to\":\"Q\",\
+                        \"length\":120,\"width\":-1}]}}",
+            "invalid_strip_width",
+            "nets[0].width",
+        ),
+        (
+            "{\"op\":\"validate\",\"netlist\":{\"name\":\"x\",\"area\":[200,200],\
+             \"devices\":[]}}",
+            "empty_netlist",
+            "devices",
+        ),
+    ];
+    for (request, detail, path) in cases {
+        let response = serve.request(request);
+        assert_eq!(error_code(&response), "invalid_netlist", "{response}");
+        assert_eq!(&string_field(&response, "detail"), detail, "{response}");
+        assert_eq!(&string_field(&response, "path"), path, "{response}");
+    }
+
+    // A ~100 KiB line with an inline netlist clears the raised cap (the
+    // padding rides in a name long enough to blow the 64 KiB cap, so it
+    // answers invalid_netlist — proving the line reached the parser).
+    let padded = format!(
+        "{{\"op\":\"validate\",\"netlist\":{{\"name\":\"{}\",\"area\":[200,200],\
+         \"devices\":[{{\"name\":\"P\",\"model\":\"pad\",\"size\":60}}]}}}}",
+        "n".repeat(100_000)
+    );
+    let response = serve.request(&padded);
+    assert_eq!(error_code(&response), "invalid_netlist", "{response}");
+    assert_eq!(&string_field(&response, "detail"), "bad_name", "{response}");
+
+    // ...while the same size without a netlist stays line_too_long.
+    let long = format!("{{\"op\":\"{}\"}}", "x".repeat(100_000));
+    let response = serve.request(&long);
+    assert_eq!(error_code(&response), "line_too_long");
+
+    // Giving both circuit and netlist is ambiguous, not first-wins.
+    let both = serve.request(
+        "{\"op\":\"submit\",\"circuit\":\"tiny\",\"netlist\":{\"name\":\"x\",\
+         \"area\":[100,100],\"devices\":[{\"name\":\"P\",\"model\":\"pad\",\"size\":60}]}}",
+    );
+    assert_eq!(error_code(&both), "bad_request", "{both}");
+
+    let response = serve.request("{\"op\":\"shutdown\"}");
+    assert!(response.contains("\"ok\":true"), "{response}");
+    serve.close();
+}
+
 /// `{"op":"shutdown","drain":true}` rejects new submissions with
 /// `shutting_down`, still serves the in-flight job's result, and exits
 /// on its own once the last job finishes — without stdin closing.
